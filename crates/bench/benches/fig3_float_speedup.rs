@@ -1,0 +1,48 @@
+//! Criterion version of Figure 3: RLIBM-32 float functions vs the three
+//! baseline models. Groups are named `fig3/<fn>/<library>`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlibm_bench::workloads::timing_inputs_f32;
+use rlibm_mp::Func;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    for f in Func::ALL {
+        let name = f.name();
+        let xs = timing_inputs_f32(name, 1024, 42);
+        let mut group = c.benchmark_group(format!("fig3/{name}"));
+        group.bench_with_input(BenchmarkId::new("rlibm32", name), &xs, |b, xs| {
+            b.iter(|| {
+                for &x in xs {
+                    black_box(rlibm_math::eval_f32_by_name(name, black_box(x)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("double_libm", name), &xs, |b, xs| {
+            b.iter(|| {
+                for &x in xs {
+                    black_box(rlibm_math::baselines::double64::to_f32(name, black_box(x)));
+                }
+            })
+        });
+        if !matches!(f, Func::SinPi | Func::CosPi) {
+            group.bench_with_input(BenchmarkId::new("crlibm", name), &xs, |b, xs| {
+                b.iter(|| {
+                    for &x in xs {
+                        black_box(rlibm_math::baselines::crlibm::to_f32(name, black_box(x)));
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion version of Figure 4: RLIBM-32 posit32 functions vs the
+//! re-purposed double library model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlibm_bench::workloads::timing_inputs_posit32;
+use rlibm_mp::Func;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    for f in Func::POSIT {
+        let name = f.name();
+        let xs = timing_inputs_posit32(name, 1024, 43);
+        let mut group = c.benchmark_group(format!("fig4/{name}"));
+        group.bench_with_input(BenchmarkId::new("rlibm32", name), &xs, |b, xs| {
+            b.iter(|| {
+                for &x in xs {
+                    black_box(rlibm_math::eval_posit32_by_name(name, black_box(x)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("double_libm", name), &xs, |b, xs| {
+            b.iter(|| {
+                for &x in xs {
+                    black_box(rlibm_math::baselines::double64::to_posit32(name, black_box(x)));
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion version of Figure 5: log2/log10 throughput vs sub-domain
+//! count 2^0 .. 2^12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlibm_bench::sweep::{Base, SweepLog};
+use rlibm_bench::workloads::timing_inputs_f32;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let xs = timing_inputs_f32("log2", 1024, 44);
+    for (base, label) in [(Base::Two, "log2"), (Base::Ten, "log10")] {
+        let mut group = c.benchmark_group(format!("fig5/{label}"));
+        for bits in 0..=12u32 {
+            let sw = SweepLog::new(base, bits);
+            group.bench_with_input(BenchmarkId::from_parameter(format!("2^{bits}")), &xs, |b, xs| {
+                b.iter(|| {
+                    for &x in xs {
+                        black_box(sw.eval(black_box(x)));
+                    }
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig5
+}
+criterion_main!(benches);

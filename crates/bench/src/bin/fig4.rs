@@ -1,0 +1,44 @@
+//! Reproduces **Figure 4**: speedup of RLIBM-32's posit32 functions over
+//! math libraries created by re-purposing double-precision functions.
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin fig4 [n_inputs]`
+
+use rlibm_bench::timing::{fmt_speedup, geomean, ns_per_call};
+use rlibm_bench::workloads::timing_inputs_posit32;
+use rlibm_mp::Func;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    println!("Figure 4: speedup of RLIBM-32 posit32 functions (inputs/function: {n})\n");
+    println!(
+        "{:>8} | {:>9} | {:>22}",
+        "posit fn", "ours (ns)", "vs repurposed double"
+    );
+    println!("{}", "-".repeat(46));
+    let mut sp = Vec::new();
+    for f in Func::POSIT {
+        let name = f.name();
+        let xs = timing_inputs_posit32(name, n, 43);
+        let ours = ns_per_call(&xs, 5, rlibm_math::posit32_fn_by_name(name));
+        let db = ns_per_call(&xs, 5, |x| {
+            rlibm_math::baselines::double64::to_posit32(name, x)
+        });
+        sp.push(db / ours);
+        println!(
+            "{:>8} | {:>9.1} | {:>22}",
+            name,
+            ours,
+            fmt_speedup(db / ours)
+        );
+    }
+    println!("{}", "-".repeat(46));
+    println!("{:>8} | {:>9} | {:>22}", "geomean", "", fmt_speedup(geomean(&sp)));
+    println!(
+        "\nPaper reference: 1.1x over glibc/Intel double, 1.4x over CR-LIBM\n\
+         — and unlike all of those, every result here is correctly rounded\n\
+         (Table 2)."
+    );
+}

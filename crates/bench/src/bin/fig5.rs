@@ -1,0 +1,55 @@
+//! Reproduces **Figure 5**: speedup of `log2` and `log10` as the number
+//! of piecewise-polynomial sub-domains grows from 2^0 to 2^12, relative
+//! to the single-polynomial configuration. A `(deg N)` annotation marks
+//! rows where the polynomial degree dropped — the paper's circles.
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin fig5 [n_inputs]`
+
+use rlibm_bench::sweep::{Base, SweepLog};
+use rlibm_bench::timing::ns_per_call;
+use rlibm_bench::workloads::timing_inputs_f32;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    println!("Figure 5: log2/log10 performance vs piecewise sub-domains\n");
+    println!(
+        "{:>11} | {:>10} {:>8} | {:>10} {:>8} | {:>8}",
+        "sub-domains", "log2 (ns)", "speedup", "log10(ns)", "speedup", "table"
+    );
+    println!("{}", "-".repeat(68));
+    let xs = timing_inputs_f32("log2", n, 44);
+    let mut base2 = None;
+    let mut base10 = None;
+    let mut prev_deg = u32::MAX;
+    for bits in 0..=12u32 {
+        let l2 = SweepLog::new(Base::Two, bits);
+        let l10 = SweepLog::new(Base::Ten, bits);
+        let t2 = ns_per_call(&xs, 5, |x| l2.eval(x));
+        let t10 = ns_per_call(&xs, 5, |x| l10.eval(x));
+        let b2 = *base2.get_or_insert(t2);
+        let b10 = *base10.get_or_insert(t10);
+        let deg_note = if l2.degree() < prev_deg && bits > 0 {
+            format!(" (deg {})", l2.degree())
+        } else {
+            String::new()
+        };
+        prev_deg = prev_deg.min(l2.degree());
+        println!(
+            "{:>11} | {:>10.1} {:>7.2}x | {:>10.1} {:>7.2}x | {:>7}B{}",
+            format!("2^{bits}"),
+            t2,
+            b2 / t2,
+            t10,
+            b10 / t10,
+            l2.table_bytes(),
+            deg_note
+        );
+    }
+    println!(
+        "\nPaper reference: ~1.2x at 2^6 sub-domains (6 KB of coefficients),\n\
+         flattening beyond as table lookups stop paying for degree drops."
+    );
+}

@@ -1,0 +1,19 @@
+//! Evaluation harnesses for the RLIBM-32 reproduction.
+//!
+//! Each table and figure of the paper's evaluation (Section 4) has a
+//! regenerating binary in `src/bin/` and, for the timing figures, a
+//! Criterion bench in `benches/`:
+//!
+//! | Paper artifact | Binary | Bench |
+//! |---|---|---|
+//! | Table 1 (float correctness)  | `table1` | — |
+//! | Table 2 (posit32 correctness)| `table2` | — |
+//! | Table 3 (generator stats)    | `table3` | — |
+//! | Figure 3 (float speedups)    | `fig3`   | `fig3_float_speedup` |
+//! | Figure 4 (posit32 speedups)  | `fig4`   | `fig4_posit_speedup` |
+//! | Figure 5 (sub-domain sweep)  | `fig5`   | `fig5_subdomains` |
+//! | §4.3 vectorization harness   | `vector_harness` | — |
+
+pub mod sweep;
+pub mod timing;
+pub mod workloads;

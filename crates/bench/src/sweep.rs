@@ -1,0 +1,172 @@
+//! Figure 5: performance of `log2`/`log10` as a function of the number of
+//! piecewise sub-domains (2^0 .. 2^12).
+//!
+//! The paper varies the size of the piecewise-polynomial table and
+//! measures throughput; circles mark split counts where the polynomial
+//! degree drops. This module builds the same family: a `log2`/`log10`
+//! implementation parameterized by `n` index bits, with an
+//! `atanh`-series polynomial whose term count shrinks as the table grows
+//! (the exact trade the generator's `SplitDomain` exploits). Tables are
+//! populated from the multi-precision oracle at startup.
+
+use rlibm_mp::elem;
+
+/// A `log2` or `log10` implementation with `2^n` table entries.
+pub struct SweepLog {
+    /// Index bits (0 = single polynomial).
+    n_bits: u32,
+    /// Table of `(log(F) hi, log(F) lo)` at `F = 1 + j/2^n`.
+    table: Vec<(f64, f64)>,
+    /// Number of odd `atanh` terms in the polynomial.
+    terms: usize,
+    /// Conversion factor from natural log (dd).
+    factor: (f64, f64),
+    /// log(2) in the target base (dd), multiplied by the exponent.
+    log_2: (f64, f64),
+}
+
+/// Which logarithm the sweep instance computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// Base 2.
+    Two,
+    /// Base 10.
+    Ten,
+}
+
+impl SweepLog {
+    /// Builds the table with the multi-precision oracle (prec 140).
+    pub fn new(base: Base, n_bits: u32) -> SweepLog {
+        assert!(n_bits <= 14, "table would not be realistic");
+        const P: u32 = 140;
+        let dd = |v: &rlibm_mp::MpFloat| -> (f64, f64) {
+            let hi = v.to_f64();
+            let lo = v.sub(&rlibm_mp::MpFloat::from_f64(hi, P), P).to_f64();
+            (hi, lo)
+        };
+        let n = 1usize << n_bits;
+        let table: Vec<(f64, f64)> = (0..n)
+            .map(|j| {
+                if j == 0 {
+                    (0.0, 0.0)
+                } else {
+                    let f = 1.0 + j as f64 / n as f64;
+                    match base {
+                        Base::Two => dd(&elem::log2(f, P)),
+                        Base::Ten => dd(&elem::log10(f, P)),
+                    }
+                }
+            })
+            .collect();
+        // s = (z-F)/(z+F) <= 2^-(n_bits+1.58); term count for ~2^-41
+        // relative truncation (far below the f32 rounding-interval slack):
+        // (n_bits + 1.58) * (2T+1) >= 41. At 2^8 sub-domains this yields
+        // degree 3, matching the paper's Table 3 row for log2.
+        let denom = n_bits as f64 + 1.58;
+        let needed = (41.0 / denom).ceil() as usize;
+        let terms = needed.saturating_sub(1).div_ceil(2).max(1);
+        let one = rlibm_mp::MpFloat::from_u64(1, P);
+        let ln2 = rlibm_mp::consts::ln2(P);
+        let ln10 = rlibm_mp::consts::ln10(P);
+        let (factor, log_2) = match base {
+            Base::Two => (dd(&one.div(&ln2, P)), (1.0, 0.0)),
+            Base::Ten => (dd(&one.div(&ln10, P)), dd(&ln2.div(&ln10, P))),
+        };
+        SweepLog { n_bits, table, terms, factor, log_2 }
+    }
+
+    /// Number of sub-domains.
+    pub fn domains(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Degree of the polynomial (odd series: `2*terms - 1`).
+    pub fn degree(&self) -> u32 {
+        (2 * self.terms - 1) as u32
+    }
+
+    /// Approximate table bytes (the paper reports 6 KB at 2^8).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * 16
+    }
+
+    /// Evaluates the parameterized log (single rounding into f32).
+    #[inline]
+    pub fn eval(&self, x: f32) -> f32 {
+        if x.is_nan() || x < 0.0 {
+            return f32::NAN;
+        }
+        if x == 0.0 {
+            return f32::NEG_INFINITY;
+        }
+        if x == f32::INFINITY {
+            return f32::INFINITY;
+        }
+        let xd = x as f64;
+        let bits = xd.to_bits();
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let z = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000);
+        // Sub-domain by bit pattern: the top n mantissa bits (exactly the
+        // SplitDomain dispatch).
+        let j = if self.n_bits == 0 {
+            0
+        } else {
+            ((bits >> (52 - self.n_bits)) & ((1u64 << self.n_bits) - 1)) as usize
+        };
+        let f = 1.0 + j as f64 / self.table.len() as f64;
+        // s = (z - f) / (z + f); log(z/f) = 2 atanh(s) / ln(base).
+        let num = z - f;
+        let den = z + f;
+        let s_hi = num / den;
+        let res = (-s_hi).mul_add(den, num) / den;
+        let s = rlibm_math::dd::Dd::new(s_hi, res);
+        // Odd series: 2s * (1 + s^2/3 + s^4/5 + ...).
+        let s2 = s_hi * s_hi;
+        let mut tail = 0.0f64;
+        for k in (1..self.terms).rev() {
+            tail = s2 * (1.0 / (2 * k + 1) as f64 + tail);
+        }
+        let atanh2 = s.scale(2.0).add(s.scale(2.0).mul_f64(tail));
+        let scaled = atanh2.mul(rlibm_math::dd::Dd { hi: self.factor.0, lo: self.factor.1 });
+        let (th, tl) = self.table[j];
+        let e_term = rlibm_math::dd::Dd { hi: self.log_2.0, lo: self.log_2.1 }.mul_f64(e as f64);
+        let total = e_term
+            .add(rlibm_math::dd::Dd { hi: th, lo: tl })
+            .add(scaled);
+        rlibm_math::round::round_dd_f32(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_log2_at_several_split_counts() {
+        for n in [0, 2, 6, 10] {
+            let sw = SweepLog::new(Base::Two, n);
+            let mut x = 0.001f32;
+            while x < 1000.0 {
+                let want = rlibm_math::log2(x);
+                let got = sw.eval(x);
+                assert_eq!(got, want, "n={n}, x={x}");
+                x *= 1.618;
+            }
+        }
+    }
+
+    #[test]
+    fn degree_decreases_with_splits() {
+        let degrees: Vec<u32> = (0..=12).map(|n| SweepLog::new(Base::Two, n).degree()).collect();
+        assert!(degrees.windows(2).all(|w| w[1] <= w[0]), "{degrees:?}");
+        assert!(degrees[0] > degrees[12]);
+    }
+
+    #[test]
+    fn log10_variant_works() {
+        let sw = SweepLog::new(Base::Ten, 8);
+        assert_eq!(sw.eval(1000.0), 3.0);
+        assert_eq!(sw.eval(1e10), 10.0);
+        assert_eq!(sw.domains(), 256);
+    }
+}

@@ -1,0 +1,76 @@
+//! Timing methodology mirroring Section 4.1.
+//!
+//! The paper measures hardware cycles per call over all 2^32 inputs, six
+//! repetitions, on a fixed-frequency Xeon. Here we measure nanoseconds per
+//! call over pseudo-random input arrays (the paper's secondary harness
+//! uses arrays of 1024 inputs — same shape), taking the minimum of several
+//! repetitions to suppress scheduler noise. Absolute numbers differ from
+//! the paper's testbed; the *ratios* (speedups) are what the figures
+//! reproduce.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measures the mean nanoseconds per call of `f` over `inputs`, taking the
+/// best of `reps` timed sweeps (each sweep long enough to dominate timer
+/// overhead).
+pub fn ns_per_call<T: Copy, R>(inputs: &[T], reps: usize, mut f: impl FnMut(T) -> R) -> f64 {
+    assert!(!inputs.is_empty());
+    // Warm up and pick an iteration count that runs >= ~5 ms.
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for &x in inputs {
+                black_box(f(black_box(x)));
+            }
+        }
+        let dt = t0.elapsed();
+        if dt.as_secs_f64() >= 0.005 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for &x in inputs {
+                black_box(f(black_box(x)));
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt / (iters as f64 * inputs.len() as f64));
+    }
+    best * 1e9
+}
+
+/// Geometric mean of a slice of positive ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Formats a speedup row like the paper's figures ("1.31x").
+pub fn fmt_speedup(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_sane() {
+        let inputs: Vec<f32> = (0..256).map(|i| i as f32 * 0.01 + 0.1).collect();
+        let ns = ns_per_call(&inputs, 3, |x| x * 1.5 + 2.0);
+        assert!(ns > 0.0 && ns < 1_000.0, "{ns} ns for a mul-add?");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

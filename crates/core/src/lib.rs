@@ -1,0 +1,60 @@
+//! The RLIBM-32 generator — the paper's primary contribution.
+//!
+//! This crate implements the four algorithms of Section 3:
+//!
+//! * [`interval`] — rounding intervals in `H = f64` for any target
+//!   representation (Algorithm 1's `RoundingInterval`).
+//! * [`reduced`] — reduced-interval deduction when range reduction uses
+//!   one *or several* elementary functions (Algorithm 2), plus the
+//!   common-interval merge for duplicate reduced inputs.
+//! * [`split`] — bit-pattern based domain splitting (Algorithm 3's
+//!   `SplitDomain`), giving two-bit-op sub-domain dispatch at runtime.
+//! * [`polygen`] — counterexample-guided polynomial generation with
+//!   sampling and coefficient search-and-refine (Algorithm 4).
+//! * [`approx`] — the piecewise assembly loop (Algorithm 3).
+//! * [`pipeline`] — the end-to-end `CorrectPolys` driver (Algorithm 1).
+//! * [`validate`] — oracle-backed full-domain validation and the
+//!   stratified workload generators used by the evaluation harnesses.
+//!
+//! # End-to-end example (a 16-bit target, exhaustively correct)
+//!
+//! ```
+//! use rlibm_core::pipeline::{generate, GeneratorSpec};
+//! use rlibm_core::validate::{all_16bit, validate};
+//! use rlibm_fp::BFloat16;
+//! use rlibm_mp::Func;
+//!
+//! // Generate a correctly rounded exp for bfloat16 inputs in [-1, 1]
+//! // (identity range reduction; the library crate does the full domain).
+//! let spec = GeneratorSpec::identity(Func::Exp, vec![0, 1, 2, 3, 4, 5, 6]);
+//! let inputs: Vec<BFloat16> = all_16bit::<BFloat16>()
+//!     .filter(|x: &BFloat16| {
+//!         x.is_finite()
+//!             && x.to_f64().abs() <= 1.0
+//!             && !rlibm_mp::oracle::is_special_case(Func::Exp, x.to_f64())
+//!     })
+//!     .collect();
+//! let generated = generate(&spec, &inputs).expect("generation succeeds");
+//! let report = validate(
+//!     Func::Exp,
+//!     |x: BFloat16| BFloat16::from_f64(generated.eval(x.to_f64())),
+//!     inputs.iter().copied(),
+//! );
+//! assert!(report.all_correct());
+//! ```
+
+pub mod approx;
+pub mod interval;
+pub mod pipeline;
+pub mod poly;
+pub mod polygen;
+pub mod reduced;
+pub mod split;
+pub mod validate;
+
+pub use approx::{gen_approx, ApproxConfig, PiecewiseApprox, SignSplitApprox};
+pub use interval::{rounding_interval, Interval};
+pub use poly::Polynomial;
+pub use polygen::{gen_polynomial, PolyGenConfig, PolyGenError};
+pub use reduced::{deduce_reduced_intervals, merge_by_reduced_input, ReducedConstraint};
+pub use split::BitPatternSplitter;

@@ -1,0 +1,306 @@
+//! Counterexample-guided polynomial generation (Algorithm 4,
+//! `GenPolynomial`).
+//!
+//! The generator never hands the LP solver more than a *sample* of the
+//! reduced constraints: it solves, validates the rounded-to-double
+//! coefficients against the *entire* constraint set in `H`, adds every
+//! violated constraint to the sample (the counterexamples), and repeats.
+//! Two refinement mechanisms from the paper are implemented:
+//!
+//! * **Search-and-refine for real coefficients** (Section 3.4): the LP's
+//!   exact rational coefficients are rounded to `f64`; if the rounded
+//!   polynomial violates a *sampled* constraint, that constraint's
+//!   interval is shrunk by one double on the violated side and the LP is
+//!   re-solved, until rounding is harmless.
+//! * **Sample-size threshold**: if the sample grows past the configured
+//!   threshold the sub-domain is declared infeasible, triggering a domain
+//!   split upstream.
+
+use crate::poly::Polynomial;
+use crate::reduced::ReducedConstraint;
+use rlibm_fp::bits::{next_down_f64, next_up_f64};
+use rlibm_lp::fit::{max_margin_fit, FitConstraint};
+
+/// Tunables for Algorithm 4.
+#[derive(Debug, Clone)]
+pub struct PolyGenConfig {
+    /// Term exponents of the polynomial to generate (e.g. `[0,1,2,3]`;
+    /// `[1,3,5]` for the paper's odd quintic).
+    pub terms: Vec<u32>,
+    /// Initial uniform sample size.
+    pub initial_sample: usize,
+    /// Give up when the sample exceeds this (the paper used 50 000; tests
+    /// here use far smaller constraint sets so the default is 4 000).
+    pub max_sample: usize,
+    /// Intervals at most this wide are "highly constrained" and are always
+    /// added to the initial sample (the paper's `epsilon`).
+    pub highly_constrained_width: f64,
+    /// Cap on LP re-solves in the coefficient search-and-refine loop.
+    pub max_refinements: usize,
+}
+
+impl Default for PolyGenConfig {
+    fn default() -> Self {
+        PolyGenConfig {
+            terms: vec![0, 1, 2, 3],
+            initial_sample: 48,
+            max_sample: 4_000,
+            highly_constrained_width: 0.0,
+            max_refinements: 64,
+        }
+    }
+}
+
+/// Why generation failed, mirroring Algorithm 4's `(false, 0)` exits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolyGenError {
+    /// The LP proved no polynomial with these terms satisfies the sampled
+    /// constraints (so none satisfies the full set either).
+    Infeasible,
+    /// The counterexample sample outgrew the threshold.
+    SampleOverflow,
+    /// Rounding the rational coefficients to `f64` could not be repaired
+    /// within the refinement budget.
+    RefinementExhausted,
+}
+
+/// Statistics of one generation run (feeds the Table 3 harness).
+#[derive(Debug, Clone, Default)]
+pub struct PolyGenStats {
+    /// LP solver invocations.
+    pub lp_calls: usize,
+    /// Counterexample rounds (full validations that found violations).
+    pub cegis_rounds: usize,
+    /// Final sample size.
+    pub final_sample: usize,
+}
+
+/// Runs Algorithm 4 on one sub-domain's constraints (sorted by `r`).
+///
+/// On success the returned polynomial, evaluated in `f64` with Horner's
+/// method, produces a value inside the reduced interval for *every*
+/// constraint — this is validated exhaustively before returning.
+pub fn gen_polynomial(
+    constraints: &[ReducedConstraint],
+    cfg: &PolyGenConfig,
+) -> Result<(Polynomial, PolyGenStats), PolyGenError> {
+    let mut stats = PolyGenStats::default();
+    if constraints.is_empty() {
+        return Ok((Polynomial::new(cfg.terms.clone(), vec![0.0; cfg.terms.len()]), stats));
+    }
+    // Initial sample: uniform over the (sorted) constraints, proportional
+    // to their distribution (Section 3.4), plus all highly constrained
+    // intervals.
+    let mut in_sample = vec![false; constraints.len()];
+    let step = (constraints.len() / cfg.initial_sample.max(1)).max(1);
+    for i in (0..constraints.len()).step_by(step) {
+        in_sample[i] = true;
+    }
+    *in_sample.last_mut().unwrap() = true;
+    if cfg.highly_constrained_width > 0.0 {
+        for (i, c) in constraints.iter().enumerate() {
+            if c.interval.width() <= cfg.highly_constrained_width {
+                in_sample[i] = true;
+            }
+        }
+    }
+
+    // Mutable copies of the sampled intervals (search-and-refine shrinks
+    // them; the originals stay as the validation target).
+    let mut work: Vec<ReducedConstraint> = constraints.to_vec();
+
+    loop {
+        let sample_count = in_sample.iter().filter(|s| **s).count();
+        if sample_count > cfg.max_sample {
+            return Err(PolyGenError::SampleOverflow);
+        }
+        // Inner loop: solve + coefficient-rounding refinement.
+        let poly = {
+            let mut refinements = 0;
+            loop {
+                let fit_cons: Vec<FitConstraint> = work
+                    .iter()
+                    .zip(&in_sample)
+                    .filter(|(_, s)| **s)
+                    .map(|(c, _)| {
+                        FitConstraint::from_point(c.r, c.interval.lo, c.interval.hi, &cfg.terms)
+                    })
+                    .collect();
+                stats.lp_calls += 1;
+                let Some(fit) = max_margin_fit(&fit_cons, cfg.terms.len()) else {
+                    return Err(PolyGenError::Infeasible);
+                };
+                let poly = Polynomial::new(cfg.terms.clone(), fit.coeffs_f64());
+                // Check the *sampled* constraints in H; shrink the first
+                // violated one and re-solve (search-and-refine).
+                let mut violated = None;
+                for (i, c) in work.iter().enumerate() {
+                    if !in_sample[i] {
+                        continue;
+                    }
+                    let v = poly.eval(c.r);
+                    if v < c.interval.lo {
+                        violated = Some((i, false));
+                        break;
+                    }
+                    if v > c.interval.hi {
+                        violated = Some((i, true));
+                        break;
+                    }
+                }
+                match violated {
+                    None => break poly,
+                    Some((i, high_side)) => {
+                        refinements += 1;
+                        if refinements > cfg.max_refinements {
+                            return Err(PolyGenError::RefinementExhausted);
+                        }
+                        let iv = &mut work[i].interval;
+                        if high_side {
+                            let new_hi = next_down_f64(iv.hi);
+                            if new_hi < iv.lo {
+                                return Err(PolyGenError::Infeasible);
+                            }
+                            iv.hi = new_hi;
+                        } else {
+                            let new_lo = next_up_f64(iv.lo);
+                            if new_lo > iv.hi {
+                                return Err(PolyGenError::Infeasible);
+                            }
+                            iv.lo = new_lo;
+                        }
+                    }
+                }
+            }
+        };
+        // Full validation against the ORIGINAL constraints; collect
+        // counterexamples (Algorithm 4's Check).
+        let mut new_counterexamples = 0usize;
+        for (i, c) in constraints.iter().enumerate() {
+            let v = poly.eval(c.r);
+            if !c.interval.contains(v) && !in_sample[i] {
+                in_sample[i] = true;
+                new_counterexamples += 1;
+            }
+        }
+        if new_counterexamples == 0 {
+            // Could still have violations on sampled-and-shrunk points?
+            // No: sampled points were validated against the *shrunk*
+            // intervals, which are subsets of the originals.
+            debug_assert!(constraints
+                .iter()
+                .all(|c| c.interval.contains(poly.eval(c.r))));
+            stats.final_sample = in_sample.iter().filter(|s| **s).count();
+            return Ok((poly, stats));
+        }
+        stats.cegis_rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn constraints_from_fn(
+        f: impl Fn(f64) -> f64,
+        xs: impl Iterator<Item = f64>,
+        half_width: f64,
+    ) -> Vec<ReducedConstraint> {
+        xs.map(|x| {
+            let y = f(x);
+            ReducedConstraint {
+                r: x,
+                interval: Interval::new(y - half_width, y + half_width),
+            }
+        })
+        .collect()
+    }
+
+    #[test]
+    fn fits_exp_on_small_domain() {
+        // e^r on [0, ln2/128] with generous windows: a cubic suffices.
+        let n = 2000;
+        let cons = constraints_from_fn(
+            |x| x.exp(),
+            (0..n).map(|i| i as f64 * 0.0054 / n as f64),
+            1e-12,
+        );
+        let cfg = PolyGenConfig { terms: vec![0, 1, 2, 3], ..Default::default() };
+        let (poly, stats) = gen_polynomial(&cons, &cfg).expect("feasible");
+        assert!(stats.lp_calls >= 1);
+        for c in &cons {
+            assert!(c.interval.contains(poly.eval(c.r)));
+        }
+        // The fitted coefficients resemble the Taylor series of e^r.
+        assert!((poly.coeffs()[0] - 1.0).abs() < 1e-9);
+        assert!((poly.coeffs()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counterexamples_are_used() {
+        // A tiny initial sample forces CEGIS rounds on a wiggly function.
+        let n = 3000;
+        let cons = constraints_from_fn(
+            |x| (core::f64::consts::PI * x).sin(),
+            (1..n).map(|i| i as f64 * 0.002 / n as f64),
+            5e-14,
+        );
+        let cfg = PolyGenConfig {
+            terms: vec![1, 3],
+            initial_sample: 3,
+            ..Default::default()
+        };
+        let (poly, _stats) = gen_polynomial(&cons, &cfg).expect("feasible");
+        for c in &cons {
+            assert!(c.interval.contains(poly.eval(c.r)), "violated at {}", c.r);
+        }
+    }
+
+    #[test]
+    fn infeasible_degree_is_detected() {
+        // A line cannot track a parabola to 1e-9 over [0,1].
+        let cons = constraints_from_fn(|x| x * x, (0..200).map(|i| i as f64 / 200.0), 1e-9);
+        let cfg = PolyGenConfig { terms: vec![0, 1], ..Default::default() };
+        match gen_polynomial(&cons, &cfg) {
+            Err(PolyGenError::Infeasible) => {}
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_sample_handles_tight_interval() {
+        // One very tight constraint plus loose ones: the tight one must be
+        // marked highly constrained and sampled from the start.
+        let mut cons = constraints_from_fn(|x| 1.0 + x, (0..100).map(|i| i as f64 / 100.0), 1e-3);
+        cons[50].interval = Interval::new(1.5, 1.5 + 1e-15);
+        let cfg = PolyGenConfig {
+            terms: vec![0, 1],
+            initial_sample: 4,
+            highly_constrained_width: 1e-12,
+            ..Default::default()
+        };
+        let (poly, _) = gen_polynomial(&cons, &cfg).expect("feasible");
+        assert!(cons[50].interval.contains(poly.eval(cons[50].r)));
+    }
+
+    #[test]
+    fn empty_constraints_give_zero_poly() {
+        let cfg = PolyGenConfig::default();
+        let (poly, _) = gen_polynomial(&[], &cfg).expect("trivially feasible");
+        assert_eq!(poly.eval(0.5), 0.0);
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let cons = constraints_from_fn(|x| x.exp(), (0..500).map(|i| i as f64 * 1e-5), 1e-11);
+        let cfg = PolyGenConfig {
+            terms: vec![0, 1, 2, 3],
+            initial_sample: 2,
+            ..Default::default()
+        };
+        let (_, stats) = gen_polynomial(&cons, &cfg).expect("feasible");
+        assert!(stats.final_sample >= 2);
+        assert!(stats.lp_calls >= 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Reduced rounding intervals (Algorithm 2, `ReducedIntervals`).
+//!
+//! Range reduction turns the original input `x` into a reduced input `r`,
+//! and output compensation `OC` reconstructs `f(x)` from the values of one
+//! or more elementary functions at `r` (e.g. `sinpi(x)` needs both
+//! `sinpi(R)` and `cospi(R)` — the paper's headline multi-function case).
+//! The generator must know how much *freedom* each `f_i(r)` has: the
+//! largest interval around the correctly rounded `RN_H(f_i(r))` such that
+//! output compensation still lands inside `x`'s rounding interval.
+//!
+//! The paper widens the lower bounds of all component functions
+//! simultaneously (then the upper bounds), which is sound when `OC` is
+//! monotone in its function arguments; it suggests binary search for
+//! efficiency. We implement exactly that: the step count `n` is searched
+//! over f64 order keys, moving every `v_i` by `n` ulps at once.
+
+use crate::interval::Interval;
+use rlibm_fp::bits::{f64_from_order_key, f64_order_key};
+
+/// A reduced-input constraint: the polynomial for one component function
+/// must produce a value inside `interval` at reduced input `r`.
+#[derive(Debug, Clone, Copy)]
+pub struct ReducedConstraint {
+    /// The reduced input (in `H = f64`).
+    pub r: f64,
+    /// The freedom interval for this component function at `r`.
+    pub interval: Interval,
+}
+
+/// Everything the deduction needs to know about one original input.
+#[derive(Debug, Clone)]
+pub struct ReductionCase {
+    /// The original input (widened to f64).
+    pub x: f64,
+    /// The rounding interval of the correctly rounded `f(x)`.
+    pub target: Interval,
+    /// The reduced input `RR_H(x)`.
+    pub r: f64,
+    /// The correctly rounded double value `RN_H(f_i(r))` for each
+    /// component function.
+    pub component_values: Vec<f64>,
+}
+
+/// Error cases of the deduction, mirroring the paper's failure exits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReducedError {
+    /// Output compensation at the correctly rounded component values does
+    /// not land in the target interval: the range reduction must be
+    /// redesigned or `H` needs more precision (Algorithm 2, line 8).
+    CenterMisses {
+        /// The offending original input.
+        x: f64,
+    },
+    /// Two original inputs mapping to the same reduced input have disjoint
+    /// freedom intervals (Section 3.2's "no common interval" case).
+    EmptyIntersection {
+        /// The reduced input with conflicting requirements.
+        r: f64,
+        /// Index of the component function.
+        component: usize,
+    },
+}
+
+/// Deduces, for each component function, the per-`x` freedom intervals.
+///
+/// `oc` evaluates output compensation in `H`: given candidate values for
+/// each component function (same order as `component_values`) and the
+/// original input, it returns the compensated result. It must be monotone
+/// in the candidate vector direction (all lowered or all raised together),
+/// which holds for every range reduction in the paper.
+///
+/// Returns one `Vec<ReducedConstraint>` per component function, aligned
+/// with `cases` (one entry per original input; intersection of duplicates
+/// is a separate step, [`merge_by_reduced_input`]).
+pub fn deduce_reduced_intervals(
+    cases: &[ReductionCase],
+    oc: &dyn Fn(&[f64], f64) -> f64,
+) -> Result<Vec<Vec<ReducedConstraint>>, ReducedError> {
+    let n_funcs = cases.first().map_or(0, |c| c.component_values.len());
+    let mut out: Vec<Vec<ReducedConstraint>> = vec![Vec::with_capacity(cases.len()); n_funcs];
+    for case in cases {
+        assert_eq!(case.component_values.len(), n_funcs, "ragged component values");
+        let center = oc(&case.component_values, case.x);
+        if !case.target.contains(center) {
+            return Err(ReducedError::CenterMisses { x: case.x });
+        }
+        let keys: Vec<i64> = case.component_values.iter().map(|&v| f64_order_key(v)).collect();
+        let probe = |delta: i64| -> bool {
+            let vals: Vec<f64> = keys.iter().map(|&k| f64_from_order_key(k + delta)).collect();
+            let y = oc(&vals, case.x);
+            !y.is_nan() && case.target.contains(y)
+        };
+        let down = widen(&probe, -1);
+        let up = widen(&probe, 1);
+        for (i, &k) in keys.iter().enumerate() {
+            let lo = f64_from_order_key(k - down);
+            let hi = f64_from_order_key(k + up);
+            out[i].push(ReducedConstraint {
+                r: case.r,
+                interval: Interval::new(lo, hi),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Finds the largest `n >= 0` such that `probe(dir * m)` holds for all
+/// `m <= n`, by exponential growth + binary search (the probe is monotone
+/// because OC is). Capped so the moved values stay finite.
+fn widen(probe: &dyn Fn(i64) -> bool, dir: i64) -> i64 {
+    if !probe(dir) {
+        return 0;
+    }
+    // Exponential phase.
+    let mut good = 1i64;
+    let cap = 1i64 << 52; // plenty: 2^52 ulps of freedom never happens
+    while good < cap && probe(dir * good * 2) {
+        good *= 2;
+    }
+    // Binary phase in (good, good*2).
+    let mut lo = good;
+    let mut hi = (good * 2).min(cap);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(dir * mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Merges constraints that share a reduced input by intersecting their
+/// intervals (Section 3.2). The result is sorted by `r` and deduplicated.
+pub fn merge_by_reduced_input(
+    constraints: &[ReducedConstraint],
+    component: usize,
+) -> Result<Vec<ReducedConstraint>, ReducedError> {
+    let mut sorted: Vec<ReducedConstraint> = constraints.to_vec();
+    sorted.sort_by(|a, b| {
+        f64_order_key(a.r).cmp(&f64_order_key(b.r))
+    });
+    let mut out: Vec<ReducedConstraint> = Vec::with_capacity(sorted.len());
+    for c in sorted {
+        match out.last_mut() {
+            Some(last) if last.r.to_bits() == c.r.to_bits() => {
+                match last.interval.intersect(&c.interval) {
+                    Some(iv) => last.interval = iv,
+                    None => {
+                        return Err(ReducedError::EmptyIntersection { r: c.r, component })
+                    }
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::rounding_interval;
+    use rlibm_fp::bits::{next_down_f64, next_up_f64};
+
+    /// Identity "range reduction": OC is just the value itself. The
+    /// deduced interval must then BE the rounding interval.
+    #[test]
+    fn identity_oc_recovers_rounding_interval() {
+        let y = 0.7853981f32; // arbitrary target
+        let target = rounding_interval(y).unwrap();
+        let v = y as f64; // pretend RN_H(f(r)) = y exactly
+        let cases = vec![ReductionCase {
+            x: 1.0,
+            target,
+            r: 1.0,
+            component_values: vec![v],
+        }];
+        let res = deduce_reduced_intervals(&cases, &|vals, _x| vals[0]).unwrap();
+        let iv = res[0][0].interval;
+        assert_eq!(iv.lo, target.lo);
+        assert_eq!(iv.hi, target.hi);
+    }
+
+    /// OC with a scale factor: freedom shrinks proportionally.
+    #[test]
+    fn scaling_oc_shrinks_freedom() {
+        let target = Interval::new(100.0 - 0.5, 100.0 + 0.5);
+        let cases = vec![ReductionCase {
+            x: 0.0,
+            target,
+            r: 0.0,
+            component_values: vec![1.0],
+        }];
+        // OC multiplies by 100: 1 unit of freedom in f_i is 100 units in y.
+        let res = deduce_reduced_intervals(&cases, &|vals, _| vals[0] * 100.0).unwrap();
+        let iv = res[0][0].interval;
+        assert!(iv.contains(1.0));
+        assert!((iv.hi - 1.0 - 0.005).abs() < 1e-9, "hi = {}", iv.hi);
+        assert!((1.0 - iv.lo - 0.005).abs() < 1e-9, "lo = {}", iv.lo);
+    }
+
+    /// Decreasing OC still works: the membership probe doesn't care about
+    /// direction.
+    #[test]
+    fn decreasing_oc() {
+        let target = Interval::new(-1.1, -0.9);
+        let cases = vec![ReductionCase {
+            x: 0.0,
+            target,
+            r: 0.0,
+            component_values: vec![1.0],
+        }];
+        let res = deduce_reduced_intervals(&cases, &|vals, _| -vals[0]).unwrap();
+        let iv = res[0][0].interval;
+        assert!((iv.lo - 0.9).abs() < 1e-12 && (iv.hi - 1.1).abs() < 1e-12);
+    }
+
+    /// Two component functions widened simultaneously (the sinpi/cospi
+    /// shape: y = a*s + b*c).
+    #[test]
+    fn two_component_oc() {
+        let target = Interval::new(1.0 - 1e-3, 1.0 + 1e-3);
+        let cases = vec![ReductionCase {
+            x: 0.25,
+            target,
+            r: 0.25,
+            component_values: vec![0.5, 0.5],
+        }];
+        // y = s + c = 1.0 at the center.
+        let res = deduce_reduced_intervals(&cases, &|vals, _| vals[0] + vals[1]).unwrap();
+        let s_iv = res[0][0].interval;
+        let c_iv = res[1][0].interval;
+        // Moving both by n ulps moves y by ~2n ulps of 0.5 = n ulps of 1.0:
+        // each function gets roughly half the target's freedom.
+        assert!(s_iv.contains(0.5) && c_iv.contains(0.5));
+        assert!(s_iv.width() > 4e-4 && s_iv.width() < 1.1e-3);
+        assert!(c_iv.width() > 4e-4 && c_iv.width() < 1.1e-3);
+    }
+
+    #[test]
+    fn center_miss_is_reported() {
+        let target = Interval::new(5.0, 6.0);
+        let cases = vec![ReductionCase {
+            x: 42.0,
+            target,
+            r: 0.0,
+            component_values: vec![1.0],
+        }];
+        let err = deduce_reduced_intervals(&cases, &|vals, _| vals[0]).unwrap_err();
+        assert_eq!(err, ReducedError::CenterMisses { x: 42.0 });
+    }
+
+    #[test]
+    fn merge_intersects_duplicates() {
+        let a = ReducedConstraint { r: 0.5, interval: Interval::new(1.0, 3.0) };
+        let b = ReducedConstraint { r: 0.5, interval: Interval::new(2.0, 4.0) };
+        let c = ReducedConstraint { r: 0.25, interval: Interval::new(0.0, 1.0) };
+        let merged = merge_by_reduced_input(&[a, b, c], 0).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].r, 0.25);
+        assert_eq!(merged[1].interval, Interval::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn merge_reports_conflicts() {
+        let a = ReducedConstraint { r: 0.5, interval: Interval::new(1.0, 2.0) };
+        let b = ReducedConstraint { r: 0.5, interval: Interval::new(3.0, 4.0) };
+        let err = merge_by_reduced_input(&[a, b], 7).unwrap_err();
+        assert_eq!(err, ReducedError::EmptyIntersection { r: 0.5, component: 7 });
+    }
+
+    #[test]
+    fn widen_is_tight() {
+        // Probe true exactly for |delta| <= 1000.
+        let probe = |d: i64| d.abs() <= 1000;
+        assert_eq!(widen(&probe, 1), 1000);
+        assert_eq!(widen(&probe, -1), 1000);
+        let never = |_: i64| false;
+        assert_eq!(widen(&never, 1), 0);
+    }
+
+    #[test]
+    fn deduced_bounds_are_maximal() {
+        // The endpoint must be in, one past must be out.
+        let y = 2.5f32;
+        let target = rounding_interval(y).unwrap();
+        let cases = vec![ReductionCase {
+            x: 2.5,
+            target,
+            r: 2.5,
+            component_values: vec![2.5],
+        }];
+        let res = deduce_reduced_intervals(&cases, &|v, _| v[0] * (1.0 + 1e-13)).unwrap();
+        let iv = res[0][0].interval;
+        let oc = |v: f64| v * (1.0 + 1e-13);
+        assert!(target.contains(oc(iv.lo)));
+        assert!(target.contains(oc(iv.hi)));
+        assert!(!target.contains(oc(next_down_f64(iv.lo))));
+        assert!(!target.contains(oc(next_up_f64(iv.hi))));
+    }
+}

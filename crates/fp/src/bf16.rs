@@ -1,0 +1,213 @@
+//! The bfloat16 ("brain float") format: 1 sign, 8 exponent, 7 fraction bits.
+//!
+//! bfloat16 is one of the two 16-bit targets of the original RLIBM work that
+//! this paper extends. Because it has only 65 536 bit patterns, the *entire*
+//! generation pipeline (oracle → rounding intervals → LP → validation) can
+//! run exhaustively over it in tests, proving the "correct for all inputs"
+//! property end to end.
+
+use crate::small::SmallFormat;
+
+const FMT: SmallFormat = SmallFormat::BFLOAT16;
+
+/// A bfloat16 value, stored as its bit pattern.
+///
+/// Arithmetic is performed by exact widening to `f64` followed by a single
+/// correct rounding, which is exact for `+`, `-`, `*` (products of 8-bit
+/// significands fit in `f64`) and correctly rounded for `/` (the quotient is
+/// never close enough to a rounding boundary for the double rounding to
+/// matter; see the crate tests).
+///
+/// # Example
+///
+/// ```
+/// use rlibm_fp::BFloat16;
+/// let x = BFloat16::from_f64(1.5);
+/// assert_eq!(x.to_f64(), 1.5);
+/// assert_eq!((x + x).to_f64(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BFloat16(u16);
+
+impl BFloat16 {
+    /// Positive zero.
+    pub const ZERO: BFloat16 = BFloat16(0);
+    /// One.
+    pub const ONE: BFloat16 = BFloat16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: BFloat16 = BFloat16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: BFloat16 = BFloat16(0xFF80);
+    /// Canonical quiet NaN.
+    pub const NAN: BFloat16 = BFloat16(0x7FC0);
+    /// Largest finite value, `(2 - 2^-7) * 2^127`.
+    pub const MAX: BFloat16 = BFloat16(0x7F7F);
+    /// Smallest positive normal value, `2^-126`.
+    pub const MIN_POSITIVE: BFloat16 = BFloat16(0x0080);
+
+    /// Constructs a value from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        BFloat16(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rounds an `f64` to bfloat16 (round-to-nearest-even, single rounding).
+    pub fn from_f64(x: f64) -> Self {
+        BFloat16(FMT.round_from_f64(x))
+    }
+
+    /// Rounds an `f32` to bfloat16.
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    /// Exact conversion to `f64`.
+    pub fn to_f64(self) -> f64 {
+        FMT.decode(self.0)
+    }
+
+    /// Exact conversion to `f32` (every bfloat16 is an `f32`).
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        let exp = (self.0 >> 7) & 0xFF;
+        exp == 0xFF && self.0 & 0x7F != 0
+    }
+
+    /// True for +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        self.0 & 0x7FFF == 0x7F80
+    }
+
+    /// True for every value that is neither infinite nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 >> 7) & 0xFF != 0xFF
+    }
+
+    /// True if the sign bit is set (including -0.0 and NaNs with sign).
+    pub fn is_sign_negative(self) -> bool {
+        self.0 >> 15 == 1
+    }
+}
+
+impl PartialEq for BFloat16 {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f64() == other.to_f64() // IEEE semantics: NaN != NaN, -0 == +0
+    }
+}
+
+impl PartialOrd for BFloat16 {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl core::fmt::Display for BFloat16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl From<BFloat16> for f64 {
+    fn from(x: BFloat16) -> f64 {
+        x.to_f64()
+    }
+}
+
+impl From<BFloat16> for f32 {
+    fn from(x: BFloat16) -> f32 {
+        x.to_f32()
+    }
+}
+
+macro_rules! bf16_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl core::ops::$trait for BFloat16 {
+            type Output = BFloat16;
+            fn $method(self, rhs: BFloat16) -> BFloat16 {
+                BFloat16::from_f64(self.to_f64() $op rhs.to_f64())
+            }
+        }
+    };
+}
+
+bf16_binop!(Add, add, +);
+bf16_binop!(Sub, sub, -);
+bf16_binop!(Mul, mul, *);
+bf16_binop!(Div, div, /);
+
+impl core::ops::Neg for BFloat16 {
+    type Output = BFloat16;
+    fn neg(self) -> BFloat16 {
+        BFloat16(self.0 ^ 0x8000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_decode_correctly() {
+        assert_eq!(BFloat16::ZERO.to_f64(), 0.0);
+        assert_eq!(BFloat16::ONE.to_f64(), 1.0);
+        assert_eq!(BFloat16::INFINITY.to_f64(), f64::INFINITY);
+        assert!(BFloat16::NAN.is_nan());
+        assert_eq!(BFloat16::MIN_POSITIVE.to_f64(), 2f64.powi(-126));
+        assert_eq!(BFloat16::MAX.to_f64(), (2.0 - 2f64.powi(-7)) * 2f64.powi(127));
+    }
+
+    #[test]
+    fn arithmetic_is_correctly_rounded() {
+        let a = BFloat16::from_f64(1.0);
+        let b = BFloat16::from_f64(2f64.powi(-8)); // half an ulp of 1.0
+        // 1 + 2^-8 is exactly the rounding boundary; ties to even keeps 1.0.
+        assert_eq!((a + b).to_f64(), 1.0);
+        let c = BFloat16::from_f64(3.0);
+        assert_eq!((c * c).to_f64(), 9.0);
+        assert_eq!((c / BFloat16::from_f64(2.0)).to_f64(), 1.5);
+    }
+
+    #[test]
+    fn neg_flips_sign_bit_only() {
+        assert_eq!((-BFloat16::ONE).to_f64(), -1.0);
+        assert!((-BFloat16::NAN).is_nan());
+        assert_eq!((-BFloat16::ZERO).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn nan_comparisons() {
+        assert_ne!(BFloat16::NAN, BFloat16::NAN);
+        assert_eq!(BFloat16::ZERO, -BFloat16::ZERO);
+        assert!(BFloat16::ONE > BFloat16::ZERO);
+    }
+
+    #[test]
+    fn division_correctly_rounded_exhaustive_slice() {
+        // Check f64-mediated division against exact rational comparison for
+        // a slice of operand pairs, including awkward significands.
+        for a_bits in (0x3F80u16..0x4080).step_by(7) {
+            for b_bits in (0x3F80u16..0x4080).step_by(11) {
+                let a = BFloat16::from_bits(a_bits);
+                let b = BFloat16::from_bits(b_bits);
+                let q = (a / b).to_f64();
+                // The correctly rounded quotient must satisfy
+                // |a/b - q| <= |a/b - q'| for the neighbours q' of q.
+                let exact = a.to_f64() / b.to_f64(); // exact to 2^-53, boundaries at 2^-9
+                let up = BFloat16::from_f64(q).to_f64();
+                assert_eq!(q, up);
+                let err = (exact - q).abs();
+                let alt = BFloat16::from_f64(exact * (1.0 + 1e-14)).to_f64();
+                let err_alt = (exact - alt).abs();
+                assert!(err <= err_alt + 1e-12 * exact.abs());
+            }
+        }
+    }
+}

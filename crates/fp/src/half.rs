@@ -1,0 +1,172 @@
+//! IEEE 754 binary16 ("half precision"): 1 sign, 5 exponent, 10 fraction
+//! bits. Provided alongside [`crate::BFloat16`] so the generator's 16-bit
+//! exhaustive tests cover a format with a *narrow* exponent range and wide
+//! significand (the opposite trade-off from bfloat16).
+
+use crate::small::SmallFormat;
+
+const FMT: SmallFormat = SmallFormat::BINARY16;
+
+/// An IEEE binary16 value, stored as its bit pattern.
+///
+/// Arithmetic widens exactly to `f64` and rounds once; `+`, `-`, `*` are
+/// exact in the intermediate and `/` is far enough from rounding boundaries
+/// that the single rounding is correct.
+///
+/// # Example
+///
+/// ```
+/// use rlibm_fp::Half;
+/// let x = Half::from_f64(0.5);
+/// assert_eq!((x * x).to_f64(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Half(u16);
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0);
+    /// One.
+    pub const ONE: Half = Half(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: Half = Half(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Half = Half(0xFC00);
+    /// Canonical quiet NaN.
+    pub const NAN: Half = Half(0x7E00);
+    /// Largest finite value, `65504`.
+    pub const MAX: Half = Half(0x7BFF);
+    /// Smallest positive normal value, `2^-14`.
+    pub const MIN_POSITIVE: Half = Half(0x0400);
+
+    /// Constructs a value from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        Half(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rounds an `f64` to binary16 (round-to-nearest-even, single rounding).
+    pub fn from_f64(x: f64) -> Self {
+        Half(FMT.round_from_f64(x))
+    }
+
+    /// Exact conversion to `f64`.
+    pub fn to_f64(self) -> f64 {
+        FMT.decode(self.0)
+    }
+
+    /// Exact conversion to `f32` (every binary16 is an `f32`).
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        let exp = (self.0 >> 10) & 0x1F;
+        exp == 0x1F && self.0 & 0x3FF != 0
+    }
+
+    /// True for +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        self.0 & 0x7FFF == 0x7C00
+    }
+
+    /// True for every value that is neither infinite nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 >> 10) & 0x1F != 0x1F
+    }
+
+    /// True if the sign bit is set.
+    pub fn is_sign_negative(self) -> bool {
+        self.0 >> 15 == 1
+    }
+}
+
+impl PartialEq for Half {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f64() == other.to_f64()
+    }
+}
+
+impl PartialOrd for Half {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.to_f64().partial_cmp(&other.to_f64())
+    }
+}
+
+impl core::fmt::Display for Half {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl From<Half> for f64 {
+    fn from(x: Half) -> f64 {
+        x.to_f64()
+    }
+}
+
+macro_rules! half_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl core::ops::$trait for Half {
+            type Output = Half;
+            fn $method(self, rhs: Half) -> Half {
+                Half::from_f64(self.to_f64() $op rhs.to_f64())
+            }
+        }
+    };
+}
+
+half_binop!(Add, add, +);
+half_binop!(Sub, sub, -);
+half_binop!(Mul, mul, *);
+half_binop!(Div, div, /);
+
+impl core::ops::Neg for Half {
+    type Output = Half;
+    fn neg(self) -> Half {
+        Half(self.0 ^ 0x8000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_decode_correctly() {
+        assert_eq!(Half::ONE.to_f64(), 1.0);
+        assert_eq!(Half::MAX.to_f64(), 65504.0);
+        assert_eq!(Half::MIN_POSITIVE.to_f64(), 2f64.powi(-14));
+        assert!(Half::NAN.is_nan());
+        assert!(Half::INFINITY.is_infinite());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(Half::from_f64(65520.0).to_f64(), f64::INFINITY);
+        // 65519.999... rounds down to MAX.
+        assert_eq!(Half::from_f64(65519.0).to_f64(), 65504.0);
+    }
+
+    #[test]
+    fn subnormal_arithmetic() {
+        let min_sub = Half::from_bits(1);
+        assert_eq!(min_sub.to_f64(), 2f64.powi(-24));
+        assert_eq!((min_sub + min_sub).to_f64(), 2f64.powi(-23));
+        assert_eq!((min_sub - min_sub).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn mul_is_exact_through_f64() {
+        // Largest significands: (2 - 2^-10)^2 needs 22 bits, fine in f64.
+        let m = Half::from_bits(0x3FFF); // 1.9990234375
+        let sq = (m * m).to_f64();
+        let exact = 1.9990234375f64 * 1.9990234375f64;
+        assert_eq!(sq, Half::from_f64(exact).to_f64());
+    }
+}

@@ -1,0 +1,35 @@
+//! Bit-level floating point utilities for the RLIBM-32 reproduction.
+//!
+//! This crate provides the low-level substrate that every other crate in the
+//! workspace builds on:
+//!
+//! * [`bits`] — exact bit manipulation of `f32`/`f64` (neighbours, ulps,
+//!   exact midpoints of adjacent values, exponent/mantissa access).
+//! * [`bf16::BFloat16`] and [`half::Half`] — software 16-bit float types
+//!   (bfloat16 and IEEE binary16). These are the types RLIBM (the PLDI'21
+//!   paper's precursor) targeted, and they let the full generation pipeline
+//!   run *exhaustively* over a complete input domain in tests.
+//! * [`Representation`] — the trait that unifies every rounding target
+//!   (float, bfloat16, half, and the posit types from `rlibm-posit`). The
+//!   oracle and the generator are written against this trait.
+//!
+//! # Example
+//!
+//! ```
+//! use rlibm_fp::bits::{next_up_f64, midpoint_f32};
+//!
+//! // Midpoints of adjacent f32 values are exactly representable in f64:
+//! let m = midpoint_f32(1.0f32, 1.0f32 + f32::EPSILON);
+//! assert_eq!(m as f32, 1.0f32); // ties-to-even rounds the midpoint down
+//! assert!(next_up_f64(1.0) > 1.0);
+//! ```
+
+pub mod bf16;
+pub mod bits;
+pub mod half;
+pub mod repr;
+pub mod small;
+
+pub use bf16::BFloat16;
+pub use half::Half;
+pub use repr::Representation;

@@ -1,0 +1,205 @@
+//! Correctly rounded bfloat16 functions (the original RLIBM's 16-bit
+//! target, kept because the full generation pipeline can be validated
+//! *exhaustively* against them — see the workspace integration tests).
+//!
+//! Every bfloat16 widens exactly to `f64`; the shared kernels do the work
+//! and one [`crate::round::round_dd`] rounding lands the result.
+
+use rlibm_fp::BFloat16;
+
+use crate::float::exp::{exp10_kernel, exp2_kernel, exp_kernel};
+use crate::float::hyper::{cosh_kernel, sinh_kernel};
+use crate::float::log::{ln_kernel, log10_kernel, log2_kernel};
+use crate::round::round_dd;
+
+macro_rules! bf16_log {
+    ($(#[$doc:meta])* $name:ident, $kernel:ident) => {
+        $(#[$doc])*
+        pub fn $name(x: BFloat16) -> BFloat16 {
+            if x.is_nan() {
+                return BFloat16::NAN;
+            }
+            let xd = x.to_f64();
+            if xd < 0.0 {
+                return BFloat16::NAN;
+            }
+            if xd == 0.0 {
+                return BFloat16::NEG_INFINITY;
+            }
+            if xd.is_infinite() {
+                return BFloat16::INFINITY;
+            }
+            round_dd($kernel(xd))
+        }
+    };
+}
+
+bf16_log!(
+    /// Correctly rounded natural logarithm for bfloat16.
+    ///
+    /// ```
+    /// use rlibm_fp::BFloat16;
+    /// let y = rlibm_math::bf16::ln_bf16(BFloat16::from_f64(1.0));
+    /// assert_eq!(y.to_f64(), 0.0);
+    /// ```
+    ln_bf16, ln_kernel
+);
+bf16_log!(
+    /// Correctly rounded base-2 logarithm for bfloat16.
+    ///
+    /// ```
+    /// use rlibm_fp::BFloat16;
+    /// let y = rlibm_math::bf16::log2_bf16(BFloat16::from_f64(8.0));
+    /// assert_eq!(y.to_f64(), 3.0);
+    /// ```
+    log2_bf16, log2_kernel
+);
+bf16_log!(
+    /// Correctly rounded base-10 logarithm for bfloat16.
+    ///
+    /// ```
+    /// use rlibm_fp::BFloat16;
+    /// let y = rlibm_math::bf16::log10_bf16(BFloat16::from_f64(100.0));
+    /// assert_eq!(y.to_f64(), 2.0);
+    /// ```
+    log10_bf16, log10_kernel
+);
+
+/// Correctly rounded `e^x` for bfloat16.
+///
+/// ```
+/// use rlibm_fp::BFloat16;
+/// let y = rlibm_math::bf16::exp_bf16(BFloat16::from_f64(1.0));
+/// assert_eq!(y.to_f64(), 2.71875);
+/// ```
+pub fn exp_bf16(x: BFloat16) -> BFloat16 {
+    if x.is_nan() {
+        return BFloat16::NAN;
+    }
+    let xd = x.to_f64();
+    if xd > 89.0 {
+        return BFloat16::INFINITY;
+    }
+    if xd < -94.0 {
+        return BFloat16::ZERO; // exp(-94) < 2^-134.5: below half the
+                               // smallest bfloat16 subnormal (2^-133)
+    }
+    round_dd(exp_kernel(xd))
+}
+
+/// Correctly rounded `2^x` for bfloat16.
+///
+/// ```
+/// use rlibm_fp::BFloat16;
+/// let y = rlibm_math::bf16::exp2_bf16(BFloat16::from_f64(-3.0));
+/// assert_eq!(y.to_f64(), 0.125);
+/// ```
+pub fn exp2_bf16(x: BFloat16) -> BFloat16 {
+    if x.is_nan() {
+        return BFloat16::NAN;
+    }
+    let xd = x.to_f64();
+    if xd >= 128.0 {
+        return BFloat16::INFINITY;
+    }
+    if xd < -135.0 {
+        return BFloat16::ZERO;
+    }
+    round_dd(exp2_kernel(xd))
+}
+
+/// Correctly rounded `10^x` for bfloat16.
+///
+/// ```
+/// use rlibm_fp::BFloat16;
+/// let y = rlibm_math::bf16::exp10_bf16(BFloat16::from_f64(2.0));
+/// assert_eq!(y.to_f64(), 100.0);
+/// ```
+pub fn exp10_bf16(x: BFloat16) -> BFloat16 {
+    if x.is_nan() {
+        return BFloat16::NAN;
+    }
+    let xd = x.to_f64();
+    if xd > 38.6 {
+        return BFloat16::INFINITY;
+    }
+    if xd < -40.6 {
+        return BFloat16::ZERO;
+    }
+    round_dd(exp10_kernel(xd))
+}
+
+/// Correctly rounded hyperbolic sine for bfloat16.
+///
+/// ```
+/// use rlibm_fp::BFloat16;
+/// let z = rlibm_math::bf16::sinh_bf16(BFloat16::ZERO);
+/// assert_eq!(z.to_f64(), 0.0);
+/// ```
+pub fn sinh_bf16(x: BFloat16) -> BFloat16 {
+    if x.is_nan() {
+        return BFloat16::NAN;
+    }
+    let xd = x.to_f64();
+    if xd == 0.0 {
+        return x;
+    }
+    if xd > 90.0 {
+        return BFloat16::INFINITY;
+    }
+    if xd < -90.0 {
+        return BFloat16::NEG_INFINITY;
+    }
+    round_dd(sinh_kernel(xd))
+}
+
+/// Correctly rounded hyperbolic cosine for bfloat16.
+///
+/// ```
+/// use rlibm_fp::BFloat16;
+/// let y = rlibm_math::bf16::cosh_bf16(BFloat16::ZERO);
+/// assert_eq!(y.to_f64(), 1.0);
+/// ```
+pub fn cosh_bf16(x: BFloat16) -> BFloat16 {
+    if x.is_nan() {
+        return BFloat16::NAN;
+    }
+    let xd = x.to_f64();
+    if xd.abs() > 90.0 {
+        return BFloat16::INFINITY;
+    }
+    round_dd(cosh_kernel(xd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials() {
+        assert!(ln_bf16(BFloat16::from_f64(-2.0)).is_nan());
+        assert_eq!(exp_bf16(BFloat16::NEG_INFINITY).to_f64(), 0.0);
+        assert_eq!(exp_bf16(BFloat16::INFINITY).to_f64(), f64::INFINITY);
+        assert!(cosh_bf16(BFloat16::NAN).is_nan());
+    }
+
+    #[test]
+    fn saturation_thresholds_are_sound() {
+        // Just inside the early exits the kernels must agree with them.
+        assert_eq!(exp_bf16(BFloat16::from_f64(-93.0)).to_f64(), 0.0);
+        assert!(exp_bf16(BFloat16::from_f64(-91.0)).to_f64() >= 0.0);
+        // 2^-134 is exactly half the smallest subnormal: ties to even = 0.
+        assert_eq!(exp2_bf16(BFloat16::from_f64(-134.0)).to_f64(), 0.0);
+        assert_eq!(exp2_bf16(BFloat16::from_f64(-133.0)).to_f64(), 2f64.powi(-133));
+    }
+
+    #[test]
+    fn against_host_samples() {
+        for bits in (0x3C00u16..0x42A0).step_by(17) {
+            let x = BFloat16::from_bits(bits);
+            let ours = exp_bf16(x).to_f64();
+            let host = x.to_f64().exp();
+            assert!((ours - host).abs() <= host * 0.004, "exp({x})");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! The ten correctly rounded `f32` functions of the paper's Table 1.
+
+pub mod exp;
+pub mod hyper;
+pub mod log;
+pub mod trig;
+
+pub use exp::{exp, exp10, exp2};
+pub use hyper::{cosh, sinh};
+pub use log::{ln, log10, log2};
+pub use trig::{cospi, sinpi};

@@ -1,0 +1,174 @@
+//! # rlibm-math — the correctly rounded math library
+//!
+//! The runtime library produced by the RLIBM-32 approach (Lim &
+//! Nagarakatte, PLDI 2021), reimplemented in Rust:
+//!
+//! * the **ten `f32` functions** of the paper's Table 1 — [`ln`],
+//!   [`log2`], [`log10`], [`exp`], [`exp2`], [`exp10`], [`sinh`],
+//!   [`cosh`], [`sinpi`], [`cospi`];
+//! * the **eight posit32 functions** of Table 2 in [`posit`] — the first
+//!   correctly rounded library for 32-bit posits;
+//! * **bfloat16 functions** in [`bf16`] (exhaustively validated in the
+//!   workspace tests);
+//! * the **baseline models** in [`baselines`] used by the evaluation
+//!   harnesses to reproduce the paper's comparisons.
+//!
+//! Every function follows the paper's published structure: special-case
+//! filter, range reduction in double, table lookup, short polynomial,
+//! output compensation — with the accuracy-critical steps carried as
+//! double-double pairs ([`dd`]) and one final correct rounding into the
+//! target representation via round-to-odd composition ([`round`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! // float32:
+//! assert_eq!(rlibm_math::log2(1024.0f32), 10.0);
+//! assert_eq!(rlibm_math::sinpi(0.5f32), 1.0);
+//!
+//! // posit32:
+//! use rlibm_posit::Posit32;
+//! let x = Posit32::from_f64(2.0);
+//! assert_eq!(rlibm_math::posit::log2_p32(x).to_f64(), 1.0);
+//! ```
+
+pub mod baselines;
+pub mod bf16;
+pub mod dd;
+pub mod float;
+pub mod half16;
+pub mod p16;
+pub mod posit;
+pub mod round;
+pub mod tables;
+
+pub use float::{cosh, cospi, exp, exp10, exp2, ln, log10, log2, sinh, sinpi};
+
+/// Resolves one of the ten f32 functions by its paper-table name.
+/// Harnesses resolve once and call through the pointer (no string
+/// comparison in the timed loop).
+pub fn f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
+    match name {
+        "ln" => ln,
+        "log2" => log2,
+        "log10" => log10,
+        "exp" => exp,
+        "exp2" => exp2,
+        "exp10" => exp10,
+        "sinh" => sinh,
+        "cosh" => cosh,
+        "sinpi" => sinpi,
+        "cospi" => cospi,
+        _ => panic!("unknown function {name}"),
+    }
+}
+
+/// Resolves a posit32 function by name (see [`f32_fn_by_name`]).
+pub fn posit32_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
+    match name {
+        "ln" => posit::ln_p32,
+        "log2" => posit::log2_p32,
+        "log10" => posit::log10_p32,
+        "exp" => posit::exp_p32,
+        "exp2" => posit::exp2_p32,
+        "exp10" => posit::exp10_p32,
+        "sinh" => posit::sinh_p32,
+        "cosh" => posit::cosh_p32,
+        _ => panic!("unknown posit function {name}"),
+    }
+}
+
+/// Resolves a float32-baseline function by name.
+pub fn baseline_f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
+    match name {
+        "ln" => baselines::float32::ln,
+        "log2" => baselines::float32::log2,
+        "log10" => baselines::float32::log10,
+        "exp" => baselines::float32::exp,
+        "exp2" => baselines::float32::exp2,
+        "exp10" => baselines::float32::exp10,
+        "sinh" => baselines::float32::sinh,
+        "cosh" => baselines::float32::cosh,
+        "sinpi" => baselines::float32::sinpi,
+        "cospi" => baselines::float32::cospi,
+        _ => panic!("unknown function {name}"),
+    }
+}
+
+/// Evaluates one of the ten f32 functions by its paper-table name.
+/// Convenience for harnesses that iterate over `Func::ALL`.
+pub fn eval_f32_by_name(name: &str, x: f32) -> f32 {
+    match name {
+        "ln" => ln(x),
+        "log2" => log2(x),
+        "log10" => log10(x),
+        "exp" => exp(x),
+        "exp2" => exp2(x),
+        "exp10" => exp10(x),
+        "sinh" => sinh(x),
+        "cosh" => cosh(x),
+        "sinpi" => sinpi(x),
+        "cospi" => cospi(x),
+        _ => panic!("unknown function {name}"),
+    }
+}
+
+/// Evaluates one of the eight posit32 functions by name.
+pub fn eval_posit32_by_name(name: &str, x: rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
+    match name {
+        "ln" => posit::ln_p32(x),
+        "log2" => posit::log2_p32(x),
+        "log10" => posit::log10_p32(x),
+        "exp" => posit::exp_p32(x),
+        "exp2" => posit::exp2_p32(x),
+        "exp10" => posit::exp10_p32(x),
+        "sinh" => posit::sinh_p32(x),
+        "cosh" => posit::cosh_p32(x),
+        _ => panic!("unknown posit function {name}"),
+    }
+}
+
+/// Evaluates one of the eight posit16 functions by name.
+pub fn eval_posit16_by_name(name: &str, x: rlibm_posit::Posit16) -> rlibm_posit::Posit16 {
+    match name {
+        "ln" => p16::ln_p16(x),
+        "log2" => p16::log2_p16(x),
+        "log10" => p16::log10_p16(x),
+        "exp" => p16::exp_p16(x),
+        "exp2" => p16::exp2_p16(x),
+        "exp10" => p16::exp10_p16(x),
+        "sinh" => p16::sinh_p16(x),
+        "cosh" => p16::cosh_p16(x),
+        _ => panic!("unknown posit16 function {name}"),
+    }
+}
+
+/// Evaluates one of the eight binary16 functions by name.
+pub fn eval_half_by_name(name: &str, x: rlibm_fp::Half) -> rlibm_fp::Half {
+    match name {
+        "ln" => half16::ln_f16(x),
+        "log2" => half16::log2_f16(x),
+        "log10" => half16::log10_f16(x),
+        "exp" => half16::exp_f16(x),
+        "exp2" => half16::exp2_f16(x),
+        "exp10" => half16::exp10_f16(x),
+        "sinh" => half16::sinh_f16(x),
+        "cosh" => half16::cosh_f16(x),
+        _ => panic!("unknown binary16 function {name}"),
+    }
+}
+
+/// Evaluates one of the eight bfloat16 functions by name.
+pub fn eval_bf16_by_name(name: &str, x: rlibm_fp::BFloat16) -> rlibm_fp::BFloat16 {
+    match name {
+        "ln" => bf16::ln_bf16(x),
+        "log2" => bf16::log2_bf16(x),
+        "log10" => bf16::log10_bf16(x),
+        "exp" => bf16::exp_bf16(x),
+        "exp2" => bf16::exp2_bf16(x),
+        "exp10" => bf16::exp10_bf16(x),
+        "sinh" => bf16::sinh_bf16(x),
+        "cosh" => bf16::cosh_bf16(x),
+        _ => panic!("unknown bfloat16 function {name}"),
+    }
+}

@@ -1,0 +1,123 @@
+//! Single correct rounding from a double-double result into any target.
+//!
+//! A kernel produces `hi + lo` representing `f(x)` to ~2^-90 relative
+//! error. Collapsing to one double (`hi + lo`) and casting would round
+//! *twice* — the exact failure mode that makes CR-LIBM's double results
+//! wrong for float in the paper's Table 1. Instead we convert the pair to
+//! a **round-to-odd** double (exactly: the residual of the collapse tells
+//! us which side the true value lies on, and one of the two neighbouring
+//! doubles is always odd), then apply the target's own rounding. Round-odd
+//! at 53 bits followed by round-to-nearest into any representation with at
+//! most 51 significant bits is a single correct rounding — ties and exact
+//! values included.
+
+use rlibm_fp::bits::{next_down_f64, next_up_f64};
+use rlibm_fp::Representation;
+
+use crate::dd::Dd;
+
+/// Collapses a double-double to the round-to-odd double of its exact value.
+#[inline]
+pub fn to_f64_round_odd(v: Dd) -> f64 {
+    let s = v.hi + v.lo;
+    if !s.is_finite() {
+        return s;
+    }
+    // Residual of the collapse: s + e == hi + lo exactly (FastTwoSum error
+    // term; the dd invariant |lo| <= ulp(hi)/2 makes it valid).
+    let e = v.lo - (s - v.hi);
+    if e == 0.0 {
+        return s; // exact: round-odd keeps exact values
+    }
+    if s.to_bits() & 1 == 1 {
+        return s; // s is odd and the true value lies strictly between
+                  // s's neighbours' midpoints: round-odd picks s
+    }
+    // s even: the true value is strictly between s and the adjacent double
+    // in the residual's direction, and that neighbour is odd.
+    if e > 0.0 {
+        next_up_f64(s)
+    } else {
+        next_down_f64(s)
+    }
+}
+
+/// Rounds a double-double kernel result into the target representation
+/// with one correct rounding of the exact `hi + lo` value.
+#[inline]
+pub fn round_dd<T: Representation>(v: Dd) -> T {
+    T::round_from_f64(to_f64_round_odd(v))
+}
+
+/// Convenience: round into `f32`.
+#[inline]
+pub fn round_dd_f32(v: Dd) -> f32 {
+    round_dd::<f32>(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlibm_fp::bits::midpoint_f32;
+
+    #[test]
+    fn exact_values_pass_through() {
+        let v = Dd::from_f64(1.5);
+        assert_eq!(to_f64_round_odd(v), 1.5);
+        assert_eq!(round_dd_f32(v), 1.5f32);
+    }
+
+    #[test]
+    fn avoids_double_rounding_at_f32_ties() {
+        // Value = f32 tie + tiny: plain (hi+lo) as f32 would land ON the
+        // tie and round to even (wrong); round_dd must go up.
+        let tie = midpoint_f32(1.0, 1.0 + f32::EPSILON); // 1 + 2^-24
+        let v = Dd::new(tie, 2f64.powi(-80));
+        assert_eq!((v.hi + v.lo) as f32, 1.0, "naive path double-rounds");
+        assert_eq!(round_dd_f32(v), 1.0 + f32::EPSILON, "round_dd must not");
+        // And tie - tiny goes down.
+        let w = Dd::new(tie, -2f64.powi(-80));
+        assert_eq!(round_dd_f32(w), 1.0);
+        // An exact tie keeps the ties-to-even answer.
+        let t = Dd::from_f64(tie);
+        assert_eq!(round_dd_f32(t), 1.0);
+    }
+
+    #[test]
+    fn posit_boundaries_are_respected() {
+        use rlibm_posit::Posit32;
+        // posit32 tie between 1.0 and its successor (quantum 2^-27).
+        let tie = 1.0 + 2f64.powi(-28);
+        let v = Dd::new(tie, 1e-25);
+        let up: Posit32 = round_dd(v);
+        assert_eq!(up.to_f64(), 1.0 + 2f64.powi(-27));
+        let dn: Posit32 = round_dd(Dd::new(tie, -1e-25));
+        assert_eq!(dn.to_f64(), 1.0);
+        // Exact tie: even pattern wins (1.0 has pattern 0x40000000, even).
+        let ex: Posit32 = round_dd(Dd::from_f64(tie));
+        assert_eq!(ex.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let big = Dd::from_f64(1e300);
+        assert_eq!(round_dd_f32(big), f32::INFINITY);
+        let tiny = Dd::new(2f64.powi(-200), 2f64.powi(-260));
+        assert_eq!(round_dd_f32(tiny), 0.0);
+        // f32 underflow tie: 2^-150 exactly -> 0 (ties to even)...
+        let t = Dd::from_f64(2f64.powi(-150));
+        assert_eq!(round_dd_f32(t), 0.0);
+        // ...but a hair above must produce the smallest subnormal.
+        let t2 = Dd::new(2f64.powi(-150), 2f64.powi(-220));
+        assert_eq!(round_dd_f32(t2), f32::from_bits(1));
+    }
+
+    #[test]
+    fn odd_s_keeps_s() {
+        let s = f64::from_bits(0x3FF0_0000_0000_0001); // odd lsb
+        let v = Dd::new(s, 2f64.powi(-80));
+        assert_eq!(to_f64_round_odd(v), s);
+        let w = Dd::new(s, -2f64.powi(-80));
+        assert_eq!(to_f64_round_odd(w), s);
+    }
+}

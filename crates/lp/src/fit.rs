@@ -1,0 +1,430 @@
+//! Polynomial fitting as exact linear programming.
+//!
+//! The paper's `GetCoeffsUsingLP` (Algorithm 4) asks: given reduced inputs
+//! `r_i` with reduced intervals `[l_i, h_i]`, find polynomial coefficients
+//! `c` such that `l_i <= P(r_i) <= h_i` for every `i`. We solve the
+//! *maximum margin* variant — maximize `delta` such that
+//! `l_i + delta <= P(r_i) <= h_i - delta` — which yields coefficients
+//! centered inside the feasible polytope (so rounding them to doubles
+//! rarely violates a constraint, cutting down the search-and-refine loop).
+//!
+//! Because there are only `k = degree + 1` coefficients but up to tens of
+//! thousands of constraints, we hand the simplex the *dual*: `k + 2` rows
+//! instead of `2m`, making each pivot O(k·m) instead of O(m²). The primal
+//! coefficients are recovered from the optimal dual basis by solving the
+//! `k+1` active constraints as an exact linear system.
+
+use crate::simplex::{solve_standard_form, StandardResult};
+use crate::simplex_f64::{solve_standard_form_f64, F64Result};
+use rlibm_mp::{BigUint, Rational};
+
+/// One linear constraint `lo <= sum_j basis_j * c_j <= hi` on the
+/// polynomial coefficients `c`.
+#[derive(Debug, Clone)]
+pub struct FitConstraint {
+    /// The value of each polynomial basis function at the constraint point
+    /// (e.g. `[1, r, r^2, ...]` for a dense polynomial, `[r, r^3, r^5]`
+    /// for an odd one).
+    pub basis: Vec<Rational>,
+    /// Lower interval endpoint.
+    pub lo: Rational,
+    /// Upper interval endpoint.
+    pub hi: Rational,
+}
+
+impl FitConstraint {
+    /// Builds the constraint for a reduced input `r` (an exact double) with
+    /// rounding interval `[lo, hi]` (exact doubles) and the given term
+    /// exponents (e.g. `[0, 1, 2, 3]` for a dense cubic, `[1, 3, 5]` for
+    /// the paper's odd quintic for `sinpi`).
+    pub fn from_point(r: f64, lo: f64, hi: f64, term_exponents: &[u32]) -> FitConstraint {
+        let rq = Rational::from_f64(r);
+        let basis = term_exponents
+            .iter()
+            .map(|&e| pow_rational(&rq, e))
+            .collect();
+        FitConstraint {
+            basis,
+            lo: Rational::from_f64(lo),
+            hi: Rational::from_f64(hi),
+        }
+    }
+}
+
+fn pow_rational(r: &Rational, e: u32) -> Rational {
+    let mut acc = Rational::one();
+    for _ in 0..e {
+        acc = acc.mul(r);
+    }
+    acc
+}
+
+/// A successful fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The exact rational coefficients, one per basis function.
+    pub coeffs: Vec<Rational>,
+    /// The margin `delta >= 0` by which every constraint is interior.
+    pub margin: Rational,
+}
+
+impl FitResult {
+    /// Coefficients rounded to `f64` (each with one correct rounding).
+    pub fn coeffs_f64(&self) -> Vec<f64> {
+        self.coeffs.iter().map(Rational::to_f64).collect()
+    }
+}
+
+/// Finds coefficients maximizing the margin, or `None` when no polynomial
+/// with this basis satisfies every interval.
+///
+/// Following SoPlex's iterative-refinement architecture, the solve runs in
+/// two layers: a fast `f64` simplex proposes an optimal basis; the basis's
+/// active constraints are then re-solved and the full constraint set
+/// re-verified in **exact rational arithmetic**. Only when the floating
+/// point basis fails exact verification does the slow exact simplex run.
+/// A returned fit therefore always satisfies every constraint exactly; a
+/// `None` is exact whenever the exact path ran, and is a (practically
+/// always correct) floating point verdict otherwise — a wrong `None`
+/// merely causes an unnecessary domain split upstream, never an incorrect
+/// library.
+///
+/// # Panics
+///
+/// Panics if constraints disagree on the basis length.
+///
+/// # Example
+///
+/// ```
+/// use rlibm_lp::fit::{max_margin_fit, FitConstraint};
+/// // Fit c0 + c1 x through [0.9, 1.1] at x = 0 and [1.9, 2.1] at x = 1.
+/// let cons = vec![
+///     FitConstraint::from_point(0.0, 0.9, 1.1, &[0, 1]),
+///     FitConstraint::from_point(1.0, 1.9, 2.1, &[0, 1]),
+/// ];
+/// let fit = max_margin_fit(&cons, 2).expect("feasible");
+/// let c = fit.coeffs_f64();
+/// assert!((c[0] - 1.0).abs() < 0.2 && (c[1] - 1.0).abs() < 0.4);
+/// ```
+pub fn max_margin_fit(constraints: &[FitConstraint], num_coeffs: usize) -> Option<FitResult> {
+    if constraints.is_empty() {
+        return Some(FitResult {
+            coeffs: vec![Rational::zero(); num_coeffs],
+            margin: Rational::zero(),
+        });
+    }
+    let k = num_coeffs;
+    for c in constraints {
+        assert_eq!(c.basis.len(), k, "inconsistent basis length");
+        debug_assert!(c.lo <= c.hi, "empty interval");
+    }
+    let m = constraints.len();
+    // Primal: min -delta over z = (c_0..c_{k-1}, delta) subject to
+    //   ( a_i, 1) . z <= h_i      and      (-a_i, 1) . z <= -l_i.
+    // Dual (what we actually solve): min q^T y, D^T y = (0,..,0,1), y >= 0
+    // with one dual variable per primal inequality.
+    let rows = k + 1;
+    let cols = 2 * m;
+
+    // ---- Fast layer: f64 simplex proposes a basis. ----
+    let basis_f64: Vec<f64> = constraints
+        .iter()
+        .flat_map(|c| c.basis.iter().map(Rational::to_f64))
+        .collect();
+    let mut a64 = vec![vec![0.0f64; cols]; rows];
+    let mut c64 = vec![0.0f64; cols];
+    for (i, con) in constraints.iter().enumerate() {
+        for j in 0..k {
+            a64[j][2 * i] = basis_f64[i * k + j];
+            a64[j][2 * i + 1] = -basis_f64[i * k + j];
+        }
+        a64[k][2 * i] = 1.0;
+        a64[k][2 * i + 1] = 1.0;
+        c64[2 * i] = con.hi.to_f64();
+        c64[2 * i + 1] = -con.lo.to_f64();
+    }
+    let mut b64 = vec![0.0f64; rows];
+    b64[k] = 1.0;
+    let budget = 2000 + 80 * m;
+    if let F64Result::Optimal { basis, .. } =
+        solve_standard_form_f64(&a64, &b64, &c64, budget)
+    {
+        if let Some(fit) = recover_exact(&basis, constraints, k, cols) {
+            if fit.margin.is_negative() {
+                // Exactly-computed optimum of the proposed basis is
+                // negative: no polynomial fits (modulo basis optimality,
+                // see the doc comment).
+                return None;
+            }
+            if verify_exact(constraints, &fit.coeffs) {
+                return Some(fit);
+            }
+        }
+    }
+
+    // ---- Exact layer: rational simplex fallback. ----
+    let mut a_std = vec![vec![Rational::zero(); cols]; rows];
+    let mut c_std = vec![Rational::zero(); cols];
+    for (i, con) in constraints.iter().enumerate() {
+        for j in 0..k {
+            a_std[j][2 * i] = con.basis[j].clone();
+            a_std[j][2 * i + 1] = con.basis[j].neg();
+        }
+        a_std[k][2 * i] = Rational::one();
+        a_std[k][2 * i + 1] = Rational::one();
+        c_std[2 * i] = con.hi.clone();
+        c_std[2 * i + 1] = con.lo.neg();
+    }
+    let mut b_std = vec![Rational::zero(); rows];
+    b_std[k] = Rational::one();
+    let (basis, objective) = match solve_standard_form(&a_std, &b_std, &c_std, budget) {
+        StandardResult::Optimal { basis, objective, .. } => (basis, objective),
+        StandardResult::Infeasible => {
+            unreachable!("the dual of an always-feasible bounded primal cannot be infeasible")
+        }
+        // Dual unbounded <=> primal infeasible (cannot happen: delta is
+        // free); budget exhaustion is treated as "no fit found".
+        StandardResult::Unbounded | StandardResult::PivotLimit => return None,
+    };
+    if objective.is_negative() {
+        return None;
+    }
+    let fit = recover_exact(&basis, constraints, k, cols)?;
+    debug_assert_eq!(fit.margin, objective, "margin must equal the dual optimum");
+    debug_assert!(verify_exact(constraints, &fit.coeffs));
+    Some(fit)
+}
+
+/// Solves the `k+1` active primal constraints named by a dual basis as an
+/// exact linear system, recovering `(coefficients, margin)`.
+fn recover_exact(
+    basis: &[usize],
+    constraints: &[FitConstraint],
+    k: usize,
+    cols: usize,
+) -> Option<FitResult> {
+    let rows = k + 1;
+    let mut sys: Vec<Vec<Rational>> = Vec::with_capacity(rows);
+    let mut rhs: Vec<Rational> = Vec::with_capacity(rows);
+    for &bj in basis {
+        if bj < cols {
+            let i = bj / 2;
+            let upper = bj % 2 == 0;
+            let con = &constraints[i];
+            let mut row: Vec<Rational> = Vec::with_capacity(rows);
+            if upper {
+                row.extend(con.basis.iter().cloned());
+                row.push(Rational::one());
+                rhs.push(con.hi.clone());
+            } else {
+                row.extend(con.basis.iter().map(Rational::neg));
+                row.push(Rational::one());
+                rhs.push(con.lo.neg());
+            }
+            sys.push(row);
+        } else {
+            // Artificial basic at zero pins the corresponding primal
+            // coordinate to zero.
+            let t = bj - cols;
+            let mut row = vec![Rational::zero(); rows];
+            row[t] = Rational::one();
+            sys.push(row);
+            rhs.push(Rational::zero());
+        }
+    }
+    let z = solve_linear_system(&mut sys, &mut rhs)?;
+    let margin = z[k].clone();
+    let coeffs = z[..k].to_vec();
+    Some(FitResult { coeffs, margin })
+}
+
+/// Exact feasibility check of a coefficient vector against every
+/// constraint (margin not required: the caller wants plain containment).
+fn verify_exact(constraints: &[FitConstraint], coeffs: &[Rational]) -> bool {
+    constraints.iter().all(|con| {
+        let mut v = Rational::zero();
+        for (b, c) in con.basis.iter().zip(coeffs) {
+            if !c.is_zero() && !b.is_zero() {
+                v = v.add(&b.mul(c));
+            }
+        }
+        v >= con.lo && v <= con.hi
+    })
+}
+
+/// Exact Gaussian elimination with partial (first-nonzero) pivoting.
+/// Returns `None` for a singular system (degenerate dual basis).
+fn solve_linear_system(a: &mut [Vec<Rational>], b: &mut [Rational]) -> Option<Vec<Rational>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot_row = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let p = a[col][col].clone();
+        for r in 0..n {
+            if r == col || a[r][col].is_zero() {
+                continue;
+            }
+            let factor = a[r][col].div(&p);
+            for j in col..n {
+                if !a[col][j].is_zero() {
+                    a[r][j] = a[r][j].sub(&factor.mul(&a[col][j]));
+                }
+            }
+            b[r] = b[r].sub(&factor.mul(&b[col]));
+        }
+    }
+    let mut x = vec![Rational::zero(); n];
+    for i in 0..n {
+        x[i] = b[i].div(&a[i][i]);
+    }
+    Some(x)
+}
+
+/// Interpolation helper: the unique polynomial of degree `n-1` through `n`
+/// exact points, via the same Gaussian elimination. Used by tests and by
+/// the generator's lower-degree fallback.
+pub fn interpolate(points: &[(Rational, Rational)]) -> Option<Vec<Rational>> {
+    let n = points.len();
+    let mut a: Vec<Vec<Rational>> = points
+        .iter()
+        .map(|(x, _)| (0..n as u32).map(|e| pow_rational(x, e)).collect())
+        .collect();
+    let mut b: Vec<Rational> = points.iter().map(|(_, y)| y.clone()).collect();
+    solve_linear_system(&mut a, &mut b)
+}
+
+/// Builds `2^k` as a Rational (convenience for tests and interval maths).
+pub fn pow2_rational(k: i64) -> Rational {
+    if k >= 0 {
+        Rational::new(
+            rlibm_mp::BigInt::from_biguint(false, BigUint::one().shl(k as u64)),
+            BigUint::one(),
+        )
+    } else {
+        Rational::new(rlibm_mp::BigInt::one(), BigUint::one().shl((-k) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_line_through_two_windows() {
+        let cons = vec![
+            FitConstraint::from_point(0.0, -0.1, 0.1, &[0, 1]),
+            FitConstraint::from_point(1.0, 0.9, 1.1, &[0, 1]),
+        ];
+        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        assert!(!fit.margin.is_negative());
+        let c = fit.coeffs_f64();
+        // P(0) in [-0.1, 0.1], P(1) in [0.9, 1.1].
+        assert!((-0.1..=0.1).contains(&c[0]));
+        assert!((0.9..=1.1).contains(&(c[0] + c[1])));
+    }
+
+    #[test]
+    fn margin_is_maximized() {
+        // Single constraint: value at 0 in [0, 2]. Max margin = 1, value 1.
+        let cons = vec![FitConstraint::from_point(0.0, 0.0, 2.0, &[0])];
+        let fit = max_margin_fit(&cons, 1).expect("feasible");
+        assert_eq!(fit.margin, Rational::one());
+        assert_eq!(fit.coeffs[0], Rational::one());
+    }
+
+    #[test]
+    fn detects_infeasible_windows() {
+        // A degree-0 polynomial cannot be in [0, 0.1] and [1, 1.1] at once.
+        let cons = vec![
+            FitConstraint::from_point(0.5, 0.0, 0.1, &[0]),
+            FitConstraint::from_point(0.7, 1.0, 1.1, &[0]),
+        ];
+        assert!(max_margin_fit(&cons, 1).is_none());
+    }
+
+    #[test]
+    fn quadratic_through_three_tight_windows() {
+        // y = x^2 sampled at 3 points with tiny windows.
+        let eps = 1e-9;
+        let cons: Vec<_> = [0.25, 0.5, 0.75]
+            .iter()
+            .map(|&x| FitConstraint::from_point(x, x * x - eps, x * x + eps, &[0, 1, 2]))
+            .collect();
+        let fit = max_margin_fit(&cons, 3).expect("feasible");
+        let c = fit.coeffs_f64();
+        assert!(c[0].abs() < 1e-6, "c0 = {}", c[0]);
+        assert!(c[1].abs() < 1e-5, "c1 = {}", c[1]);
+        assert!((c[2] - 1.0).abs() < 1e-5, "c2 = {}", c[2]);
+    }
+
+    #[test]
+    fn odd_basis_for_sine_like_data() {
+        // sin(pi r) on tiny domain fits c1 r + c3 r^3 with c1 ~ pi.
+        let pts = [0.0001f64, 0.0005, 0.001, 0.0015, 0.00195];
+        let cons: Vec<_> = pts
+            .iter()
+            .map(|&r| {
+                let y = (core::f64::consts::PI * r).sin();
+                FitConstraint::from_point(r, y - 1e-13, y + 1e-13, &[1, 3])
+            })
+            .collect();
+        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        let c = fit.coeffs_f64();
+        assert!((c[0] - core::f64::consts::PI).abs() < 1e-4, "c1 = {}", c[0]);
+        assert!(c[1] < 0.0, "cubic term of sin must be negative: {}", c[1]);
+    }
+
+    #[test]
+    fn singleton_intervals_force_interpolation() {
+        // Exact point constraints: margin must be 0 and the line exact.
+        let cons = vec![
+            FitConstraint::from_point(0.0, 1.0, 1.0, &[0, 1]),
+            FitConstraint::from_point(2.0, 5.0, 5.0, &[0, 1]),
+        ];
+        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        assert!(fit.margin.is_zero());
+        assert_eq!(fit.coeffs[0], Rational::from_i64(1));
+        assert_eq!(fit.coeffs[1], Rational::from_i64(2));
+    }
+
+    #[test]
+    fn many_constraints_stay_fast() {
+        // 400 constraints around y = 1 + x/2: the dual has only 3 rows.
+        let mut cons = Vec::new();
+        for i in 0..400 {
+            let x = i as f64 / 400.0;
+            let y = 1.0 + 0.5 * x;
+            cons.push(FitConstraint::from_point(x, y - 1e-6, y + 1e-6, &[0, 1]));
+        }
+        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        let c = fit.coeffs_f64();
+        assert!((c[0] - 1.0).abs() < 1e-5);
+        assert!((c[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn interpolation_recovers_cubic() {
+        let r = Rational::from_i64;
+        // y = x^3 - 2x + 1 at 4 points.
+        let pts: Vec<_> = [-1i64, 0, 1, 2]
+            .iter()
+            .map(|&x| {
+                let xr = r(x);
+                let y = xr.mul(&xr).mul(&xr).sub(&r(2).mul(&xr)).add(&r(1));
+                (xr, y)
+            })
+            .collect();
+        let c = interpolate(&pts).expect("nonsingular");
+        assert_eq!(c[0], r(1));
+        assert_eq!(c[1], r(-2));
+        assert_eq!(c[2], r(0));
+        assert_eq!(c[3], r(1));
+    }
+
+    #[test]
+    fn pow2_rational_both_signs() {
+        assert_eq!(pow2_rational(10).to_f64(), 1024.0);
+        assert_eq!(pow2_rational(-3).to_f64(), 0.125);
+    }
+}

@@ -1,0 +1,34 @@
+//! Exact rational linear programming (the SoPlex substitute).
+//!
+//! RLIBM-32 frames "find polynomial coefficients that land inside every
+//! rounding interval" as a linear program and insists on an *exact
+//! rational* solver: a floating point LP can misclassify feasibility right
+//! at the boundary, which is exactly where correctly rounded libraries
+//! live. This crate provides:
+//!
+//! * [`simplex`] — a two-phase primal simplex over [`rlibm_mp::Rational`]
+//!   with Dantzig pricing and a Bland anti-cycling fallback.
+//! * [`fit`] — the polynomial-fitting front end: maximum-margin interval
+//!   fitting via the dual LP (rows = number of coefficients, so tens of
+//!   thousands of constraints stay cheap), plus exact interpolation.
+//!
+//! # Example
+//!
+//! ```
+//! use rlibm_lp::fit::{max_margin_fit, FitConstraint};
+//!
+//! // Find c0 + c1*x passing through two windows:
+//! let cons = vec![
+//!     FitConstraint::from_point(0.0, 0.9, 1.1, &[0, 1]),
+//!     FitConstraint::from_point(1.0, 2.9, 3.1, &[0, 1]),
+//! ];
+//! let fit = max_margin_fit(&cons, 2).expect("feasible");
+//! assert!(!fit.margin.is_negative());
+//! ```
+
+pub mod fit;
+pub mod simplex;
+pub mod simplex_f64;
+
+pub use fit::{interpolate, max_margin_fit, FitConstraint, FitResult};
+pub use simplex::{solve_standard_form, StandardResult};

@@ -1,0 +1,399 @@
+//! Exact two-phase primal simplex over rationals.
+//!
+//! Solves `min c·x` subject to `A x = b`, `x >= 0` with every pivot carried
+//! out in exact [`Rational`] arithmetic — the property that makes SoPlex
+//! (in its exact mode) the solver of choice in the paper: a floating point
+//! solver can return "feasible" coefficients that violate a rounding
+//! interval by a hair, silently destroying the correctly rounded guarantee.
+//!
+//! Pivoting uses Dantzig's rule for speed with an automatic switch to
+//! Bland's rule (which provably terminates) if degeneracy drags on.
+
+use rlibm_mp::Rational;
+
+/// Outcome of a standard-form solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StandardResult {
+    /// An optimal basic solution.
+    Optimal {
+        /// Values of all variables (length = number of columns).
+        x: Vec<Rational>,
+        /// Objective value `c·x`.
+        objective: Rational,
+        /// Column indices of the final basis, one per row.
+        basis: Vec<usize>,
+    },
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The pivot budget ran out before reaching optimality. Callers treat
+    /// this as "no answer" (the generator responds by splitting domains).
+    PivotLimit,
+}
+
+/// Exact simplex solver for `min c·x, A x = b, x >= 0`.
+///
+/// # Example
+///
+/// ```
+/// use rlibm_lp::simplex::solve_standard_form;
+/// use rlibm_mp::Rational;
+/// let r = Rational::from_i64;
+/// // min -x0 s.t. x0 + x1 = 4, x0 <= 3 (x0 + x2 = 3): optimum x0 = 3.
+/// let a = vec![vec![r(1), r(1), r(0)], vec![r(1), r(0), r(1)]];
+/// let b = vec![r(4), r(3)];
+/// let c = vec![r(-1), r(0), r(0)];
+/// match solve_standard_form(&a, &b, &c, 100_000) {
+///     rlibm_lp::simplex::StandardResult::Optimal { x, .. } => {
+///         assert_eq!(x[0], r(3));
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if the matrix dimensions are inconsistent. Exhausting the
+/// `max_pivots` budget returns [`StandardResult::PivotLimit`].
+pub fn solve_standard_form(
+    a: &[Vec<Rational>],
+    b: &[Rational],
+    c: &[Rational],
+    max_pivots: usize,
+) -> StandardResult {
+    let m = a.len();
+    let n = if m > 0 { a[0].len() } else { c.len() };
+    assert_eq!(b.len(), m, "rhs length mismatch");
+    for row in a {
+        assert_eq!(row.len(), n, "ragged constraint matrix");
+    }
+    assert_eq!(c.len(), n, "objective length mismatch");
+    if m == 0 {
+        // No constraints: optimum is 0 iff no negative cost (else unbounded).
+        if c.iter().any(|cj| cj.is_negative()) {
+            return StandardResult::Unbounded;
+        }
+        return StandardResult::Optimal {
+            x: vec![Rational::zero(); n],
+            objective: Rational::zero(),
+            basis: Vec::new(),
+        };
+    }
+
+    // Phase 1: add one artificial per row (after sign-normalizing b >= 0),
+    // minimize their sum.
+    let mut tableau: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let flip = b[i].is_negative();
+        let mut row: Vec<Rational> = Vec::with_capacity(n + m + 1);
+        for j in 0..n {
+            row.push(if flip { a[i][j].neg() } else { a[i][j].clone() });
+        }
+        for k in 0..m {
+            row.push(if k == i { Rational::one() } else { Rational::zero() });
+        }
+        row.push(if flip { b[i].neg() } else { b[i].clone() });
+        tableau.push(row);
+    }
+    let total_cols = n + m; // artificial columns are n..n+m
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Phase-1 cost: 1 for artificials, 0 otherwise.
+    let phase1_cost = |j: usize| {
+        if j >= n {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    };
+    let mut pivots_left = max_pivots;
+    match simplex_loop(
+        &mut tableau,
+        &mut basis,
+        total_cols,
+        total_cols,
+        &|j| phase1_cost(j),
+        &mut pivots_left,
+    ) {
+        LoopOutcome::Optimal => {}
+        LoopOutcome::Unbounded => unreachable!("phase-1 objective cannot be unbounded"),
+        LoopOutcome::OutOfBudget => return StandardResult::PivotLimit,
+    }
+    // Phase-1 objective = sum of basic artificial values.
+    let mut phase1_obj = Rational::zero();
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj >= n {
+            phase1_obj = phase1_obj.add(&tableau[i][total_cols]);
+        }
+    }
+    if !phase1_obj.is_zero() {
+        return StandardResult::Infeasible;
+    }
+    // Drive any (zero-valued) artificials out of the basis when possible.
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| !tableau[i][j].is_zero()) {
+                pivot(&mut tableau, &mut basis, i, j, total_cols);
+            }
+            // If the whole row is zero on structural columns, the row is
+            // redundant; the artificial stays basic at value zero, which is
+            // harmless for phase 2 as long as it never goes positive (it
+            // cannot: its column is excluded from entering below).
+        }
+    }
+
+    // Phase 2: original costs; artificial columns barred from entering.
+    let phase2_cost = |j: usize| {
+        if j >= n {
+            // Effectively +infinity: never attractive. Using a large cost
+            // keeps the code uniform; correctness only needs "not
+            // negative reduced cost", which a huge positive cost ensures.
+            Rational::from_i64(1)
+        } else {
+            c[j].clone()
+        }
+    };
+    match simplex_loop(
+        &mut tableau,
+        &mut basis,
+        total_cols,
+        n,
+        &|j| phase2_cost(j),
+        &mut pivots_left,
+    ) {
+        LoopOutcome::Optimal => {}
+        LoopOutcome::Unbounded => return StandardResult::Unbounded,
+        LoopOutcome::OutOfBudget => return StandardResult::PivotLimit,
+    }
+
+    let mut x = vec![Rational::zero(); n];
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj < n {
+            x[bj] = tableau[i][total_cols].clone();
+        }
+    }
+    let mut objective = Rational::zero();
+    for j in 0..n {
+        if !x[j].is_zero() {
+            objective = objective.add(&c[j].mul(&x[j]));
+        }
+    }
+    StandardResult::Optimal { x, objective, basis }
+}
+
+/// Result of one simplex phase.
+enum LoopOutcome {
+    Optimal,
+    Unbounded,
+    OutOfBudget,
+}
+
+/// Core loop. Columns `>= enter_limit` never enter the basis.
+fn simplex_loop(
+    tableau: &mut Vec<Vec<Rational>>,
+    basis: &mut [usize],
+    total_cols: usize,
+    enter_limit: usize,
+    cost: &dyn Fn(usize) -> Rational,
+    pivots_left: &mut usize,
+) -> LoopOutcome {
+    let m = tableau.len();
+    let mut degenerate_streak = 0usize;
+    loop {
+        // Simplex multipliers via reduced costs computed directly:
+        // rc_j = c_j - sum_i cb_i * T[i][j].
+        let cb: Vec<Rational> = basis.iter().map(|&bj| cost(bj)).collect();
+        let mut entering: Option<(usize, Rational)> = None;
+        let bland = degenerate_streak > 2 * total_cols;
+        for j in 0..enter_limit {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut rc = cost(j);
+            for i in 0..m {
+                if !cb[i].is_zero() && !tableau[i][j].is_zero() {
+                    rc = rc.sub(&cb[i].mul(&tableau[i][j]));
+                }
+            }
+            if rc.is_negative() {
+                if bland {
+                    entering = Some((j, rc));
+                    break; // Bland: first improving column
+                }
+                match &entering {
+                    Some((_, best)) if rc >= *best => {}
+                    _ => entering = Some((j, rc)),
+                }
+            }
+        }
+        let Some((j_in, _)) = entering else {
+            return LoopOutcome::Optimal;
+        };
+        // Ratio test (Bland tie-break on smallest basis index).
+        let mut leave: Option<(usize, Rational)> = None;
+        for i in 0..m {
+            if tableau[i][j_in].signum() > 0 {
+                let ratio = tableau[i][total_cols].div(&tableau[i][j_in]);
+                match &leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < *lr || (ratio == *lr && basis[i] < basis[*li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i_out, ratio)) = leave else {
+            return LoopOutcome::Unbounded;
+        };
+        if ratio.is_zero() {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+        if *pivots_left == 0 {
+            return LoopOutcome::OutOfBudget;
+        }
+        *pivots_left -= 1;
+        pivot(tableau, basis, i_out, j_in, total_cols);
+    }
+}
+
+/// Gauss-Jordan pivot on (row, col).
+fn pivot(tableau: &mut Vec<Vec<Rational>>, basis: &mut [usize], row: usize, col: usize, total_cols: usize) {
+    let p = tableau[row][col].clone();
+    debug_assert!(!p.is_zero());
+    for v in tableau[row].iter_mut() {
+        if !v.is_zero() {
+            *v = v.div(&p);
+        }
+    }
+    // The pivot entry itself becomes exactly 1.
+    tableau[row][col] = Rational::one();
+    let pivot_row = tableau[row].clone();
+    for (i, r) in tableau.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let factor = r[col].clone();
+        if factor.is_zero() {
+            continue;
+        }
+        for j in 0..=total_cols {
+            if !pivot_row[j].is_zero() {
+                r[j] = r[j].sub(&factor.mul(&pivot_row[j]));
+            }
+        }
+        r[col] = Rational::zero();
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_i64(n)
+    }
+
+    fn rr(n: i64, d: i64) -> Rational {
+        Rational::from_ratio_i64(n, d)
+    }
+
+    #[test]
+    fn simple_optimum() {
+        // min -x - y s.t. x + 2y + s1 = 4; 3x + y + s2 = 6. Vertices: the
+        // optimum is at x = 8/5, y = 6/5 with objective -14/5.
+        let a = vec![
+            vec![r(1), r(2), r(1), r(0)],
+            vec![r(3), r(1), r(0), r(1)],
+        ];
+        let b = vec![r(4), r(6)];
+        let c = vec![r(-1), r(-1), r(0), r(0)];
+        match solve_standard_form(&a, &b, &c, 10_000) {
+            StandardResult::Optimal { x, objective, .. } => {
+                assert_eq!(x[0], rr(8, 5));
+                assert_eq!(x[1], rr(6, 5));
+                assert_eq!(objective, rr(-14, 5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x = 1 and x = 2 simultaneously.
+        let a = vec![vec![r(1)], vec![r(1)]];
+        let b = vec![r(1), r(2)];
+        let c = vec![r(0)];
+        assert_eq!(solve_standard_form(&a, &b, &c, 10_000), StandardResult::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x s.t. x - y = 0: x can grow forever.
+        let a = vec![vec![r(1), r(-1)]];
+        let b = vec![r(0)];
+        let c = vec![r(-1), r(0)];
+        assert_eq!(solve_standard_form(&a, &b, &c, 10_000), StandardResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x = -3 => x = 3.
+        let a = vec![vec![r(-1)]];
+        let b = vec![r(-3)];
+        let c = vec![r(1)];
+        match solve_standard_form(&a, &b, &c, 10_000) {
+            StandardResult::Optimal { x, .. } => assert_eq!(x[0], r(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_constraints_exactly() {
+        // Random-ish fractional system solved exactly.
+        let a = vec![
+            vec![rr(1, 3), rr(2, 7), r(1), r(0)],
+            vec![rr(5, 2), rr(-1, 4), r(0), r(1)],
+        ];
+        let b = vec![rr(10, 21), rr(9, 4)];
+        let c = vec![r(-2), r(-3), r(0), r(0)];
+        match solve_standard_form(&a, &b, &c, 10_000) {
+            StandardResult::Optimal { x, .. } => {
+                for (row, rhs) in a.iter().zip(&b) {
+                    let mut lhs = Rational::zero();
+                    for (aij, xj) in row.iter().zip(&x) {
+                        lhs = lhs.add(&aij.mul(xj));
+                    }
+                    assert_eq!(lhs, *rhs, "exact equality must hold");
+                }
+                for xj in &x {
+                    assert!(!xj.is_negative());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant rows force degenerate pivots.
+        let a = vec![
+            vec![r(1), r(1), r(1), r(0), r(0)],
+            vec![r(2), r(2), r(0), r(1), r(0)],
+            vec![r(1), r(1), r(0), r(0), r(1)],
+        ];
+        let b = vec![r(2), r(4), r(2)];
+        let c = vec![r(-1), r(-2), r(0), r(0), r(0)];
+        match solve_standard_form(&a, &b, &c, 100_000) {
+            StandardResult::Optimal { objective, .. } => {
+                assert_eq!(objective, r(-4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Floating point simplex used as a *basis oracle*.
+//!
+//! Exact rational pivoting on a dense tableau is robust but slow once
+//! entries grow to thousands of bits. SoPlex — the paper's solver — gets
+//! both speed and exactness through iterative refinement (Gleixner,
+//! Steffy, Wolter, ISSAC'12, the paper's citation [17]): solve fast in
+//! floating point, then repair in exact arithmetic. We follow the same
+//! architecture: this module finds an (almost surely optimal) basis in
+//! `f64`; [`crate::fit`] re-solves the active constraints *exactly* and
+//! verifies every constraint in rational arithmetic, falling back to the
+//! exact simplex when the floating point basis does not check out.
+
+/// Outcome of the f64 solve: mirrors [`crate::simplex::StandardResult`]
+/// but with approximate values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum F64Result {
+    /// An (approximately) optimal basis.
+    Optimal {
+        /// Column indices of the final basis, one per row.
+        basis: Vec<usize>,
+        /// Approximate objective value.
+        objective: f64,
+    },
+    /// The phase-1 objective could not be driven to (near) zero.
+    Infeasible,
+    /// The objective appears unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `min c·x, A x = b, x >= 0` in `f64`, returning the final basis.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions or when `max_pivots` is exhausted.
+pub fn solve_standard_form_f64(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    max_pivots: usize,
+) -> F64Result {
+    let m = a.len();
+    let n = if m > 0 { a[0].len() } else { c.len() };
+    assert_eq!(b.len(), m);
+    assert_eq!(c.len(), n);
+    if m == 0 {
+        return F64Result::Optimal { basis: Vec::new(), objective: 0.0 };
+    }
+    let mut tableau: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let flip = b[i] < 0.0;
+        let s = if flip { -1.0 } else { 1.0 };
+        let mut row: Vec<f64> = a[i].iter().map(|&v| s * v).collect();
+        for k in 0..m {
+            row.push(if k == i { 1.0 } else { 0.0 });
+        }
+        row.push(s * b[i]);
+        tableau.push(row);
+    }
+    let total = n + m;
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut pivots = max_pivots;
+
+    // Phase 1.
+    let p1_cost = |j: usize| if j >= n { 1.0 } else { 0.0 };
+    if !loop_f64(&mut tableau, &mut basis, total, total, &p1_cost, &mut pivots) {
+        unreachable!("phase 1 cannot be unbounded");
+    }
+    let infeas: f64 = basis
+        .iter()
+        .enumerate()
+        .filter(|(_, &bj)| bj >= n)
+        .map(|(i, _)| tableau[i][total])
+        .sum();
+    if infeas > EPS {
+        return F64Result::Infeasible;
+    }
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| tableau[i][j].abs() > EPS) {
+                pivot_f64(&mut tableau, &mut basis, i, j, total);
+            }
+        }
+    }
+    // Phase 2.
+    let p2_cost = |j: usize| if j >= n { 0.0 } else { c[j] };
+    if !loop_f64(&mut tableau, &mut basis, total, n, &p2_cost, &mut pivots) {
+        return F64Result::Unbounded;
+    }
+    let mut objective = 0.0;
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj < n {
+            objective += c[bj] * tableau[i][total];
+        }
+    }
+    F64Result::Optimal { basis, objective }
+}
+
+fn loop_f64(
+    tableau: &mut Vec<Vec<f64>>,
+    basis: &mut [usize],
+    total: usize,
+    enter_limit: usize,
+    cost: &dyn Fn(usize) -> f64,
+    pivots: &mut usize,
+) -> bool {
+    let m = tableau.len();
+    let mut degenerate = 0usize;
+    loop {
+        let cb: Vec<f64> = basis.iter().map(|&bj| cost(bj)).collect();
+        let bland = degenerate > 4 * total;
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..enter_limit {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut rc = cost(j);
+            for i in 0..m {
+                if cb[i] != 0.0 {
+                    rc -= cb[i] * tableau[i][j];
+                }
+            }
+            if rc < -EPS {
+                if bland {
+                    entering = Some((j, rc));
+                    break;
+                }
+                match entering {
+                    Some((_, best)) if rc >= best => {}
+                    _ => entering = Some((j, rc)),
+                }
+            }
+        }
+        let Some((j_in, _)) = entering else { return true };
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if tableau[i][j_in] > EPS {
+                let ratio = tableau[i][total] / tableau[i][j_in];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS
+                            || (ratio < lr + EPS && basis[i] < basis[li])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i_out, ratio)) = leave else { return false };
+        degenerate = if ratio.abs() <= EPS { degenerate + 1 } else { 0 };
+        assert!(*pivots > 0, "f64 simplex pivot budget exhausted");
+        *pivots -= 1;
+        pivot_f64(tableau, basis, i_out, j_in, total);
+    }
+}
+
+fn pivot_f64(
+    tableau: &mut Vec<Vec<f64>>,
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    let p = tableau[row][col];
+    for v in tableau[row].iter_mut() {
+        *v /= p;
+    }
+    tableau[row][col] = 1.0;
+    let pivot_row = tableau[row].clone();
+    for (i, r) in tableau.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let f = r[col];
+        if f == 0.0 {
+            continue;
+        }
+        for j in 0..=total {
+            r[j] -= f * pivot_row[j];
+        }
+        r[col] = 0.0;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_solver_on_small_problem() {
+        let a = vec![vec![1.0, 2.0, 1.0, 0.0], vec![3.0, 1.0, 0.0, 1.0]];
+        let b = vec![4.0, 6.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0];
+        match solve_standard_form_f64(&a, &b, &c, 10_000) {
+            F64Result::Optimal { objective, .. } => {
+                assert!((objective - (-14.0 / 5.0)).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert_eq!(solve_standard_form_f64(&a, &b, &c, 10_000), F64Result::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let a = vec![vec![1.0, -1.0]];
+        let b = vec![0.0];
+        let c = vec![-1.0, 0.0];
+        assert_eq!(solve_standard_form_f64(&a, &b, &c, 10_000), F64Result::Unbounded);
+    }
+}

@@ -1,0 +1,614 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A minimal, dependency-free bignum tailored to what the RLIBM-32 pipeline
+//! needs: mantissa arithmetic for [`crate::MpFloat`] (add/sub/mul/div/shift
+//! on numbers of a few thousand bits) and exact rational arithmetic for the
+//! LP solver. Little-endian `u64` limbs, canonical form (no trailing zero
+//! limbs). Schoolbook algorithms throughout — operand sizes here are tens
+//! of limbs, where simplicity beats asymptotics.
+
+use core::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Example
+///
+/// ```
+/// use rlibm_mp::BigUint;
+/// let a = BigUint::from_u64(u64::MAX);
+/// let b = &a * &a;
+/// let (q, r) = b.div_rem(&a);
+/// assert_eq!(q, a);
+/// assert!(r.is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; highest limb nonzero (empty means zero).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(x: u64) -> Self {
+        if x == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![x] }
+        }
+    }
+
+    /// Constructs from a `u128`.
+    pub fn from_u128(x: u128) -> Self {
+        let lo = x as u64;
+        let hi = (x >> 64) as u64;
+        if hi == 0 {
+            Self::from_u64(lo)
+        } else {
+            BigUint { limbs: vec![lo, hi] }
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True for zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True for one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64) * 64 - top.leading_zeros() as u64,
+        }
+    }
+
+    /// The bit at index `i` (little-endian, index 0 = LSB).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of trailing zero bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (which has no well-defined answer).
+    pub fn trailing_zeros(&self) -> u64 {
+        assert!(!self.is_zero(), "trailing_zeros of zero");
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * 64 + l.trailing_zeros() as u64;
+            }
+        }
+        unreachable!()
+    }
+
+    /// True when any of the low `n` bits is set (used for sticky-bit
+    /// computations when rounding mantissas).
+    pub fn any_low_bits(&self, n: u64) -> bool {
+        let full = (n / 64) as usize;
+        for &l in self.limbs.iter().take(full) {
+            if l != 0 {
+                return true;
+            }
+        }
+        let rem = n % 64;
+        if rem > 0 && full < self.limbs.len() {
+            return self.limbs[full] & ((1u64 << rem) - 1) != 0;
+        }
+        false
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: u64) -> BigUint {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = (n % 64) as u32;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits (bits shifted out are discarded).
+    pub fn shr(&self, n: u64) -> BigUint {
+        let limb_shift = (n / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = (n % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = vec![0u64; src.len()];
+        for i in 0..src.len() {
+            out[i] = src[i] >> bit_shift;
+            if bit_shift > 0 && i + 1 < src.len() {
+                out[i] |= src[i + 1] << (64 - bit_shift);
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let b = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Multiplication by a `u64`.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let t = a as u128 * m as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Division by a `u64` divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        let mut q = BigUint { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Division, returning `(quotient, remainder)`.
+    ///
+    /// Uses a base-2^64 schoolbook (Knuth Algorithm D style with a
+    /// normalize-and-estimate inner loop simplified to per-bit refinement
+    /// for the correction step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "division by zero");
+        if d.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(d.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        match self.cmp(d) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        // Normalize so the divisor's top bit is set.
+        let shift = 64 - ((d.bit_len() - 1) % 64 + 1);
+        let u = self.shl(shift);
+        let v = d.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let v_top = v.limbs[n - 1];
+        let v_second = if n >= 2 { v.limbs[n - 2] } else { 0 };
+
+        let mut rem = u.clone();
+        let mut q_limbs = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top limbs of rem relative to position j.
+            let r2 = rem.limbs.get(j + n).copied().unwrap_or(0);
+            let r1 = rem.limbs.get(j + n - 1).copied().unwrap_or(0);
+            let r0 = rem.limbs.get(j + n - 2).copied().unwrap_or(0);
+            let top = ((r2 as u128) << 64) | r1 as u128;
+            let mut q_hat = if r2 >= v_top {
+                u64::MAX as u128
+            } else {
+                top / v_top as u128
+            };
+            let mut r_hat = top - q_hat * v_top as u128;
+            // Refine: classic two-limb check.
+            while r_hat <= u64::MAX as u128
+                && q_hat * v_second as u128 > ((r_hat << 64) | r0 as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_top as u128;
+            }
+            let mut q_hat = q_hat as u64;
+            // Subtract q_hat * v << (64*j) from rem; fix up if negative.
+            let prod = v.mul_u64(q_hat).shl(64 * j as u64);
+            if prod > rem {
+                q_hat -= 1;
+                let prod2 = v.mul_u64(q_hat).shl(64 * j as u64);
+                debug_assert!(prod2 <= rem);
+                rem = rem.sub(&prod2);
+            } else {
+                rem = rem.sub(&prod);
+            }
+            q_limbs[j] = q_hat;
+        }
+        let mut q = BigUint { limbs: q_limbs };
+        q.normalize();
+        let r = rem.shr(shift);
+        debug_assert!(&q.mul(d).add(&r) == self);
+        (q, r)
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value needs more than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        match self.limbs.len() {
+            0 => 0,
+            1 => self.limbs[0],
+            _ => panic!("BigUint::to_u64 overflow"),
+        }
+    }
+
+    /// The top 64 significant bits as a `u64` with MSB set (undefined for
+    /// zero). Together with `bit_len` this summarizes the magnitude.
+    pub fn top_bits(&self) -> u64 {
+        assert!(!self.is_zero());
+        let len = self.bit_len();
+        if len <= 64 {
+            self.limbs[0] << (64 - len)
+        } else {
+            self.shr(len - 64).to_u64()
+        }
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-digit characters or an empty string.
+    pub fn from_decimal(s: &str) -> BigUint {
+        assert!(!s.is_empty(), "empty decimal string");
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).expect("invalid decimal digit") as u64;
+            acc = acc.mul_u64(10).add(&BigUint::from_u64(d));
+        }
+        acc
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl core::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint::add(self, rhs)
+    }
+}
+
+impl core::ops::Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        BigUint::sub(self, rhs)
+    }
+}
+
+impl core::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::mul(self, rhs)
+    }
+}
+
+impl core::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000);
+            digits.push(r);
+            cur = q;
+        }
+        write!(f, "{}", digits.pop().unwrap())?;
+        for d in digits.iter().rev() {
+            write!(f, "{d:019}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_decimal(s)
+    }
+
+    #[test]
+    fn basic_construction() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::from_u64(42).to_u64(), 42);
+        assert_eq!(BigUint::from_u128(u128::MAX).bit_len(), 128);
+    }
+
+    #[test]
+    fn add_with_carries() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(1);
+        let c = a.add(&b);
+        assert_eq!(c, BigUint::from_u128(1u128 << 64));
+        assert_eq!(c.bit_len(), 65);
+    }
+
+    #[test]
+    fn sub_with_borrows() {
+        let a = BigUint::from_u128(1u128 << 64);
+        let b = BigUint::from_u64(1);
+        assert_eq!(a.sub(&b), BigUint::from_u64(u64::MAX));
+        assert!(a.sub(&a).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::one().sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = BigUint::from_u64(0xDEAD_BEEF_CAFE_F00D);
+        let b = BigUint::from_u64(0x1234_5678_9ABC_DEF0);
+        let c = a.mul(&b);
+        let expect = 0xDEAD_BEEF_CAFE_F00Du128 * 0x1234_5678_9ABC_DEF0u128;
+        assert_eq!(c, BigUint::from_u128(expect));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_u64(0b1011);
+        assert_eq!(a.shl(130).shr(130), a);
+        assert_eq!(a.shl(1).to_u64(), 0b10110);
+        assert_eq!(a.shr(2).to_u64(), 0b10);
+        assert!(a.shr(64).is_zero());
+        assert_eq!(a.shl(64).bit_len(), 68);
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = BigUint::from_u64(0b1010).shl(100);
+        assert!(a.bit(101));
+        assert!(!a.bit(100));
+        assert!(a.bit(103));
+        assert_eq!(a.trailing_zeros(), 101);
+        assert!(a.any_low_bits(102));
+        assert!(!a.any_low_bits(101));
+    }
+
+    #[test]
+    fn division_small() {
+        let a = big("123456789012345678901234567890");
+        let (q, r) = a.div_rem_u64(97);
+        assert_eq!(q.mul_u64(97).add(&BigUint::from_u64(r)), a);
+        assert!(r < 97);
+    }
+
+    #[test]
+    fn division_multi_limb() {
+        let a = big("340282366920938463463374607431768211455123456789");
+        let d = big("18446744073709551629");
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn division_exercises_qhat_correction() {
+        // Divisor with max top limb forces the q_hat estimate paths.
+        let d = BigUint::from_u128(((u64::MAX as u128) << 64) | 1);
+        let a = d.mul(&big("987654321987654321987654321")).add(&BigUint::from_u64(7));
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q, big("987654321987654321987654321"));
+        assert_eq!(r.to_u64(), 7);
+    }
+
+    #[test]
+    fn division_by_larger_and_equal() {
+        let a = BigUint::from_u64(5);
+        let d = big("99999999999999999999");
+        let (q, r) = a.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+        let (q2, r2) = d.div_rem(&d);
+        assert!(q2.is_one());
+        assert!(r2.is_zero());
+    }
+
+    #[test]
+    fn gcd_works() {
+        let a = big("123456789012345678901234567890");
+        let b = big("987654321098765432109876543210");
+        let g = a.gcd(&b);
+        let (_, ra) = a.div_rem(&g);
+        let (_, rb) = b.div_rem(&g);
+        assert!(ra.is_zero() && rb.is_zero());
+        assert_eq!(BigUint::from_u64(12).gcd(&BigUint::from_u64(18)).to_u64(), 6);
+    }
+
+    #[test]
+    fn pow_and_display() {
+        let t = BigUint::from_u64(10).pow(25);
+        assert_eq!(t.to_string(), "10000000000000000000000000");
+        assert_eq!(BigUint::from_u64(2).pow(100), BigUint::one().shl(100));
+        assert_eq!(BigUint::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789098765432101112131415161718192021222324252627282930";
+        assert_eq!(big(s).to_string(), s);
+    }
+
+    #[test]
+    fn top_bits() {
+        let a = BigUint::from_u64(1).shl(100);
+        assert_eq!(a.top_bits(), 1u64 << 63);
+        assert_eq!(BigUint::from_u64(3).top_bits(), 3u64 << 62);
+    }
+}

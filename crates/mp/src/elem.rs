@@ -1,0 +1,442 @@
+//! Arbitrary-precision elementary functions with rigorous error bounds.
+//!
+//! Every public function takes an *exact* input (an `f64`, which every
+//! 32-bit representation widens to exactly) and a target precision, and
+//! returns a result whose total error is at most [`ERR_ULPS`] ulps at that
+//! precision. The Ziv loop in [`crate::oracle`] relies on this bound: it
+//! widens the result by ±`ERR_ULPS` ulps and retries at doubled precision
+//! until both ends round identically in the target representation.
+//!
+//! Internally everything is evaluated with 64 guard bits; argument
+//! reductions are chosen so that cancellation never exceeds a handful of
+//! bits (the analysis is in the comments of each routine), leaving orders
+//! of magnitude of slack against the claimed bound.
+
+use crate::consts;
+use crate::float::MpFloat;
+
+/// Guaranteed error bound, in ulps at the requested precision, for every
+/// function in this module. The true error is far smaller (the working
+/// precision carries 64 guard bits); the bound is deliberately generous
+/// because the Ziv loop only needs soundness, not tightness.
+pub const ERR_ULPS: i64 = 16;
+
+const GUARD: u32 = 64;
+
+/// `e^x` to `prec` bits.
+pub fn exp(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    let (e, k) = exp_core_f64(x, w);
+    e.mul_pow2(k).round(prec)
+}
+
+/// `2^x` to `prec` bits.
+pub fn exp2(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    // Reduce with the *exact* f64 split x = i + t, |t| <= 1/2: both parts
+    // are exact, so the only error is in t*ln2 (one rounding) and the
+    // series.
+    let i = x.round_ties_even();
+    let t = x - i; // exact (Sterbenz range)
+    let u = MpFloat::from_f64(t, w).mul(&consts::ln2(w + 16), w);
+    let e = exp_taylor(&u, w);
+    e.mul_pow2(i as i64).round(prec)
+}
+
+/// `10^x` to `prec` bits.
+pub fn exp10(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    // 10^x = 2^i * e^(x ln10 - i ln2), i = round(x log2 10). The two
+    // products cancel to |u| <= ln2/2 + slack; computing both at w + 48
+    // bits leaves the difference with ~2^-w relative error even after the
+    // ~7 bits of cancellation (|x ln10| <= 2^9 here).
+    let i = (x * core::f64::consts::LOG2_10).round_ties_even();
+    let wx = w + 48;
+    let a = MpFloat::from_f64(x, wx).mul(&consts::ln10(wx), wx);
+    let b = MpFloat::from_f64(i, wx).mul(&consts::ln2(wx), wx);
+    let u = a.sub(&b, w);
+    let e = exp_taylor(&u, w);
+    e.mul_pow2(i as i64).round(prec)
+}
+
+/// `ln x` to `prec` bits (`x > 0`).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` or non-finite.
+pub fn ln(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    let (e, lnm) = ln_reduced(x, w);
+    // ln x = e ln2 + ln m with m in [0.75, 1.5): |ln m| <= 0.41 while
+    // |e ln2| >= 0.69 whenever e != 0, so at most ~2 bits cancel.
+    let eln2 = consts::ln2(w + 8).mul_i64(e, w + 8);
+    eln2.add(&lnm, prec)
+}
+
+/// `log2 x` to `prec` bits (`x > 0`).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` or non-finite.
+pub fn log2(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    let (e, lnm) = ln_reduced(x, w);
+    // log2 x = e + ln m / ln 2; |ln m / ln 2| <= 0.59 < 1 so at most one
+    // bit cancels against the exact integer e.
+    let log2m = lnm.div(&consts::ln2(w + 8), w);
+    MpFloat::from_i64(e, w).add(&log2m, prec)
+}
+
+/// `log10 x` to `prec` bits (`x > 0`).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` or non-finite.
+pub fn log10(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    let (e, lnm) = ln_reduced(x, w);
+    // log10 x = e log10(2) + ln m / ln 10. |ln m / ln10| <= 0.18 while
+    // |e log10 2| >= 0.301 for e != 0: bounded cancellation again.
+    let ln10 = consts::ln10(w + 8);
+    let log10_2 = consts::ln2(w + 8).div(&ln10, w + 8);
+    let term = lnm.div(&ln10, w + 8);
+    log10_2.mul_i64(e, w + 8).add(&term, prec)
+}
+
+/// `sinh x` to `prec` bits.
+pub fn sinh(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    let a = x.abs();
+    let v = if a < 0.25 {
+        // Direct odd Taylor series: no cancellation, relative error
+        // preserved down to the tiniest inputs.
+        sinh_taylor(&MpFloat::from_f64(a, w), w)
+    } else {
+        // (A - 1/A)/2 with A = e^a >= e^0.25: |A - 1/A| >= 0.39 A, so the
+        // subtraction loses at most ~1.4 bits.
+        let (ea, k) = exp_core_f64(a, w + 8);
+        let a_full = ea.mul_pow2(k);
+        let inv = MpFloat::from_u64(1, w + 8).div(&a_full, w + 8);
+        a_full.sub(&inv, w).mul_pow2(-1)
+    };
+    if x < 0.0 {
+        v.neg().round(prec)
+    } else {
+        v.round(prec)
+    }
+}
+
+/// `cosh x` to `prec` bits.
+pub fn cosh(x: f64, prec: u32) -> MpFloat {
+    let w = prec + GUARD;
+    let a = x.abs();
+    let (ea, k) = exp_core_f64(a, w + 8);
+    let a_full = ea.mul_pow2(k);
+    let inv = MpFloat::from_u64(1, w + 8).div(&a_full, w + 8);
+    a_full.add(&inv, w).mul_pow2(-1).round(prec)
+}
+
+/// `sin(pi x)` to `prec` bits.
+///
+/// # Panics
+///
+/// Panics if `|x| >= 2^53` (integral inputs of that size are exact zeros
+/// and must be special-cased by the caller) or `x` is non-finite.
+pub fn sinpi(x: f64, prec: u32) -> MpFloat {
+    assert!(x.is_finite() && x.abs() < 2f64.powi(53));
+    let w = prec + GUARD;
+    let neg_in = x < 0.0;
+    let a = x.abs();
+    // Exact binary reduction: j = a mod 2 in [0, 2).
+    let j = a - 2.0 * (a / 2.0).floor();
+    let (k, l) = if j >= 1.0 { (true, j - 1.0) } else { (false, j) };
+    // sinpi(l) for l in [0,1) is >= 0 and symmetric about 1/2.
+    let lp = if l > 0.5 { 1.0 - l } else { l }; // exact (Sterbenz)
+    let v = if lp <= 0.25 {
+        sin_pi_t(lp, w)
+    } else {
+        cos_pi_t(0.5 - lp, w) // 0.5 - lp exact
+    };
+    let neg = neg_in ^ k;
+    if neg {
+        v.neg().round(prec)
+    } else {
+        v.round(prec)
+    }
+}
+
+/// `cos(pi x)` to `prec` bits.
+///
+/// # Panics
+///
+/// Panics if `|x| >= 2^53` or `x` is non-finite.
+pub fn cospi(x: f64, prec: u32) -> MpFloat {
+    assert!(x.is_finite() && x.abs() < 2f64.powi(53));
+    let w = prec + GUARD;
+    let a = x.abs(); // cospi is even
+    let j = a - 2.0 * (a / 2.0).floor();
+    let (k, l) = if j >= 1.0 { (true, j - 1.0) } else { (false, j) };
+    // cospi(l) for l in [0,1): positive on [0, 1/2), negative mirror after.
+    let (m, lpp) = if l > 0.5 { (true, 1.0 - l) } else { (false, l) };
+    let v = if lpp <= 0.25 {
+        cos_pi_t(lpp, w)
+    } else {
+        sin_pi_t(0.5 - lpp, w)
+    };
+    let neg = k ^ m;
+    if neg {
+        v.neg().round(prec)
+    } else {
+        v.round(prec)
+    }
+}
+
+/// Shared `e^x` core: returns `(e^r, k)` with `x = k ln2 + r`, so the full
+/// value is `e^r * 2^k`. The result is at the given working precision.
+fn exp_core_f64(x: f64, w: u32) -> (MpFloat, i64) {
+    // k from a double estimate: being off by one only widens |r| to ~1.04,
+    // which the Taylor series absorbs.
+    let k = (x / core::f64::consts::LN_2).round_ties_even() as i64;
+    // r = x - k ln2: |x| <= ~2^10 for every caller, so the subtraction
+    // cancels at most ~11 bits; 48 extra bits of ln2 keep r's relative
+    // error near 2^-w.
+    let wx = w + 48;
+    let kln2 = consts::ln2(wx).mul_i64(k, wx);
+    let r = MpFloat::from_f64(x, wx).sub(&kln2, w);
+    (exp_taylor(&r, w), k)
+}
+
+/// Taylor series for `e^u`, `|u| <= ~1.05`.
+fn exp_taylor(u: &MpFloat, w: u32) -> MpFloat {
+    let one = MpFloat::from_u64(1, w);
+    if u.is_zero() {
+        return one;
+    }
+    let mut sum = one.clone();
+    let mut term = one;
+    let mut n = 1u64;
+    loop {
+        term = term.mul(u, w).div_u64(n, w);
+        if term.is_zero() || term.msb_pos() < sum.msb_pos() - w as i64 - 4 {
+            break;
+        }
+        sum = sum.add(&term, w);
+        n += 1;
+    }
+    sum
+}
+
+/// `sin(pi t)` for exact `t in [0, 0.25 + eps]`.
+fn sin_pi_t(t: f64, w: u32) -> MpFloat {
+    if t == 0.0 {
+        return MpFloat::zero(w);
+    }
+    let u = MpFloat::from_f64(t, w + 8).mul(&consts::pi(w + 8), w);
+    // sin u = u - u^3/3! + ... ; |u| <= pi/4, terms decay fast and the
+    // first term dominates, so relative error is preserved for tiny t.
+    let u2 = u.mul(&u, w);
+    let mut term = u.clone();
+    let mut sum = u;
+    let mut k = 1u64;
+    loop {
+        term = term.mul(&u2, w).div_u64((2 * k) * (2 * k + 1), w).neg();
+        if term.is_zero() || term.msb_pos() < sum.msb_pos() - w as i64 - 4 {
+            break;
+        }
+        sum = sum.add(&term, w);
+        k += 1;
+    }
+    sum
+}
+
+/// `cos(pi t)` for exact `t in [0, 0.25 + eps]`.
+fn cos_pi_t(t: f64, w: u32) -> MpFloat {
+    let one = MpFloat::from_u64(1, w);
+    if t == 0.0 {
+        return one;
+    }
+    let u = MpFloat::from_f64(t, w + 8).mul(&consts::pi(w + 8), w);
+    let u2 = u.mul(&u, w);
+    let mut term = one.clone();
+    let mut sum = one;
+    let mut k = 1u64;
+    loop {
+        term = term.mul(&u2, w).div_u64((2 * k - 1) * (2 * k), w).neg();
+        if term.is_zero() || term.msb_pos() < sum.msb_pos() - w as i64 - 4 {
+            break;
+        }
+        sum = sum.add(&term, w);
+        k += 1;
+    }
+    sum
+}
+
+/// Odd Taylor series for `sinh`, `0 <= x < 0.25`.
+fn sinh_taylor(x: &MpFloat, w: u32) -> MpFloat {
+    if x.is_zero() {
+        return MpFloat::zero(w);
+    }
+    let x2 = x.mul(x, w);
+    let mut term = x.clone();
+    let mut sum = x.clone();
+    let mut k = 1u64;
+    loop {
+        term = term.mul(&x2, w).div_u64((2 * k) * (2 * k + 1), w);
+        if term.is_zero() || term.msb_pos() < sum.msb_pos() - w as i64 - 4 {
+            break;
+        }
+        sum = sum.add(&term, w);
+        k += 1;
+    }
+    sum
+}
+
+/// Common log reduction: `x = m * 2^e` with `m in [0.75, 1.5)`; returns
+/// `(e, ln m)` with `ln m` at working precision.
+fn ln_reduced(x: f64, w: u32) -> (i64, MpFloat) {
+    assert!(x.is_finite() && x > 0.0, "log of non-positive value");
+    let (_, mant, exp2) = rlibm_fp::bits::decompose_f64(x);
+    // Normalize mant (odd integer) to m in [1, 2).
+    let bits = 64 - mant.leading_zeros() as i64;
+    let mut e = exp2 as i64 + bits - 1;
+    // m = mant / 2^(bits-1) in [1, 2); fold into [0.75, 1.5).
+    let mut m = MpFloat::from_u64(mant, w).mul_pow2(-(bits - 1));
+    if m.cmp(&MpFloat::from_f64(1.5, w)) != core::cmp::Ordering::Less {
+        m = m.mul_pow2(-1);
+        e += 1;
+    }
+    // ln m = 2 atanh(s), s = (m-1)/(m+1) in [-1/7, 1/5].
+    let one = MpFloat::from_u64(1, w);
+    let s = m.sub(&one, w).div(&m.add(&one, w), w);
+    if s.is_zero() {
+        return (e, MpFloat::zero(w));
+    }
+    let s2 = s.mul(&s, w);
+    let mut term = s.clone();
+    let mut sum = s;
+    let mut k = 1u64;
+    loop {
+        term = term.mul(&s2, w);
+        let contrib = term.div_u64(2 * k + 1, w);
+        if contrib.is_zero() || contrib.msb_pos() < sum.msb_pos() - w as i64 - 4 {
+            break;
+        }
+        sum = sum.add(&contrib, w);
+        k += 1;
+    }
+    (e, sum.mul_pow2(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Max acceptable deviation from the f64 std library: std promises a
+    /// correctly rounded... no, it promises ~1 ulp. Compare at 2 ulps.
+    fn close_f64(a: f64, b: f64) -> bool {
+        if a == b {
+            return true;
+        }
+        let ulp = rlibm_fp::bits::ulp_f64(b.abs().max(f64::MIN_POSITIVE));
+        (a - b).abs() <= 2.0 * ulp
+    }
+
+    #[test]
+    fn exp_against_std() {
+        for &x in &[0.0, 1.0, -1.0, 0.5, -20.25, 42.0, 87.3, -100.0, 1e-10] {
+            let v = exp(x, 128).to_f64();
+            assert!(close_f64(v, x.exp()), "exp({x}): {v} vs {}", x.exp());
+        }
+    }
+
+    #[test]
+    fn exp2_exp10_against_std() {
+        for &x in &[0.0, 1.0, -1.0, 10.5, -126.7, 37.9] {
+            assert!(close_f64(exp2(x, 128).to_f64(), x.exp2()), "exp2({x})");
+        }
+        for &x in &[0.0, 1.0, -1.0, 5.25, -37.4, 30.1] {
+            let v = exp10(x, 128).to_f64();
+            let want = 10f64.powf(x);
+            assert!(close_f64(v, want), "exp10({x}): {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exact_powers() {
+        assert_eq!(exp2(10.0, 128).to_f64(), 1024.0);
+        assert_eq!(exp10(3.0, 128).to_f64(), 1000.0);
+        assert_eq!(exp(0.0, 128).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn logs_against_std() {
+        for &x in &[1.0, 2.0, 0.5, 1e-30, 1e30, 3.14159, 0.9999999, 1.0000001, 7e-42] {
+            assert!(close_f64(ln(x, 128).to_f64(), x.ln()), "ln({x})");
+            assert!(close_f64(log2(x, 128).to_f64(), x.log2()), "log2({x})");
+            assert!(close_f64(log10(x, 128).to_f64(), x.log10()), "log10({x})");
+        }
+    }
+
+    #[test]
+    fn log2_of_powers_is_exact() {
+        assert_eq!(log2(8.0, 128).to_f64(), 3.0);
+        assert_eq!(log2(2f64.powi(-60), 128).to_f64(), -60.0);
+        assert_eq!(ln(1.0, 128).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn hyperbolics_against_std() {
+        for &x in &[0.0, 1e-20, 0.1, -0.2, 1.0, -5.5, 20.0, -88.0] {
+            assert!(close_f64(sinh(x, 128).to_f64(), x.sinh()), "sinh({x})");
+            assert!(close_f64(cosh(x, 128).to_f64(), x.cosh()), "cosh({x})");
+        }
+    }
+
+    #[test]
+    fn sinh_tiny_keeps_relative_accuracy() {
+        let x = 2f64.powi(-140);
+        // sinh(x) ~ x with relative error x^2/6: indistinguishable at 128
+        // bits from x itself only in f64 projection.
+        assert_eq!(sinh(x, 128).to_f64(), x);
+    }
+
+    #[test]
+    fn sinpi_cospi_special_angles() {
+        assert_eq!(sinpi(0.5, 128).to_f64(), 1.0);
+        assert_eq!(sinpi(1.5, 128).to_f64(), -1.0);
+        assert_eq!(sinpi(2.5, 128).to_f64(), 1.0);
+        assert_eq!(cospi(1.0, 128).to_f64(), -1.0);
+        assert_eq!(cospi(2.0, 128).to_f64(), 1.0);
+        assert_eq!(sinpi(0.25, 128).to_f64(), core::f64::consts::FRAC_1_SQRT_2);
+        assert_eq!(cospi(0.25, 128).to_f64(), core::f64::consts::FRAC_1_SQRT_2);
+        // Odd / even symmetry.
+        assert_eq!(sinpi(-0.3, 128).to_f64(), -sinpi(0.3, 128).to_f64());
+        assert_eq!(cospi(-0.3, 128).to_f64(), cospi(0.3, 128).to_f64());
+    }
+
+    #[test]
+    fn sinpi_against_std() {
+        for &x in &[0.1f64, 0.3, 0.499, 0.7, 1.25, 123.456, 8388607.3] {
+            let want = (core::f64::consts::PI * (x - x.round_ties_even())).sin().abs();
+            let got = sinpi(x, 128).to_f64().abs();
+            assert!(close_f64(got, want), "sinpi({x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn precision_escalation_is_consistent() {
+        // Doubling the precision must agree to within ERR_ULPS of the
+        // coarser result: this is the empirical check of the error bound.
+        for &x in &[0.7, 3.3, -2.6, 55.1] {
+            let lo = exp(x, 128);
+            let hi = exp(x, 512);
+            let diff = lo.sub(&hi, 128).abs();
+            if !diff.is_zero() {
+                assert!(
+                    diff.msb_pos() <= lo.msb_pos() - 128 + 5,
+                    "exp({x}) differs too much across precisions"
+                );
+            }
+        }
+    }
+}

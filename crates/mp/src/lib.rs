@@ -1,0 +1,37 @@
+//! Multi-precision arithmetic and the correctly rounded oracle for the
+//! RLIBM-32 reproduction (the role MPFR and GMP play in the paper).
+//!
+//! Layers, bottom to top:
+//!
+//! * [`BigUint`] / [`BigInt`] — dependency-free big integers.
+//! * [`Rational`] — exact rationals (the LP solver's coefficient domain).
+//! * [`MpFloat`] — arbitrary-precision binary floating point with
+//!   round-to-nearest-even and round-to-odd conversions.
+//! * [`consts`] — pi, ln 2, ln 10 to any precision.
+//! * [`elem`] — the ten elementary functions with guaranteed error bounds.
+//! * [`oracle`] — Ziv-loop correct rounding into any target representation
+//!   ([`correctly_rounded`]) or into double ([`correctly_rounded_f64`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rlibm_mp::{correctly_rounded, Func};
+//!
+//! // The correctly rounded float32 value of ln(0.1):
+//! let y: f32 = correctly_rounded(Func::Ln, 0.1f32);
+//! assert_eq!(y, -2.3025852f32);
+//! ```
+
+pub mod bigint;
+pub mod biguint;
+pub mod consts;
+pub mod elem;
+pub mod float;
+pub mod oracle;
+pub mod rational;
+
+pub use bigint::BigInt;
+pub use biguint::BigUint;
+pub use float::MpFloat;
+pub use oracle::{correctly_rounded, correctly_rounded_f64, round_mp, Func};
+pub use rational::Rational;

@@ -1,0 +1,374 @@
+//! Exact rational numbers.
+//!
+//! These are the coefficient domain of the LP solver (`rlibm-lp`): the paper
+//! uses SoPlex in exact rational mode precisely because floating point
+//! pivoting can certify an infeasible system as feasible (or vice versa),
+//! which would silently break the correctly rounded guarantee.
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+use core::cmp::Ordering;
+
+/// An exact rational number `num / den`, always in canonical form:
+/// `den > 0`, `gcd(|num|, den) == 1`, and zero is `0/1`.
+///
+/// # Example
+///
+/// ```
+/// use rlibm_mp::Rational;
+/// let a = Rational::from_ratio_i64(1, 3);
+/// let b = Rational::from_ratio_i64(1, 6);
+/// assert_eq!(&a + &b, Rational::from_ratio_i64(1, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigUint::one() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigUint::one() }
+    }
+
+    /// Constructs from an integer.
+    pub fn from_i64(x: i64) -> Self {
+        Rational { num: BigInt::from_i64(x), den: BigUint::one() }
+    }
+
+    /// Constructs from a numerator/denominator pair of machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn from_ratio_i64(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let (num, den) = if den < 0 { (-num, -(den as i128)) } else { (num, den as i128) };
+        Self::new(BigInt::from_i64(num), BigUint::from_u128(den as u128))
+    }
+
+    /// Constructs from big numerator and positive denominator, reducing to
+    /// canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        let (n, _) = num.magnitude().div_rem(&g);
+        let (d, _) = den.div_rem(&g);
+        Rational {
+            num: BigInt::from_biguint(num.is_negative(), n),
+            den: d,
+        }
+    }
+
+    /// Exact conversion from a finite `f64`: every double is a rational
+    /// with a power-of-two denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity.
+    pub fn from_f64(x: f64) -> Self {
+        assert!(x.is_finite(), "Rational::from_f64 of non-finite");
+        let (sign, mant, exp) = rlibm_fp::bits::decompose_f64(x);
+        if mant == 0 {
+            return Self::zero();
+        }
+        let m = BigUint::from_u64(mant);
+        if exp >= 0 {
+            Rational {
+                num: BigInt::from_biguint(sign, m.shl(exp as u64)),
+                den: BigUint::one(),
+            }
+        } else {
+            // mant is odd, so gcd(mant, 2^|exp|) == 1: already canonical.
+            Rational {
+                num: BigInt::from_biguint(sign, m),
+                den: BigUint::one().shl((-exp) as u64),
+            }
+        }
+    }
+
+    /// The numerator.
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The (positive) denominator.
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// True for zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True for strictly negative values.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Sign: -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Rational {
+        Rational { num: self.num.neg(), den: self.den.clone() }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Rational) -> Rational {
+        let num = &self.num.mul(&BigInt::from_biguint(false, other.den.clone()))
+            + &other.num.mul(&BigInt::from_biguint(false, self.den.clone()));
+        Rational::new(num, self.den.mul(&other.den))
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Rational) -> Rational {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Rational) -> Rational {
+        Rational::new(self.num.mul(&other.num), self.den.mul(&other.den))
+    }
+
+    /// Division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div(&self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "rational division by zero");
+        let num = self.num.mul(&BigInt::from_biguint(false, other.den.clone()));
+        let den_sign = other.num.is_negative();
+        let den = self.den.mul(other.num.magnitude());
+        Rational::new(if den_sign { num.neg() } else { num }, den)
+    }
+
+    /// Reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn recip(&self) -> Rational {
+        Rational::one().div(self)
+    }
+
+    /// Correctly rounded (RNE) conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let n = self.num.magnitude();
+        let d = &self.den;
+        // Compute a 55-bit quotient with sticky, then one rounding.
+        let nlen = n.bit_len() as i64;
+        let dlen = d.bit_len() as i64;
+        // Shift numerator so the quotient has ~57 bits.
+        let shift = 57 - (nlen - dlen);
+        let (q, r) = if shift >= 0 {
+            n.shl(shift as u64).div_rem(d)
+        } else {
+            // Quotient already huge; scale the denominator instead.
+            n.div_rem(&d.shl((-shift) as u64))
+        };
+        let qlen = q.bit_len();
+        debug_assert!(qlen >= 56, "quotient too short: {qlen}");
+        // Keep the top 55 bits, fold everything else (plus the division
+        // remainder) into a sticky bit, then let the u64 -> f64 conversion
+        // do the single rounding.
+        let drop = qlen - 55;
+        let top = q.shr(drop).to_u64();
+        let sticky = q.any_low_bits(drop) || !r.is_zero();
+        let t = (top << 1) | sticky as u64;
+        let scale = (qlen as i64 - 55) - shift - 1;
+        let v = scale_f64(t as f64, scale);
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+/// `x * 2^scale` with a single correct rounding even into the subnormal
+/// range... except that `x` here always carries at most 56 significant bits,
+/// so the two-step scaling below never double-rounds for the magnitudes the
+/// oracle produces (|scale| < 2100).
+fn scale_f64(x: f64, scale: i64) -> f64 {
+    let mut v = x;
+    let mut s = scale;
+    while s > 1000 {
+        v *= 2f64.powi(1000);
+        s -= 1000;
+    }
+    while s < -1000 {
+        v *= 2f64.powi(-1000);
+        s += 1000;
+    }
+    v * 2f64.powi(s as i32)
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        let lhs = self.num.mul(&BigInt::from_biguint(false, other.den.clone()));
+        let rhs = other.num.mul(&BigInt::from_biguint(false, self.den.clone()));
+        lhs.cmp(&rhs)
+    }
+}
+
+macro_rules! rational_ops {
+    ($trait:ident, $method:ident) => {
+        impl core::ops::$trait for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                Rational::$method(self, rhs)
+            }
+        }
+    };
+}
+
+rational_ops!(Add, add);
+rational_ops!(Sub, sub);
+rational_ops!(Mul, mul);
+rational_ops!(Div, div);
+
+impl core::ops::Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::neg(self)
+    }
+}
+
+impl core::fmt::Display for Rational {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio_i64(n, d)
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(r(1, 3).add(&r(1, 6)), r(1, 2));
+        assert_eq!(r(1, 3).sub(&r(1, 2)), r(-1, 6));
+        assert_eq!(r(2, 3).mul(&r(3, 4)), r(1, 2));
+        assert_eq!(r(1, 3).div(&r(2, 3)), r(1, 2));
+        assert_eq!(r(-1, 3).div(&r(-2, 3)), r(1, 2));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < Rational::zero());
+        assert_eq!(r(2, 6).cmp(&r(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn from_f64_is_exact() {
+        assert_eq!(Rational::from_f64(0.5), r(1, 2));
+        assert_eq!(Rational::from_f64(-0.75), r(-3, 4));
+        assert_eq!(Rational::from_f64(3.0), r(3, 1));
+        // 0.1 is NOT one tenth in binary.
+        assert_ne!(Rational::from_f64(0.1), r(1, 10));
+        let point_one = Rational::from_f64(0.1);
+        assert_eq!(point_one.to_f64(), 0.1);
+    }
+
+    #[test]
+    fn to_f64_correctly_rounded() {
+        // 1/3 rounds to the nearest double.
+        let third = r(1, 3);
+        let d = third.to_f64();
+        let lo = Rational::from_f64(rlibm_fp::bits::next_down_f64(d));
+        let hi = Rational::from_f64(rlibm_fp::bits::next_up_f64(d));
+        let dd = Rational::from_f64(d);
+        assert!(third.sub(&dd).abs() <= third.sub(&lo).abs());
+        assert!(third.sub(&dd).abs() <= third.sub(&hi).abs());
+        // An exact tie: midpoint between 1.0 and 1.0 + eps is
+        // 1 + 2^-53, which ties to even (1.0).
+        let tie = Rational::one().add(&Rational::new(
+            BigInt::one(),
+            BigUint::one().shl(53),
+        ));
+        assert_eq!(tie.to_f64(), 1.0);
+        // Just above the tie rounds up.
+        let above = tie.add(&Rational::new(BigInt::one(), BigUint::one().shl(200)));
+        assert_eq!(above.to_f64(), 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn roundtrip_random_doubles() {
+        let mut state = 0x12345678u64;
+        for _ in 0..500 {
+            // xorshift
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = f64::from_bits(state % 0x7FF0_0000_0000_0000);
+            if !x.is_finite() {
+                continue;
+            }
+            assert_eq!(Rational::from_f64(x).to_f64(), x, "x = {x:e}");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-7, 1).to_string(), "-7");
+    }
+}

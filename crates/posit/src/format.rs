@@ -1,0 +1,329 @@
+//! Generic posit decode/encode for widths up to 32 bits.
+//!
+//! A posit `<width, es>` encodes, after the sign bit, a run-length-encoded
+//! *regime* `k`, then `es` exponent bits, then fraction bits. The value of a
+//! positive pattern is `2^(k * 2^es + e) * (1 + f / 2^F)`. Negative values
+//! are the two's complement of the positive pattern. There are exactly two
+//! special patterns: all zeros (`0`) and the sign bit alone (`NaR`,
+//! "not a real").
+//!
+//! Rounding follows the SoftPosit convention used by the RLIBM-32 artifact:
+//! round-to-nearest-even on the *bit stream* (round + sticky bits taken
+//! after the last stored position), with posit saturation — no finite value
+//! ever rounds to zero, `NaR`, or past `±maxpos`.
+
+/// Parameters of a posit format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositFormat {
+    /// Total width in bits (2..=32).
+    pub width: u32,
+    /// Number of exponent bits (the `es` parameter).
+    pub es: u32,
+}
+
+/// A decoded posit value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// The zero pattern.
+    Zero,
+    /// Not-a-Real (the posit exception value).
+    NaR,
+    /// A finite nonzero value `(-1)^neg * (sig / 2^63) * 2^scale` where
+    /// `sig` always has its most significant bit (bit 63) set, i.e. the
+    /// significand `sig / 2^63` lies in `[1, 2)`.
+    Finite {
+        /// Sign (true = negative).
+        neg: bool,
+        /// Power-of-two scale.
+        scale: i32,
+        /// Normalized significand, MSB (bit 63) set.
+        sig: u64,
+    },
+}
+
+impl PositFormat {
+    /// The standard 32-bit posit (es = 2), the paper's `posit32`.
+    pub const POSIT32: PositFormat = PositFormat { width: 32, es: 2 };
+    /// The classic 16-bit posit (es = 1) targeted by the original RLIBM.
+    pub const POSIT16: PositFormat = PositFormat { width: 16, es: 1 };
+
+    /// Mask selecting the low `width` bits.
+    pub fn mask(self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// The NaR bit pattern (sign bit alone).
+    pub fn nar_bits(self) -> u32 {
+        1u32 << (self.width - 1)
+    }
+
+    /// The largest positive pattern (`maxpos`).
+    pub fn maxpos_bits(self) -> u32 {
+        (1u32 << (self.width - 1)) - 1
+    }
+
+    /// Scale of `maxpos` = `(width - 2) * 2^es`; `minpos` has the negated
+    /// scale.
+    pub fn max_scale(self) -> i32 {
+        ((self.width - 2) << self.es) as i32
+    }
+
+    /// Decodes a bit pattern.
+    pub fn decode(self, bits: u32) -> Decoded {
+        let bits = bits & self.mask();
+        if bits == 0 {
+            return Decoded::Zero;
+        }
+        if bits == self.nar_bits() {
+            return Decoded::NaR;
+        }
+        let neg = bits & self.nar_bits() != 0;
+        let mag = if neg {
+            bits.wrapping_neg() & self.mask()
+        } else {
+            bits
+        };
+        // Left-align so the (zero) sign bit sits at bit 31; the pad bits
+        // below are zero, which is exactly the "ghost bits are zero"
+        // convention for short exponent/fraction fields.
+        let aligned = mag << (32 - self.width);
+        let body = aligned << 1; // regime field starts at bit 31
+        let rem_len = self.width - 1;
+        let (k, consumed) = if body >> 31 == 1 {
+            let ones = body.leading_ones().min(rem_len);
+            (ones as i32 - 1, (ones + 1).min(rem_len))
+        } else {
+            let zeros = body.leading_zeros().min(rem_len);
+            (-(zeros as i32), (zeros + 1).min(rem_len))
+        };
+        let rest = if consumed >= 32 { 0 } else { body << consumed };
+        let e = if self.es == 0 {
+            0
+        } else {
+            rest >> (32 - self.es)
+        };
+        let frac = if self.es >= 32 { 0 } else { rest << self.es };
+        let scale = (k << self.es) + e as i32;
+        let sig = (1u64 << 63) | ((frac as u64) << 31);
+        Decoded::Finite { neg, scale, sig }
+    }
+
+    /// Exact conversion of a pattern to `f64`.
+    ///
+    /// Exact for every posit of width ≤ 32 (at most 29 significand bits and
+    /// scale within ±120 for posit32). `NaR` maps to `f64::NAN`.
+    pub fn to_f64(self, bits: u32) -> f64 {
+        match self.decode(bits) {
+            Decoded::Zero => 0.0,
+            Decoded::NaR => f64::NAN,
+            Decoded::Finite { neg, scale, sig } => {
+                // sig/2^63 * 2^scale; both factors exact in f64.
+                let v = sig as f64 * 2f64.powi(scale - 63);
+                if neg {
+                    -v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// Encodes a finite nonzero value `(-1)^neg * (sig / 2^63) * 2^scale`
+    /// (with `sig` MSB-set) plus an optional sticky residual, rounding to
+    /// the nearest pattern (ties to even) with posit saturation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` does not have its top bit set.
+    pub fn encode_round(self, neg: bool, scale: i32, sig: u64, sticky_extra: bool) -> u32 {
+        assert!(sig >> 63 == 1, "significand must be normalized");
+        let max_scale = self.max_scale();
+        let body = if scale > max_scale {
+            self.maxpos_bits()
+        } else if scale < -max_scale {
+            1 // minpos: nonzero values never round to zero
+        } else {
+            let k = scale >> self.es;
+            let e = (scale - (k << self.es)) as u32;
+            debug_assert!(e < (1 << self.es));
+            let (regime, regime_len) = if k >= 0 {
+                // k+1 ones then a zero terminator.
+                ((((1u128 << (k + 1)) - 1) << 1), (k + 2) as u32)
+            } else {
+                // |k| zeros then a one.
+                (1u128, (1 - k) as u32)
+            };
+            let frac63 = (sig << 1) as u128; // hidden bit dropped, left-aligned in 64
+            let stream = (regime << (self.es + 64)) | ((e as u128) << 64) | frac63;
+            let total_len = regime_len + self.es + 64;
+            let shift = total_len - (self.width - 1);
+            let mut body = (stream >> shift) as u32;
+            let round_bit = (stream >> (shift - 1)) & 1;
+            let sticky =
+                (stream & ((1u128 << (shift - 1)) - 1)) != 0 || sticky_extra;
+            if round_bit == 1 && (sticky || body & 1 == 1) {
+                body += 1;
+            }
+            if body > self.maxpos_bits() {
+                body = self.maxpos_bits(); // never round past maxpos
+            }
+            if body == 0 {
+                body = 1; // never round a nonzero value to zero
+            }
+            body
+        };
+        if neg {
+            body.wrapping_neg() & self.mask()
+        } else {
+            body
+        }
+    }
+
+    /// Correctly rounds an `f64` into this posit format.
+    ///
+    /// NaN and infinities map to `NaR` (infinity is not a real). Zero maps
+    /// to the zero pattern. Everything else rounds with saturation.
+    pub fn round_from_f64(self, x: f64) -> u32 {
+        if x.is_nan() || x.is_infinite() {
+            return self.nar_bits();
+        }
+        if x == 0.0 {
+            return 0;
+        }
+        let neg = x < 0.0;
+        let a = x.abs();
+        let bits = a.to_bits();
+        let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (scale, sig) = if raw_exp == 0 {
+            // Subnormal double: normalize the fraction.
+            let shift = frac.leading_zeros() - 11;
+            let mant = frac << shift;
+            (-1022 - shift as i32, mant << 11)
+        } else {
+            (raw_exp - 1023, (frac | (1u64 << 52)) << 11)
+        };
+        self.encode_round(neg, scale, sig, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P32: PositFormat = PositFormat::POSIT32;
+    const P16: PositFormat = PositFormat::POSIT16;
+
+    #[test]
+    fn decode_special_patterns() {
+        assert_eq!(P32.decode(0), Decoded::Zero);
+        assert_eq!(P32.decode(0x8000_0000), Decoded::NaR);
+        assert_eq!(P16.decode(0x8000), Decoded::NaR);
+    }
+
+    #[test]
+    fn decode_one() {
+        // +1.0 for any posit: sign 0, regime "10", e = 0, frac = 0
+        // posit32: 0100...0 = 0x4000_0000.
+        match P32.decode(0x4000_0000) {
+            Decoded::Finite { neg, scale, sig } => {
+                assert!(!neg);
+                assert_eq!(scale, 0);
+                assert_eq!(sig, 1u64 << 63);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(P32.to_f64(0x4000_0000), 1.0);
+        assert_eq!(P16.to_f64(0x4000), 1.0);
+    }
+
+    #[test]
+    fn decode_minpos_maxpos() {
+        assert_eq!(P32.to_f64(P32.maxpos_bits()), 2f64.powi(120));
+        assert_eq!(P32.to_f64(1), 2f64.powi(-120));
+        assert_eq!(P16.to_f64(P16.maxpos_bits()), 2f64.powi(28));
+        assert_eq!(P16.to_f64(1), 2f64.powi(-28));
+    }
+
+    #[test]
+    fn negative_patterns_are_twos_complement() {
+        // -1.0 = two's complement of 0x4000_0000 = 0xC000_0000.
+        assert_eq!(P32.to_f64(0xC000_0000), -1.0);
+        assert_eq!(P32.round_from_f64(-1.0), 0xC000_0000);
+    }
+
+    #[test]
+    fn roundtrip_every_posit16_pattern() {
+        for bits in 0..=u16::MAX as u32 {
+            let v = P16.to_f64(bits);
+            if v.is_nan() {
+                continue;
+            }
+            assert_eq!(
+                P16.round_from_f64(v),
+                bits,
+                "pattern {bits:#06x} (value {v}) failed to round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_posit32_sample() {
+        // Stratified sample: every (multiple-of-97) pattern round-trips.
+        let mut bits: u32 = 1;
+        loop {
+            let v = P32.to_f64(bits);
+            if !v.is_nan() {
+                assert_eq!(P32.round_from_f64(v), bits, "pattern {bits:#010x}");
+            }
+            match bits.checked_add(961_748_927) {
+                Some(b) => bits = b,
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_rules() {
+        // Values beyond maxpos saturate.
+        assert_eq!(P32.round_from_f64(1e300), P32.maxpos_bits());
+        assert_eq!(P32.round_from_f64(-1e300), P32.maxpos_bits().wrapping_neg());
+        // Tiny nonzero values round to minpos, never zero.
+        assert_eq!(P32.round_from_f64(1e-300), 1);
+        assert_eq!(P32.round_from_f64(-1e-300), 1u32.wrapping_neg() & P32.mask());
+        // Infinity and NaN are NaR.
+        assert_eq!(P32.round_from_f64(f64::INFINITY), P32.nar_bits());
+        assert_eq!(P32.round_from_f64(f64::NAN), P32.nar_bits());
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_with_even_ties() {
+        // Adjacent posits around 1.0 in posit32: fraction quantum 2^-27.
+        let one = P32.to_f64(0x4000_0000);
+        let next = P32.to_f64(0x4000_0001);
+        let mid = (one + next) / 2.0; // exactly representable in f64
+        // Tie: 0x4000_0000 has even last bit -> rounds down.
+        assert_eq!(P32.round_from_f64(mid), 0x4000_0000);
+        let next2 = P32.to_f64(0x4000_0002);
+        let mid2 = (next + next2) / 2.0;
+        assert_eq!(P32.round_from_f64(mid2), 0x4000_0002);
+        // Slightly off the tie rounds to the closer one.
+        assert_eq!(P32.round_from_f64(mid * (1.0 + 1e-12)), 0x4000_0001);
+    }
+
+    #[test]
+    fn pattern_order_is_value_order() {
+        // For positive patterns, bit order == value order (the property the
+        // encoder's carry propagation relies on).
+        let mut prev = P32.to_f64(1);
+        for bits in (2..P32.maxpos_bits()).step_by(7_919_111) {
+            let v = P32.to_f64(bits);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+}

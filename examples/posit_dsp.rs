@@ -1,0 +1,73 @@
+//! A domain scenario for the posit32 library: signal-processing style
+//! computations (dB conversion, softmax, log-sum-exp) where posit
+//! saturation semantics and correct rounding both matter.
+//!
+//! Run with: `cargo run --release --example posit_dsp`
+
+use rlibm::math::posit::{cosh_p32, exp_p32, ln_p32, log10_p32};
+use rlibm::posit::Posit32;
+
+/// Power ratio to decibels: `10 * log10(p / p_ref)`.
+fn to_db(power: Posit32, p_ref: Posit32) -> Posit32 {
+    let ratio = power / p_ref;
+    log10_p32(ratio) * Posit32::from_f64(10.0)
+}
+
+/// Numerically careful softmax over posit32 logits.
+fn softmax(logits: &[Posit32]) -> Vec<Posit32> {
+    // Subtract the max for stability (posit arithmetic is exact here).
+    let max = logits
+        .iter()
+        .copied()
+        .reduce(|a, b| if a > b { a } else { b })
+        .expect("non-empty");
+    let exps: Vec<Posit32> = logits.iter().map(|&l| exp_p32(l - max)).collect();
+    let sum = exps.iter().copied().fold(Posit32::ZERO, |a, b| a + b);
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+fn main() {
+    println!("== decibel meter on posit32 ==");
+    let p_ref = Posit32::from_f64(1e-12); // reference power
+    for &(label, w) in &[("whisper", 1e-9), ("speech", 1e-6), ("jet", 1e1)] {
+        let db = to_db(Posit32::from_f64(w), p_ref);
+        println!("  {label:>8}: {w:>8.0e} W -> {db} dB");
+    }
+
+    println!("\n== softmax with extreme logits ==");
+    let logits: Vec<Posit32> = [-50.0, 0.0, 3.0, 3.1]
+        .iter()
+        .map(|&v| Posit32::from_f64(v))
+        .collect();
+    let probs = softmax(&logits);
+    let mut total = Posit32::ZERO;
+    for (l, p) in logits.iter().zip(&probs) {
+        println!("  logit {l:>6}: p = {p}");
+        total = total + *p;
+    }
+    println!("  sum = {total} (correctly rounded at every step)");
+
+    println!("\n== why saturation semantics matter ==");
+    // exp of a large posit: a repurposed double library overflows to inf,
+    // which posits must encode as NaR — destroying the whole pipeline.
+    let big = Posit32::from_f64(750.0);
+    let correct = exp_p32(big);
+    let naive = rlibm::math::baselines::double64::to_posit32("exp", big);
+    println!("  exp(750): rlibm = {correct} (maxpos), repurposed double = {naive}");
+    assert_eq!(correct, Posit32::MAXPOS);
+    assert!(naive.is_nar());
+
+    // log-sum-exp of large values survives thanks to saturation:
+    let lse_inputs = [Posit32::from_f64(100.0), Posit32::from_f64(100.5)];
+    let m = lse_inputs[1];
+    let lse = m + ln_p32(exp_p32(lse_inputs[0] - m) + exp_p32(Posit32::ZERO));
+    println!("  log-sum-exp(100, 100.5) = {lse}");
+
+    println!("\n== tapered precision showcase ==");
+    // Near 1.0, posit32 carries 27 fraction bits (f32 has 23): cosh of a
+    // small value keeps four extra bits of the x^2/2 term.
+    let small = Posit32::from_f64(0.001);
+    let c = cosh_p32(small);
+    println!("  cosh(0.001) = {:.12} (posit32 quantum near 1 is 2^-27)", c.to_f64());
+    assert!(c > Posit32::ONE);
+}

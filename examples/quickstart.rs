@@ -1,0 +1,66 @@
+//! Quickstart: the correctly rounded 32-bit math library in two minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rlibm::fp::BFloat16;
+use rlibm::mp::{correctly_rounded, Func};
+use rlibm::posit::Posit32;
+
+fn main() {
+    println!("== float32: the paper's ten functions ==");
+    let x = 0.1f32;
+    println!("ln({x})    = {:e}", rlibm::math::ln(x));
+    println!("log2({x})  = {:e}", rlibm::math::log2(x));
+    println!("log10({x}) = {:e}", rlibm::math::log10(x));
+    println!("exp({x})   = {:e}", rlibm::math::exp(x));
+    println!("exp2({x})  = {:e}", rlibm::math::exp2(x));
+    println!("exp10({x}) = {:e}", rlibm::math::exp10(x));
+    println!("sinh({x})  = {:e}", rlibm::math::sinh(x));
+    println!("cosh({x})  = {:e}", rlibm::math::cosh(x));
+    println!("sinpi({x}) = {:e}", rlibm::math::sinpi(x));
+    println!("cospi({x}) = {:e}", rlibm::math::cospi(x));
+
+    println!("\n== every result is the correctly rounded one ==");
+    for f in Func::ALL {
+        let ours = rlibm::math::eval_f32_by_name(f.name(), x);
+        let oracle: f32 = correctly_rounded(f, x);
+        assert_eq!(ours.to_bits(), oracle.to_bits());
+        println!("{:>6}: library {ours:e} == oracle {oracle:e}", f.name());
+    }
+
+    println!("\n== posit32: tapered precision, saturation semantics ==");
+    let p = Posit32::from_f64(2.0);
+    println!("ln(2) as posit32   = {}", rlibm::math::posit::ln_p32(p));
+    let huge = Posit32::from_f64(500.0);
+    println!(
+        "exp(500) saturates to maxpos = 2^120: {}",
+        rlibm::math::posit::exp_p32(huge)
+    );
+    let host_would = (500.0f64).exp(); // inf: a repurposed double library
+    println!("  (a double library overflows to {host_would} -> NaR: wrong)");
+
+    println!("\n== bfloat16: small enough to check EVERY input ==");
+    let b = BFloat16::from_f64(3.0);
+    println!("exp(3) in bfloat16 = {}", rlibm::math::bf16::exp_bf16(b));
+
+    println!("\n== the classic motivating example ==");
+    // float libms disagree with the correctly rounded result on millions
+    // of inputs; here is one from our Table 1 harness:
+    let mut shown = 0;
+    let mut bits: u32 = 0x3F00_0000;
+    while shown < 3 && bits < 0x4180_0000 {
+        let x = f32::from_bits(bits);
+        let sloppy = rlibm::math::baselines::float32::exp(x);
+        let correct = rlibm::math::exp(x);
+        if sloppy != correct {
+            println!(
+                "exp({x:e}): a float libm returns {sloppy:e}, correctly rounded is {correct:e}"
+            );
+            shown += 1;
+        }
+        bits += 97;
+    }
+    if shown == 0 {
+        println!("(no misrounding in this quick scan; run the table1 harness)");
+    }
+}

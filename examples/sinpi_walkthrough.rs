@@ -1,0 +1,70 @@
+//! A guided tour of Section 2: the paper's `sinpi` overview, executed
+//! step by step on the two concrete inputs of Figure 2.
+//!
+//! Run with: `cargo run --release --example sinpi_walkthrough`
+
+use rlibm::gen::interval::rounding_interval;
+use rlibm::gen::split::BitPatternSplitter;
+use rlibm::mp::{correctly_rounded, Func};
+
+fn main() {
+    // The two inputs from Figure 2(a) and 2(b):
+    let x1 = 1.95312686264514923095703125e-3f32;
+    let x2 = 2.148437686264514923095703125e-2f32;
+    println!("Section 2 walkthrough: sinpi(x) for the Figure 2 inputs\n");
+
+    for (label, x) in [("x1", x1), ("x2", x2)] {
+        println!("{label} = {x:e}  (bits {:#010x})", x.to_bits());
+
+        // Step 1: correctly rounded result + rounding interval.
+        let y: f32 = correctly_rounded(Func::SinPi, x);
+        let iv = rounding_interval(y).unwrap();
+        println!("  oracle sinpi({label}) = {y:e}");
+        println!("  rounding interval in double: [{:e}, {:e}]", iv.lo, iv.hi);
+
+        // Step 2: the paper's range reduction x = 2I + J, J = K + L,
+        // L' = min(L, 1-L), L' = N/512 + R.
+        let a = x as f64;
+        let j = a - 2.0 * (a / 2.0).floor();
+        let (k, l) = if j >= 1.0 { (1, j - 1.0) } else { (0, j) };
+        let lp = if l > 0.5 { 1.0 - l } else { l };
+        let n = (lp * 512.0).floor();
+        let r = lp - n / 512.0;
+        println!("  reduction: K={k}, L={l:e}, L'={lp:e}, N={n}, R={r:e}");
+        println!("  R bits: {:#018x}", r.to_bits());
+    }
+
+    // Both inputs map to the same reduced input (the paper's point):
+    let reduce = |x: f32| {
+        let a = x as f64;
+        let j = a - 2.0 * (a / 2.0).floor();
+        let l = if j >= 1.0 { j - 1.0 } else { j };
+        let lp = if l > 0.5 { 1.0 - l } else { l };
+        lp - (lp * 512.0).floor() / 512.0
+    };
+    let r1 = reduce(x1);
+    let r2 = reduce(x2);
+    println!("\nR(x1) == R(x2)? {} (R = {r1:e})", r1.to_bits() == r2.to_bits());
+    assert_eq!(r1.to_bits(), r2.to_bits());
+    assert_eq!(r1, 1.86264514923095703125e-9, "the paper's exact R");
+
+    // Figure 2(d): the 5-bit sub-domain index after the 6 common bits.
+    let splitter = BitPatternSplitter::new(2f64.powi(-52), 1.999 * 2f64.powi(-9), 5);
+    println!(
+        "sub-domain of R with 32 piecewise polynomials: {:#07b} ({})",
+        splitter.index(r1),
+        splitter.index(r1)
+    );
+    assert_eq!(splitter.index(r1), 0b10001, "Figure 2(d)'s bit pattern");
+
+    // And the library's answers are the correctly rounded ones:
+    let lib1 = rlibm::math::sinpi(x1);
+    let lib2 = rlibm::math::sinpi(x2);
+    let or1: f32 = correctly_rounded(Func::SinPi, x1);
+    let or2: f32 = correctly_rounded(Func::SinPi, x2);
+    println!("\nlibrary sinpi(x1) = {lib1:e} (oracle {or1:e})");
+    println!("library sinpi(x2) = {lib2:e} (oracle {or2:e})");
+    assert_eq!(lib1.to_bits(), or1.to_bits());
+    assert_eq!(lib2.to_bits(), or2.to_bits());
+    println!("\nboth correctly rounded — one table, one polynomial pair, as in the paper.");
+}

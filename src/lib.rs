@@ -1,0 +1,33 @@
+//! # rlibm — correctly rounded 32-bit math libraries in Rust
+//!
+//! A from-scratch Rust reproduction of **RLIBM-32** (Lim & Nagarakatte,
+//! *High Performance Correctly Rounded Math Libraries for 32-bit Floating
+//! Point Representations*, PLDI 2021).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`fp`] — bit-level float utilities and 16-bit software floats.
+//! * [`posit`] — posit32/posit16 arithmetic built from scratch.
+//! * [`mp`] — the multi-precision oracle (MPFR substitute).
+//! * [`lp`] — the exact rational LP solver (SoPlex substitute).
+//! * [`gen`] — the RLIBM-32 generator (rounding intervals, reduced
+//!   intervals, domain splitting, counterexample-guided polynomials).
+//! * [`math`] — the generated correctly rounded library for `f32`,
+//!   `posit32` and `bfloat16`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! // Correctly rounded float32 functions:
+//! let y = rlibm::math::exp(1.0f32);
+//! assert_eq!(y, 2.7182817f32);
+//! let z = rlibm::math::log2(8.0f32);
+//! assert_eq!(z, 3.0);
+//! ```
+
+pub use rlibm_core as gen;
+pub use rlibm_fp as fp;
+pub use rlibm_lp as lp;
+pub use rlibm_math as math;
+pub use rlibm_mp as mp;
+pub use rlibm_posit as posit;

@@ -1,0 +1,129 @@
+//! Exhaustive correctness for the other two 16-bit targets: IEEE binary16
+//! and posit16 (the original RLIBM's posit target). Together with
+//! `correctness_bf16.rs` this validates the "all inputs" property over
+//! three complete 16-bit domains x 8 functions.
+
+use rlibm::fp::Half;
+use rlibm::gen::validate::validate;
+use rlibm::mp::Func;
+use rlibm::posit::Posit16;
+
+fn step() -> usize {
+    if cfg!(debug_assertions) {
+        29
+    } else {
+        1
+    }
+}
+
+fn check_half(f: Func) {
+    let report = validate(
+        f,
+        |x: Half| rlibm::math::eval_half_by_name(f.name(), x),
+        (0..=u16::MAX).step_by(step()).map(Half::from_bits),
+    );
+    assert!(
+        report.all_correct(),
+        "binary16 {}: {} of {} wrong; first {:?}",
+        f.name(),
+        report.wrong,
+        report.total,
+        report.examples.first()
+    );
+}
+
+fn check_posit16(f: Func) {
+    let report = validate(
+        f,
+        |x: Posit16| rlibm::math::eval_posit16_by_name(f.name(), x),
+        (0..=u16::MAX).step_by(step()).map(Posit16::from_bits),
+    );
+    assert!(
+        report.all_correct(),
+        "posit16 {}: {} of {} wrong; first {:?}",
+        f.name(),
+        report.wrong,
+        report.total,
+        report.examples.first()
+    );
+}
+
+#[test]
+fn half_ln_all_inputs() {
+    check_half(Func::Ln);
+}
+
+#[test]
+fn half_log2_all_inputs() {
+    check_half(Func::Log2);
+}
+
+#[test]
+fn half_log10_all_inputs() {
+    check_half(Func::Log10);
+}
+
+#[test]
+fn half_exp_all_inputs() {
+    check_half(Func::Exp);
+}
+
+#[test]
+fn half_exp2_all_inputs() {
+    check_half(Func::Exp2);
+}
+
+#[test]
+fn half_exp10_all_inputs() {
+    check_half(Func::Exp10);
+}
+
+#[test]
+fn half_sinh_all_inputs() {
+    check_half(Func::Sinh);
+}
+
+#[test]
+fn half_cosh_all_inputs() {
+    check_half(Func::Cosh);
+}
+
+#[test]
+fn posit16_ln_all_inputs() {
+    check_posit16(Func::Ln);
+}
+
+#[test]
+fn posit16_log2_all_inputs() {
+    check_posit16(Func::Log2);
+}
+
+#[test]
+fn posit16_log10_all_inputs() {
+    check_posit16(Func::Log10);
+}
+
+#[test]
+fn posit16_exp_all_inputs() {
+    check_posit16(Func::Exp);
+}
+
+#[test]
+fn posit16_exp2_all_inputs() {
+    check_posit16(Func::Exp2);
+}
+
+#[test]
+fn posit16_exp10_all_inputs() {
+    check_posit16(Func::Exp10);
+}
+
+#[test]
+fn posit16_sinh_all_inputs() {
+    check_posit16(Func::Sinh);
+}
+
+#[test]
+fn posit16_cosh_all_inputs() {
+    check_posit16(Func::Cosh);
+}

@@ -1,0 +1,161 @@
+//! Cross-crate correctness: the shipped `f32` library vs the
+//! multi-precision oracle, over stratified samples covering every
+//! exponent bucket of both signs (Table 1's RLIBM-32 column).
+//!
+//! Sample sizes scale down in debug builds (the oracle is ~40x slower
+//! unoptimized); `cargo test --release` exercises the full sweep.
+
+use rlibm::gen::validate::{stratified_f32, validate};
+use rlibm::mp::Func;
+
+fn per_exponent() -> u32 {
+    if cfg!(debug_assertions) {
+        1
+    } else {
+        12
+    }
+}
+
+fn check(f: Func) {
+    let xs = stratified_f32(per_exponent(), 0xD00D + f.name().len() as u64);
+    let report = validate(
+        f,
+        |x: f32| rlibm::math::eval_f32_by_name(f.name(), x),
+        xs.iter().copied(),
+    );
+    assert!(
+        report.all_correct(),
+        "{}: {} of {} wrong; first: {:?}",
+        f.name(),
+        report.wrong,
+        report.total,
+        report.examples.first().map(|e| {
+            (
+                f32::from_bits(e.0),
+                f32::from_bits(e.1),
+                f32::from_bits(e.2),
+            )
+        })
+    );
+}
+
+#[test]
+fn ln_correct() {
+    check(Func::Ln);
+}
+
+#[test]
+fn log2_correct() {
+    check(Func::Log2);
+}
+
+#[test]
+fn log10_correct() {
+    check(Func::Log10);
+}
+
+#[test]
+fn exp_correct() {
+    check(Func::Exp);
+}
+
+#[test]
+fn exp2_correct() {
+    check(Func::Exp2);
+}
+
+#[test]
+fn exp10_correct() {
+    check(Func::Exp10);
+}
+
+#[test]
+fn sinh_correct() {
+    check(Func::Sinh);
+}
+
+#[test]
+fn cosh_correct() {
+    check(Func::Cosh);
+}
+
+#[test]
+fn sinpi_correct() {
+    check(Func::SinPi);
+}
+
+#[test]
+fn cospi_correct() {
+    check(Func::CosPi);
+}
+
+/// Dense sweeps over the trickiest strips: around 1.0 for logs (result
+/// near zero), around 0 for exp-family (result near one), and around
+/// integers for sinpi/cospi.
+#[test]
+fn dense_strips_near_hard_regions() {
+    let n: u32 = if cfg!(debug_assertions) { 60 } else { 3000 };
+    // Logs near 1.
+    for i in 0..n {
+        let x = f32::from_bits(1.0f32.to_bits() - n / 2 + i);
+        for f in [Func::Ln, Func::Log2, Func::Log10] {
+            let got = rlibm::math::eval_f32_by_name(f.name(), x);
+            let want: f32 = rlibm::mp::correctly_rounded(f, x);
+            assert_eq!(got.to_bits(), want.to_bits(), "{}({x:e})", f.name());
+        }
+    }
+    // exp family near 0 (both signs).
+    for i in 0..n {
+        for sign in [1.0f32, -1.0] {
+            let x = sign * f32::from_bits(0x3980_0000 + i * 37); // ~1e-4 region
+            for f in [Func::Exp, Func::Exp2, Func::Exp10, Func::Sinh, Func::Cosh] {
+                let got = rlibm::math::eval_f32_by_name(f.name(), x);
+                let want: f32 = rlibm::mp::correctly_rounded(f, x);
+                assert_eq!(got.to_bits(), want.to_bits(), "{}({x:e})", f.name());
+            }
+        }
+    }
+    // sinpi/cospi just off integers and half-integers.
+    for i in 1..n / 2 {
+        for base in [1.0f32, 0.5, 2.0, 7.5] {
+            let x = base + i as f32 * f32::EPSILON;
+            for f in [Func::SinPi, Func::CosPi] {
+                let got = rlibm::math::eval_f32_by_name(f.name(), x);
+                let want: f32 = rlibm::mp::correctly_rounded(f, x);
+                assert!(
+                    got == want || (got == 0.0 && want == 0.0),
+                    "{}({x:e}): {got:e} vs {want:e}",
+                    f.name()
+                );
+            }
+        }
+    }
+}
+
+/// The overflow/underflow boundaries of every function, exactly.
+#[test]
+fn boundary_inputs_are_correct() {
+    let mut cases: Vec<(Func, f32)> = Vec::new();
+    for &x in &[88.72283f32, 88.72284, -103.9720, -103.9723, -87.33655] {
+        cases.push((Func::Exp, x));
+    }
+    for &x in &[127.99999f32, -148.99998, -149.0, -150.0, 128.0] {
+        cases.push((Func::Exp2, x));
+    }
+    for &x in &[38.53183f32, -44.85345, -45.2] {
+        cases.push((Func::Exp10, x));
+    }
+    for &x in &[89.41599f32, -89.41599, 88.0] {
+        cases.push((Func::Sinh, x));
+        cases.push((Func::Cosh, x));
+    }
+    for (f, x) in cases {
+        let got = rlibm::math::eval_f32_by_name(f.name(), x);
+        let want: f32 = rlibm::mp::correctly_rounded(f, x);
+        assert!(
+            got.to_bits() == want.to_bits() || (got == 0.0 && want == 0.0),
+            "{}({x:e}): {got:e} vs {want:e}",
+            f.name()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-crate correctness: the posit32 library vs the oracle (Table 2's
+//! RLIBM-32 column), plus the saturation semantics that the re-purposed
+//! double libraries get wrong.
+
+use rlibm::gen::validate::{stratified_posit32, validate};
+use rlibm::mp::Func;
+use rlibm::posit::Posit32;
+use rlibm_fp::Representation;
+
+fn sample_count() -> u32 {
+    if cfg!(debug_assertions) {
+        300
+    } else {
+        6000
+    }
+}
+
+fn check(f: Func) {
+    let xs = stratified_posit32(sample_count(), 0xFACE + f.name().len() as u64);
+    let report = validate(
+        f,
+        |x: Posit32| rlibm::math::eval_posit32_by_name(f.name(), x),
+        xs.iter().copied(),
+    );
+    assert!(
+        report.all_correct(),
+        "{}: {} of {} wrong; first: {:?}",
+        f.name(),
+        report.wrong,
+        report.total,
+        report.examples.first()
+    );
+}
+
+#[test]
+fn ln_posit_correct() {
+    check(Func::Ln);
+}
+
+#[test]
+fn log2_posit_correct() {
+    check(Func::Log2);
+}
+
+#[test]
+fn log10_posit_correct() {
+    check(Func::Log10);
+}
+
+#[test]
+fn exp_posit_correct() {
+    check(Func::Exp);
+}
+
+#[test]
+fn exp2_posit_correct() {
+    check(Func::Exp2);
+}
+
+#[test]
+fn exp10_posit_correct() {
+    check(Func::Exp10);
+}
+
+#[test]
+fn sinh_posit_correct() {
+    check(Func::Sinh);
+}
+
+#[test]
+fn cosh_posit_correct() {
+    check(Func::Cosh);
+}
+
+/// The dense high-precision region around 1.0 (posit32's 27 fraction
+/// bits), where a float32-grade kernel would misround.
+#[test]
+fn tapered_precision_region_dense() {
+    let n = if cfg!(debug_assertions) { 100u32 } else { 4000 };
+    let one = Posit32::ONE.to_bits_u32();
+    for i in 0..n {
+        for &bits in &[one + i * 7, one - i * 11] {
+            let x = Posit32::from_bits(bits);
+            for f in [Func::Ln, Func::Exp, Func::Log2] {
+                let got = rlibm::math::eval_posit32_by_name(f.name(), x);
+                let want: Posit32 = rlibm::mp::correctly_rounded(f, x);
+                assert_eq!(got, want, "{}({})", f.name(), x);
+            }
+        }
+    }
+}
+
+/// Saturation across the whole boundary band for exp.
+#[test]
+fn exp_saturation_band() {
+    // ln(maxpos) = 83.177...: everything above must saturate to maxpos
+    // and everything below -ln(maxpos) to minpos, never 0 or NaR.
+    for i in 0..200 {
+        let x = Posit32::from_f64(82.0 + i as f64 * 0.05);
+        let y = rlibm::math::posit::exp_p32(x);
+        let want: Posit32 = rlibm::mp::correctly_rounded(Func::Exp, x);
+        assert_eq!(y, want, "exp({x})");
+        assert!(!y.is_nar());
+        let z = rlibm::math::posit::exp_p32(-x);
+        assert!(!z.is_zero() && !z.is_nar(), "exp(-{x}) must not flush");
+    }
+}
