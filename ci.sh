@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Hermetic CI for the rlibm-rs workspace.
+#
+# The build policy is ZERO registry dependencies: everything resolves
+# from path dependencies, so every step below runs with --offline and
+# must succeed on a machine with no network access. If a registry
+# dependency ever sneaks back into a manifest, the first step fails at
+# resolution time — the regression this script exists to catch.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

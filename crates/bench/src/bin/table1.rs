@@ -12,7 +12,8 @@
 //! (default 40 — about 20k inputs per function; the paper-scale run uses
 //! 4000+).
 
-use rlibm_core::validate::{stratified_f32, validate, ValidationReport};
+use rlibm_core::par::num_threads;
+use rlibm_core::validate::{stratified_f32, validate_par, ValidationReport};
 use rlibm_mp::Func;
 
 fn mark(r: &ValidationReport, scale: f64) -> String {
@@ -30,6 +31,7 @@ fn main() {
         .unwrap_or(40);
     let xs = stratified_f32(per_exp, 0xACE1_2345);
     let scale = 2f64.powi(32) / xs.len() as f64;
+    let threads = num_threads();
     println!("Table 1: correctly rounded results for 32-bit float");
     println!(
         "  sample: {} stratified inputs/function (x{:.0} to full domain)\n",
@@ -43,8 +45,8 @@ fn main() {
     println!("{}", "-".repeat(86));
     for f in Func::ALL {
         let name = f.name();
-        let ours = validate(f, |x: f32| rlibm_math::eval_f32_by_name(name, x), xs.iter().copied());
-        let fl32 = validate(
+        let ours = validate_par(f, |x: f32| rlibm_math::eval_f32_by_name(name, x), &xs, threads);
+        let fl32 = validate_par(
             f,
             |x: f32| match name {
                 "ln" => rlibm_math::baselines::float32::ln(x),
@@ -59,12 +61,14 @@ fn main() {
                 "cospi" => rlibm_math::baselines::float32::cospi(x),
                 _ => unreachable!(),
             },
-            xs.iter().copied(),
+            &xs,
+            threads,
         );
-        let dbl = validate(
+        let dbl = validate_par(
             f,
             |x: f32| rlibm_math::baselines::double64::to_f32(name, x),
-            xs.iter().copied(),
+            &xs,
+            threads,
         );
         let cr: ValidationReport = if matches!(f, Func::SinPi | Func::CosPi) {
             // The CR-LIBM model shares the double64 path for sinpi/cospi
@@ -72,10 +76,11 @@ fn main() {
             // double column there).
             dbl.clone()
         } else {
-            validate(
+            validate_par(
                 f,
                 |x: f32| rlibm_math::baselines::crlibm::to_f32(name, x),
-                xs.iter().copied(),
+                &xs,
+                threads,
             )
         };
         println!(

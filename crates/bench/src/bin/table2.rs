@@ -5,7 +5,8 @@
 //! Usage: `cargo run -p rlibm-bench --release --bin table2 [count]`
 //! (default 40000 posit32 patterns per function).
 
-use rlibm_core::validate::{stratified_posit32, validate, ValidationReport};
+use rlibm_core::par::num_threads;
+use rlibm_core::validate::{stratified_posit32, validate_par, ValidationReport};
 use rlibm_mp::Func;
 use rlibm_posit::Posit32;
 
@@ -24,6 +25,7 @@ fn main() {
         .unwrap_or(40_000);
     let xs = stratified_posit32(count, 0xBEEF);
     let scale = 2f64.powi(32) / xs.len() as f64;
+    let threads = num_threads();
     println!("Table 2: correctly rounded results for posit32");
     println!("  sample: {} posit patterns/function\n", xs.len());
     println!(
@@ -33,15 +35,17 @@ fn main() {
     println!("{}", "-".repeat(52));
     for f in Func::POSIT {
         let name = f.name();
-        let ours = validate(
+        let ours = validate_par(
             f,
             |x: Posit32| rlibm_math::eval_posit32_by_name(name, x),
-            xs.iter().copied(),
+            &xs,
+            threads,
         );
-        let dbl = validate(
+        let dbl = validate_par(
             f,
             |x: Posit32| rlibm_math::baselines::double64::to_posit32(name, x),
-            xs.iter().copied(),
+            &xs,
+            threads,
         );
         println!(
             "{:>8} | {:>12} | {:>24}",

@@ -45,8 +45,12 @@ impl SweepLog {
             (hi, lo)
         };
         let n = 1usize << n_bits;
-        let table: Vec<(f64, f64)> = (0..n)
-            .map(|j| {
+        // 2^n prec-140 oracle evaluations, one per table slot — by far the
+        // dominant construction cost at large n, and every slot is
+        // independent, so populate on all cores. `par_map_range` preserves
+        // slot order, so the table is identical for any thread count.
+        let table: Vec<(f64, f64)> =
+            rlibm_core::par::par_map_range(n, rlibm_core::par::num_threads(), |j| {
                 if j == 0 {
                     (0.0, 0.0)
                 } else {
@@ -56,8 +60,7 @@ impl SweepLog {
                         Base::Ten => dd(&elem::log10(f, P)),
                     }
                 }
-            })
-            .collect();
+            });
         // s = (z-F)/(z+F) <= 2^-(n_bits+1.58); term count for ~2^-41
         // relative truncation (far below the f32 rounding-interval slack):
         // (n_bits + 1.58) * (2T+1) >= 41. At 2^8 sub-domains this yields

@@ -4,14 +4,16 @@
 //! times all 2^32 bit patterns, which for exp means mostly saturated
 //! values; for ratio comparisons the interesting region is where the
 //! polynomial path actually runs). Correctness sweeps reuse the stratified
-//! generators from `rlibm-core`.
+//! generators from `rlibm-core`. All pseudo-randomness comes from the
+//! in-tree [`XorShift64`] generator — the workspace has no registry
+//! dependencies, and the streams are reproducible by seed alone.
 
-use rand::{Rng, SeedableRng};
+use rlibm_fp::rng::XorShift64;
 use rlibm_posit::Posit32;
 
 /// A deterministic RNG for reproducible workloads.
-pub fn rng(seed: u64) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> XorShift64 {
+    XorShift64::new(seed)
 }
 
 /// Timing inputs for a float function: uniform over the region where the
@@ -22,15 +24,15 @@ pub fn timing_inputs_f32(name: &str, n: usize, seed: u64) -> Vec<f32> {
         .map(|_| match name {
             "ln" | "log2" | "log10" => {
                 // Log-uniform positives across the full exponent range.
-                let e = r.gen_range(-126.0f32..127.0);
-                let m = r.gen_range(1.0f32..2.0);
+                let e = r.uniform_f32(-126.0, 127.0);
+                let m = r.uniform_f32(1.0, 2.0);
                 m * e.exp2()
             }
-            "exp" => r.gen_range(-87.0f32..88.0),
-            "exp2" => r.gen_range(-125.0f32..127.0),
-            "exp10" => r.gen_range(-37.0f32..38.0),
-            "sinh" | "cosh" => r.gen_range(-88.0f32..88.0),
-            "sinpi" | "cospi" => r.gen_range(-1000.0f32..1000.0),
+            "exp" => r.uniform_f32(-87.0, 88.0),
+            "exp2" => r.uniform_f32(-125.0, 127.0),
+            "exp10" => r.uniform_f32(-37.0, 38.0),
+            "sinh" | "cosh" => r.uniform_f32(-88.0, 88.0),
+            "sinpi" | "cospi" => r.uniform_f32(-1000.0, 1000.0),
             _ => panic!("unknown function {name}"),
         })
         .collect()
@@ -43,14 +45,14 @@ pub fn timing_inputs_posit32(name: &str, n: usize, seed: u64) -> Vec<Posit32> {
         .map(|_| {
             let v: f64 = match name {
                 "ln" | "log2" | "log10" => {
-                    let e = r.gen_range(-118.0f64..118.0);
-                    let m = r.gen_range(1.0f64..2.0);
+                    let e = r.uniform_f64(-118.0, 118.0);
+                    let m = r.uniform_f64(1.0, 2.0);
                     m * e.exp2()
                 }
-                "exp" => r.gen_range(-82.0f64..82.0),
-                "exp2" => r.gen_range(-118.0f64..118.0),
-                "exp10" => r.gen_range(-35.0f64..35.0),
-                "sinh" | "cosh" => r.gen_range(-82.0f64..82.0),
+                "exp" => r.uniform_f64(-82.0, 82.0),
+                "exp2" => r.uniform_f64(-118.0, 118.0),
+                "exp10" => r.uniform_f64(-35.0, 35.0),
+                "sinh" | "cosh" => r.uniform_f64(-82.0, 82.0),
                 _ => panic!("unknown posit function {name}"),
             };
             Posit32::from_f64(v)

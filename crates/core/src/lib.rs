@@ -15,6 +15,9 @@
 //! * [`pipeline`] — the end-to-end `CorrectPolys` driver (Algorithm 1).
 //! * [`validate`] — oracle-backed full-domain validation and the
 //!   stratified workload generators used by the evaluation harnesses.
+//! * [`par`] — the in-tree chunked work-distribution engine (scoped
+//!   threads, deterministic chunk-ordered merges) that parallelizes the
+//!   oracle sweeps above without any registry dependency.
 //!
 //! # End-to-end example (a 16-bit target, exhaustively correct)
 //!
@@ -45,6 +48,7 @@
 
 pub mod approx;
 pub mod interval;
+pub mod par;
 pub mod pipeline;
 pub mod poly;
 pub mod polygen;

@@ -1,0 +1,186 @@
+//! In-tree chunked work-distribution engine (scoped threads, no rayon).
+//!
+//! The generator's dominant costs — oracle validation over a full input
+//! domain, the Algorithm 4 counterexample check against the complete
+//! constraint set, and multi-precision table population — are all
+//! embarrassingly parallel sweeps over an indexed range. This module
+//! gives them one shared engine while keeping the workspace hermetic
+//! (standard library only):
+//!
+//! * work is split into fixed **index chunks**; an atomic counter hands
+//!   chunks to workers, so uneven per-item cost (the Ziv loop's precision
+//!   doubling, saturated special cases) self-balances;
+//! * every chunk's result is tagged with its chunk index and the merge
+//!   happens **in chunk order**, so the combined result is bit-identical
+//!   regardless of thread count or scheduling — determinism is the
+//!   contract, not an accident;
+//! * `threads <= 1` (or a single chunk) short-circuits to a plain serial
+//!   loop with zero thread overhead, which is also the reference
+//!   semantics the parallel path must reproduce.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the `RLIBM_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism.
+pub fn num_threads() -> usize {
+    match std::env::var("RLIBM_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// A chunk size that yields several chunks per worker (for balance under
+/// uneven per-item cost) without degenerating into per-item dispatch.
+pub fn default_chunk_size(len: usize, threads: usize) -> usize {
+    (len / (threads.max(1) * 8)).max(64)
+}
+
+/// Runs `worker` over `len` items split into `chunk_size`-sized index
+/// ranges on up to `threads` OS threads, returning the per-chunk results
+/// **ordered by chunk index** (chunk `k` covers
+/// `k*chunk_size .. min((k+1)*chunk_size, len)`).
+///
+/// The worker receives `(chunk_index, index_range)` and may capture shared
+/// state by reference (`std::thread::scope` makes borrows sound). Panics
+/// in a worker propagate to the caller.
+pub fn run_chunked<R, F>(len: usize, chunk_size: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let n_chunks = len.div_ceil(chunk_size);
+    let chunk_range = |k: usize| (k * chunk_size)..((k + 1) * chunk_size).min(len);
+    let workers = threads.min(n_chunks);
+    if workers <= 1 {
+        return (0..n_chunks).map(|k| worker(k, chunk_range(k))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n_chunks {
+                            break;
+                        }
+                        local.push((k, worker(k, chunk_range(k))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    tagged.sort_unstable_by_key(|(k, _)| *k);
+    debug_assert_eq!(tagged.len(), n_chunks);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Order-preserving parallel map: `out[i] == f(&items[i])` for every `i`,
+/// computed on up to `threads` threads.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunk = default_chunk_size(items.len(), threads);
+    run_chunked(items.len(), chunk, threads, |_, range| {
+        items[range].iter().map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Order-preserving parallel map over an index range: `out[i] == f(i)`.
+pub fn par_map_range<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunk = default_chunk_size(len, threads);
+    run_chunked(len, chunk, threads, |_, range| range.map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Parallel filter over indices: returns every `i in 0..len` with
+/// `pred(i)`, **sorted ascending** — identical to the serial filter loop
+/// for any thread count.
+pub fn par_filter_indices<F>(len: usize, threads: usize, pred: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let chunk = default_chunk_size(len, threads);
+    run_chunked(len, chunk, threads, |_, range| {
+        range.filter(|&i| pred(i)).collect::<Vec<usize>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_results_are_ordered_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 33] {
+            let chunks = run_chunked(1000, 7, threads, |k, range| {
+                assert_eq!(range.start, k * 7);
+                (k, range.len())
+            });
+            assert_eq!(chunks.len(), 1000usize.div_ceil(7));
+            for (i, (k, len)) in chunks.iter().enumerate() {
+                assert_eq!(i, *k);
+                assert_eq!(*len, if i == 142 { 6 } else { 7 });
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let want: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        for threads in [1, 2, 8] {
+            let got = par_map(&items, threads, |x| x.wrapping_mul(2654435761));
+            assert_eq!(got, want, "threads = {threads}");
+        }
+        assert_eq!(par_map_range(10_000, 4, |i| i * 3), (0..10_000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_indices_are_sorted_and_complete() {
+        let want: Vec<usize> = (0..5000).filter(|i| i % 17 == 3).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(par_filter_indices(5000, threads, |i| i % 17 == 3), want);
+        }
+    }
+
+    #[test]
+    fn all_items_visited_exactly_once() {
+        let sum = AtomicU64::new(0);
+        run_chunked(100_000, 13, 8, |_, range| {
+            for i in range {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(run_chunked(0, 8, 4, |_, _| ()).is_empty());
+        assert!(par_map::<u32, u32, _>(&[], 4, |x| *x).is_empty());
+        assert!(par_filter_indices(0, 4, |_| true).is_empty());
+    }
+}

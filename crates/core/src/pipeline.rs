@@ -145,31 +145,35 @@ pub fn generate<T: Representation>(
 ) -> Result<GeneratedFunction, GenError> {
     assert_eq!(spec.components.len(), spec.approx_cfgs.len());
     let start = Instant::now();
-    // Algorithm 1 lines 3-6: oracle + rounding interval per input.
-    let mut cases: Vec<ReductionCase> = Vec::with_capacity(inputs.len());
-    for &x in inputs {
+    // Algorithm 1 lines 3-6: oracle + rounding interval per input. Every
+    // input is independent and each one pays for two oracle evaluations
+    // (Ziv loops), so this sweep runs on all cores; the order-preserving
+    // map keeps `cases` identical to the serial loop's output for any
+    // thread count.
+    let cases: Vec<ReductionCase> = crate::par::par_map(inputs, crate::par::num_threads(), |&x| {
         if x.is_nan() {
-            continue;
+            return None;
         }
         let xf = x.to_f64();
         // Special and exactly representable cases are handled by the
         // library front-end, not the polynomial (their degenerate
         // rounding intervals would force the LP to zero margin).
         if rlibm_mp::oracle::is_special_case(spec.func, xf) {
-            continue;
+            return None;
         }
         let y = correctly_rounded(spec.func, x);
-        let Some(target) = rounding_interval(y) else {
-            continue;
-        };
+        let target = rounding_interval(y)?;
         let r = (spec.range_reduce)(xf);
         let component_values: Vec<f64> = spec
             .components
             .iter()
             .map(|&fi| correctly_rounded_f64(fi, r))
             .collect();
-        cases.push(ReductionCase { x: xf, target, r, component_values });
-    }
+        Some(ReductionCase { x: xf, target, r, component_values })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     // Algorithm 2.
     let per_component = deduce_reduced_intervals(&cases, spec.output_comp.as_ref())?;
     // Merge duplicates, then Algorithm 3 + 4 per component.
@@ -297,7 +301,7 @@ mod tests {
         let inputs: Vec<BFloat16> = all_16bit::<BFloat16>()
             .filter(|x: &BFloat16| {
                 let v = x.to_f64();
-                v >= 1.0 / 512.0 && v <= 0.25
+                (1.0 / 512.0..=0.25).contains(&v)
             })
             .collect();
         assert!(inputs.len() > 500);

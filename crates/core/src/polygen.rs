@@ -16,10 +16,15 @@
 //!   threshold the sub-domain is declared infeasible, triggering a domain
 //!   split upstream.
 
+use crate::par;
 use crate::poly::Polynomial;
 use crate::reduced::ReducedConstraint;
 use rlibm_fp::bits::{next_down_f64, next_up_f64};
 use rlibm_lp::fit::{max_margin_fit, FitConstraint};
+
+/// Below this many constraints the full-set counterexample check runs
+/// serially — thread spawn/merge overhead would exceed the sweep itself.
+const PAR_CHECK_MIN: usize = 4096;
 
 /// Tunables for Algorithm 4.
 #[derive(Debug, Clone)]
@@ -174,14 +179,27 @@ pub fn gen_polynomial(
             }
         };
         // Full validation against the ORIGINAL constraints; collect
-        // counterexamples (Algorithm 4's Check).
-        let mut new_counterexamples = 0usize;
-        for (i, c) in constraints.iter().enumerate() {
-            let v = poly.eval(c.r);
-            if !c.interval.contains(v) && !in_sample[i] {
-                in_sample[i] = true;
-                new_counterexamples += 1;
-            }
+        // counterexamples (Algorithm 4's Check). This is the loop that
+        // touches every constraint on every CEGIS round, so large
+        // constraint sets are swept on all cores; `par_filter_indices`
+        // returns the violations sorted ascending, which makes the sample
+        // evolution (and therefore the whole run) thread-count-invariant.
+        let violations = if constraints.len() >= PAR_CHECK_MIN {
+            par::par_filter_indices(constraints.len(), par::num_threads(), |i| {
+                let c = &constraints[i];
+                !in_sample[i] && !c.interval.contains(poly.eval(c.r))
+            })
+        } else {
+            (0..constraints.len())
+                .filter(|&i| {
+                    let c = &constraints[i];
+                    !in_sample[i] && !c.interval.contains(poly.eval(c.r))
+                })
+                .collect()
+        };
+        let new_counterexamples = violations.len();
+        for i in violations {
+            in_sample[i] = true;
         }
         if new_counterexamples == 0 {
             // Could still have violations on sampled-and-shrunk points?
@@ -289,6 +307,31 @@ mod tests {
         let cfg = PolyGenConfig::default();
         let (poly, _) = gen_polynomial(&[], &cfg).expect("trivially feasible");
         assert_eq!(poly.eval(0.5), 0.0);
+    }
+
+    #[test]
+    fn parallel_counterexample_path_matches_small_run() {
+        // Above PAR_CHECK_MIN the full-set check runs on the parallel
+        // engine; the generated polynomial must still satisfy every
+        // constraint and the run must stay deterministic.
+        let n = PAR_CHECK_MIN + 2000;
+        let cons = constraints_from_fn(
+            |x| x.exp(),
+            (0..n).map(|i| i as f64 * 0.0054 / n as f64),
+            1e-12,
+        );
+        let cfg = PolyGenConfig {
+            terms: vec![0, 1, 2, 3],
+            initial_sample: 3,
+            ..Default::default()
+        };
+        let (poly_a, stats_a) = gen_polynomial(&cons, &cfg).expect("feasible");
+        let (poly_b, stats_b) = gen_polynomial(&cons, &cfg).expect("feasible");
+        assert_eq!(poly_a.coeffs(), poly_b.coeffs(), "generation must be deterministic");
+        assert_eq!(stats_a.lp_calls, stats_b.lp_calls);
+        for c in &cons {
+            assert!(c.interval.contains(poly_a.eval(c.r)));
+        }
     }
 
     #[test]

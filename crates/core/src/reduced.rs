@@ -168,7 +168,7 @@ mod tests {
     /// deduced interval must then BE the rounding interval.
     #[test]
     fn identity_oc_recovers_rounding_interval() {
-        let y = 0.7853981f32; // arbitrary target
+        let y = 0.7654321f32; // arbitrary target
         let target = rounding_interval(y).unwrap();
         let v = y as f64; // pretend RN_H(f(r)) = y exactly
         let cases = vec![ReductionCase {

@@ -92,7 +92,7 @@ mod tests {
         // The paper's concrete reduced input and its sub-domain: R =
         // 1.86264514923095703125e-09 = 0x3E20000000000000; the six common
         // bits are 001111, the next five are 10001 = 17.
-        let r: f64 = 1.86264514923095703125e-09;
+        let r: f64 = 1.862_645_149_230_957e-9;
         assert_eq!(r.to_bits(), 0x3E20000000000000);
         assert_eq!(s.index(r), 0b10001);
     }

@@ -2,6 +2,8 @@
 //! against the oracle — the final step of Section 2.2 and the machinery
 //! behind the paper's Table 1 and Table 2 correctness counts.
 
+use crate::par;
+use rlibm_fp::rng::XorShift64;
 use rlibm_fp::Representation;
 use rlibm_mp::{correctly_rounded, Func};
 
@@ -20,6 +22,17 @@ impl ValidationReport {
     /// True when every checked input was correctly rounded.
     pub fn all_correct(&self) -> bool {
         self.wrong == 0
+    }
+
+    /// Absorbs a report covering the inputs that come *after* this
+    /// report's inputs. Because examples are capped at the first eight in
+    /// input order, merging chunk reports in chunk order reproduces the
+    /// serial report exactly.
+    fn absorb(&mut self, later: &ValidationReport) {
+        self.total += later.total;
+        self.wrong += later.wrong;
+        let room = 8usize.saturating_sub(self.examples.len());
+        self.examples.extend(later.examples.iter().take(room));
     }
 }
 
@@ -61,6 +74,31 @@ pub fn validate<T: Representation>(
     report
 }
 
+/// Parallel drop-in for [`validate`] over a slice of inputs.
+///
+/// The input index space is split into chunks, each chunk is validated
+/// against the oracle on one of `threads` worker threads, and the chunk
+/// reports are merged in chunk order. The result is **bit-identical** to
+/// serial [`validate`] over the same slice for every thread count:
+/// `total` and `wrong` are sums, and `examples` holds the first eight
+/// failures in input order. Pass [`par::num_threads()`] for "all cores".
+pub fn validate_par<T: Representation>(
+    func: Func,
+    implementation: impl Fn(T) -> T + Sync,
+    inputs: &[T],
+    threads: usize,
+) -> ValidationReport {
+    let chunk = par::default_chunk_size(inputs.len(), threads);
+    let reports = par::run_chunked(inputs.len(), chunk, threads, |_, range| {
+        validate(func, &implementation, inputs[range].iter().copied())
+    });
+    let mut merged = ValidationReport::default();
+    for r in &reports {
+        merged.absorb(r);
+    }
+    merged
+}
+
 /// Every bit pattern of a 16-bit representation (the exhaustive iterator
 /// used by the end-to-end pipeline tests).
 pub fn all_16bit<T: Representation>() -> impl Iterator<Item = T> {
@@ -75,17 +113,11 @@ pub fn all_16bit<T: Representation>() -> impl Iterator<Item = T> {
 /// preserves the paper's coverage across the entire dynamic range.
 pub fn stratified_f32(per_exponent: u32, seed: u64) -> Vec<f32> {
     let mut out = Vec::new();
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
+    let mut rng = XorShift64::new(seed);
     for sign in [0u32, 1] {
         for exp in 0..=0xFEu32 {
             for _ in 0..per_exponent {
-                let mant = (next() as u32) & 0x7F_FFFF;
+                let mant = (rng.next_u64() as u32) & 0x7F_FFFF;
                 out.push(f32::from_bits((sign << 31) | (exp << 23) | mant));
             }
         }
@@ -136,7 +168,7 @@ mod tests {
         let report = validate(
             Func::Exp,
             |x: BFloat16| correctly_rounded(Func::Exp, x),
-            (0x3F00..0x4000u16).map(|b| BFloat16::from_bits(b)),
+            (0x3F00..0x4000u16).map(BFloat16::from_bits),
         );
         assert!(report.all_correct());
         assert_eq!(report.total, 0x100);
@@ -148,7 +180,7 @@ mod tests {
         // host libm with a truncation; must show wrong results.
         let report = validate(
             Func::Exp,
-            |x: BFloat16| BFloat16::from_f64((x.to_f64().exp() * (1.0 + 1e-3)) as f64),
+            |x: BFloat16| BFloat16::from_f64(x.to_f64().exp() * (1.0 + 1e-3)),
             (0x3F80..0x3FC0u16).map(BFloat16::from_bits),
         );
         assert!(report.wrong > 0);
@@ -178,8 +210,48 @@ mod tests {
     }
 
     #[test]
-    fn stratified_posit_has_no_duplicin_small_counts() {
+    fn stratified_posit_has_no_duplicates_in_small_counts() {
         let xs = stratified_posit32(1000, 7);
         assert_eq!(xs.len(), 1004);
+        let mut bits: Vec<u32> = xs.iter().map(|p| p.to_bits()).collect();
+        bits.sort_unstable();
+        let before = bits.len();
+        bits.dedup();
+        assert_eq!(bits.len(), before, "stratified posit sample repeats bit patterns");
+    }
+
+    #[test]
+    fn validate_par_is_deterministic_across_thread_counts() {
+        // Exhaustive bf16 sweep: all 2^16 bit patterns, including NaNs,
+        // infinities and the saturated tails, against a deliberately
+        // imperfect implementation (host libm truncated to bf16 with a
+        // small bias) so that `wrong` and `examples` are non-trivial.
+        let inputs: Vec<BFloat16> = all_16bit::<BFloat16>().collect();
+        let imp = |x: BFloat16| BFloat16::from_f64(x.to_f64().exp() * (1.0 + 1e-3));
+        let serial = validate(Func::Exp, imp, inputs.iter().copied());
+        assert_eq!(serial.total, 1 << 16);
+        assert!(serial.wrong > 0, "biased exp must misround somewhere");
+        assert_eq!(serial.examples.len(), 8);
+        for threads in [1, 2, 8] {
+            let par = validate_par(Func::Exp, imp, &inputs, threads);
+            assert_eq!(par.total, serial.total, "threads = {threads}");
+            assert_eq!(par.wrong, serial.wrong, "threads = {threads}");
+            assert_eq!(par.examples, serial.examples, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn validate_par_all_correct_against_oracle() {
+        // Oracle vs oracle through the parallel path: the report must be
+        // clean and the worker threads must share the oracle soundly.
+        let inputs: Vec<BFloat16> = (0x3F00..0x4000u16).map(BFloat16::from_bits).collect();
+        let report = validate_par(
+            Func::Exp,
+            |x: BFloat16| correctly_rounded(Func::Exp, x),
+            &inputs,
+            8,
+        );
+        assert!(report.all_correct());
+        assert_eq!(report.total, 0x100);
     }
 }

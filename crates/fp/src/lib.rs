@@ -12,6 +12,9 @@
 //! * [`Representation`] — the trait that unifies every rounding target
 //!   (float, bfloat16, half, and the posit types from `rlibm-posit`). The
 //!   oracle and the generator are written against this trait.
+//! * [`rng`] — the deterministic xorshift64 generator behind every
+//!   pseudo-random workload and test sweep (the workspace is hermetic:
+//!   no `rand`, no registry dependencies at all).
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@ pub mod bf16;
 pub mod bits;
 pub mod half;
 pub mod repr;
+pub mod rng;
 pub mod small;
 
 pub use bf16::BFloat16;

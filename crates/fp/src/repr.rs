@@ -224,7 +224,7 @@ mod tests {
     fn round_from_f64_monotone_bf16() {
         // Monotonicity of the rounding function is a trait contract the
         // generator's interval binary search depends on.
-        let xs = [-1e30, -5.5, -1.0, -1e-3, 0.0, 1e-42, 0.7, 1.0, 3.14, 2.5e20];
+        let xs = [-1e30, -5.5, -1.0, -1e-3, 0.0, 1e-42, 0.7, 1.0, 3.25, 2.5e20];
         let mut prev = BFloat16::round_from_f64(xs[0]).to_f64();
         for &x in &xs[1..] {
             let r = BFloat16::round_from_f64(x).to_f64();

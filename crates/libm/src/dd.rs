@@ -67,6 +67,10 @@ impl Dd {
     }
 
     /// dd + dd (error ~2^-104 relative).
+    ///
+    /// Named methods rather than `std::ops` impls: the kernels chain these
+    /// by value and the explicit names keep dd-vs-f64 variants apart.
+    #[allow(clippy::should_implement_trait)]
     #[inline(always)]
     pub fn add(self, other: Dd) -> Dd {
         let (s, e) = two_sum(self.hi, other.hi);
@@ -85,6 +89,7 @@ impl Dd {
     }
 
     /// dd * dd (error ~2^-102 relative).
+    #[allow(clippy::should_implement_trait)]
     #[inline(always)]
     pub fn mul(self, other: Dd) -> Dd {
         let (p, e) = two_prod(self.hi, other.hi);
@@ -115,6 +120,7 @@ impl Dd {
     }
 
     /// Negation (exact).
+    #[allow(clippy::should_implement_trait)]
     #[inline(always)]
     pub fn neg(self) -> Dd {
         Dd { hi: -self.hi, lo: -self.lo }

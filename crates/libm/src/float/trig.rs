@@ -231,8 +231,8 @@ mod tests {
     fn paper_overview_inputs() {
         // The two inputs from Figure 2 map to the same reduced input and
         // must both be correctly rounded.
-        let x1 = 1.95312686264514923095703125e-3f32;
-        let x2 = 2.148437686264514923095703125e-2f32;
+        let x1 = 1.953_126_9e-3_f32;
+        let x2 = 2.148_437_7e-2_f32;
         let y1 = sinpi(x1);
         let y2 = sinpi(x2);
         // Cross-check against the double computation of sin(pi x).

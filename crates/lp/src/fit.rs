@@ -166,9 +166,9 @@ pub fn max_margin_fit(constraints: &[FitConstraint], num_coeffs: usize) -> Optio
     let mut a_std = vec![vec![Rational::zero(); cols]; rows];
     let mut c_std = vec![Rational::zero(); cols];
     for (i, con) in constraints.iter().enumerate() {
-        for j in 0..k {
-            a_std[j][2 * i] = con.basis[j].clone();
-            a_std[j][2 * i + 1] = con.basis[j].neg();
+        for (j, bj) in con.basis.iter().enumerate() {
+            a_std[j][2 * i] = bj.clone();
+            a_std[j][2 * i + 1] = bj.neg();
         }
         a_std[k][2 * i] = Rational::one();
         a_std[k][2 * i + 1] = Rational::one();
@@ -254,6 +254,9 @@ fn verify_exact(constraints: &[FitConstraint], coeffs: &[Rational]) -> bool {
 
 /// Exact Gaussian elimination with partial (first-nonzero) pivoting.
 /// Returns `None` for a singular system (degenerate dual basis).
+// The elimination reads row `col` while writing row `r`; index loops keep
+// that two-row access pattern visible.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear_system(a: &mut [Vec<Rational>], b: &mut [Rational]) -> Option<Vec<Rational>> {
     let n = b.len();
     for col in 0..n {

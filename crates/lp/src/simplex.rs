@@ -87,8 +87,8 @@ pub fn solve_standard_form(
     for i in 0..m {
         let flip = b[i].is_negative();
         let mut row: Vec<Rational> = Vec::with_capacity(n + m + 1);
-        for j in 0..n {
-            row.push(if flip { a[i][j].neg() } else { a[i][j].clone() });
+        for v in a[i].iter().take(n) {
+            row.push(if flip { v.neg() } else { v.clone() });
         }
         for k in 0..m {
             row.push(if k == i { Rational::one() } else { Rational::zero() });
@@ -190,8 +190,11 @@ enum LoopOutcome {
 }
 
 /// Core loop. Columns `>= enter_limit` never enter the basis.
+// Reduced-cost scans index `cb`, `basis` and tableau columns in lockstep;
+// range loops keep the textbook simplex notation.
+#[allow(clippy::needless_range_loop)]
 fn simplex_loop(
-    tableau: &mut Vec<Vec<Rational>>,
+    tableau: &mut [Vec<Rational>],
     basis: &mut [usize],
     total_cols: usize,
     enter_limit: usize,
@@ -262,7 +265,7 @@ fn simplex_loop(
 }
 
 /// Gauss-Jordan pivot on (row, col).
-fn pivot(tableau: &mut Vec<Vec<Rational>>, basis: &mut [usize], row: usize, col: usize, total_cols: usize) {
+fn pivot(tableau: &mut [Vec<Rational>], basis: &mut [usize], row: usize, col: usize, total_cols: usize) {
     let p = tableau[row][col].clone();
     debug_assert!(!p.is_zero());
     for v in tableau[row].iter_mut() {

@@ -97,8 +97,10 @@ pub fn solve_standard_form_f64(
     F64Result::Optimal { basis, objective }
 }
 
+// Same lockstep tableau indexing as the exact simplex loop.
+#[allow(clippy::needless_range_loop)]
 fn loop_f64(
-    tableau: &mut Vec<Vec<f64>>,
+    tableau: &mut [Vec<f64>],
     basis: &mut [usize],
     total: usize,
     enter_limit: usize,
@@ -158,7 +160,7 @@ fn loop_f64(
 }
 
 fn pivot_f64(
-    tableau: &mut Vec<Vec<f64>>,
+    tableau: &mut [Vec<f64>],
     basis: &mut [usize],
     row: usize,
     col: usize,

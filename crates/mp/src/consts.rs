@@ -88,8 +88,8 @@ pub fn pi(prec: u32) -> MpFloat {
         let f = (prec + GUARD) as u64;
         let a5 = atan_inv_fixed(5, f);
         let a239 = atan_inv_fixed(239, f);
-        let v = a5.mul_u64(16, prec + GUARD).sub(&a239.mul_u64(4, prec + GUARD), prec);
-        v
+        
+        a5.mul_u64(16, prec + GUARD).sub(&a239.mul_u64(4, prec + GUARD), prec)
     })
 }
 
@@ -108,7 +108,7 @@ fn atan_inv_fixed(x: u64, f: u64) -> MpFloat {
         if t.is_zero() {
             break;
         }
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             pos = pos.add(&t);
         } else {
             neg = neg.add(&t);

@@ -169,7 +169,10 @@ impl MpFloat {
         a.cmp(&b)
     }
 
-    /// Numeric comparison.
+    /// Numeric comparison. Not `Ord::cmp`: `MpFloat` deliberately does
+    /// not implement `Ord` (NaN-free by construction, but precision-carrying
+    /// equality would be misleading).
+    #[allow(clippy::should_implement_trait)]
     pub fn cmp(&self, other: &MpFloat) -> Ordering {
         match (self.is_negative(), other.is_negative()) {
             (false, true) => Ordering::Greater,
@@ -323,7 +326,7 @@ impl MpFloat {
         assert!(!self.is_zero(), "offset_ulps on zero");
         // Work on the signed value: magnitude mant with sign.
         let delta = BigUint::from_u64(n.unsigned_abs());
-        let (sign, mant) = if (n >= 0) == !self.sign {
+        let (sign, mant) = if (n >= 0) != self.sign {
             // Same direction as the value: magnitude grows.
             (self.sign, self.mant.add(&delta))
         } else if self.mant >= delta {
@@ -350,7 +353,7 @@ impl MpFloat {
             shifted.to_u64()
         } else {
             let sh = (-self.exp) as u64;
-            if sh >= self.mant.bit_len() + 1 {
+            if sh > self.mant.bit_len() {
                 // |value| <= 1/2 at most... check the half boundary.
                 if sh == self.mant.bit_len() && self.mant.bit(self.mant.bit_len() - 1) {
                     // value in [1/2, 1): rounds to 1 only if >= 1/2 (ties away)

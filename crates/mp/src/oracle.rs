@@ -22,7 +22,38 @@
 use crate::biguint::BigUint;
 use crate::elem;
 use crate::float::MpFloat;
+use core::any::TypeId;
 use rlibm_fp::Representation;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+// The oracle entry points are plain functions over value types; parallel
+// validation hands them to worker threads by shared reference, so the
+// types they traffic in must stay thread-safe. Compile-time proof:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Func>();
+    assert_send_sync::<MpFloat>();
+    assert_send_sync::<BigUint>();
+};
+
+/// Bound on each per-thread oracle cache (entries, not bytes). When a
+/// cache fills up it is cleared wholesale — no eviction bookkeeping, and
+/// a full sweep over a 16-bit domain still fits in one generation.
+const ZIV_CACHE_CAP: usize = 1 << 16;
+
+thread_local! {
+    // Ziv-loop results are worth caching: the generator evaluates
+    // `correctly_rounded_f64` once per *reduced* input, and many inputs
+    // share a reduced input; repeated validation sweeps replay identical
+    // queries. Keyed by bit pattern (plus target type for the generic
+    // entry point); thread-local, so no locks on the hot path and the
+    // parallel engine's workers each warm their own cache.
+    static ZIV_CACHE_T: RefCell<HashMap<(Func, TypeId, u32), u32>> =
+        RefCell::new(HashMap::new());
+    static ZIV_CACHE_F64: RefCell<HashMap<(Func, u64), u64>> =
+        RefCell::new(HashMap::new());
+}
 
 /// The ten elementary functions of the paper's float library (Table 1).
 /// The posit32 library uses the first eight (Table 2).
@@ -182,10 +213,10 @@ fn filter(f: Func, x: f64) -> Filtered {
                         return Value(exp as f64);
                     }
                 }
-                Func::Log10 => {
+                Func::Log10
                     // Exact iff x == 10^k (k integer). Only k >= 0 can be
                     // binary-representable (10^-k is not dyadic).
-                    if x >= 1.0 && x.fract() == 0.0 {
+                    if x >= 1.0 && x.fract() == 0.0 => {
                         let k = x.log10().round();
                         if (0.0..=400.0).contains(&k) {
                             let p = BigUint::from_u64(10).pow(k as u64);
@@ -195,7 +226,6 @@ fn filter(f: Func, x: f64) -> Filtered {
                             }
                         }
                     }
-                }
                 _ => {}
             }
             Continue
@@ -330,6 +360,10 @@ pub fn correctly_rounded<T: Representation>(f: Func, x: T) -> T {
         Filtered::Value(v) => T::round_from_f64(v),
         Filtered::Exact(v) => round_mp(&v),
         Filtered::Continue => {
+            let key = (f, TypeId::of::<T>(), x.to_bits_u32());
+            if let Some(bits) = ZIV_CACHE_T.with(|c| c.borrow().get(&key).copied()) {
+                return T::from_bits_u32(bits);
+            }
             let mut prec = 128u32;
             loop {
                 let v = f.eval_mp(xf, prec);
@@ -339,6 +373,13 @@ pub fn correctly_rounded<T: Representation>(f: Func, x: T) -> T {
                 let rl: T = round_mp(&lo);
                 let rh: T = round_mp(&hi);
                 if rl.to_bits_u32() == rh.to_bits_u32() {
+                    ZIV_CACHE_T.with(|c| {
+                        let mut c = c.borrow_mut();
+                        if c.len() >= ZIV_CACHE_CAP {
+                            c.clear();
+                        }
+                        c.insert(key, rl.to_bits_u32());
+                    });
                     return rl;
                 }
                 prec *= 2;
@@ -361,6 +402,10 @@ pub fn correctly_rounded_f64(f: Func, x: f64) -> f64 {
         Filtered::Value(v) => v,
         Filtered::Exact(v) => v.to_f64(),
         Filtered::Continue => {
+            let key = (f, x.to_bits());
+            if let Some(bits) = ZIV_CACHE_F64.with(|c| c.borrow().get(&key).copied()) {
+                return f64::from_bits(bits);
+            }
             let mut prec = 128u32;
             loop {
                 let v = f.eval_mp(x, prec);
@@ -369,6 +414,13 @@ pub fn correctly_rounded_f64(f: Func, x: f64) -> f64 {
                 let hi = v.offset_ulps(elem::ERR_ULPS);
                 let (rl, rh) = (lo.to_f64(), hi.to_f64());
                 if rl.to_bits() == rh.to_bits() {
+                    ZIV_CACHE_F64.with(|c| {
+                        let mut c = c.borrow_mut();
+                        if c.len() >= ZIV_CACHE_CAP {
+                            c.clear();
+                        }
+                        c.insert(key, rl.to_bits());
+                    });
                     return rl;
                 }
                 prec *= 2;
@@ -470,6 +522,53 @@ mod tests {
                 assert!(diff <= tol, "{f}({x}): {ours:e} vs host {host:e}");
             }
         }
+    }
+
+    #[test]
+    fn cached_queries_are_stable_and_thread_safe() {
+        // Same query twice on one thread (second hit comes from the
+        // per-thread cache) and once from a fresh thread (cold cache):
+        // all three must agree bit for bit.
+        for f in Func::ALL {
+            let first = correctly_rounded::<f32>(f, 0.73f32);
+            let again = correctly_rounded::<f32>(f, 0.73f32);
+            assert_eq!(first.to_bits(), again.to_bits());
+            let d1 = correctly_rounded_f64(f, 0.73);
+            let d2 = correctly_rounded_f64(f, 0.73);
+            assert_eq!(d1.to_bits(), d2.to_bits());
+            let (cold, cold64) = std::thread::scope(|s| {
+                s.spawn(|| (correctly_rounded::<f32>(f, 0.73f32), correctly_rounded_f64(f, 0.73)))
+                    .join()
+                    .unwrap()
+            });
+            assert_eq!(cold.to_bits(), first.to_bits());
+            assert_eq!(cold64.to_bits(), d1.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_target_types() {
+        use rlibm_fp::{BFloat16, Half};
+        // Identical (func, bit-pattern) keys for different 16-bit targets
+        // must not collide: 0x3DCC is bf16 0.0996… but half 0.4248….
+        let bits = 0x3DCCu16;
+        // Warm the cache with the bf16 query, then issue the half query on
+        // this (warm) thread and both queries on a cold thread; a key
+        // collision would surface as a warm/cold mismatch.
+        let b: BFloat16 = correctly_rounded(Func::Exp, BFloat16::from_bits(bits));
+        let h: Half = correctly_rounded(Func::Exp, Half::from_bits(bits));
+        let (cb, ch) = std::thread::scope(|s| {
+            s.spawn(|| {
+                let cb: BFloat16 = correctly_rounded(Func::Exp, BFloat16::from_bits(bits));
+                let ch: Half = correctly_rounded(Func::Exp, Half::from_bits(bits));
+                (cb, ch)
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(b.to_bits(), cb.to_bits());
+        assert_eq!(h.to_bits(), ch.to_bits());
+        assert_ne!(b.to_f64(), h.to_f64());
     }
 
     #[test]

@@ -7,7 +7,10 @@ use rlibm_fp::Representation;
 macro_rules! posit_type {
     ($(#[$doc:meta])* $name:ident, $storage:ty, $fmt:expr, $repr_name:literal, $bits:literal) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, Default, Eq, Hash)]
+        // Posit equality is plain pattern equality: NaR == NaR and there
+        // is only one zero, so the derived bitwise PartialEq is exact.
+        // (This differs from IEEE floats.)
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
         pub struct $name($storage);
 
         impl $name {
@@ -63,14 +66,6 @@ macro_rules! posit_type {
             /// Decodes into sign / scale / significand parts.
             pub fn decode(self) -> Decoded {
                 Self::FORMAT.decode(self.0 as u32)
-            }
-        }
-
-        impl PartialEq for $name {
-            fn eq(&self, other: &Self) -> bool {
-                // Posit equality is plain pattern equality: NaR == NaR and
-                // there is only one zero. (This differs from IEEE floats.)
-                self.0 == other.0
             }
         }
 

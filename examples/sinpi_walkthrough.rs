@@ -9,8 +9,8 @@ use rlibm::mp::{correctly_rounded, Func};
 
 fn main() {
     // The two inputs from Figure 2(a) and 2(b):
-    let x1 = 1.95312686264514923095703125e-3f32;
-    let x2 = 2.148437686264514923095703125e-2f32;
+    let x1 = 1.953_126_9e-3_f32;
+    let x2 = 2.148_437_7e-2_f32;
     println!("Section 2 walkthrough: sinpi(x) for the Figure 2 inputs\n");
 
     for (label, x) in [("x1", x1), ("x2", x2)] {
@@ -46,7 +46,7 @@ fn main() {
     let r2 = reduce(x2);
     println!("\nR(x1) == R(x2)? {} (R = {r1:e})", r1.to_bits() == r2.to_bits());
     assert_eq!(r1.to_bits(), r2.to_bits());
-    assert_eq!(r1, 1.86264514923095703125e-9, "the paper's exact R");
+    assert_eq!(r1, 1.862_645_149_230_957e-9, "the paper's exact R");
 
     // Figure 2(d): the 5-bit sub-domain index after the 6 common bits.
     let splitter = BitPatternSplitter::new(2f64.powi(-52), 1.999 * 2f64.powi(-9), 5);

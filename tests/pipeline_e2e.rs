@@ -26,7 +26,7 @@ fn sinpi_double_angle_two_component_reduction() {
     let inputs: Vec<Half> = all_16bit::<Half>()
         .filter(|x| {
             let v = x.to_f64();
-            keep(x) && v >= 1.0 / 256.0 && v <= 0.5
+            keep(x) && (1.0 / 256.0..=0.5).contains(&v)
         })
         .collect();
     assert!(inputs.len() > 2000);

@@ -1,162 +1,213 @@
-//! Property-based tests (proptest) over the cross-crate invariants the
-//! whole construction rests on.
+//! Property-style tests over the cross-crate invariants the whole
+//! construction rests on.
+//!
+//! Historically these used `proptest`; the workspace is now hermetic
+//! (zero registry dependencies), so each property is checked over a
+//! deterministic sweep of seeded xorshift64 samples instead. Same
+//! invariants, reproducible inputs, offline build.
 
-use proptest::prelude::*;
 use rlibm::fp::bits::{f64_from_order_key, f64_order_key};
-use rlibm::fp::{BFloat16, Half, Representation};
+use rlibm::fp::rng::XorShift64;
+use rlibm::fp::{BFloat16, Half};
 use rlibm::gen::interval::rounding_interval;
 use rlibm::math::dd::Dd;
 use rlibm::math::round::{round_dd, to_f64_round_odd};
 use rlibm::mp::{BigUint, MpFloat, Rational};
 use rlibm::posit::Posit32;
 
-fn finite_f64() -> impl Strategy<Value = f64> {
-    any::<u64>().prop_map(|b| {
-        let x = f64::from_bits(b);
-        if x.is_finite() {
-            x
-        } else {
-            f64::from_bits(b & 0x000F_FFFF_FFFF_FFFF | 0x3FF0_0000_0000_0000)
-        }
-    })
-}
+/// Number of sampled cases per property (proptest's default was 256; the
+/// deterministic sweeps are cheap enough to go broader).
+const CASES: usize = 1024;
 
-proptest! {
-    /// The f64 order key is a monotone bijection on non-NaN doubles.
-    #[test]
-    fn order_key_roundtrips(a in finite_f64(), b in finite_f64()) {
-        prop_assert_eq!(f64_from_order_key(f64_order_key(a)).to_bits(), a.to_bits());
+#[test]
+fn order_key_roundtrips() {
+    let mut rng = XorShift64::new(0xBDE11);
+    for _ in 0..CASES {
+        let (a, b) = (rng.finite_f64(), rng.finite_f64());
+        assert_eq!(f64_from_order_key(f64_order_key(a)).to_bits(), a.to_bits());
         if a < b {
-            prop_assert!(f64_order_key(a) < f64_order_key(b));
+            assert!(f64_order_key(a) < f64_order_key(b), "a = {a:e}, b = {b:e}");
         }
     }
+}
 
-    /// Rounding-interval membership is exact: x in [lo, hi] iff x rounds
-    /// to y — for floats AND posits.
-    #[test]
-    fn rounding_interval_membership_f32(x in finite_f64()) {
+#[test]
+fn rounding_interval_membership_f32() {
+    let mut rng = XorShift64::new(0xBDE12);
+    for _ in 0..CASES {
+        let x = rng.finite_f64();
         let y = x as f32;
         if y.is_finite() {
             if let Some(iv) = rounding_interval(y) {
-                prop_assert_eq!(iv.contains(x), (x as f32).to_bits() == y.to_bits());
-            }
-        }
-    }
-
-    #[test]
-    fn rounding_interval_membership_posit32(x in -1e30f64..1e30) {
-        let y = Posit32::from_f64(x);
-        if !y.is_nar() {
-            if let Some(iv) = rounding_interval(y) {
-                prop_assert_eq!(
+                assert_eq!(
                     iv.contains(x),
-                    Posit32::from_f64(x).to_bits() == y.to_bits()
+                    (x as f32).to_bits() == y.to_bits(),
+                    "x = {x:e}"
                 );
             }
         }
     }
+}
 
-    /// Posit32 round trips: decode then re-round is the identity.
-    #[test]
-    fn posit32_roundtrip(bits in any::<u32>()) {
+#[test]
+fn rounding_interval_membership_posit32() {
+    let mut rng = XorShift64::new(0xBDE13);
+    for _ in 0..CASES {
+        let x = rng.uniform_f64(-1e30, 1e30);
+        let y = Posit32::from_f64(x);
+        if !y.is_nar() {
+            if let Some(iv) = rounding_interval(y) {
+                assert_eq!(
+                    iv.contains(x),
+                    Posit32::from_f64(x).to_bits() == y.to_bits(),
+                    "x = {x:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn posit32_roundtrip() {
+    let mut rng = XorShift64::new(0xBDE14);
+    for _ in 0..CASES {
+        let bits = rng.next_u32();
         let p = Posit32::from_bits(bits);
         if !p.is_nar() {
-            prop_assert_eq!(Posit32::from_f64(p.to_f64()).to_bits(), bits);
+            assert_eq!(Posit32::from_f64(p.to_f64()).to_bits(), bits);
         }
     }
+}
 
-    /// Posit32 pattern order is value order (signed comparison).
-    #[test]
-    fn posit32_order_isomorphism(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn posit32_order_isomorphism() {
+    let mut rng = XorShift64::new(0xBDE15);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u32(), rng.next_u32());
         let (pa, pb) = (Posit32::from_bits(a), Posit32::from_bits(b));
         if !pa.is_nar() && !pb.is_nar() {
-            prop_assert_eq!((a as i32) < (b as i32), pa.to_f64() < pb.to_f64());
+            assert_eq!((a as i32) < (b as i32), pa.to_f64() < pb.to_f64());
         }
     }
+}
 
-    /// bfloat16/half conversions are exact and monotone.
-    #[test]
-    fn small_float_roundtrip(bits in any::<u16>()) {
+#[test]
+fn small_float_roundtrip() {
+    // The 16-bit pattern space is small enough to sweep exhaustively.
+    for bits in 0..=u16::MAX {
         let b = BFloat16::from_bits(bits);
         if !b.is_nan() {
-            prop_assert_eq!(BFloat16::from_f64(b.to_f64()).to_bits(), bits);
+            assert_eq!(BFloat16::from_f64(b.to_f64()).to_bits(), bits);
         }
         let h = Half::from_bits(bits);
         if !h.is_nan() {
-            prop_assert_eq!(Half::from_f64(h.to_f64()).to_bits(), bits);
+            assert_eq!(Half::from_f64(h.to_f64()).to_bits(), bits);
         }
     }
+}
 
-    /// MpFloat agrees with f64 arithmetic when f64 is exact (products of
-    /// 26-bit values).
-    #[test]
-    fn mpfloat_matches_exact_f64(a in -(1i64 << 26)..(1i64 << 26), b in -(1i64 << 26)..(1i64 << 26)) {
+#[test]
+fn mpfloat_matches_exact_f64() {
+    // Products of 26-bit values are exact in f64.
+    let mut rng = XorShift64::new(0xBDE16);
+    for _ in 0..CASES {
+        let a = rng.uniform_i64(-(1 << 26), 1 << 26);
+        let b = rng.uniform_i64(-(1 << 26), 1 << 26);
         let (af, bf) = (a as f64, b as f64);
         let ma = MpFloat::from_f64(af, 96);
         let mb = MpFloat::from_f64(bf, 96);
-        prop_assert_eq!(ma.mul(&mb, 96).to_f64(), af * bf);
-        prop_assert_eq!(ma.add(&mb, 96).to_f64(), af + bf);
-        prop_assert_eq!(ma.sub(&mb, 96).to_f64(), af - bf);
+        assert_eq!(ma.mul(&mb, 96).to_f64(), af * bf);
+        assert_eq!(ma.add(&mb, 96).to_f64(), af + bf);
+        assert_eq!(ma.sub(&mb, 96).to_f64(), af - bf);
     }
+}
 
-    /// Rational arithmetic satisfies the field axioms on random doubles.
-    #[test]
-    fn rational_field_axioms(a in finite_f64(), b in finite_f64(), c in finite_f64()) {
-        let (ra, rb, rc) = (Rational::from_f64(a), Rational::from_f64(b), Rational::from_f64(c));
-        prop_assert_eq!(ra.add(&rb), rb.add(&ra));
-        prop_assert_eq!(ra.mul(&rb), rb.mul(&ra));
-        prop_assert_eq!(ra.add(&rb).add(&rc), ra.add(&rb.add(&rc)));
-        prop_assert_eq!(ra.mul(&rb.add(&rc)), ra.mul(&rb).add(&ra.mul(&rc)));
+#[test]
+fn rational_field_axioms() {
+    let mut rng = XorShift64::new(0xBDE17);
+    for _ in 0..256 {
+        let (a, b, c) = (rng.finite_f64(), rng.finite_f64(), rng.finite_f64());
+        let (ra, rb, rc) = (
+            Rational::from_f64(a),
+            Rational::from_f64(b),
+            Rational::from_f64(c),
+        );
+        assert_eq!(ra.add(&rb), rb.add(&ra));
+        assert_eq!(ra.mul(&rb), rb.mul(&ra));
+        assert_eq!(ra.add(&rb).add(&rc), ra.add(&rb.add(&rc)));
+        assert_eq!(ra.mul(&rb.add(&rc)), ra.mul(&rb).add(&ra.mul(&rc)));
         if !rb.is_zero() {
-            prop_assert_eq!(ra.div(&rb).mul(&rb), ra);
+            assert_eq!(ra.div(&rb).mul(&rb), ra);
         }
     }
+}
 
-    /// BigUint division invariant: a = q*d + r with r < d.
-    #[test]
-    fn biguint_divrem_invariant(a in any::<u128>(), d in 1u64..) {
+#[test]
+fn biguint_divrem_invariant() {
+    let mut rng = XorShift64::new(0xBDE18);
+    for _ in 0..CASES {
+        let a = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        let d = rng.next_u64().max(1);
         let big_a = BigUint::from_u128(a);
         let big_d = BigUint::from_u64(d);
         let (q, r) = big_a.div_rem(&big_d);
-        prop_assert!(r < big_d);
-        prop_assert_eq!(q.mul(&big_d).add(&r), big_a);
+        assert!(r < big_d);
+        assert_eq!(q.mul(&big_d).add(&r), big_a);
     }
+}
 
-    /// round_dd performs a SINGLE rounding of hi+lo: it must agree with
-    /// the oracle-grade MpFloat rounding of the exact sum.
-    #[test]
-    fn round_dd_is_single_rounding(hi in -1e30f64..1e30, lo_scale in -60i32..-50) {
+#[test]
+fn round_dd_is_single_rounding() {
+    // round_dd performs a SINGLE rounding of hi+lo: it must agree with
+    // the oracle-grade MpFloat rounding of the exact sum.
+    let mut rng = XorShift64::new(0xBDE19);
+    for _ in 0..CASES {
+        let hi = rng.uniform_f64(-1e30, 1e30);
+        let lo_scale = rng.uniform_i64(-60, -50) as i32;
         let lo = hi * 2f64.powi(lo_scale) * 0.7;
         let v = Dd::new(hi, lo);
         // Exact sum via 128-bit arithmetic.
         let exact = MpFloat::from_f64(v.hi, 128).add(&MpFloat::from_f64(v.lo, 128), 128);
         let want_f32: f32 = rlibm::mp::round_mp(&exact);
         let got_f32: f32 = round_dd(v);
-        prop_assert_eq!(got_f32.to_bits(), want_f32.to_bits());
+        assert_eq!(got_f32.to_bits(), want_f32.to_bits(), "hi = {hi:e}");
         let want_p32: Posit32 = rlibm::mp::round_mp(&exact);
         let got_p32: Posit32 = round_dd(v);
-        prop_assert_eq!(got_p32.to_bits(), want_p32.to_bits());
+        assert_eq!(got_p32.to_bits(), want_p32.to_bits(), "hi = {hi:e}");
         // And the round-odd double itself matches MpFloat's.
-        prop_assert_eq!(to_f64_round_odd(v).to_bits(), exact.to_f64_round_odd().to_bits());
+        assert_eq!(
+            to_f64_round_odd(v).to_bits(),
+            exact.to_f64_round_odd().to_bits()
+        );
     }
+}
 
-    /// The f32 library functions are odd/even where mathematics says so.
-    #[test]
-    fn f32_symmetries(x in -1e6f32..1e6) {
-        prop_assert_eq!(rlibm::math::sinh(-x).to_bits(), (-rlibm::math::sinh(x)).to_bits());
-        prop_assert_eq!(rlibm::math::cosh(-x), rlibm::math::cosh(x));
+#[test]
+fn f32_symmetries() {
+    let mut rng = XorShift64::new(0xBDE1A);
+    for _ in 0..CASES {
+        let x = rng.uniform_f32(-1e6, 1e6);
+        assert_eq!(
+            rlibm::math::sinh(-x).to_bits(),
+            (-rlibm::math::sinh(x)).to_bits()
+        );
+        assert_eq!(rlibm::math::cosh(-x), rlibm::math::cosh(x));
         let (s, ns) = (rlibm::math::sinpi(x), rlibm::math::sinpi(-x));
-        prop_assert!(ns == -s || (s == 0.0 && ns == 0.0));
-        prop_assert_eq!(rlibm::math::cospi(-x), rlibm::math::cospi(x));
+        assert!(ns == -s || (s == 0.0 && ns == 0.0), "x = {x:e}");
+        assert_eq!(rlibm::math::cospi(-x), rlibm::math::cospi(x));
     }
+}
 
-    /// exp and ln are monotone over random pairs.
-    #[test]
-    fn f32_monotonicity(a in -80f32..80.0, b in -80f32..80.0) {
+#[test]
+fn f32_monotonicity() {
+    let mut rng = XorShift64::new(0xBDE1B);
+    for _ in 0..CASES {
+        let a = rng.uniform_f32(-80.0, 80.0);
+        let b = rng.uniform_f32(-80.0, 80.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(rlibm::math::exp(lo) <= rlibm::math::exp(hi));
+        assert!(rlibm::math::exp(lo) <= rlibm::math::exp(hi));
         let (pa, pb) = (lo.abs() + 0.1, hi.abs() + 0.1);
         let (plo, phi) = if pa <= pb { (pa, pb) } else { (pb, pa) };
-        prop_assert!(rlibm::math::ln(plo) <= rlibm::math::ln(phi));
+        assert!(rlibm::math::ln(plo) <= rlibm::math::ln(phi));
     }
 }
