@@ -19,4 +19,21 @@ cargo test -q --offline
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== bench smoke: fig3 --quick + JSON schema =="
+# Quick-mode harness run, fully offline, writing under target/ so the
+# committed full-run BENCH_*.json files are never clobbered. Each
+# harness re-parses and schema-checks its own emission and exits
+# non-zero on a malformed document; the greps below double-check the
+# files landed with the expected schema tags.
+mkdir -p target/bench-smoke
+cargo run --release --offline -p rlibm-bench --bin fig3 -- \
+    --quick --out target/bench-smoke/BENCH_fig3.quick.json
+grep -q '"schema": "rlibm-bench/fig3/v1"' target/bench-smoke/BENCH_fig3.quick.json
+cargo run --release --offline -p rlibm-bench --bin fig4 -- \
+    --quick --out target/bench-smoke/BENCH_fig4.quick.json
+grep -q '"schema": "rlibm-bench/fig4/v1"' target/bench-smoke/BENCH_fig4.quick.json
+cargo run --release --offline -p rlibm-bench --bin vector_harness -- \
+    --quick --out target/bench-smoke/BENCH_vector.quick.json
+grep -q '"schema": "rlibm-bench/vector/v1"' target/bench-smoke/BENCH_vector.quick.json
+
 echo "CI OK"

@@ -1,65 +1,192 @@
 //! Reproduces **Figure 3**: speedup of RLIBM-32's float functions over
 //! (a) the float-libm model, (b) the double-libm model, and (c) the
-//! CR-LIBM model. Prints one row per function plus the geometric mean —
-//! the paper's bar charts in tabular form.
+//! CR-LIBM model — now measuring the two-tier implementation three ways:
 //!
-//! Usage: `cargo run -p rlibm-bench --release --bin fig3 [n_inputs]`
+//! * `fast` — the shipping scalar path (plain-double kernel, certified
+//!   dd fallback inside the unsafe rounding bands);
+//! * `dd` — the pure double-double + round-to-odd kernel (what every
+//!   call paid before the two-tier split);
+//! * `batched` — [`rlibm_math::eval_slice_f32`] over the same inputs.
+//!
+//! Alongside the table it emits a machine-readable `BENCH_fig3.json`
+//! (schema `rlibm-bench/fig3/v1`), re-parsed and schema-checked before
+//! the process exits, and prints the dd-fallback rate observed on the
+//! timing workload (the counters are always on in this crate).
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin fig3 -- \
+//!             [n_inputs] [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks the workload and repetition count for CI smoke
+//! runs; pair it with `--out target/...` so it never clobbers the
+//! committed full-run `BENCH_fig3.json`.
 
+use rlibm_bench::json::{write_validated, Json};
 use rlibm_bench::timing::{fmt_speedup, geomean, ns_per_call};
 use rlibm_bench::workloads::timing_inputs_f32;
+use rlibm_math::stats;
 use rlibm_mp::Func;
 
+pub const SCHEMA: &str = "rlibm-bench/fig3/v1";
+pub const PER_FN_FIELDS: &[&str] = &[
+    "ns_fast",
+    "ns_dd",
+    "ns_batched",
+    "ns_float_libm",
+    "ns_double_libm",
+    "ns_crlibm",
+    "fallback_rate",
+];
+
+struct Cli {
+    n: usize,
+    reps: usize,
+    quick: bool,
+    out: String,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        n: 4096,
+        reps: 5,
+        quick: false,
+        out: "BENCH_fig3.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                cli.quick = true;
+                cli.n = 256;
+                cli.reps = 2;
+            }
+            "--out" => cli.out = args.next().expect("--out requires a path"),
+            other => cli.n = other.parse().unwrap_or_else(|_| panic!("bad arg '{other}'")),
+        }
+    }
+    cli
+}
+
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4096);
-    println!("Figure 3: speedup of RLIBM-32 float functions (inputs/function: {n})\n");
+    let cli = parse_cli();
+    assert!(stats::enabled(), "bench builds carry fallback counters");
     println!(
-        "{:>8} | {:>9} | {:>14} | {:>15} | {:>13}",
-        "float fn", "ours (ns)", "vs float-libm", "vs double-libm", "vs CR-LIBM"
+        "Figure 3: RLIBM-32 float functions, two-tier measurement (inputs/function: {}{})\n",
+        cli.n,
+        if cli.quick { ", quick mode" } else { "" }
     );
-    println!("{}", "-".repeat(72));
-    let (mut s_f, mut s_d, mut s_c) = (Vec::new(), Vec::new(), Vec::new());
+    println!(
+        "{:>8} | {:>9} | {:>7} | {:>12} | {:>8} | {:>14} | {:>15} | {:>13} | {:>9}",
+        "float fn",
+        "fast (ns)",
+        "dd (ns)",
+        "batched (ns)",
+        "fast/dd",
+        "vs float-libm",
+        "vs double-libm",
+        "vs CR-LIBM",
+        "fallback"
+    );
+    println!("{}", "-".repeat(116));
+
+    let (mut s_dd, mut s_f, mut s_d, mut s_c, mut s_b) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut rows = Vec::new();
     for f in Func::ALL {
         let name = f.name();
-        let xs = timing_inputs_f32(name, n, 42);
-        let ours_fn = rlibm_math::f32_fn_by_name(name);
+        let xs = timing_inputs_f32(name, cli.n, 42);
+        let fast_fn = rlibm_math::f32_fn_by_name(name);
+        let dd_fn = rlibm_math::f32_dd_fn_by_name(name);
         let base_fn = rlibm_math::baseline_f32_fn_by_name(name);
-        let ours = ns_per_call(&xs, 5, ours_fn);
-        let fl = ns_per_call(&xs, 5, base_fn);
-        let db = ns_per_call(&xs, 5, |x| rlibm_math::baselines::double64::to_f32(name, x));
+
+        // Fallback rate: one untimed sweep between counter reset/read, so
+        // the number is per-workload-input, not per-timing-iteration.
+        stats::reset();
+        for &x in &xs {
+            std::hint::black_box(fast_fn(x));
+        }
+        let rate = stats::fallbacks_f32(name) as f64 / xs.len() as f64;
+
+        let fast = ns_per_call(&xs, cli.reps, fast_fn);
+        let dd = ns_per_call(&xs, cli.reps, dd_fn);
+        let mut out = vec![0.0f32; xs.len()];
+        let batched = ns_per_call(&[0usize], cli.reps, |_| {
+            rlibm_math::eval_slice_f32(name, &xs, &mut out);
+            out[0]
+        }) / xs.len() as f64;
+        let fl = ns_per_call(&xs, cli.reps, base_fn);
+        let db = ns_per_call(&xs, cli.reps, |x| {
+            rlibm_math::baselines::double64::to_f32(name, x)
+        });
         let cr = if matches!(f, Func::SinPi | Func::CosPi) {
-            db
+            db // CR-LIBM has no sinpi/cospi; the paper compares these to double-libm.
         } else {
-            ns_per_call(&xs, 5, |x| rlibm_math::baselines::crlibm::to_f32(name, x))
+            ns_per_call(&xs, cli.reps, |x| rlibm_math::baselines::crlibm::to_f32(name, x))
         };
-        s_f.push(fl / ours);
-        s_d.push(db / ours);
-        s_c.push(cr / ours);
+
+        s_dd.push(dd / fast);
+        s_f.push(fl / fast);
+        s_d.push(db / fast);
+        s_c.push(cr / fast);
+        s_b.push(fast / batched);
         println!(
-            "{:>8} | {:>9.1} | {:>14} | {:>15} | {:>13}",
+            "{:>8} | {:>9.1} | {:>7.1} | {:>12.1} | {:>8} | {:>14} | {:>15} | {:>13} | {:>8.3}%",
             name,
-            ours,
-            fmt_speedup(fl / ours),
-            fmt_speedup(db / ours),
-            fmt_speedup(cr / ours)
+            fast,
+            dd,
+            batched,
+            fmt_speedup(dd / fast),
+            fmt_speedup(fl / fast),
+            fmt_speedup(db / fast),
+            fmt_speedup(cr / fast),
+            rate * 100.0
+        );
+        rows.push(
+            Json::obj()
+                .set("name", name)
+                .set("ns_fast", fast)
+                .set("ns_dd", dd)
+                .set("ns_batched", batched)
+                .set("ns_float_libm", fl)
+                .set("ns_double_libm", db)
+                .set("ns_crlibm", cr)
+                .set("fallback_rate", rate),
         );
     }
-    println!("{}", "-".repeat(72));
+    println!("{}", "-".repeat(116));
     println!(
-        "{:>8} | {:>9} | {:>14} | {:>15} | {:>13}",
+        "{:>8} | {:>9} | {:>7} | {:>12} | {:>8} | {:>14} | {:>15} | {:>13} |",
         "geomean",
         "",
+        "",
+        "",
+        fmt_speedup(geomean(&s_dd)),
         fmt_speedup(geomean(&s_f)),
         fmt_speedup(geomean(&s_d)),
         fmt_speedup(geomean(&s_c))
     );
     println!(
-        "\nPaper reference points: 1.1x over glibc float, 1.2x over glibc\n\
-         double, 1.5-1.6x over Intel, 2x over CR-LIBM, 2.5-2.7x over\n\
-         MetaLibm. Absolute ns differ (different hardware + Rust harness);\n\
-         the ordering RLIBM >= double-repurposing >= CR-LIBM is the\n\
-         reproduced shape."
+        "\nfast/dd is the two-tier payoff (acceptance bar: >= 1.50x geomean);\n\
+         'fallback' is the share of workload inputs that needed the dd\n\
+         kernel. Paper reference points: 1.1x over glibc float, 1.2x over\n\
+         glibc double, 2x over CR-LIBM. Absolute ns differ (different\n\
+         hardware + Rust harness); the ordering RLIBM >= double-repurposing\n\
+         >= CR-LIBM is the reproduced shape."
     );
+
+    let doc = Json::obj()
+        .set("schema", SCHEMA)
+        .set("quick", cli.quick)
+        .set("n_inputs", cli.n as f64)
+        .set("functions", rows)
+        .set(
+            "geomean",
+            Json::obj()
+                .set("fast_vs_dd", geomean(&s_dd))
+                .set("fast_vs_float_libm", geomean(&s_f))
+                .set("fast_vs_double_libm", geomean(&s_d))
+                .set("fast_vs_crlibm", geomean(&s_c))
+                .set("batched_vs_fast", geomean(&s_b)),
+        );
+    write_validated(&cli.out, &doc, SCHEMA, PER_FN_FIELDS).expect("write BENCH json");
+    println!("\nwrote {} (schema {SCHEMA}, parsed + validated)", cli.out);
 }

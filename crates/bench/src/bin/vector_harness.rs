@@ -1,63 +1,115 @@
 //! The Section 4.3 vectorization-style harness: arrays of 1024 inputs
 //! evaluated in a tight loop (the paper's second measurement methodology,
-//! built to expose what auto-vectorizing compilers gain). Prints ns/call
-//! for our functions and the baselines under this batched regime.
+//! built to expose what batch-oriented evaluation gains). Compares
+//! three regimes per function:
 //!
-//! Usage: `cargo run -p rlibm-bench --release --bin vector_harness`
+//! * `scalar loop` — the two-tier scalar function called per element;
+//! * `eval_slice`  — the structure-of-arrays batched API
+//!   ([`rlibm_math::eval_slice_f32`]), which stages reduction, table
+//!   lookup and Horner evaluation across the batch;
+//! * `float-libm`  — the float baseline called per element.
+//!
+//! Emits `BENCH_vector.json` (schema `rlibm-bench/vector/v1`, re-parsed
+//! and schema-checked before exit).
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin vector_harness -- \
+//!             [--quick] [--out PATH]`
 
-use rlibm_bench::timing::ns_per_call;
+use rlibm_bench::json::{write_validated, Json};
+use rlibm_bench::timing::{fmt_speedup, geomean, ns_per_call};
 use rlibm_bench::workloads::timing_inputs_f32;
 use rlibm_mp::Func;
 
+pub const SCHEMA: &str = "rlibm-bench/vector/v1";
+pub const PER_FN_FIELDS: &[&str] = &["ns_scalar", "ns_batched", "ns_float_libm"];
+
 fn main() {
     const BATCH: usize = 1024; // the paper's array size
-    println!("Vectorization harness: arrays of {BATCH} inputs\n");
+    let mut reps = 5usize;
+    let mut quick = false;
+    let mut out_path = "BENCH_vector.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                quick = true;
+                reps = 2;
+            }
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => panic!("bad arg '{other}'"),
+        }
+    }
     println!(
-        "{:>8} | {:>12} | {:>16}",
-        "float fn", "RLIBM (ns)", "float-libm (ns)"
+        "Vectorization harness: arrays of {BATCH} inputs{}\n",
+        if quick { " (quick mode)" } else { "" }
     );
-    println!("{}", "-".repeat(42));
+    println!(
+        "{:>8} | {:>16} | {:>15} | {:>15} | {:>14}",
+        "float fn", "scalar loop (ns)", "eval_slice (ns)", "float-libm (ns)", "batched/scalar"
+    );
+    println!("{}", "-".repeat(80));
+    let mut s_b = Vec::new();
+    let mut rows = Vec::new();
     for f in Func::ALL {
         let name = f.name();
         let xs = timing_inputs_f32(name, BATCH, 45);
-        // Batched evaluation: output array reused, loop over the batch is
-        // inside the timed closure (auto-vectorization gets its chance).
+        let scalar_fn = rlibm_math::f32_fn_by_name(name);
         let mut out = vec![0.0f32; BATCH];
-        let ours = {
-            let xs = xs.clone();
-            ns_per_call(&[0usize], 5, |_| {
-                for (o, &x) in out.iter_mut().zip(&xs) {
-                    *o = rlibm_math::eval_f32_by_name(name, x);
-                }
-                out[0]
-            }) / BATCH as f64
-        };
-        let mut out2 = vec![0.0f32; BATCH];
-        let base = {
-            let xs = xs.clone();
-            ns_per_call(&[0usize], 5, |_| {
-                for (o, &x) in out2.iter_mut().zip(&xs) {
-                    *o = match name {
-                        "ln" => rlibm_math::baselines::float32::ln(x),
-                        "log2" => rlibm_math::baselines::float32::log2(x),
-                        "log10" => rlibm_math::baselines::float32::log10(x),
-                        "exp" => rlibm_math::baselines::float32::exp(x),
-                        "exp2" => rlibm_math::baselines::float32::exp2(x),
-                        "exp10" => rlibm_math::baselines::float32::exp10(x),
-                        "sinh" => rlibm_math::baselines::float32::sinh(x),
-                        "cosh" => rlibm_math::baselines::float32::cosh(x),
-                        "sinpi" => rlibm_math::baselines::float32::sinpi(x),
-                        "cospi" => rlibm_math::baselines::float32::cospi(x),
-                        _ => unreachable!(),
-                    };
-                }
-                out2[0]
-            }) / BATCH as f64
-        };
-        println!("{:>8} | {:>12.2} | {:>16.2}", name, ours, base);
+        let scalar = ns_per_call(&[0usize], reps, |_| {
+            for (o, &x) in out.iter_mut().zip(&xs) {
+                *o = scalar_fn(x);
+            }
+            out[0]
+        }) / BATCH as f64;
+        let batched = ns_per_call(&[0usize], reps, |_| {
+            rlibm_math::eval_slice_f32(name, &xs, &mut out);
+            out[0]
+        }) / BATCH as f64;
+        let base_fn = rlibm_math::baseline_f32_fn_by_name(name);
+        let base = ns_per_call(&[0usize], reps, |_| {
+            for (o, &x) in out.iter_mut().zip(&xs) {
+                *o = base_fn(x);
+            }
+            out[0]
+        }) / BATCH as f64;
+        s_b.push(scalar / batched);
+        println!(
+            "{:>8} | {:>16.2} | {:>15.2} | {:>15.2} | {:>14}",
+            name,
+            scalar,
+            batched,
+            base,
+            fmt_speedup(scalar / batched)
+        );
+        rows.push(
+            Json::obj()
+                .set("name", name)
+                .set("ns_scalar", scalar)
+                .set("ns_batched", batched)
+                .set("ns_float_libm", base),
+        );
     }
+    println!("{}", "-".repeat(80));
+    println!(
+        "{:>8} | {:>16} | {:>15} | {:>15} | {:>14}",
+        "geomean",
+        "",
+        "",
+        "",
+        fmt_speedup(geomean(&s_b))
+    );
     println!(
         "\nThe paper found RLIBM-32 within 5-10% of Intel's auto-vectorized\n\
-         code while producing correct results for all inputs."
+         code while producing correct results for all inputs; here the\n\
+         staged eval_slice path is what batching buys over the scalar loop."
     );
+
+    let doc = Json::obj()
+        .set("schema", SCHEMA)
+        .set("quick", quick)
+        .set("n_inputs", BATCH as f64)
+        .set("functions", rows)
+        .set("geomean", Json::obj().set("batched_vs_scalar", geomean(&s_b)));
+    write_validated(&out_path, &doc, SCHEMA, PER_FN_FIELDS).expect("write BENCH json");
+    println!("\nwrote {out_path} (schema {SCHEMA}, parsed + validated)");
 }

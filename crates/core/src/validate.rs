@@ -99,6 +99,57 @@ pub fn validate_par<T: Representation>(
     merged
 }
 
+/// Checks two implementations of the same function against each other —
+/// no oracle involved. This is the cheap half of certifying a fast-path /
+/// fallback split: the dd implementation is already validated against the
+/// multi-precision oracle, so *bit-level agreement* with it transfers
+/// correctness to the two-tier implementation over the swept inputs.
+///
+/// Agreement is strict bit equality except that any-NaN-vs-any-NaN
+/// counts as agreeing (both f32 wrappers produce the canonical NaN, but
+/// the contract shouldn't depend on the payload).
+pub fn agreement<T: Representation>(
+    implementation: impl Fn(T) -> T,
+    reference: impl Fn(T) -> T,
+    inputs: impl Iterator<Item = T>,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    for x in inputs {
+        report.total += 1;
+        let got = implementation(x);
+        let want = reference(x);
+        if got.to_bits_u32() != want.to_bits_u32() && !(got.is_nan() && want.is_nan()) {
+            report.wrong += 1;
+            if report.examples.len() < 8 {
+                report
+                    .examples
+                    .push((x.to_bits_u32(), got.to_bits_u32(), want.to_bits_u32()));
+            }
+        }
+    }
+    report
+}
+
+/// Parallel drop-in for [`agreement`] over a slice of inputs, chunked
+/// exactly like [`validate_par`] (bit-identical to the serial report for
+/// any thread count).
+pub fn agreement_par<T: Representation>(
+    implementation: impl Fn(T) -> T + Sync,
+    reference: impl Fn(T) -> T + Sync,
+    inputs: &[T],
+    threads: usize,
+) -> ValidationReport {
+    let chunk = par::default_chunk_size(inputs.len(), threads);
+    let reports = par::run_chunked(inputs.len(), chunk, threads, |_, range| {
+        agreement(&implementation, &reference, inputs[range].iter().copied())
+    });
+    let mut merged = ValidationReport::default();
+    for r in &reports {
+        merged.absorb(r);
+    }
+    merged
+}
+
 /// Every bit pattern of a 16-bit representation (the exhaustive iterator
 /// used by the end-to-end pipeline tests).
 pub fn all_16bit<T: Representation>() -> impl Iterator<Item = T> {
@@ -234,6 +285,51 @@ mod tests {
         assert_eq!(serial.examples.len(), 8);
         for threads in [1, 2, 8] {
             let par = validate_par(Func::Exp, imp, &inputs, threads);
+            assert_eq!(par.total, serial.total, "threads = {threads}");
+            assert_eq!(par.wrong, serial.wrong, "threads = {threads}");
+            assert_eq!(par.examples, serial.examples, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn agreement_catches_single_bit_differences() {
+        // Identity agrees with itself...
+        let inputs: Vec<BFloat16> = (0x3F00..0x4000u16).map(BFloat16::from_bits).collect();
+        let clean = agreement(|x: BFloat16| x, |x: BFloat16| x, inputs.iter().copied());
+        assert!(clean.all_correct());
+        assert_eq!(clean.total, 0x100);
+        // ...but a one-ulp nudge on some inputs is flagged, and NaN
+        // payload differences are not.
+        let nudged = |x: BFloat16| {
+            if x.to_bits().is_multiple_of(7) {
+                BFloat16::from_bits(x.to_bits() ^ 1)
+            } else {
+                x
+            }
+        };
+        let report = agreement(nudged, |x: BFloat16| x, inputs.iter().copied());
+        assert!(report.wrong > 0);
+        assert!(!report.examples.is_empty());
+        let nan_a = |_: BFloat16| BFloat16::from_bits(0x7FC0);
+        let nan_b = |_: BFloat16| BFloat16::from_bits(0x7FC1);
+        let nans = agreement(nan_a, nan_b, inputs.iter().copied().take(4));
+        assert!(nans.all_correct(), "NaN payloads must not count as disagreement");
+    }
+
+    #[test]
+    fn agreement_par_matches_serial() {
+        let inputs: Vec<BFloat16> = all_16bit::<BFloat16>().collect();
+        let nudged = |x: BFloat16| {
+            if x.to_bits().is_multiple_of(11) {
+                BFloat16::from_bits(x.to_bits() ^ 1)
+            } else {
+                x
+            }
+        };
+        let serial = agreement(nudged, |x: BFloat16| x, inputs.iter().copied());
+        assert!(serial.wrong > 0);
+        for threads in [1, 3, 8] {
+            let par = agreement_par(nudged, |x: BFloat16| x, &inputs, threads);
             assert_eq!(par.total, serial.total, "threads = {threads}");
             assert_eq!(par.wrong, serial.wrong, "threads = {threads}");
             assert_eq!(par.examples, serial.examples, "threads = {threads}");

@@ -11,11 +11,24 @@
 use crate::dd::{two_prod, two_sum, Dd};
 use crate::tables as t;
 
-/// `2^i` as an exact double for `i` in the normal range.
+/// `2^i` as a double, total over every integer: exact for
+/// `i in [-1074, 1023]` (subnormal powers included), saturating to
+/// `inf` / `0` beyond. The kernels' reductions keep `i` well inside the
+/// normal range for in-domain inputs, but inputs near the f32 underflow
+/// edge (e.g. `exp2(-150.9)`) legitimately request subnormal scales, and
+/// the batched pipeline evaluates garbage lanes that can request
+/// anything — so the function must not have a precondition.
 #[inline]
 pub(crate) fn pow2i(i: i64) -> f64 {
-    debug_assert!((-1022..=1023).contains(&i));
-    f64::from_bits(((i + 1023) as u64) << 52)
+    if i > 1023 {
+        f64::INFINITY
+    } else if i >= -1022 {
+        f64::from_bits(((i + 1023) as u64) << 52)
+    } else if i >= -1074 {
+        f64::from_bits(1u64 << (i + 1074))
+    } else {
+        0.0
+    }
 }
 
 /// `e^r` for `|r| <= ln2/128 + slack`, as a double-double.
@@ -108,6 +121,26 @@ pub fn exp(x: f32) -> f32 {
     if x < -106.0 {
         return 0.0; // exp(-106) < 2^-150: rounds to zero
     }
+    let xd = x as f64;
+    let y = crate::fast::exp_fast(xd);
+    if crate::round::f32_round_safe(y, crate::fast::EXP_BAND) {
+        return y as f32;
+    }
+    crate::stats::record_fallback(crate::stats::slot::EXP);
+    crate::round::round_dd_f32(exp_kernel(xd))
+}
+
+/// `exp` through the double-double kernel only (no fast path).
+pub fn exp_dd(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    if x > 89.0 {
+        return f32::INFINITY;
+    }
+    if x < -106.0 {
+        return 0.0;
+    }
     crate::round::round_dd_f32(exp_kernel(x as f64))
 }
 
@@ -120,6 +153,26 @@ pub fn exp(x: f32) -> f32 {
 /// assert_eq!(rlibm_math::exp2(-1.5f32), 0.35355338f32);
 /// ```
 pub fn exp2(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    if x >= 128.0 {
+        return f32::INFINITY;
+    }
+    if x < -151.0 {
+        return 0.0;
+    }
+    let xd = x as f64;
+    let y = crate::fast::exp2_fast(xd);
+    if crate::round::f32_round_safe(y, crate::fast::EXP2_BAND) {
+        return y as f32;
+    }
+    crate::stats::record_fallback(crate::stats::slot::EXP2);
+    crate::round::round_dd_f32(exp2_kernel(xd))
+}
+
+/// `exp2` through the double-double kernel only (no fast path).
+pub fn exp2_dd(x: f32) -> f32 {
     if x.is_nan() {
         return f32::NAN;
     }
@@ -149,6 +202,26 @@ pub fn exp10(x: f32) -> f32 {
     }
     if x < -45.5 {
         return 0.0; // 10^-45.5 < 2^-150
+    }
+    let xd = x as f64;
+    let y = crate::fast::exp10_fast(xd);
+    if crate::round::f32_round_safe(y, crate::fast::EXP10_BAND) {
+        return y as f32;
+    }
+    crate::stats::record_fallback(crate::stats::slot::EXP10);
+    crate::round::round_dd_f32(exp10_kernel(xd))
+}
+
+/// `exp10` through the double-double kernel only (no fast path).
+pub fn exp10_dd(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    if x > 38.6 {
+        return f32::INFINITY;
+    }
+    if x < -45.5 {
+        return 0.0;
     }
     crate::round::round_dd_f32(exp10_kernel(x as f64))
 }
@@ -194,6 +267,37 @@ mod tests {
         assert!(exp2(127.9f32).is_finite());
         assert_eq!(exp2(-149.0f32), f32::from_bits(1));
         assert_eq!(exp2(-151.0f32), 0.0);
+    }
+
+    #[test]
+    fn pow2i_is_total() {
+        assert_eq!(pow2i(0), 1.0);
+        assert_eq!(pow2i(-1022), 2f64.powi(-1022));
+        assert_eq!(pow2i(1023), 2f64.powi(1023));
+        // Overflow clamps to infinity instead of shifting garbage into
+        // the exponent field.
+        assert_eq!(pow2i(1024), f64::INFINITY);
+        assert_eq!(pow2i(i64::MAX), f64::INFINITY);
+        // The subnormal branch is exact down to the last f64 bit...
+        assert_eq!(pow2i(-1023), 2f64.powi(-1023));
+        assert_eq!(pow2i(-1074), f64::from_bits(1));
+        // ...and everything below flushes to a clean zero.
+        assert_eq!(pow2i(-1075), 0.0);
+        assert_eq!(pow2i(i64::MIN), 0.0);
+    }
+
+    #[test]
+    fn f32_underflow_edge() {
+        // Around the f32 subnormal floor 2^-149: the smallest results the
+        // exp family can produce, where a non-total pow2i used to be one
+        // wide batched k away from undefined behavior.
+        assert_eq!(exp2(-149.5f32), f32::from_bits(1)); // 2^-149.5 ~ 0.707*2^-149
+        assert_eq!(exp2(-150.0f32), 0.0); // exact tie with 0: even mantissa wins
+        assert_eq!(exp2(-149.0f32), f32::from_bits(1));
+        assert!(exp2(-148.99f32) >= f32::from_bits(1));
+        // exp at its own floor: exp(-103.98) < 2^-150 < exp(-103.97).
+        assert_eq!(exp(-103.99f32), 0.0);
+        assert_eq!(exp(-103.9f32), f32::from_bits(1));
     }
 
     #[test]

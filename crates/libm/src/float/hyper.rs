@@ -69,6 +69,36 @@ pub fn sinh(x: f32) -> f32 {
     if x < -90.0 {
         return f32::NEG_INFINITY;
     }
+    let xd = x as f64;
+    // |x| < 2^-12: sinh(x) - x = x³/6 + ... < (2/3)·halfulp(x) for every
+    // f32 here (x = m·2^e, e <= -13 gives x³/6 = m³·2^(3e)/6 and
+    // halfulp(x) = 2^(e-25) for normals, larger relatively for
+    // subnormals), so sinh(x) rounds to x itself.
+    if xd.abs() < 2f64.powi(-12) {
+        return x;
+    }
+    let y = crate::fast::sinh_fast(xd);
+    if crate::round::f32_round_safe(y, crate::fast::SINH_BAND) {
+        return y as f32;
+    }
+    crate::stats::record_fallback(crate::stats::slot::SINH);
+    crate::round::round_dd_f32(sinh_kernel(xd))
+}
+
+/// `sinh` through the double-double kernel only (no fast path).
+pub fn sinh_dd(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    if x == 0.0 {
+        return x;
+    }
+    if x > 90.0 {
+        return f32::INFINITY;
+    }
+    if x < -90.0 {
+        return f32::NEG_INFINITY;
+    }
     crate::round::round_dd_f32(sinh_kernel(x as f64))
 }
 
@@ -82,6 +112,27 @@ pub fn sinh(x: f32) -> f32 {
 /// assert_eq!(rlibm_math::cosh(f32::NEG_INFINITY), f32::INFINITY);
 /// ```
 pub fn cosh(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    if x.abs() > 90.0 {
+        return f32::INFINITY;
+    }
+    let xd = x as f64;
+    // cosh(x) - 1 = x²/2 + ... < 2^-27 << halfulp(1) = 2^-24: rounds to 1.
+    if xd.abs() < 2f64.powi(-13) {
+        return 1.0;
+    }
+    let y = crate::fast::cosh_fast(xd);
+    if crate::round::f32_round_safe(y, crate::fast::COSH_BAND) {
+        return y as f32;
+    }
+    crate::stats::record_fallback(crate::stats::slot::COSH);
+    crate::round::round_dd_f32(cosh_kernel(xd))
+}
+
+/// `cosh` through the double-double kernel only (no fast path).
+pub fn cosh_dd(x: f32) -> f32 {
     if x.is_nan() {
         return f32::NAN;
     }

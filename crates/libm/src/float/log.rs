@@ -89,9 +89,41 @@ pub(crate) fn log10_kernel(x: f64) -> Dd {
     Dd::new(s, se + el + t::LOG10_F[j].1 + ef * t::LOG10_2_LO).add(scaled)
 }
 
-/// Common f32 front end: special cases + subnormal upscaling.
+/// Common two-tier f32 front end: special cases, then the plain-double
+/// fast path, then the dd kernel for the rare unsafe results.
 #[inline]
-fn log_front(x: f32, kernel: fn(f64) -> Dd) -> f32 {
+fn log_front(
+    x: f32,
+    fast: fn(f64) -> f64,
+    band: u64,
+    slot: usize,
+    kernel: fn(f64) -> Dd,
+) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    if x < 0.0 {
+        return f32::NAN;
+    }
+    if x == 0.0 {
+        return f32::NEG_INFINITY;
+    }
+    if x == f32::INFINITY {
+        return f32::INFINITY;
+    }
+    let xd = x as f64;
+    let y = fast(xd);
+    if crate::round::f32_round_safe(y, band) {
+        return y as f32;
+    }
+    crate::stats::record_fallback(slot);
+    crate::round::round_dd_f32(kernel(xd))
+}
+
+/// dd-only front end (tier 2 alone), kept for the `*_dd` reference
+/// entry points that the bit-identity tests and benches compare against.
+#[inline]
+fn log_front_dd(x: f32, kernel: fn(f64) -> Dd) -> f32 {
     if x.is_nan() {
         return f32::NAN;
     }
@@ -118,7 +150,18 @@ fn log_front(x: f32, kernel: fn(f64) -> Dd) -> f32 {
 /// assert_eq!(rlibm_math::ln(0.1f32), -2.3025851f32);
 /// ```
 pub fn ln(x: f32) -> f32 {
-    log_front(x, ln_kernel)
+    log_front(
+        x,
+        crate::fast::ln_fast,
+        crate::fast::LN_BAND,
+        crate::stats::slot::LN,
+        ln_kernel,
+    )
+}
+
+/// `ln` through the double-double kernel only (no fast path).
+pub fn ln_dd(x: f32) -> f32 {
+    log_front_dd(x, ln_kernel)
 }
 
 /// Correctly rounded base-2 logarithm for `f32`.
@@ -131,7 +174,18 @@ pub fn ln(x: f32) -> f32 {
 /// assert_eq!(rlibm_math::log2(f32::from_bits(1)), -149.0);
 /// ```
 pub fn log2(x: f32) -> f32 {
-    log_front(x, log2_kernel)
+    log_front(
+        x,
+        crate::fast::log2_fast,
+        crate::fast::LOG2_BAND,
+        crate::stats::slot::LOG2,
+        log2_kernel,
+    )
+}
+
+/// `log2` through the double-double kernel only (no fast path).
+pub fn log2_dd(x: f32) -> f32 {
+    log_front_dd(x, log2_kernel)
 }
 
 /// Correctly rounded base-10 logarithm for `f32`.
@@ -143,7 +197,18 @@ pub fn log2(x: f32) -> f32 {
 /// assert_eq!(rlibm_math::log10(1e10f32), 10.0);
 /// ```
 pub fn log10(x: f32) -> f32 {
-    log_front(x, log10_kernel)
+    log_front(
+        x,
+        crate::fast::log10_fast,
+        crate::fast::LOG10_BAND,
+        crate::stats::slot::LOG10,
+        log10_kernel,
+    )
+}
+
+/// `log10` through the double-double kernel only (no fast path).
+pub fn log10_dd(x: f32) -> f32 {
+    log_front_dd(x, log10_kernel)
 }
 
 #[cfg(test)]

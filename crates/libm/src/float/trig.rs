@@ -51,7 +51,7 @@ fn mod2_split(a: f64) -> (bool, f64) {
 
 /// Kernel: `sinpi(|x|)` with the sign of the half-period, for
 /// `0 < a < 2^23`, non-integer. Returns (negate, magnitude dd).
-fn sinpi_kernel(a: f64) -> (bool, Dd) {
+pub(crate) fn sinpi_kernel(a: f64) -> (bool, Dd) {
     let (k, l) = mod2_split(a);
     // Mirror symmetry about 1/2 (1 - L is exact by Sterbenz).
     let lp = if l > 0.5 { 1.0 - l } else { l };
@@ -93,6 +93,36 @@ pub fn sinpi(x: f32) -> f32 {
     if a == a.trunc() {
         return 0.0;
     }
+    let (k, v) = crate::fast::sinpi_fast_reduced(a);
+    if crate::round::f32_round_safe(v, crate::fast::SINPI_BAND) {
+        let neg = (x < 0.0) ^ k;
+        return if neg { -v as f32 } else { v as f32 };
+    }
+    crate::stats::record_fallback(crate::stats::slot::SINPI);
+    let (k, v) = sinpi_kernel(a);
+    let neg = (x < 0.0) ^ k;
+    crate::round::round_dd_f32(if neg { v.neg() } else { v })
+}
+
+/// `sinpi` through the double-double kernel only (no fast path).
+pub fn sinpi_dd(x: f32) -> f32 {
+    if x.is_nan() || x.is_infinite() {
+        return f32::NAN;
+    }
+    if x == 0.0 {
+        return x;
+    }
+    let a = (x as f64).abs();
+    if a >= 8_388_608.0 {
+        return 0.0;
+    }
+    if a < 2f64.powi(-36) {
+        let (p, e) = two_prod(t::PI_HI, x as f64);
+        return crate::round::round_dd_f32(Dd::new(p, e + t::PI_LO * x as f64));
+    }
+    if a == a.trunc() {
+        return 0.0;
+    }
     let (k, v) = sinpi_kernel(a);
     let neg = (x < 0.0) ^ k;
     crate::round::round_dd_f32(if neg { v.neg() } else { v })
@@ -108,6 +138,26 @@ pub fn sinpi(x: f32) -> f32 {
 /// assert_eq!(rlibm_math::cospi(0.5f32), 0.0);
 /// assert_eq!(rlibm_math::cospi(0.75f32), -0.70710677f32);
 /// ```
+/// Kernel: `cospi(|x|)` with the half-period sign, for non-integer,
+/// non-half-integer `0 < a < 2^24`. Returns (negate, magnitude dd).
+pub(crate) fn cospi_kernel(a: f64) -> (bool, Dd) {
+    let (k, l) = mod2_split(a);
+    // Mirror about 1/2 with a sign flip: cospi(L) = (-1)^M cospi(L').
+    let (m, lp) = if l > 0.5 { (true, 1.0 - l) } else { (false, l) };
+    let n = (lp * 512.0).floor() as usize; // 0..=255 here (lp < 1/2)
+    let v = if n == 0 {
+        cospi_poly(lp)
+    } else {
+        // Section 5's monotonic recombination: L' = N'/512 - R.
+        let np = n + 1;
+        let r = np as f64 / 512.0 - lp; // exact
+        let c = Dd { hi: t::COSPI_T[np].0, lo: t::COSPI_T[np].1 };
+        let s = Dd { hi: t::SINPI_T[np].0, lo: t::SINPI_T[np].1 };
+        c.mul(cospi_poly(r)).add(s.mul(sinpi_poly(r)))
+    };
+    (k ^ m, v)
+}
+
 pub fn cospi(x: f32) -> f32 {
     if x.is_nan() || x.is_infinite() {
         return f32::NAN;
@@ -124,24 +174,37 @@ pub fn cospi(x: f32) -> f32 {
     if a == a.trunc() {
         return if (a as i64) % 2 == 0 { 1.0 } else { -1.0 };
     }
-    let (k, l) = mod2_split(a);
-    if l == 0.5 {
+    if mod2_split(a).1 == 0.5 {
         return 0.0; // half-integers are exact zeros
     }
-    // Mirror about 1/2 with a sign flip: cospi(L) = (-1)^M cospi(L').
-    let (m, lp) = if l > 0.5 { (true, 1.0 - l) } else { (false, l) };
-    let n = (lp * 512.0).floor() as usize; // 0..=255 here (lp < 1/2)
-    let v = if n == 0 {
-        cospi_poly(lp)
-    } else {
-        // Section 5's monotonic recombination: L' = N'/512 - R.
-        let np = n + 1;
-        let r = np as f64 / 512.0 - lp; // exact
-        let c = Dd { hi: t::COSPI_T[np].0, lo: t::COSPI_T[np].1 };
-        let s = Dd { hi: t::SINPI_T[np].0, lo: t::SINPI_T[np].1 };
-        c.mul(cospi_poly(r)).add(s.mul(sinpi_poly(r)))
-    };
-    let neg = k ^ m;
+    let (neg, v) = crate::fast::cospi_fast_reduced(a);
+    if crate::round::f32_round_safe(v, crate::fast::COSPI_BAND) {
+        return if neg { -v as f32 } else { v as f32 };
+    }
+    crate::stats::record_fallback(crate::stats::slot::COSPI);
+    let (neg, v) = cospi_kernel(a);
+    crate::round::round_dd_f32(if neg { v.neg() } else { v })
+}
+
+/// `cospi` through the double-double kernel only (no fast path).
+pub fn cospi_dd(x: f32) -> f32 {
+    if x.is_nan() || x.is_infinite() {
+        return f32::NAN;
+    }
+    let a = (x as f64).abs();
+    if a >= 16_777_216.0 {
+        return 1.0;
+    }
+    if a < 7.77e-5 {
+        return 1.0;
+    }
+    if a == a.trunc() {
+        return if (a as i64) % 2 == 0 { 1.0 } else { -1.0 };
+    }
+    if mod2_split(a).1 == 0.5 {
+        return 0.0;
+    }
+    let (neg, v) = cospi_kernel(a);
     crate::round::round_dd_f32(if neg { v.neg() } else { v })
 }
 

@@ -15,9 +15,19 @@
 //!
 //! Every function follows the paper's published structure: special-case
 //! filter, range reduction in double, table lookup, short polynomial,
-//! output compensation — with the accuracy-critical steps carried as
-//! double-double pairs ([`dd`]) and one final correct rounding into the
-//! target representation via round-to-odd composition ([`round`]).
+//! output compensation — evaluated in **two tiers**. Tier 1 (the
+//! private `fast` module) runs that structure in plain double with a statically
+//! derived worst-case error band; a few integer ops on the result's
+//! bit pattern ([`round::f32_round_safe`] / [`round::posit32_round_safe`])
+//! certify the final cast is the correct rounding. The rare inputs
+//! landing inside an unsafe band re-run the double-double kernels
+//! ([`dd`]) with round-to-odd composition ([`round`]) — bit-identical
+//! results, constructive accuracy argument, no double rounding. The
+//! dd-only paths stay exported (`*_dd`) for certification sweeps, the
+//! [`slice`] module batches tier 1 as structure-of-arrays chunks
+//! ([`eval_slice_f32`] / [`eval_slice_posit32`]), and the
+//! `fallback-counters` feature ([`stats`]) counts dd fallbacks for the
+//! bench harnesses.
 //!
 //! # Quickstart
 //!
@@ -35,14 +45,18 @@
 pub mod baselines;
 pub mod bf16;
 pub mod dd;
+pub(crate) mod fast;
 pub mod float;
 pub mod half16;
 pub mod p16;
 pub mod posit;
 pub mod round;
+pub mod slice;
+pub mod stats;
 pub mod tables;
 
 pub use float::{cosh, cospi, exp, exp10, exp2, ln, log10, log2, sinh, sinpi};
+pub use slice::{eval_slice_f32, eval_slice_posit32};
 
 /// Resolves one of the ten f32 functions by its paper-table name.
 /// Harnesses resolve once and call through the pointer (no string
@@ -63,6 +77,26 @@ pub fn f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
     }
 }
 
+/// Resolves the dd-only (tier 2) variant of an f32 function by name —
+/// the reference implementation the two-tier fast path must match
+/// bit-for-bit, and the baseline the benches measure the fast path
+/// against.
+pub fn f32_dd_fn_by_name(name: &str) -> fn(f32) -> f32 {
+    match name {
+        "ln" => float::log::ln_dd,
+        "log2" => float::log::log2_dd,
+        "log10" => float::log::log10_dd,
+        "exp" => float::exp::exp_dd,
+        "exp2" => float::exp::exp2_dd,
+        "exp10" => float::exp::exp10_dd,
+        "sinh" => float::hyper::sinh_dd,
+        "cosh" => float::hyper::cosh_dd,
+        "sinpi" => float::trig::sinpi_dd,
+        "cospi" => float::trig::cospi_dd,
+        _ => panic!("unknown function {name}"),
+    }
+}
+
 /// Resolves a posit32 function by name (see [`f32_fn_by_name`]).
 pub fn posit32_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
     match name {
@@ -74,6 +108,21 @@ pub fn posit32_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit
         "exp10" => posit::exp10_p32,
         "sinh" => posit::sinh_p32,
         "cosh" => posit::cosh_p32,
+        _ => panic!("unknown posit function {name}"),
+    }
+}
+
+/// Resolves the dd-only (tier 2) variant of a posit32 function by name.
+pub fn posit32_dd_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
+    match name {
+        "ln" => posit::ln_p32_dd,
+        "log2" => posit::log2_p32_dd,
+        "log10" => posit::log10_p32_dd,
+        "exp" => posit::exp_p32_dd,
+        "exp2" => posit::exp2_p32_dd,
+        "exp10" => posit::exp10_p32_dd,
+        "sinh" => posit::sinh_p32_dd,
+        "cosh" => posit::cosh_p32_dd,
         _ => panic!("unknown posit function {name}"),
     }
 }

@@ -20,11 +20,33 @@ const LN_MAXPOS: f64 = 83.17766166719343;
 /// `log10 2^120`.
 const LOG10_MAXPOS: f64 = 36.123599478912376;
 
-/// Common front end for the logarithm family.
+/// Common two-tier front end for the logarithm family: plain-double fast
+/// path, dd fallback only when the posit safety test rejects.
 #[inline]
-fn log_front(x: Posit32, kernel: fn(f64) -> crate::dd::Dd) -> Posit32 {
+fn log_front(
+    x: Posit32,
+    fast: fn(f64) -> f64,
+    band: u64,
+    slot: usize,
+    kernel: fn(f64) -> crate::dd::Dd,
+) -> Posit32 {
     if x.is_nar() || x.is_zero() || x.is_negative() {
         // ln(0) = -inf and ln(negative) = NaN both map to NaR in posits.
+        return Posit32::NAR;
+    }
+    let xd = x.to_f64();
+    let y = fast(xd);
+    if crate::round::posit32_round_safe(y, band) {
+        return Posit32::from_f64(y);
+    }
+    crate::stats::record_fallback(slot);
+    round_dd(kernel(xd))
+}
+
+/// dd-only front end for the logarithm family (tier 2 alone).
+#[inline]
+fn log_front_dd(x: Posit32, kernel: fn(f64) -> crate::dd::Dd) -> Posit32 {
+    if x.is_nar() || x.is_zero() || x.is_negative() {
         return Posit32::NAR;
     }
     round_dd(kernel(x.to_f64()))
@@ -42,7 +64,18 @@ fn log_front(x: Posit32, kernel: fn(f64) -> crate::dd::Dd) -> Posit32 {
 /// assert!(rlibm_math::posit::ln_p32(Posit32::ZERO).is_nar());
 /// ```
 pub fn ln_p32(x: Posit32) -> Posit32 {
-    log_front(x, ln_kernel)
+    log_front(
+        x,
+        crate::fast::ln_fast,
+        crate::fast::LN_BAND,
+        crate::stats::slot::P32_LN,
+        ln_kernel,
+    )
+}
+
+/// `ln_p32` through the double-double kernel only (no fast path).
+pub fn ln_p32_dd(x: Posit32) -> Posit32 {
+    log_front_dd(x, ln_kernel)
 }
 
 /// Correctly rounded base-2 logarithm for posit32.
@@ -55,7 +88,18 @@ pub fn ln_p32(x: Posit32) -> Posit32 {
 /// assert_eq!(y.to_f64(), 3.0);
 /// ```
 pub fn log2_p32(x: Posit32) -> Posit32 {
-    log_front(x, log2_kernel)
+    log_front(
+        x,
+        crate::fast::log2_fast,
+        crate::fast::LOG2_BAND,
+        crate::stats::slot::P32_LOG2,
+        log2_kernel,
+    )
+}
+
+/// `log2_p32` through the double-double kernel only (no fast path).
+pub fn log2_p32_dd(x: Posit32) -> Posit32 {
+    log_front_dd(x, log2_kernel)
 }
 
 /// Correctly rounded base-10 logarithm for posit32.
@@ -68,7 +112,18 @@ pub fn log2_p32(x: Posit32) -> Posit32 {
 /// assert_eq!(y.to_f64(), 3.0);
 /// ```
 pub fn log10_p32(x: Posit32) -> Posit32 {
-    log_front(x, log10_kernel)
+    log_front(
+        x,
+        crate::fast::log10_fast,
+        crate::fast::LOG10_BAND,
+        crate::stats::slot::P32_LOG10,
+        log10_kernel,
+    )
+}
+
+/// `log10_p32` through the double-double kernel only (no fast path).
+pub fn log10_p32_dd(x: Posit32) -> Posit32 {
+    log_front_dd(x, log10_kernel)
 }
 
 /// Correctly rounded `e^x` for posit32 (saturating, never NaR for real
@@ -84,6 +139,26 @@ pub fn log10_p32(x: Posit32) -> Posit32 {
 /// assert_eq!(rlibm_math::posit::exp_p32(big), Posit32::MAXPOS);
 /// ```
 pub fn exp_p32(x: Posit32) -> Posit32 {
+    if x.is_nar() {
+        return Posit32::NAR;
+    }
+    let xd = x.to_f64();
+    if xd > LN_MAXPOS + 0.5 {
+        return Posit32::MAXPOS;
+    }
+    if xd < -(LN_MAXPOS + 0.5) {
+        return Posit32::MINPOS;
+    }
+    let y = crate::fast::exp_fast(xd);
+    if crate::round::posit32_round_safe(y, crate::fast::EXP_BAND) {
+        return Posit32::from_f64(y);
+    }
+    crate::stats::record_fallback(crate::stats::slot::P32_EXP);
+    round_dd(exp_kernel(xd))
+}
+
+/// `exp_p32` through the double-double kernel only (no fast path).
+pub fn exp_p32_dd(x: Posit32) -> Posit32 {
     if x.is_nar() {
         return Posit32::NAR;
     }
@@ -117,6 +192,26 @@ pub fn exp2_p32(x: Posit32) -> Posit32 {
     if xd < -120.5 {
         return Posit32::MINPOS;
     }
+    let y = crate::fast::exp2_fast(xd);
+    if crate::round::posit32_round_safe(y, crate::fast::EXP2_BAND) {
+        return Posit32::from_f64(y);
+    }
+    crate::stats::record_fallback(crate::stats::slot::P32_EXP2);
+    round_dd(exp2_kernel(xd))
+}
+
+/// `exp2_p32` through the double-double kernel only (no fast path).
+pub fn exp2_p32_dd(x: Posit32) -> Posit32 {
+    if x.is_nar() {
+        return Posit32::NAR;
+    }
+    let xd = x.to_f64();
+    if xd > 120.5 {
+        return Posit32::MAXPOS;
+    }
+    if xd < -120.5 {
+        return Posit32::MINPOS;
+    }
     round_dd(exp2_kernel(xd))
 }
 
@@ -130,6 +225,26 @@ pub fn exp2_p32(x: Posit32) -> Posit32 {
 /// assert_eq!(y.to_f64(), 1000.0);
 /// ```
 pub fn exp10_p32(x: Posit32) -> Posit32 {
+    if x.is_nar() {
+        return Posit32::NAR;
+    }
+    let xd = x.to_f64();
+    if xd > LOG10_MAXPOS + 0.5 {
+        return Posit32::MAXPOS;
+    }
+    if xd < -(LOG10_MAXPOS + 0.5) {
+        return Posit32::MINPOS;
+    }
+    let y = crate::fast::exp10_fast(xd);
+    if crate::round::posit32_round_safe(y, crate::fast::EXP10_BAND) {
+        return Posit32::from_f64(y);
+    }
+    crate::stats::record_fallback(crate::stats::slot::P32_EXP10);
+    round_dd(exp10_kernel(xd))
+}
+
+/// `exp10_p32` through the double-double kernel only (no fast path).
+pub fn exp10_p32_dd(x: Posit32) -> Posit32 {
     if x.is_nar() {
         return Posit32::NAR;
     }
@@ -167,6 +282,34 @@ pub fn sinh_p32(x: Posit32) -> Posit32 {
     if xd < -(LN_MAXPOS + 1.5) {
         return -Posit32::MAXPOS;
     }
+    // |x| < 2^-13: sinh(x) - x = x³/6 + ... is below half the posit
+    // quantum (<= 24 fraction bits out here), so sinh(x) rounds to x.
+    if xd.abs() < 2f64.powi(-13) {
+        return x;
+    }
+    let y = crate::fast::sinh_fast(xd);
+    if crate::round::posit32_round_safe(y, crate::fast::SINH_BAND) {
+        return Posit32::from_f64(y);
+    }
+    crate::stats::record_fallback(crate::stats::slot::P32_SINH);
+    round_dd(sinh_kernel(xd))
+}
+
+/// `sinh_p32` through the double-double kernel only (no fast path).
+pub fn sinh_p32_dd(x: Posit32) -> Posit32 {
+    if x.is_nar() {
+        return Posit32::NAR;
+    }
+    if x.is_zero() {
+        return Posit32::ZERO;
+    }
+    let xd = x.to_f64();
+    if xd > LN_MAXPOS + 1.5 {
+        return Posit32::MAXPOS;
+    }
+    if xd < -(LN_MAXPOS + 1.5) {
+        return -Posit32::MAXPOS;
+    }
     round_dd(sinh_kernel(xd))
 }
 
@@ -179,6 +322,23 @@ pub fn sinh_p32(x: Posit32) -> Posit32 {
 /// assert_eq!(rlibm_math::posit::cosh_p32(Posit32::ZERO), Posit32::ONE);
 /// ```
 pub fn cosh_p32(x: Posit32) -> Posit32 {
+    if x.is_nar() {
+        return Posit32::NAR;
+    }
+    let xd = x.to_f64();
+    if xd.abs() > LN_MAXPOS + 1.5 {
+        return Posit32::MAXPOS;
+    }
+    let y = crate::fast::cosh_fast(xd);
+    if crate::round::posit32_round_safe(y, crate::fast::COSH_BAND) {
+        return Posit32::from_f64(y);
+    }
+    crate::stats::record_fallback(crate::stats::slot::P32_COSH);
+    round_dd(cosh_kernel(xd))
+}
+
+/// `cosh_p32` through the double-double kernel only (no fast path).
+pub fn cosh_p32_dd(x: Posit32) -> Posit32 {
     if x.is_nar() {
         return Posit32::NAR;
     }

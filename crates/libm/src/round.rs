@@ -55,6 +55,72 @@ pub fn round_dd_f32(v: Dd) -> f32 {
     round_dd::<f32>(v)
 }
 
+/// Certifies that rounding the plain double `y` to `f32` yields the
+/// correct rounding of any real value within `band · 2^-53` *relative*
+/// of `y` — the fast path's safety test.
+///
+/// `y` approximates `f(x)` with a statically derived relative error
+/// bound. In the binade `[2^e, 2^(e+1))` that bound is at most
+/// `band · 2^(e-52)` absolute, i.e. `band` units of the f64 fraction's
+/// last place. The f32 rounding boundaries are the midpoints of adjacent
+/// f32 values: fraction patterns whose low 29 bits equal `0x1000_0000`
+/// (f32 keeps 23 of the 52 fraction bits in every normal binade). If `y`
+/// is more than `band` units away from the nearest midpoint, every value
+/// within the error bound rounds to the same f32 — so `y as f32` *is* the
+/// correctly rounded result.
+///
+/// Boundaries *outside* `y`'s binade are automatically far: the nearest
+/// cross-binade midpoints sit at least `2^27` fraction units from any
+/// interior point's distance-to-midpoint test (and `band << 2^27`), so a
+/// per-binade view is sound. Results that are not f32-normal (subnormal,
+/// zero, overflow) are rejected wholesale — the dd fallback owns them.
+#[inline(always)]
+pub fn f32_round_safe(y: f64, band: u64) -> bool {
+    debug_assert!(band < (1 << 26));
+    let bits = y.to_bits();
+    let be = (bits >> 52) & 0x7ff;
+    // f32-normal results only: 2^-126 <= |y| < 2^128.
+    if !(897..=1150).contains(&be) {
+        return false;
+    }
+    let frac = bits & 0x1FFF_FFFF;
+    frac.abs_diff(0x1000_0000) > band
+}
+
+/// Posit32 counterpart of [`f32_round_safe`].
+///
+/// Posit32 (`es = 2`) has a *regime-dependent* fraction width: for
+/// unbiased exponent `e`, the regime `k = floor(e/4)` occupies
+/// `k + 2` bits (`k >= 0`) or `-k + 1` bits (`k < 0`), leaving
+/// `29 - regime_len` fraction bits. The rounding midpoints are therefore
+/// at a different bit position per regime; everything else mirrors the
+/// f32 test, with the band again in units of `2^-53` relative.
+///
+/// The accepted exponent range `-112 <= e <= 111` is exactly where the
+/// posit grid inside `y`'s binade is uniform with both binade endpoints
+/// representable, so a single frac-space midpoint test is sound. That
+/// holds down to `frac_bits = 0` (`|k| <= 27` positive side, `k >= -28`
+/// negative side), where the binade's grid is just its endpoints `2^e`
+/// and `2^(e+1)` and the lone midpoint sits at mantissa 1.5. Beyond
+/// that (`|k| >= 28`) the es field itself is truncated, the grid skips
+/// exponents, and midpoints stop aligning with frac space — those
+/// extremes (and the saturation zone near `maxpos = 2^120`) fall back
+/// to the dd kernel.
+#[inline(always)]
+pub fn posit32_round_safe(y: f64, band: u64) -> bool {
+    let bits = y.to_bits() & !(1u64 << 63);
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    if !(-112..=111).contains(&e) {
+        return false; // covers zero (e = -1023) and non-finite too
+    }
+    let k = e.div_euclid(4);
+    let regime_len = if k >= 0 { k as u64 + 2 } else { (-k) as u64 + 1 };
+    let frac_bits = 29 - regime_len; // 0..=27 within the accepted range
+    let shift = 52 - frac_bits;
+    let frac = bits & ((1u64 << shift) - 1);
+    frac.abs_diff(1u64 << (shift - 1)) > band
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +176,94 @@ mod tests {
         // ...but a hair above must produce the smallest subnormal.
         let t2 = Dd::new(2f64.powi(-150), 2f64.powi(-220));
         assert_eq!(round_dd_f32(t2), f32::from_bits(1));
+    }
+
+    #[test]
+    fn f32_safe_accepts_interior_and_rejects_midpoints() {
+        // 1.5 sits exactly on the f32 grid: maximally far from midpoints.
+        assert!(f32_round_safe(1.5, 4096));
+        // An exact f32 midpoint (1 + 2^-24) must be rejected for any band.
+        let mid = 1.0 + 2f64.powi(-24);
+        assert!(!f32_round_safe(mid, 0));
+        // Just past the band's edge on either side: accepted again.
+        let band = 256u64;
+        let above = f64::from_bits(mid.to_bits() + band + 1);
+        let below = f64::from_bits(mid.to_bits() - band - 1);
+        assert!(f32_round_safe(above, band));
+        assert!(f32_round_safe(below, band));
+        // Within the band: rejected.
+        assert!(!f32_round_safe(f64::from_bits(mid.to_bits() + band), band));
+    }
+
+    #[test]
+    fn f32_safe_rejects_non_normal_results() {
+        assert!(!f32_round_safe(0.0, 256));
+        assert!(!f32_round_safe(f64::NAN, 256));
+        assert!(!f32_round_safe(f64::INFINITY, 256));
+        assert!(!f32_round_safe(2f64.powi(-127), 256)); // f32-subnormal
+        assert!(!f32_round_safe(2f64.powi(128), 256)); // f32 overflow
+        assert!(f32_round_safe(2f64.powi(-126) * 1.5, 256));
+        assert!(f32_round_safe(2f64.powi(127) * 1.5, 256));
+    }
+
+    #[test]
+    fn f32_safe_agrees_with_cast_when_accepted() {
+        use rlibm_fp::rng::XorShift64;
+        // Property: if the test accepts y, then every value within
+        // band·2^-53 relative of y casts to the same f32 as y.
+        let mut rng = XorShift64::new(0xBEEF);
+        let band = 2048u64;
+        for _ in 0..50_000 {
+            let e = rng.uniform_f64(-120.0, 120.0);
+            let y = rng.uniform_f64(1.0, 2.0) * e.exp2();
+            if !f32_round_safe(y, band) {
+                continue;
+            }
+            let delta = band as f64 * 2f64.powi(-53) * y.abs();
+            assert_eq!((y + delta) as f32, y as f32, "y = {y:e}");
+            assert_eq!((y - delta) as f32, y as f32, "y = {y:e}");
+        }
+    }
+
+    #[test]
+    fn posit_safe_agrees_with_round_when_accepted() {
+        use rlibm_fp::rng::XorShift64;
+        use rlibm_posit::Posit32;
+        let mut rng = XorShift64::new(0xCAFE);
+        let band = 2048u64;
+        let mut accepted = 0u32;
+        for _ in 0..50_000 {
+            let e = rng.uniform_f64(-100.0, 100.0);
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            let y = sign * rng.uniform_f64(1.0, 2.0) * e.exp2();
+            if !posit32_round_safe(y, band) {
+                continue;
+            }
+            accepted += 1;
+            let delta = band as f64 * 2f64.powi(-53) * y.abs();
+            let p = Posit32::from_f64(y);
+            assert_eq!(Posit32::from_f64(y + delta), p, "y = {y:e}");
+            assert_eq!(Posit32::from_f64(y - delta), p, "y = {y:e}");
+        }
+        assert!(accepted > 40_000, "safety test too conservative: {accepted}");
+    }
+
+    #[test]
+    fn posit_safe_rejects_extremes() {
+        assert!(!posit32_round_safe(0.0, 256));
+        assert!(!posit32_round_safe(f64::NAN, 256));
+        // Exact powers of two deep in the regime tail are still safe...
+        assert!(posit32_round_safe(2f64.powi(100), 256));
+        assert!(posit32_round_safe(2f64.powi(-100), 256));
+        // ...but the es-truncation zone (|k| >= 28) is rejected wholesale.
+        assert!(!posit32_round_safe(1.5 * 2f64.powi(112), 256));
+        assert!(!posit32_round_safe(1.5 * 2f64.powi(-113), 256));
+        assert!(!posit32_round_safe(2f64.powi(119), 256)); // near saturation
+        // The exact posit 1.5 is far from every midpoint.
+        assert!(posit32_round_safe(1.5, 4096));
+        assert!(posit32_round_safe(-1.5, 4096));
+        // A posit32 midpoint near 1.0: quantum 2^-27, midpoint 1 + 2^-28.
+        assert!(!posit32_round_safe(1.0 + 2f64.powi(-28), 0));
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Batched evaluation — the §4.3 vectorization regime as a real API.
+//!
+//! [`eval_slice_f32`] (and the per-function `*_slice` entry points)
+//! evaluate a whole input slice with the same two-tier guarantee as the
+//! scalar functions: the output is **bit-identical** to mapping the
+//! scalar function over the slice. The speed comes from restructuring the
+//! fast path as structure-of-arrays stages over fixed-size chunks:
+//!
+//! 1. **widen**: classify each lane against the function's fast-path
+//!    domain and widen to f64 (special lanes get a benign placeholder so
+//!    the staged arithmetic stays total);
+//! 2. **reduce**: the range reduction for every lane (k/r for the exp
+//!    family, e/j/u for the logs) into parallel arrays;
+//! 3. **lookup + Horner**: table access and polynomial evaluation over
+//!    the arrays — straight-line plain-double code the compiler can
+//!    unroll and schedule across lanes (and auto-vectorize where the
+//!    target allows);
+//! 4. **resolve**: per lane, the safety test decides between casting the
+//!    fast double and re-running the scalar two-tier entry (which also
+//!    owns every special-case lane).
+//!
+//! `sinh`/`cosh` route their dominant cost (the `e^|x|` evaluation)
+//! through the same staged exp pipeline; `sinpi`/`cospi` are evaluated
+//! per lane inside the chunk driver — their reduction is short but
+//! branch-heavy (mirror folds), so staging buys nothing there.
+//!
+//! Posit32 batching ([`eval_slice_posit32`]) is a chunked scalar loop:
+//! posit decode/encode is regime-dependent bit manipulation with no
+//! shared stage structure to hoist, so the honest batched form is the
+//! scalar two-tier call per lane.
+
+use crate::fast;
+use crate::tables as t;
+
+/// Chunk width of the staged pipeline. 64 lanes of f64 is 4 cache lines
+/// per stage array — small enough to stay resident, wide enough that the
+/// per-chunk loop overhead vanishes.
+const LANES: usize = 64;
+
+/// Shared chunk driver: widen in-domain lanes, run the staged fast
+/// evaluation, then resolve every lane through the safety test (special
+/// and unsafe lanes re-enter the scalar two-tier function).
+#[inline(always)]
+fn drive(
+    xs: &[f32],
+    out: &mut [f32],
+    dom: impl Fn(f32) -> bool,
+    fast_chunk: impl Fn(&[f64], &mut [f64]),
+    band: u64,
+    scalar: fn(f32) -> f32,
+) {
+    assert_eq!(xs.len(), out.len(), "eval_slice: input/output length mismatch");
+    let mut xd = [0.0f64; LANES];
+    let mut y = [0.0f64; LANES];
+    for (xc, oc) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+        let n = xc.len();
+        for i in 0..n {
+            // Placeholder 1.0 keeps every stage total for special lanes;
+            // their staged result is discarded in the resolve stage.
+            xd[i] = if dom(xc[i]) { xc[i] as f64 } else { 1.0 };
+        }
+        fast_chunk(&xd[..n], &mut y[..n]);
+        for i in 0..n {
+            oc[i] = if dom(xc[i]) && crate::round::f32_round_safe(y[i], band) {
+                y[i] as f32
+            } else {
+                scalar(xc[i])
+            };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// exp family chunks
+// ---------------------------------------------------------------------
+
+/// Staged `e^x` over a chunk: reduction array pass, then lookup+Horner.
+fn exp_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut k = [0i64; LANES];
+    let mut r = [0.0f64; LANES];
+    for i in 0..xd.len() {
+        let kk = (xd[i] * (64.0 * t::LOG2_E)).round_ties_even() as i64;
+        let kf = kk as f64;
+        k[i] = kk;
+        r[i] = (xd[i] - kf * t::LN2_64_HI) - kf * t::LN2_64_MID;
+    }
+    for i in 0..xd.len() {
+        y[i] = fast::exp_combined_fast(k[i], r[i]);
+    }
+}
+
+fn exp2_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut k = [0i64; LANES];
+    let mut r = [0.0f64; LANES];
+    for i in 0..xd.len() {
+        let kk = (xd[i] * 64.0).round_ties_even() as i64;
+        let tt = xd[i] - (kk as f64) / 64.0;
+        k[i] = kk;
+        r[i] = tt * t::LN2_HI + tt * t::LN2_LO;
+    }
+    for i in 0..xd.len() {
+        y[i] = fast::exp_combined_fast(k[i], r[i]);
+    }
+}
+
+fn exp10_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut k = [0i64; LANES];
+    let mut r = [0.0f64; LANES];
+    for i in 0..xd.len() {
+        let kk = (xd[i] * (64.0 * t::LOG2_10)).round_ties_even() as i64;
+        let kf = kk as f64;
+        let b = kf * t::LN2_64_HI;
+        k[i] = kk;
+        r[i] = (xd[i] * t::LN10_HI - b) + (xd[i] * t::LN10_LO - kf * t::LN2_64_MID);
+    }
+    for i in 0..xd.len() {
+        y[i] = fast::exp_combined_fast(k[i], r[i]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// log family chunks
+// ---------------------------------------------------------------------
+
+/// Staged log reduction shared by the three logs: `(e, j, u)` arrays,
+/// then the `log1p` Horner pass.
+#[inline(always)]
+fn log_stages(xd: &[f64], e: &mut [i64], j: &mut [usize], p: &mut [f64]) {
+    let mut u = [0.0f64; LANES];
+    for i in 0..xd.len() {
+        let (ei, ji, ui) = fast::reduce_fast(xd[i]);
+        e[i] = ei;
+        j[i] = ji;
+        u[i] = ui;
+    }
+    for i in 0..xd.len() {
+        p[i] = fast::log1p_poly_fast(u[i]);
+    }
+}
+
+fn ln_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut e = [0i64; LANES];
+    let mut j = [0usize; LANES];
+    let mut p = [0.0f64; LANES];
+    log_stages(xd, &mut e, &mut j, &mut p);
+    for i in 0..xd.len() {
+        let ef = e[i] as f64;
+        let c = ef * t::LN2_HI42 + t::LN_F[j[i]].0;
+        let lo = t::LN_F[j[i]].1 + ef * t::LN2_MID;
+        y[i] = c + (p[i] + lo);
+    }
+}
+
+fn log2_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut e = [0i64; LANES];
+    let mut j = [0usize; LANES];
+    let mut p = [0.0f64; LANES];
+    log_stages(xd, &mut e, &mut j, &mut p);
+    for i in 0..xd.len() {
+        let c = e[i] as f64 + t::LOG2_F[j[i]].0;
+        y[i] = c + (p[i] * t::INV_LN2_HI + (t::LOG2_F[j[i]].1 + p[i] * t::INV_LN2_LO));
+    }
+}
+
+fn log10_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut e = [0i64; LANES];
+    let mut j = [0usize; LANES];
+    let mut p = [0.0f64; LANES];
+    log_stages(xd, &mut e, &mut j, &mut p);
+    for i in 0..xd.len() {
+        let ef = e[i] as f64;
+        let c = ef * t::LOG10_2_HI + t::LOG10_F[j[i]].0;
+        y[i] = c
+            + (p[i] * t::INV_LN10_HI
+                + (t::LOG10_F[j[i]].1 + ef * t::LOG10_2_LO + p[i] * t::INV_LN10_LO));
+    }
+}
+
+// ---------------------------------------------------------------------
+// hyperbolic chunks (big factor through the staged exp pipeline)
+// ---------------------------------------------------------------------
+
+fn sinh_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut a = [0.0f64; LANES];
+    for i in 0..xd.len() {
+        a[i] = xd[i].abs();
+    }
+    let mut big = [0.0f64; LANES];
+    exp_chunk(&a[..xd.len()], &mut big[..xd.len()]);
+    for i in 0..xd.len() {
+        let v = if a[i] < 0.0625 {
+            let x2 = a[i] * a[i];
+            a[i] + a[i]
+                * x2
+                * (1.0 / 6.0
+                    + x2 * (1.0 / 120.0 + x2 * (1.0 / 5040.0 + x2 * (1.0 / 362_880.0))))
+        } else {
+            0.5 * (big[i] - 1.0 / big[i])
+        };
+        y[i] = if xd[i] < 0.0 { -v } else { v };
+    }
+}
+
+fn cosh_chunk(xd: &[f64], y: &mut [f64]) {
+    let mut a = [0.0f64; LANES];
+    for i in 0..xd.len() {
+        a[i] = xd[i].abs();
+    }
+    let mut big = [0.0f64; LANES];
+    exp_chunk(&a[..xd.len()], &mut big[..xd.len()]);
+    for i in 0..xd.len() {
+        y[i] = if a[i] < 0.0625 {
+            let x2 = a[i] * a[i];
+            1.0 + x2 * (0.5 + x2 * (1.0 / 24.0 + x2 * (1.0 / 720.0 + x2 * (1.0 / 40_320.0))))
+        } else {
+            0.5 * (big[i] + 1.0 / big[i])
+        };
+    }
+}
+
+// ---------------------------------------------------------------------
+// sinpi / cospi chunks (per-lane: reduction is branch-heavy)
+// ---------------------------------------------------------------------
+
+fn sinpi_chunk(xd: &[f64], y: &mut [f64]) {
+    for i in 0..xd.len() {
+        let a = xd[i].abs();
+        let (k, v) = fast::sinpi_fast_reduced(a);
+        let neg = (xd[i] < 0.0) ^ k;
+        y[i] = if neg { -v } else { v };
+    }
+}
+
+fn cospi_chunk(xd: &[f64], y: &mut [f64]) {
+    for i in 0..xd.len() {
+        let (neg, v) = fast::cospi_fast_reduced(xd[i].abs());
+        y[i] = if neg { -v } else { v };
+    }
+}
+
+// ---------------------------------------------------------------------
+// public entry points
+// ---------------------------------------------------------------------
+
+/// Batched [`crate::exp`]: bit-identical to the scalar map.
+pub fn exp_slice(xs: &[f32], out: &mut [f32]) {
+    drive(xs, out, |x| (-106.0..=89.0).contains(&x), exp_chunk, fast::EXP_BAND, crate::exp)
+}
+
+/// Batched [`crate::exp2`].
+pub fn exp2_slice(xs: &[f32], out: &mut [f32]) {
+    drive(xs, out, |x| (-151.0..128.0).contains(&x), exp2_chunk, fast::EXP2_BAND, crate::exp2)
+}
+
+/// Batched [`crate::exp10`].
+pub fn exp10_slice(xs: &[f32], out: &mut [f32]) {
+    drive(xs, out, |x| (-45.5..=38.6).contains(&x), exp10_chunk, fast::EXP10_BAND, crate::exp10)
+}
+
+/// Batched [`crate::ln`].
+pub fn ln_slice(xs: &[f32], out: &mut [f32]) {
+    drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, ln_chunk, fast::LN_BAND, crate::ln)
+}
+
+/// Batched [`crate::log2`].
+pub fn log2_slice(xs: &[f32], out: &mut [f32]) {
+    drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, log2_chunk, fast::LOG2_BAND, crate::log2)
+}
+
+/// Batched [`crate::log10`].
+pub fn log10_slice(xs: &[f32], out: &mut [f32]) {
+    drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, log10_chunk, fast::LOG10_BAND, crate::log10)
+}
+
+/// Batched [`crate::sinh`].
+pub fn sinh_slice(xs: &[f32], out: &mut [f32]) {
+    let tiny = 2f32.powi(-12);
+    drive(
+        xs,
+        out,
+        move |x| x.abs() <= 90.0 && x.abs() >= tiny,
+        sinh_chunk,
+        fast::SINH_BAND,
+        crate::sinh,
+    )
+}
+
+/// Batched [`crate::cosh`].
+pub fn cosh_slice(xs: &[f32], out: &mut [f32]) {
+    let tiny = 2f32.powi(-13);
+    drive(
+        xs,
+        out,
+        move |x| x.abs() <= 90.0 && x.abs() >= tiny,
+        cosh_chunk,
+        fast::COSH_BAND,
+        crate::cosh,
+    )
+}
+
+/// Batched [`crate::sinpi`].
+pub fn sinpi_slice(xs: &[f32], out: &mut [f32]) {
+    drive(
+        xs,
+        out,
+        |x| {
+            let a = (x as f64).abs();
+            x.is_finite() && a < 8_388_608.0 && a >= 2f64.powi(-36) && a != a.trunc()
+        },
+        sinpi_chunk,
+        fast::SINPI_BAND,
+        crate::sinpi,
+    )
+}
+
+/// Batched [`crate::cospi`].
+pub fn cospi_slice(xs: &[f32], out: &mut [f32]) {
+    drive(
+        xs,
+        out,
+        |x| {
+            let a = (x as f64).abs();
+            // 2a == trunc(2a) catches integers AND half-integers (both
+            // handled by the scalar front's exact special cases).
+            x.is_finite()
+                && (7.77e-5..16_777_216.0).contains(&a)
+                && 2.0 * a != (2.0 * a).trunc()
+        },
+        cospi_chunk,
+        fast::COSPI_BAND,
+        crate::cospi,
+    )
+}
+
+/// Batched evaluation of an f32 function by its paper-table name:
+/// `out[i] = f(xs[i])`, bit-identical to the scalar function.
+pub fn eval_slice_f32(name: &str, xs: &[f32], out: &mut [f32]) {
+    match name {
+        "ln" => ln_slice(xs, out),
+        "log2" => log2_slice(xs, out),
+        "log10" => log10_slice(xs, out),
+        "exp" => exp_slice(xs, out),
+        "exp2" => exp2_slice(xs, out),
+        "exp10" => exp10_slice(xs, out),
+        "sinh" => sinh_slice(xs, out),
+        "cosh" => cosh_slice(xs, out),
+        "sinpi" => sinpi_slice(xs, out),
+        "cospi" => cospi_slice(xs, out),
+        _ => panic!("unknown function {name}"),
+    }
+}
+
+/// Batched evaluation of a posit32 function by name. Posit encode/decode
+/// is regime-dependent bit twiddling, so the chunked loop simply applies
+/// the scalar two-tier function per lane — the entry point exists so
+/// harnesses can time "batched posit" without pretending there is a
+/// staged pipeline to exploit.
+pub fn eval_slice_posit32(
+    name: &str,
+    xs: &[rlibm_posit::Posit32],
+    out: &mut [rlibm_posit::Posit32],
+) {
+    assert_eq!(xs.len(), out.len(), "eval_slice: input/output length mismatch");
+    let f = crate::posit32_fn_by_name(name);
+    for (xc, oc) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+        for i in 0..xc.len() {
+            oc[i] = f(xc[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlibm_fp::rng::XorShift64;
+
+    const NAMES: [&str; 10] = [
+        "ln", "log2", "log10", "exp", "exp2", "exp10", "sinh", "cosh", "sinpi", "cospi",
+    ];
+
+    fn adversarial_inputs() -> Vec<f32> {
+        let mut xs = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MAX,
+            f32::MIN,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1),
+            88.9,
+            -106.5,
+            128.5,
+            -151.5,
+            38.7,
+            -45.7,
+            90.5,
+            -90.5,
+            0.5,
+            2.5,
+            8_388_609.0,
+            1e-8,
+            2e-4,
+        ];
+        let mut rng = XorShift64::new(0x51CE);
+        for _ in 0..5000 {
+            xs.push(f32::from_bits(rng.next_u32()));
+        }
+        // Plus a dense in-domain band for each family.
+        for i in 0..2000 {
+            xs.push(-20.0 + i as f32 * 0.02); // exp/sinh/cosh/trig range
+            xs.push(f32::from_bits(0x3F00_0000 + i * 37)); // near 1 for logs
+        }
+        xs
+    }
+
+    #[test]
+    fn slices_are_bit_identical_to_scalar() {
+        let xs = adversarial_inputs();
+        let mut out = vec![0.0f32; xs.len()];
+        for name in NAMES {
+            eval_slice_f32(name, &xs, &mut out);
+            for (i, (&x, &got)) in xs.iter().zip(out.iter()).enumerate() {
+                let want = crate::eval_f32_by_name(name, x);
+                assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "{name}[{i}]: x = {x:e} ({:#010x}): slice {got:e} vs scalar {want:e}",
+                    x.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn posit_slice_matches_scalar() {
+        use rlibm_posit::Posit32;
+        let mut rng = XorShift64::new(0x9051);
+        let xs: Vec<Posit32> = (0..3000).map(|_| Posit32::from_bits(rng.next_u32())).collect();
+        let mut out = vec![Posit32::ZERO; xs.len()];
+        for name in ["ln", "exp", "sinh", "cosh", "log10", "exp2", "exp10", "log2"] {
+            eval_slice_posit32(name, &xs, &mut out);
+            for (&x, &got) in xs.iter().zip(out.iter()) {
+                assert_eq!(got, crate::eval_posit32_by_name(name, x), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_partial_chunks() {
+        let mut out = [];
+        exp_slice(&[], &mut out);
+        // A length that is not a multiple of the lane width.
+        let xs: Vec<f32> = (0..97).map(|i| i as f32 * 0.11 - 5.0).collect();
+        let mut out = vec![0.0f32; 97];
+        ln_slice(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(out.iter()) {
+            let want = crate::ln(x);
+            assert!(got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut out = vec![0.0f32; 3];
+        exp_slice(&[1.0, 2.0], &mut out);
+    }
+}

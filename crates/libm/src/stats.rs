@@ -1,0 +1,193 @@
+//! Fallback-rate instrumentation for the two-tier kernels.
+//!
+//! Every f32/posit32 front end calls [`record_fallback`] when the fast
+//! path's safety test rejects a result and the dd kernel re-runs. With the
+//! `fallback-counters` cargo feature the events land in per-function
+//! relaxed atomics; without it the call compiles to nothing, so the
+//! shipping library carries zero instrumentation cost.
+//!
+//! Only *fallbacks* are counted — never total calls. Fallbacks are a few
+//! parts per million of inputs, so the counters stay out of the hot path
+//! and do not perturb benchmark timing; harnesses divide by their own
+//! known input counts to report a rate.
+
+/// One counter slot per function, f32 functions in the paper's Table 1
+/// order followed by the eight posit32 functions.
+pub mod slot {
+    /// f32 `ln`.
+    pub const LN: usize = 0;
+    /// f32 `log2`.
+    pub const LOG2: usize = 1;
+    /// f32 `log10`.
+    pub const LOG10: usize = 2;
+    /// f32 `exp`.
+    pub const EXP: usize = 3;
+    /// f32 `exp2`.
+    pub const EXP2: usize = 4;
+    /// f32 `exp10`.
+    pub const EXP10: usize = 5;
+    /// f32 `sinh`.
+    pub const SINH: usize = 6;
+    /// f32 `cosh`.
+    pub const COSH: usize = 7;
+    /// f32 `sinpi`.
+    pub const SINPI: usize = 8;
+    /// f32 `cospi`.
+    pub const COSPI: usize = 9;
+    /// posit32 `ln`.
+    pub const P32_LN: usize = 10;
+    /// posit32 `log2`.
+    pub const P32_LOG2: usize = 11;
+    /// posit32 `log10`.
+    pub const P32_LOG10: usize = 12;
+    /// posit32 `exp`.
+    pub const P32_EXP: usize = 13;
+    /// posit32 `exp2`.
+    pub const P32_EXP2: usize = 14;
+    /// posit32 `exp10`.
+    pub const P32_EXP10: usize = 15;
+    /// posit32 `sinh`.
+    pub const P32_SINH: usize = 16;
+    /// posit32 `cosh`.
+    pub const P32_COSH: usize = 17;
+    /// Number of slots.
+    pub const COUNT: usize = 18;
+}
+
+#[cfg(feature = "fallback-counters")]
+mod imp {
+    use super::slot;
+    use core::sync::atomic::{AtomicU64, Ordering};
+
+    static FALLBACKS: [AtomicU64; slot::COUNT] = [const { AtomicU64::new(0) }; slot::COUNT];
+
+    pub fn enabled() -> bool {
+        true
+    }
+
+    #[inline]
+    pub fn record_fallback(s: usize) {
+        FALLBACKS[s].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn fallbacks(s: usize) -> u64 {
+        FALLBACKS[s].load(Ordering::Relaxed)
+    }
+
+    pub fn reset() {
+        for c in &FALLBACKS {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "fallback-counters"))]
+mod imp {
+    pub fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn record_fallback(_s: usize) {}
+
+    pub fn fallbacks(_s: usize) -> u64 {
+        0
+    }
+
+    pub fn reset() {}
+}
+
+/// True when the crate was built with the `fallback-counters` feature —
+/// callers that *measure* rates should assert this so a misconfigured
+/// build fails loudly instead of reporting a silent zero.
+pub fn enabled() -> bool {
+    imp::enabled()
+}
+
+/// Records one dd-fallback event for `slot` (no-op without the feature).
+#[inline(always)]
+pub(crate) fn record_fallback(s: usize) {
+    imp::record_fallback(s);
+}
+
+/// Fallback events recorded for `slot` since the last [`reset`].
+pub fn fallbacks(s: usize) -> u64 {
+    imp::fallbacks(s)
+}
+
+/// Fallback count for an f32 function by its paper-table name.
+pub fn fallbacks_f32(name: &str) -> u64 {
+    fallbacks(f32_slot_by_name(name))
+}
+
+/// Fallback count for a posit32 function by name.
+pub fn fallbacks_posit32(name: &str) -> u64 {
+    fallbacks(posit32_slot_by_name(name))
+}
+
+/// Slot index of an f32 function by name.
+pub fn f32_slot_by_name(name: &str) -> usize {
+    match name {
+        "ln" => slot::LN,
+        "log2" => slot::LOG2,
+        "log10" => slot::LOG10,
+        "exp" => slot::EXP,
+        "exp2" => slot::EXP2,
+        "exp10" => slot::EXP10,
+        "sinh" => slot::SINH,
+        "cosh" => slot::COSH,
+        "sinpi" => slot::SINPI,
+        "cospi" => slot::COSPI,
+        _ => panic!("unknown function {name}"),
+    }
+}
+
+/// Slot index of a posit32 function by name.
+pub fn posit32_slot_by_name(name: &str) -> usize {
+    match name {
+        "ln" => slot::P32_LN,
+        "log2" => slot::P32_LOG2,
+        "log10" => slot::P32_LOG10,
+        "exp" => slot::P32_EXP,
+        "exp2" => slot::P32_EXP2,
+        "exp10" => slot::P32_EXP10,
+        "sinh" => slot::P32_SINH,
+        "cosh" => slot::P32_COSH,
+        _ => panic!("unknown posit function {name}"),
+    }
+}
+
+/// Zeroes every counter (no-op without the feature).
+pub fn reset() {
+    imp::reset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_lookup_is_total_over_func_names() {
+        let names = ["ln", "log2", "log10", "exp", "exp2", "exp10", "sinh", "cosh"];
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(f32_slot_by_name(n), i);
+            assert_eq!(posit32_slot_by_name(n), i + 10);
+        }
+        assert_eq!(f32_slot_by_name("sinpi"), slot::SINPI);
+        assert_eq!(f32_slot_by_name("cospi"), slot::COSPI);
+    }
+
+    #[test]
+    fn counters_match_build_configuration() {
+        reset();
+        record_fallback(slot::LN);
+        record_fallback(slot::LN);
+        if enabled() {
+            assert_eq!(fallbacks(slot::LN), 2);
+        } else {
+            assert_eq!(fallbacks(slot::LN), 0);
+        }
+        reset();
+        assert_eq!(fallbacks(slot::LN), 0);
+    }
+}
