@@ -19,6 +19,27 @@ cargo test -q --offline
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== panic-free gate: library crates deny unwrap/expect/panic =="
+# The failure-model policy (DESIGN.md): every reachable failure in the
+# library crates is a typed error. --lib scopes the gate to library
+# targets; tests, benches and examples stay exempt. assert!-style
+# invariant checks and unreachable!() on proven-impossible arms are
+# intentionally still allowed.
+cargo clippy --offline --lib \
+    -p rlibm-fp -p rlibm-posit -p rlibm-mp -p rlibm-lp \
+    -p rlibm-core -p rlibm-math \
+    -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "== fault-injection smoke: corrupted fast paths never mis-round =="
+# Seeded corruption at all 18 tier-1 kernel sites, checked bit-for-bit
+# against the dd reference (which has no injection site). The full
+# acceptance bar is 100k injections/function (run the bin with no args);
+# CI uses a 5k smoke target to stay fast. Exits nonzero on any escaped
+# corruption or injection shortfall.
+cargo run --release --offline -p rlibm-core --features fault \
+    --bin fault_sweep -- 5000
+
 echo "== bench smoke: fig3 --quick + JSON schema =="
 # Quick-mode harness run, fully offline, writing under target/ so the
 # committed full-run BENCH_*.json files are never clobbered. Each

@@ -94,9 +94,9 @@ fn main() {
     for f in Func::ALL {
         let name = f.name();
         let xs = timing_inputs_f32(name, cli.n, 42);
-        let fast_fn = rlibm_math::f32_fn_by_name(name);
-        let dd_fn = rlibm_math::f32_dd_fn_by_name(name);
-        let base_fn = rlibm_math::baseline_f32_fn_by_name(name);
+        let fast_fn = rlibm_math::f32_fn_by_name(name).expect("known name");
+        let dd_fn = rlibm_math::f32_dd_fn_by_name(name).expect("known name");
+        let base_fn = rlibm_math::baseline_f32_fn_by_name(name).expect("known name");
 
         // Fallback rate: one untimed sweep between counter reset/read, so
         // the number is per-workload-input, not per-timing-iteration.
@@ -110,7 +110,7 @@ fn main() {
         let dd = ns_per_call(&xs, cli.reps, dd_fn);
         let mut out = vec![0.0f32; xs.len()];
         let batched = ns_per_call(&[0usize], cli.reps, |_| {
-            rlibm_math::eval_slice_f32(name, &xs, &mut out);
+            rlibm_math::eval_slice_f32(name, &xs, &mut out).expect("known name");
             out[0]
         }) / xs.len() as f64;
         let fl = ns_per_call(&xs, cli.reps, base_fn);

@@ -55,8 +55,8 @@ fn main() {
     for f in Func::POSIT {
         let name = f.name();
         let xs = timing_inputs_posit32(name, n, 43);
-        let fast_fn = rlibm_math::posit32_fn_by_name(name);
-        let dd_fn = rlibm_math::posit32_dd_fn_by_name(name);
+        let fast_fn = rlibm_math::posit32_fn_by_name(name).expect("known name");
+        let dd_fn = rlibm_math::posit32_dd_fn_by_name(name).expect("known name");
 
         stats::reset();
         for &x in &xs {
@@ -68,7 +68,7 @@ fn main() {
         let dd = ns_per_call(&xs, reps, dd_fn);
         let mut out = vec![rlibm_posit::Posit32::ZERO; xs.len()];
         let batched = ns_per_call(&[0usize], reps, |_| {
-            rlibm_math::eval_slice_posit32(name, &xs, &mut out);
+            rlibm_math::eval_slice_posit32(name, &xs, &mut out).expect("known name");
             out[0]
         }) / xs.len() as f64;
         let db = ns_per_call(&xs, reps, |x| {

@@ -37,7 +37,7 @@ fn main() {
         let name = f.name();
         let ours = validate_par(
             f,
-            |x: Posit32| rlibm_math::eval_posit32_by_name(name, x),
+            |x: Posit32| rlibm_math::eval_posit32_by_name(name, x).expect("known name"),
             &xs,
             threads,
         );

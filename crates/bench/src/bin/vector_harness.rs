@@ -53,7 +53,7 @@ fn main() {
     for f in Func::ALL {
         let name = f.name();
         let xs = timing_inputs_f32(name, BATCH, 45);
-        let scalar_fn = rlibm_math::f32_fn_by_name(name);
+        let scalar_fn = rlibm_math::f32_fn_by_name(name).expect("known name");
         let mut out = vec![0.0f32; BATCH];
         let scalar = ns_per_call(&[0usize], reps, |_| {
             for (o, &x) in out.iter_mut().zip(&xs) {
@@ -62,10 +62,10 @@ fn main() {
             out[0]
         }) / BATCH as f64;
         let batched = ns_per_call(&[0usize], reps, |_| {
-            rlibm_math::eval_slice_f32(name, &xs, &mut out);
+            rlibm_math::eval_slice_f32(name, &xs, &mut out).expect("known name");
             out[0]
         }) / BATCH as f64;
-        let base_fn = rlibm_math::baseline_f32_fn_by_name(name);
+        let base_fn = rlibm_math::baseline_f32_fn_by_name(name).expect("known name");
         let base = ns_per_call(&[0usize], reps, |_| {
             for (o, &x) in out.iter_mut().zip(&xs) {
                 *o = base_fn(x);

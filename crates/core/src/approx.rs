@@ -67,18 +67,20 @@ pub struct SignSplitApprox {
 }
 
 impl SignSplitApprox {
-    /// Evaluates using the sign-appropriate piecewise polynomial.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no polynomial was generated for the input's sign class.
+    /// Evaluates using the sign-appropriate piecewise polynomial. Returns
+    /// NaN when no polynomial was generated for the input's sign class —
+    /// such inputs are outside the generated domain by construction, and
+    /// NaN is the honest "no value" answer for a total function.
     pub fn eval(&self, r: f64) -> f64 {
         let side = if r.is_sign_negative() {
             self.negative.as_ref()
         } else {
             self.non_negative.as_ref()
         };
-        side.expect("no polynomial for this sign class").eval(r)
+        match side {
+            Some(p) => p.eval(r),
+            None => f64::NAN,
+        }
     }
 
     /// Total number of sub-domains across both sign classes.
@@ -126,7 +128,21 @@ impl ApproxStats {
 pub enum ApproxError {
     /// Even `2^max_split_bits` sub-domains were not enough.
     SplitLimitReached,
+    /// The LP solver failed in a way more splitting cannot fix (cycling
+    /// that survived its restarts, malformed dimensions).
+    Solver(rlibm_lp::LpError),
 }
+
+impl core::fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ApproxError::SplitLimitReached => write!(f, "split limit reached"),
+            ApproxError::Solver(e) => write!(f, "LP solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
 
 /// Algorithm 3's `GenApproxFunc`: generates piecewise polynomials for all
 /// reduced constraints, splitting by sign first and then by bit pattern.
@@ -191,6 +207,11 @@ fn gen_approx_helper(
                 | Err(PolyGenError::SampleOverflow)
                 | Err(PolyGenError::RefinementExhausted) => {
                     continue 'split;
+                }
+                Err(PolyGenError::Solver(e)) => {
+                    // Splitting the domain cannot repair a solver failure;
+                    // surface it instead of burning the split budget.
+                    return Err(ApproxError::Solver(e));
                 }
             }
         }

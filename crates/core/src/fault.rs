@@ -1,0 +1,214 @@
+//! Fault-injection sweep: adversarial certification of the two-tier
+//! round-safe design (feature `fault`).
+//!
+//! The runtime library's `fault` feature plants a seeded corruption hook
+//! after every tier-1 fast kernel (see `rlibm_math::fault` for the
+//! soundness argument: in-band nudges stay under the certification band,
+//! catastrophic replacements land outside the round-safe exponent
+//! window). This module drives those hooks at scale: for each function it
+//! generates inputs biased toward the kernel-reaching domain, evaluates
+//! the *faulted* two-tier entry point, and compares bit-for-bit against
+//! the dd-only reference (`*_dd`), which has no injection site. The
+//! contract under test is the paper's central claim made adversarial:
+//!
+//! > No corruption of the fast-path value may ever escape as a
+//! > mis-rounded result — it is either provably below the certification
+//! > band (the accepted cast is still correct) or rejected by
+//! > `f32_round_safe`/`posit32_round_safe` into the dd fallback.
+//!
+//! The sweep keeps injecting until a target count of *actual* injections
+//! (not merely evaluations) is reached per function, across both f32 and
+//! posit32, and reports per-site injection and dd-fallback counters.
+
+use rlibm_fp::rng::XorShift64;
+use rlibm_math::fault as hooks;
+use rlibm_posit::Posit32;
+
+/// The ten f32 functions with a tier-1 injection site.
+pub const F32_FUNCS: [&str; 10] =
+    ["ln", "log2", "log10", "exp", "exp2", "exp10", "sinh", "cosh", "sinpi", "cospi"];
+
+/// The eight posit32 functions with a tier-1 injection site.
+pub const POSIT32_FUNCS: [&str; 8] =
+    ["ln", "log2", "log10", "exp", "exp2", "exp10", "sinh", "cosh"];
+
+/// Outcome of sweeping one function.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Function name (paper-table spelling).
+    pub name: &'static str,
+    /// `"f32"` or `"posit32"`.
+    pub repr: &'static str,
+    /// Inputs evaluated.
+    pub evaluated: u64,
+    /// Faults actually injected (the hook changed the value).
+    pub injected: u64,
+    /// dd fallbacks taken while armed (corruptions the certification
+    /// caught; the remainder stayed inside the band and were absorbed).
+    pub dd_fallbacks: u64,
+    /// Outputs that differed from the dd reference — MUST be zero.
+    pub mismatches: u64,
+}
+
+impl FaultReport {
+    /// True when the sweep upholds the round-safe contract.
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+/// Per-function input domain that reaches the tier-1 kernel (specials
+/// and saturating magnitudes return before the injection site, so pure
+/// random bits would waste most draws for the exp family).
+fn f32_kernel_domain(name: &str) -> (f32, f32) {
+    match name {
+        "exp" => (-87.0, 88.0),
+        "exp2" => (-125.0, 127.0),
+        "exp10" => (-37.0, 38.0),
+        "sinh" | "cosh" => (-88.0, 88.0),
+        "sinpi" | "cospi" => (-4096.0, 4096.0),
+        // logs: positive reals; magnitudes drawn log-uniform below.
+        _ => (0.0, 0.0),
+    }
+}
+
+fn draw_f32(rng: &mut XorShift64, name: &str) -> f32 {
+    // One draw in four is a raw bit pattern: specials, subnormals and
+    // saturating magnitudes keep exercising the front-end filters.
+    if rng.next_u64() & 3 == 0 {
+        return f32::from_bits(rng.next_u32());
+    }
+    let (lo, hi) = f32_kernel_domain(name);
+    if lo == hi {
+        // log family: log-uniform positive value via a random exponent.
+        let e = rng.uniform_i64(1, 254) as u32;
+        return f32::from_bits((e << 23) | (rng.next_u32() & 0x007F_FFFF));
+    }
+    rng.uniform_f32(lo, hi)
+}
+
+fn bits_match_f32(a: f32, b: f32) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+/// Sweeps one f32 function until `target_injections` faults landed.
+/// Returns `None` for a name outside the paper's tables.
+pub fn sweep_f32(name: &str, target_injections: u64, seed: u64) -> Option<FaultReport> {
+    let static_name = F32_FUNCS.iter().find(|n| **n == name)?;
+    let fast = rlibm_math::f32_fn_by_name(name)?;
+    let dd = rlibm_math::f32_dd_fn_by_name(name)?;
+    let site = rlibm_math::stats::f32_slot_by_name(name)?;
+    let mut rng = XorShift64::new(seed);
+    let injected0 = hooks::injected(site);
+    let fallbacks0 = rlibm_math::stats::fallbacks(site);
+    let mut evaluated = 0u64;
+    let mut mismatches = 0u64;
+    // The domain bias makes the injection rate per draw high, but cap the
+    // loop so a misconfigured build (feature off -> zero injections)
+    // terminates and reports the shortfall instead of spinning.
+    let max_evals = target_injections.saturating_mul(40).max(1000);
+    hooks::arm(seed);
+    while hooks::injected(site) - injected0 < target_injections && evaluated < max_evals {
+        let x = draw_f32(&mut rng, name);
+        let got = fast(x);
+        hooks::disarm();
+        let want = dd(x);
+        hooks::arm(rng.next_u64());
+        if !bits_match_f32(got, want) {
+            mismatches += 1;
+        }
+        evaluated += 1;
+    }
+    hooks::disarm();
+    Some(FaultReport {
+        name: static_name,
+        repr: "f32",
+        evaluated,
+        injected: hooks::injected(site) - injected0,
+        dd_fallbacks: rlibm_math::stats::fallbacks(site) - fallbacks0,
+        mismatches,
+    })
+}
+
+/// Sweeps one posit32 function until `target_injections` faults landed.
+pub fn sweep_posit32(name: &str, target_injections: u64, seed: u64) -> Option<FaultReport> {
+    let static_name = POSIT32_FUNCS.iter().find(|n| **n == name)?;
+    let fast = rlibm_math::posit32_fn_by_name(name)?;
+    let dd = rlibm_math::posit32_dd_fn_by_name(name)?;
+    let site = rlibm_math::stats::posit32_slot_by_name(name)?;
+    let mut rng = XorShift64::new(seed ^ 0xBEEF);
+    let injected0 = hooks::injected(site);
+    let fallbacks0 = rlibm_math::stats::fallbacks(site);
+    let mut evaluated = 0u64;
+    let mut mismatches = 0u64;
+    let max_evals = target_injections.saturating_mul(40).max(1000);
+    hooks::arm(seed);
+    while hooks::injected(site) - injected0 < target_injections && evaluated < max_evals {
+        // Random posit bit patterns concentrate near 1 by construction,
+        // squarely inside every kernel's domain; NaR and the saturating
+        // regimes appear at their natural rate.
+        let x = Posit32::from_bits(rng.next_u32());
+        let got = fast(x);
+        hooks::disarm();
+        let want = dd(x);
+        hooks::arm(rng.next_u64());
+        if got != want {
+            mismatches += 1;
+        }
+        evaluated += 1;
+    }
+    hooks::disarm();
+    Some(FaultReport {
+        name: static_name,
+        repr: "posit32",
+        evaluated,
+        injected: hooks::injected(site) - injected0,
+        dd_fallbacks: rlibm_math::stats::fallbacks(site) - fallbacks0,
+        mismatches,
+    })
+}
+
+/// Sweeps every f32 and posit32 function. Reports come back in table
+/// order, f32 first.
+pub fn sweep_all(target_injections_per_func: u64, seed: u64) -> Vec<FaultReport> {
+    let mut reports = Vec::with_capacity(F32_FUNCS.len() + POSIT32_FUNCS.len());
+    for (i, name) in F32_FUNCS.iter().enumerate() {
+        if let Some(r) = sweep_f32(name, target_injections_per_func, seed ^ (i as u64 + 1)) {
+            reports.push(r);
+        }
+    }
+    for (i, name) in POSIT32_FUNCS.iter().enumerate() {
+        if let Some(r) = sweep_posit32(name, target_injections_per_func, seed ^ (0x100 + i as u64))
+        {
+            reports.push(r);
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean_and_injects() {
+        // Small target: the full 100k-per-function run is the
+        // `fault_sweep` bin exercised by ci.sh.
+        for name in F32_FUNCS {
+            let r = sweep_f32(name, 2_000, 0xF00D).expect("known name");
+            assert!(r.clean(), "{name}/f32: {} mismatches", r.mismatches);
+            assert!(r.injected >= 2_000, "{name}/f32: only {} injections", r.injected);
+        }
+        for name in POSIT32_FUNCS {
+            let r = sweep_posit32(name, 2_000, 0xF00D).expect("known name");
+            assert!(r.clean(), "{name}/posit32: {} mismatches", r.mismatches);
+            assert!(r.injected >= 2_000, "{name}/posit32: only {} injections", r.injected);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(sweep_f32("tanh", 1, 1).is_none());
+        assert!(sweep_posit32("sinpi", 1, 1).is_none());
+    }
+}

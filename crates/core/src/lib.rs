@@ -47,6 +47,8 @@
 //! ```
 
 pub mod approx;
+#[cfg(feature = "fault")]
+pub mod fault;
 pub mod interval;
 pub mod par;
 pub mod pipeline;

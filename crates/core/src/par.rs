@@ -74,7 +74,16 @@ where
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                // A worker panicked (can only be a bug in the caller's
+                // closure): re-raise on the coordinating thread instead of
+                // unwrapping into a second, less informative panic.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
     tagged.sort_unstable_by_key(|(k, _)| *k);
     debug_assert_eq!(tagged.len(), n_chunks);

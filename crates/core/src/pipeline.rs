@@ -8,12 +8,15 @@
 //! correctly rounded for every input.
 
 use crate::approx::{gen_approx, ApproxConfig, ApproxError, SignSplitApprox};
-use crate::interval::rounding_interval;
+use crate::interval::{rounding_interval, Interval};
 use crate::reduced::{
     deduce_reduced_intervals, merge_by_reduced_input, ReducedError, ReductionCase,
 };
 use rlibm_fp::Representation;
-use rlibm_mp::{correctly_rounded, correctly_rounded_f64, Func};
+use rlibm_mp::{
+    try_correctly_rounded, try_correctly_rounded_f64, Func, OracleError, DEFAULT_PREC_CEILING,
+};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,10 +62,20 @@ impl GeneratorSpec {
 /// Failures of the end-to-end pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GenError {
+    /// The Ziv oracle hit its precision ceiling on some input.
+    Oracle(OracleError),
     /// Reduced-interval deduction failed (Algorithm 2's exits).
     Reduced(ReducedError),
     /// Piecewise generation failed for a component.
     Approx(ApproxError),
+    /// A checkpoint file could not be read, written, or parsed.
+    Checkpoint(String),
+}
+
+impl From<OracleError> for GenError {
+    fn from(e: OracleError) -> Self {
+        GenError::Oracle(e)
+    }
 }
 
 impl From<ReducedError> for GenError {
@@ -80,8 +93,10 @@ impl From<ApproxError> for GenError {
 impl core::fmt::Display for GenError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
+            GenError::Oracle(e) => write!(f, "oracle failed: {e}"),
             GenError::Reduced(e) => write!(f, "reduced-interval deduction failed: {e:?}"),
-            GenError::Approx(e) => write!(f, "piecewise generation failed: {e:?}"),
+            GenError::Approx(e) => write!(f, "piecewise generation failed: {e}"),
+            GenError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -143,14 +158,50 @@ pub fn generate<T: Representation>(
     spec: &GeneratorSpec,
     inputs: &[T],
 ) -> Result<GeneratedFunction, GenError> {
+    generate_with_checkpoint(spec, inputs, None)
+}
+
+/// [`generate`] with optional checkpoint/resume for long runs.
+///
+/// The oracle sweep (Algorithm 1 lines 3-6) dominates wall-clock on
+/// 32-bit-scale runs; with `checkpoint = Some(path)` its result — the
+/// full `ReductionCase` set — is written to `path` after computing, and
+/// any later run with the same spec and inputs resumes from the file
+/// instead of re-running the Ziv loops. A checkpoint whose header does
+/// not match the current spec/inputs is a [`GenError::Checkpoint`] (it
+/// belongs to a different run; delete it to recompute). Writes go to a
+/// temporary sibling file first and are renamed into place, so an
+/// interrupted run never leaves a torn checkpoint.
+pub fn generate_with_checkpoint<T: Representation>(
+    spec: &GeneratorSpec,
+    inputs: &[T],
+    checkpoint: Option<&Path>,
+) -> Result<GeneratedFunction, GenError> {
     assert_eq!(spec.components.len(), spec.approx_cfgs.len());
     let start = Instant::now();
-    // Algorithm 1 lines 3-6: oracle + rounding interval per input. Every
-    // input is independent and each one pays for two oracle evaluations
-    // (Ziv loops), so this sweep runs on all cores; the order-preserving
-    // map keeps `cases` identical to the serial loop's output for any
-    // thread count.
-    let cases: Vec<ReductionCase> = crate::par::par_map(inputs, crate::par::num_threads(), |&x| {
+    let cases = match checkpoint {
+        Some(path) if path.exists() => load_checkpoint(spec, inputs.len(), path)?,
+        _ => {
+            let cases = oracle_cases(spec, inputs)?;
+            if let Some(path) = checkpoint {
+                save_checkpoint(spec, inputs.len(), &cases, path)?;
+            }
+            cases
+        }
+    };
+    assemble(spec, &cases, start)
+}
+
+/// Algorithm 1 lines 3-6: oracle + rounding interval per input. Every
+/// input is independent and each one pays for two oracle evaluations
+/// (Ziv loops), so this sweep runs on all cores; the order-preserving
+/// map keeps `cases` identical to the serial loop's output for any
+/// thread count. Any oracle failure (precision ceiling) aborts the sweep.
+fn oracle_cases<T: Representation>(
+    spec: &GeneratorSpec,
+    inputs: &[T],
+) -> Result<Vec<ReductionCase>, GenError> {
+    crate::par::par_map(inputs, crate::par::num_threads(), |&x| {
         if x.is_nan() {
             return None;
         }
@@ -161,21 +212,34 @@ pub fn generate<T: Representation>(
         if rlibm_mp::oracle::is_special_case(spec.func, xf) {
             return None;
         }
-        let y = correctly_rounded(spec.func, x);
+        let y: T = match try_correctly_rounded(spec.func, x, DEFAULT_PREC_CEILING) {
+            Ok(y) => y,
+            Err(e) => return Some(Err(GenError::Oracle(e))),
+        };
         let target = rounding_interval(y)?;
         let r = (spec.range_reduce)(xf);
-        let component_values: Vec<f64> = spec
-            .components
-            .iter()
-            .map(|&fi| correctly_rounded_f64(fi, r))
-            .collect();
-        Some(ReductionCase { x: xf, target, r, component_values })
+        let mut component_values = Vec::with_capacity(spec.components.len());
+        for &fi in &spec.components {
+            match try_correctly_rounded_f64(fi, r, DEFAULT_PREC_CEILING) {
+                Ok(v) => component_values.push(v),
+                Err(e) => return Some(Err(GenError::Oracle(e))),
+            }
+        }
+        Some(Ok(ReductionCase { x: xf, target, r, component_values }))
     })
     .into_iter()
     .flatten()
-    .collect();
+    .collect()
+}
+
+/// Algorithms 2-4 over the (possibly checkpoint-restored) case set.
+fn assemble(
+    spec: &GeneratorSpec,
+    cases: &[ReductionCase],
+    start: Instant,
+) -> Result<GeneratedFunction, GenError> {
     // Algorithm 2.
-    let per_component = deduce_reduced_intervals(&cases, spec.output_comp.as_ref())?;
+    let per_component = deduce_reduced_intervals(cases, spec.output_comp.as_ref())?;
     // Merge duplicates, then Algorithm 3 + 4 per component.
     let mut components = Vec::with_capacity(per_component.len());
     let mut stats = GenStats::default();
@@ -210,6 +274,113 @@ pub fn generate<T: Representation>(
         output_comp: Arc::clone(&spec.output_comp),
         stats,
     })
+}
+
+/// First line of a checkpoint file. The header binds the file to one
+/// (function, input count, component count) so a stale file from another
+/// run is rejected instead of silently generating from the wrong cases.
+const CHECKPOINT_MAGIC: &str = "rlibm-checkpoint v1";
+
+fn save_checkpoint(
+    spec: &GeneratorSpec,
+    n_inputs: usize,
+    cases: &[ReductionCase],
+    path: &Path,
+) -> Result<(), GenError> {
+    use std::fmt::Write as _;
+    let mut text = format!(
+        "{CHECKPOINT_MAGIC} func={} inputs={} components={} cases={}\n",
+        spec.func.name(),
+        n_inputs,
+        spec.components.len(),
+        cases.len(),
+    );
+    for c in cases {
+        let _ = write!(
+            text,
+            "{:016x} {:016x} {:016x} {:016x}",
+            c.x.to_bits(),
+            c.target.lo.to_bits(),
+            c.target.hi.to_bits(),
+            c.r.to_bits(),
+        );
+        for v in &c.component_values {
+            let _ = write!(text, " {:016x}", v.to_bits());
+        }
+        text.push('\n');
+    }
+    // Write-then-rename: an interrupted run leaves the old checkpoint (or
+    // none) intact, never a torn file.
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)
+        .map_err(|e| GenError::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| GenError::Checkpoint(format!("rename into {}: {e}", path.display())))
+}
+
+fn parse_bits_f64(tok: &str) -> Result<f64, GenError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| GenError::Checkpoint(format!("bad hex field {tok:?}")))
+}
+
+fn load_checkpoint(
+    spec: &GeneratorSpec,
+    n_inputs: usize,
+    path: &Path,
+) -> Result<Vec<ReductionCase>, GenError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GenError::Checkpoint(format!("read {}: {e}", path.display())))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| GenError::Checkpoint(format!("{}: empty checkpoint", path.display())))?;
+    let expect = format!(
+        "{CHECKPOINT_MAGIC} func={} inputs={} components={} cases=",
+        spec.func.name(),
+        n_inputs,
+        spec.components.len(),
+    );
+    let Some(count_str) = header.strip_prefix(&expect) else {
+        return Err(GenError::Checkpoint(format!(
+            "{}: header {header:?} does not match this run ({expect}<n>); \
+             delete the file to recompute",
+            path.display(),
+        )));
+    };
+    let n_cases: usize = count_str
+        .parse()
+        .map_err(|_| GenError::Checkpoint(format!("bad case count {count_str:?}")))?;
+    let mut cases = Vec::with_capacity(n_cases);
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split(' ').map(parse_bits_f64);
+        let mut fixed = [0.0f64; 4];
+        for slot in &mut fixed {
+            *slot = toks.next().ok_or_else(|| {
+                GenError::Checkpoint(format!("truncated checkpoint line {line:?}"))
+            })??;
+        }
+        let [x, lo, hi, r] = fixed;
+        let component_values: Vec<f64> = toks.collect::<Result<_, _>>()?;
+        if component_values.len() != spec.components.len() {
+            return Err(GenError::Checkpoint(format!(
+                "checkpoint line has {} component values, spec has {} components",
+                component_values.len(),
+                spec.components.len(),
+            )));
+        }
+        cases.push(ReductionCase { x, target: Interval::new(lo, hi), r, component_values });
+    }
+    if cases.len() != n_cases {
+        return Err(GenError::Checkpoint(format!(
+            "expected {n_cases} cases, found {}",
+            cases.len(),
+        )));
+    }
+    Ok(cases)
 }
 
 #[cfg(test)]
@@ -321,12 +492,52 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_roundtrip_resumes_and_rejects_stale() {
+        let spec = GeneratorSpec::identity(Func::Log2, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let inputs: Vec<Half> = all_16bit::<Half>()
+            .filter(|x: &Half| {
+                x.is_finite()
+                    && x.to_f64() >= 1.0
+                    && x.to_f64() < 2.0
+                    && !rlibm_mp::oracle::is_special_case(Func::Log2, x.to_f64())
+            })
+            .collect();
+        let path = std::env::temp_dir().join(format!("rlibm_ckpt_{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let g1 = generate_with_checkpoint(&spec, &inputs, Some(path.as_path())).expect("first run");
+        assert!(path.exists(), "first run must write the checkpoint");
+        // Second run resumes from the file (same cases -> same polynomials).
+        let g2 = generate_with_checkpoint(&spec, &inputs, Some(path.as_path())).expect("resume");
+        for x in inputs.iter().step_by(17) {
+            assert_eq!(
+                g1.eval(x.to_f64()).to_bits(),
+                g2.eval(x.to_f64()).to_bits(),
+                "resumed run must reproduce the original polynomials"
+            );
+        }
+        // A checkpoint for a different input set is stale: typed error.
+        match generate_with_checkpoint(&spec, &inputs[..100], Some(path.as_path())) {
+            Err(GenError::Checkpoint(_)) => {}
+            Err(other) => panic!("expected Checkpoint error, got {other:?}"),
+            Ok(_) => panic!("stale checkpoint must be rejected"),
+        }
+        // A torn/corrupt file is a typed error too, not a panic.
+        std::fs::write(&path, "rlibm-checkpoint v1 garbage\n").expect("rewrite");
+        match generate_with_checkpoint(&spec, &inputs, Some(path.as_path())) {
+            Err(GenError::Checkpoint(_)) => {}
+            Err(other) => panic!("expected Checkpoint error, got {other:?}"),
+            Ok(_) => panic!("corrupt checkpoint must be rejected"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn oracle_round_trip_consistency() {
         // round_mp of the oracle's own MpFloat path must agree with
         // correctly_rounded — a wiring sanity check for the pipeline.
         let x = BFloat16::from_f64(0.71875);
-        let via_t: BFloat16 = correctly_rounded(Func::Ln, x);
-        let via_f64 = correctly_rounded_f64(Func::Ln, x.to_f64());
+        let via_t: BFloat16 = rlibm_mp::correctly_rounded(Func::Ln, x);
+        let via_f64 = rlibm_mp::correctly_rounded_f64(Func::Ln, x.to_f64());
         // The doubly-rounded value agrees here because ln(0.71875) is far
         // from a bfloat16 boundary.
         assert_eq!(BFloat16::from_f64(via_f64).to_bits(), via_t.to_bits());

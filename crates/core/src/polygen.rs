@@ -21,10 +21,17 @@ use crate::poly::Polynomial;
 use crate::reduced::ReducedConstraint;
 use rlibm_fp::bits::{next_down_f64, next_up_f64};
 use rlibm_lp::fit::{max_margin_fit, FitConstraint};
+use rlibm_lp::LpError;
 
 /// Below this many constraints the full-set counterexample check runs
 /// serially — thread spawn/merge overhead would exceed the sweep itself.
 const PAR_CHECK_MIN: usize = 4096;
+
+/// How many times a simplex `Cycling` verdict triggers a restart with a
+/// fresh (shifted, denser) constraint sample before giving up. Cycling is
+/// a property of the particular basis sequence, so a different sample
+/// almost always clears it.
+const MAX_LP_RESTARTS: usize = 3;
 
 /// Tunables for Algorithm 4.
 #[derive(Debug, Clone)]
@@ -67,7 +74,25 @@ pub enum PolyGenError {
     /// Rounding the rational coefficients to `f64` could not be repaired
     /// within the refinement budget.
     RefinementExhausted,
+    /// The LP solver itself failed — cycling that survived every
+    /// fresh-sample restart, or malformed constraint dimensions.
+    Solver(LpError),
 }
+
+impl core::fmt::Display for PolyGenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PolyGenError::Infeasible => write!(f, "no polynomial with these terms is feasible"),
+            PolyGenError::SampleOverflow => write!(f, "counterexample sample outgrew the limit"),
+            PolyGenError::RefinementExhausted => {
+                write!(f, "coefficient rounding could not be repaired within budget")
+            }
+            PolyGenError::Solver(e) => write!(f, "LP solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolyGenError {}
 
 /// Statistics of one generation run (feeds the Table 3 harness).
 #[derive(Debug, Clone, Default)]
@@ -78,6 +103,8 @@ pub struct PolyGenStats {
     pub cegis_rounds: usize,
     /// Final sample size.
     pub final_sample: usize,
+    /// Fresh-sample restarts forced by simplex cycling.
+    pub lp_restarts: usize,
 }
 
 /// Runs Algorithm 4 on one sub-domain's constraints (sorted by `r`).
@@ -93,15 +120,43 @@ pub fn gen_polynomial(
     if constraints.is_empty() {
         return Ok((Polynomial::new(cfg.terms.clone(), vec![0.0; cfg.terms.len()]), stats));
     }
+    // Restart-with-fresh-samples backoff: a simplex `Cycling` verdict is a
+    // property of one basis sequence, so re-seed the sample (shifted and
+    // denser) and try again a bounded number of times before surfacing it.
+    let mut attempt = 0;
+    loop {
+        match gen_attempt(constraints, cfg, attempt, &mut stats) {
+            Ok(poly) => return Ok((poly, stats)),
+            Err(PolyGenError::Solver(LpError::Cycling { .. })) if attempt < MAX_LP_RESTARTS => {
+                attempt += 1;
+                stats.lp_restarts += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One full Algorithm-4 run from a fresh initial sample. `attempt > 0`
+/// shifts the sample phase and doubles its density so a cycling-prone
+/// basis is not rebuilt verbatim.
+fn gen_attempt(
+    constraints: &[ReducedConstraint],
+    cfg: &PolyGenConfig,
+    attempt: usize,
+    stats: &mut PolyGenStats,
+) -> Result<Polynomial, PolyGenError> {
     // Initial sample: uniform over the (sorted) constraints, proportional
     // to their distribution (Section 3.4), plus all highly constrained
     // intervals.
     let mut in_sample = vec![false; constraints.len()];
-    let step = (constraints.len() / cfg.initial_sample.max(1)).max(1);
-    for i in (0..constraints.len()).step_by(step) {
+    let want = cfg.initial_sample.max(1).saturating_mul(1 << attempt.min(8));
+    let step = (constraints.len() / want).max(1);
+    for i in (attempt % step..constraints.len()).step_by(step) {
         in_sample[i] = true;
     }
-    *in_sample.last_mut().unwrap() = true;
+    if let Some(last) = in_sample.last_mut() {
+        *last = true;
+    }
     if cfg.highly_constrained_width > 0.0 {
         for (i, c) in constraints.iter().enumerate() {
             if c.interval.width() <= cfg.highly_constrained_width {
@@ -132,8 +187,10 @@ pub fn gen_polynomial(
                     })
                     .collect();
                 stats.lp_calls += 1;
-                let Some(fit) = max_margin_fit(&fit_cons, cfg.terms.len()) else {
-                    return Err(PolyGenError::Infeasible);
+                let fit = match max_margin_fit(&fit_cons, cfg.terms.len()) {
+                    Ok(Some(fit)) => fit,
+                    Ok(None) => return Err(PolyGenError::Infeasible),
+                    Err(e) => return Err(PolyGenError::Solver(e)),
                 };
                 let poly = Polynomial::new(cfg.terms.clone(), fit.coeffs_f64());
                 // Check the *sampled* constraints in H; shrink the first
@@ -209,7 +266,7 @@ pub fn gen_polynomial(
                 .iter()
                 .all(|c| c.interval.contains(poly.eval(c.r))));
             stats.final_sample = in_sample.iter().filter(|s| **s).count();
-            return Ok((poly, stats));
+            return Ok(poly);
         }
         stats.cegis_rounds += 1;
     }

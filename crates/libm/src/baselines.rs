@@ -225,6 +225,7 @@ pub mod double64 {
 
     /// Dispatches to the host double libm by function index (the order of
     /// [`rlibm_mp::Func::ALL`], but without depending on that crate).
+    /// Unknown names yield NaN — the baseline model stays total.
     pub fn eval_f64(name: &str, x: f64) -> f64 {
         match name {
             "ln" => x.ln(),
@@ -237,7 +238,7 @@ pub mod double64 {
             "cosh" => x.cosh(),
             "sinpi" => (core::f64::consts::PI * x).sin(),
             "cospi" => (core::f64::consts::PI * x).cos(),
-            _ => panic!("unknown function {name}"),
+            _ => f64::NAN,
         }
     }
 
@@ -265,8 +266,8 @@ pub mod crlibm {
     use crate::float::hyper::{cosh_kernel, sinh_kernel};
     use crate::float::log::{ln_kernel, log10_kernel, log2_kernel};
 
-    fn kernel(name: &str, x: f64) -> Dd {
-        match name {
+    fn kernel(name: &str, x: f64) -> Option<Dd> {
+        Some(match name {
             "ln" => ln_kernel(x),
             "log2" => log2_kernel(x),
             "log10" => log10_kernel(x),
@@ -275,8 +276,8 @@ pub mod crlibm {
             "exp10" => exp10_kernel(x),
             "sinh" => sinh_kernel(x),
             "cosh" => cosh_kernel(x),
-            _ => panic!("unknown function {name}"),
-        }
+            _ => return None,
+        })
     }
 
     /// Correctly rounded double, then cast: wrong for f32 exactly on
@@ -287,10 +288,13 @@ pub mod crlibm {
         if !in_domain(name, xd) {
             return super::double64::to_f32(name, x);
         }
-        let first = kernel(name, xd);
-        // Confirmation pass (the second onion layer).
-        let second = kernel(name, xd);
+        // in_domain() only admits the eight kernel names, so both lookups
+        // succeed; fall back to the double64 model otherwise to stay total.
+        let (Some(first), Some(second)) = (kernel(name, xd), kernel(name, xd)) else {
+            return super::double64::to_f32(name, x);
+        };
         let d = first.to_f64();
+        // Confirmation pass (the second onion layer).
         assert!(d == second.to_f64(), "Ziv confirmation must agree");
         d as f32 // double rounding: the Table 1 CR-LIBM column
     }

@@ -82,6 +82,34 @@ pub(crate) const COSH_BAND: u64 = 512;
 pub(crate) const SINPI_BAND: u64 = 2048;
 pub(crate) const COSPI_BAND: u64 = 2048;
 
+// Derived worst-case kernel errors from the table above, rounded *up* to
+// the next power of two (same 2^-53 units as the bands). The difference
+// `BAND - DERIVED` is the certification **slack**: a perturbation that
+// moves a kernel result by at most that many f64 ulps keeps the total
+// error within BAND, so an accepted round-safe test still implies a
+// correct cast. The `fault` feature's in-band nudges are sized by these
+// (see `crate::fault`).
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const EXP_DERIVED: u64 = 16;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const EXP2_DERIVED: u64 = 16;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const EXP10_DERIVED: u64 = 256;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const LN_DERIVED: u64 = 32;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const LOG2_DERIVED: u64 = 32;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const LOG10_DERIVED: u64 = 64;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const SINH_DERIVED: u64 = 128;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const COSH_DERIVED: u64 = 16;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const SINPI_DERIVED: u64 = 1024;
+#[cfg_attr(not(feature = "fault"), allow(dead_code))]
+pub(crate) const COSPI_DERIVED: u64 = 1024;
+
 // ---------------------------------------------------------------------
 // exp family
 // ---------------------------------------------------------------------

@@ -122,7 +122,7 @@ pub fn exp(x: f32) -> f32 {
         return 0.0; // exp(-106) < 2^-150: rounds to zero
     }
     let xd = x as f64;
-    let y = crate::fast::exp_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::EXP, crate::fast::exp_fast(xd));
     if crate::round::f32_round_safe(y, crate::fast::EXP_BAND) {
         return y as f32;
     }
@@ -163,7 +163,7 @@ pub fn exp2(x: f32) -> f32 {
         return 0.0;
     }
     let xd = x as f64;
-    let y = crate::fast::exp2_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::EXP2, crate::fast::exp2_fast(xd));
     if crate::round::f32_round_safe(y, crate::fast::EXP2_BAND) {
         return y as f32;
     }
@@ -204,7 +204,7 @@ pub fn exp10(x: f32) -> f32 {
         return 0.0; // 10^-45.5 < 2^-150
     }
     let xd = x as f64;
-    let y = crate::fast::exp10_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::EXP10, crate::fast::exp10_fast(xd));
     if crate::round::f32_round_safe(y, crate::fast::EXP10_BAND) {
         return y as f32;
     }

@@ -77,7 +77,7 @@ pub fn sinh(x: f32) -> f32 {
     if xd.abs() < 2f64.powi(-12) {
         return x;
     }
-    let y = crate::fast::sinh_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::SINH, crate::fast::sinh_fast(xd));
     if crate::round::f32_round_safe(y, crate::fast::SINH_BAND) {
         return y as f32;
     }
@@ -123,7 +123,7 @@ pub fn cosh(x: f32) -> f32 {
     if xd.abs() < 2f64.powi(-13) {
         return 1.0;
     }
-    let y = crate::fast::cosh_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::COSH, crate::fast::cosh_fast(xd));
     if crate::round::f32_round_safe(y, crate::fast::COSH_BAND) {
         return y as f32;
     }

@@ -112,7 +112,7 @@ fn log_front(
         return f32::INFINITY;
     }
     let xd = x as f64;
-    let y = fast(xd);
+    let y = crate::fault::perturb(slot, fast(xd));
     if crate::round::f32_round_safe(y, band) {
         return y as f32;
     }

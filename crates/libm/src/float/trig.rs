@@ -94,6 +94,7 @@ pub fn sinpi(x: f32) -> f32 {
         return 0.0;
     }
     let (k, v) = crate::fast::sinpi_fast_reduced(a);
+    let v = crate::fault::perturb(crate::stats::slot::SINPI, v);
     if crate::round::f32_round_safe(v, crate::fast::SINPI_BAND) {
         let neg = (x < 0.0) ^ k;
         return if neg { -v as f32 } else { v as f32 };
@@ -178,6 +179,7 @@ pub fn cospi(x: f32) -> f32 {
         return 0.0; // half-integers are exact zeros
     }
     let (neg, v) = crate::fast::cospi_fast_reduced(a);
+    let v = crate::fault::perturb(crate::stats::slot::COSPI, v);
     if crate::round::f32_round_safe(v, crate::fast::COSPI_BAND) {
         return if neg { -v as f32 } else { v as f32 };
     }

@@ -46,6 +46,7 @@ pub mod baselines;
 pub mod bf16;
 pub mod dd;
 pub(crate) mod fast;
+pub mod fault;
 pub mod float;
 pub mod half16;
 pub mod p16;
@@ -56,13 +57,13 @@ pub mod stats;
 pub mod tables;
 
 pub use float::{cosh, cospi, exp, exp10, exp2, ln, log10, log2, sinh, sinpi};
-pub use slice::{eval_slice_f32, eval_slice_posit32};
+pub use slice::{eval_slice_f32, eval_slice_posit32, UnknownFunction};
 
-/// Resolves one of the ten f32 functions by its paper-table name.
-/// Harnesses resolve once and call through the pointer (no string
-/// comparison in the timed loop).
-pub fn f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
-    match name {
+/// Resolves one of the ten f32 functions by its paper-table name, or
+/// `None` for an unknown name. Harnesses resolve once and call through
+/// the pointer (no string comparison in the timed loop).
+pub fn f32_fn_by_name(name: &str) -> Option<fn(f32) -> f32> {
+    Some(match name {
         "ln" => ln,
         "log2" => log2,
         "log10" => log10,
@@ -73,16 +74,16 @@ pub fn f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
         "cosh" => cosh,
         "sinpi" => sinpi,
         "cospi" => cospi,
-        _ => panic!("unknown function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Resolves the dd-only (tier 2) variant of an f32 function by name —
 /// the reference implementation the two-tier fast path must match
 /// bit-for-bit, and the baseline the benches measure the fast path
 /// against.
-pub fn f32_dd_fn_by_name(name: &str) -> fn(f32) -> f32 {
-    match name {
+pub fn f32_dd_fn_by_name(name: &str) -> Option<fn(f32) -> f32> {
+    Some(match name {
         "ln" => float::log::ln_dd,
         "log2" => float::log::log2_dd,
         "log10" => float::log::log10_dd,
@@ -93,13 +94,15 @@ pub fn f32_dd_fn_by_name(name: &str) -> fn(f32) -> f32 {
         "cosh" => float::hyper::cosh_dd,
         "sinpi" => float::trig::sinpi_dd,
         "cospi" => float::trig::cospi_dd,
-        _ => panic!("unknown function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Resolves a posit32 function by name (see [`f32_fn_by_name`]).
-pub fn posit32_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
-    match name {
+pub fn posit32_fn_by_name(
+    name: &str,
+) -> Option<fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32> {
+    Some(match name {
         "ln" => posit::ln_p32,
         "log2" => posit::log2_p32,
         "log10" => posit::log10_p32,
@@ -108,13 +111,15 @@ pub fn posit32_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit
         "exp10" => posit::exp10_p32,
         "sinh" => posit::sinh_p32,
         "cosh" => posit::cosh_p32,
-        _ => panic!("unknown posit function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Resolves the dd-only (tier 2) variant of a posit32 function by name.
-pub fn posit32_dd_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
-    match name {
+pub fn posit32_dd_fn_by_name(
+    name: &str,
+) -> Option<fn(rlibm_posit::Posit32) -> rlibm_posit::Posit32> {
+    Some(match name {
         "ln" => posit::ln_p32_dd,
         "log2" => posit::log2_p32_dd,
         "log10" => posit::log10_p32_dd,
@@ -123,13 +128,13 @@ pub fn posit32_dd_fn_by_name(name: &str) -> fn(rlibm_posit::Posit32) -> rlibm_po
         "exp10" => posit::exp10_p32_dd,
         "sinh" => posit::sinh_p32_dd,
         "cosh" => posit::cosh_p32_dd,
-        _ => panic!("unknown posit function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Resolves a float32-baseline function by name.
-pub fn baseline_f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
-    match name {
+pub fn baseline_f32_fn_by_name(name: &str) -> Option<fn(f32) -> f32> {
+    Some(match name {
         "ln" => baselines::float32::ln,
         "log2" => baselines::float32::log2,
         "log10" => baselines::float32::log10,
@@ -140,46 +145,24 @@ pub fn baseline_f32_fn_by_name(name: &str) -> fn(f32) -> f32 {
         "cosh" => baselines::float32::cosh,
         "sinpi" => baselines::float32::sinpi,
         "cospi" => baselines::float32::cospi,
-        _ => panic!("unknown function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Evaluates one of the ten f32 functions by its paper-table name.
 /// Convenience for harnesses that iterate over `Func::ALL`.
-pub fn eval_f32_by_name(name: &str, x: f32) -> f32 {
-    match name {
-        "ln" => ln(x),
-        "log2" => log2(x),
-        "log10" => log10(x),
-        "exp" => exp(x),
-        "exp2" => exp2(x),
-        "exp10" => exp10(x),
-        "sinh" => sinh(x),
-        "cosh" => cosh(x),
-        "sinpi" => sinpi(x),
-        "cospi" => cospi(x),
-        _ => panic!("unknown function {name}"),
-    }
+pub fn eval_f32_by_name(name: &str, x: f32) -> Option<f32> {
+    f32_fn_by_name(name).map(|f| f(x))
 }
 
 /// Evaluates one of the eight posit32 functions by name.
-pub fn eval_posit32_by_name(name: &str, x: rlibm_posit::Posit32) -> rlibm_posit::Posit32 {
-    match name {
-        "ln" => posit::ln_p32(x),
-        "log2" => posit::log2_p32(x),
-        "log10" => posit::log10_p32(x),
-        "exp" => posit::exp_p32(x),
-        "exp2" => posit::exp2_p32(x),
-        "exp10" => posit::exp10_p32(x),
-        "sinh" => posit::sinh_p32(x),
-        "cosh" => posit::cosh_p32(x),
-        _ => panic!("unknown posit function {name}"),
-    }
+pub fn eval_posit32_by_name(name: &str, x: rlibm_posit::Posit32) -> Option<rlibm_posit::Posit32> {
+    posit32_fn_by_name(name).map(|f| f(x))
 }
 
 /// Evaluates one of the eight posit16 functions by name.
-pub fn eval_posit16_by_name(name: &str, x: rlibm_posit::Posit16) -> rlibm_posit::Posit16 {
-    match name {
+pub fn eval_posit16_by_name(name: &str, x: rlibm_posit::Posit16) -> Option<rlibm_posit::Posit16> {
+    Some(match name {
         "ln" => p16::ln_p16(x),
         "log2" => p16::log2_p16(x),
         "log10" => p16::log10_p16(x),
@@ -188,13 +171,13 @@ pub fn eval_posit16_by_name(name: &str, x: rlibm_posit::Posit16) -> rlibm_posit:
         "exp10" => p16::exp10_p16(x),
         "sinh" => p16::sinh_p16(x),
         "cosh" => p16::cosh_p16(x),
-        _ => panic!("unknown posit16 function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Evaluates one of the eight binary16 functions by name.
-pub fn eval_half_by_name(name: &str, x: rlibm_fp::Half) -> rlibm_fp::Half {
-    match name {
+pub fn eval_half_by_name(name: &str, x: rlibm_fp::Half) -> Option<rlibm_fp::Half> {
+    Some(match name {
         "ln" => half16::ln_f16(x),
         "log2" => half16::log2_f16(x),
         "log10" => half16::log10_f16(x),
@@ -203,13 +186,13 @@ pub fn eval_half_by_name(name: &str, x: rlibm_fp::Half) -> rlibm_fp::Half {
         "exp10" => half16::exp10_f16(x),
         "sinh" => half16::sinh_f16(x),
         "cosh" => half16::cosh_f16(x),
-        _ => panic!("unknown binary16 function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Evaluates one of the eight bfloat16 functions by name.
-pub fn eval_bf16_by_name(name: &str, x: rlibm_fp::BFloat16) -> rlibm_fp::BFloat16 {
-    match name {
+pub fn eval_bf16_by_name(name: &str, x: rlibm_fp::BFloat16) -> Option<rlibm_fp::BFloat16> {
+    Some(match name {
         "ln" => bf16::ln_bf16(x),
         "log2" => bf16::log2_bf16(x),
         "log10" => bf16::log10_bf16(x),
@@ -218,6 +201,6 @@ pub fn eval_bf16_by_name(name: &str, x: rlibm_fp::BFloat16) -> rlibm_fp::BFloat1
         "exp10" => bf16::exp10_bf16(x),
         "sinh" => bf16::sinh_bf16(x),
         "cosh" => bf16::cosh_bf16(x),
-        _ => panic!("unknown bfloat16 function {name}"),
-    }
+        _ => return None,
+    })
 }

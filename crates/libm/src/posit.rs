@@ -35,7 +35,7 @@ fn log_front(
         return Posit32::NAR;
     }
     let xd = x.to_f64();
-    let y = fast(xd);
+    let y = crate::fault::perturb(slot, fast(xd));
     if crate::round::posit32_round_safe(y, band) {
         return Posit32::from_f64(y);
     }
@@ -149,7 +149,7 @@ pub fn exp_p32(x: Posit32) -> Posit32 {
     if xd < -(LN_MAXPOS + 0.5) {
         return Posit32::MINPOS;
     }
-    let y = crate::fast::exp_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::P32_EXP, crate::fast::exp_fast(xd));
     if crate::round::posit32_round_safe(y, crate::fast::EXP_BAND) {
         return Posit32::from_f64(y);
     }
@@ -192,7 +192,7 @@ pub fn exp2_p32(x: Posit32) -> Posit32 {
     if xd < -120.5 {
         return Posit32::MINPOS;
     }
-    let y = crate::fast::exp2_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::P32_EXP2, crate::fast::exp2_fast(xd));
     if crate::round::posit32_round_safe(y, crate::fast::EXP2_BAND) {
         return Posit32::from_f64(y);
     }
@@ -235,7 +235,7 @@ pub fn exp10_p32(x: Posit32) -> Posit32 {
     if xd < -(LOG10_MAXPOS + 0.5) {
         return Posit32::MINPOS;
     }
-    let y = crate::fast::exp10_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::P32_EXP10, crate::fast::exp10_fast(xd));
     if crate::round::posit32_round_safe(y, crate::fast::EXP10_BAND) {
         return Posit32::from_f64(y);
     }
@@ -287,7 +287,7 @@ pub fn sinh_p32(x: Posit32) -> Posit32 {
     if xd.abs() < 2f64.powi(-13) {
         return x;
     }
-    let y = crate::fast::sinh_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::P32_SINH, crate::fast::sinh_fast(xd));
     if crate::round::posit32_round_safe(y, crate::fast::SINH_BAND) {
         return Posit32::from_f64(y);
     }
@@ -329,7 +329,7 @@ pub fn cosh_p32(x: Posit32) -> Posit32 {
     if xd.abs() > LN_MAXPOS + 1.5 {
         return Posit32::MAXPOS;
     }
-    let y = crate::fast::cosh_fast(xd);
+    let y = crate::fault::perturb(crate::stats::slot::P32_COSH, crate::fast::cosh_fast(xd));
     if crate::round::posit32_round_safe(y, crate::fast::COSH_BAND) {
         return Posit32::from_f64(y);
     }

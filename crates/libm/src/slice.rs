@@ -332,9 +332,24 @@ pub fn cospi_slice(xs: &[f32], out: &mut [f32]) {
     )
 }
 
+/// Error returned by the by-name slice entry points when the name is not
+/// in the paper's function tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFunction(pub String);
+
+impl core::fmt::Display for UnknownFunction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown function {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownFunction {}
+
 /// Batched evaluation of an f32 function by its paper-table name:
-/// `out[i] = f(xs[i])`, bit-identical to the scalar function.
-pub fn eval_slice_f32(name: &str, xs: &[f32], out: &mut [f32]) {
+/// `out[i] = f(xs[i])`, bit-identical to the scalar function (special
+/// lanes — NaN, ±0, ±inf, out-of-domain — resolve per lane through the
+/// scalar entry). Unknown names are a typed error, not a panic.
+pub fn eval_slice_f32(name: &str, xs: &[f32], out: &mut [f32]) -> Result<(), UnknownFunction> {
     match name {
         "ln" => ln_slice(xs, out),
         "log2" => log2_slice(xs, out),
@@ -346,27 +361,30 @@ pub fn eval_slice_f32(name: &str, xs: &[f32], out: &mut [f32]) {
         "cosh" => cosh_slice(xs, out),
         "sinpi" => sinpi_slice(xs, out),
         "cospi" => cospi_slice(xs, out),
-        _ => panic!("unknown function {name}"),
+        _ => return Err(UnknownFunction(name.to_owned())),
     }
+    Ok(())
 }
 
 /// Batched evaluation of a posit32 function by name. Posit encode/decode
 /// is regime-dependent bit twiddling, so the chunked loop simply applies
 /// the scalar two-tier function per lane — the entry point exists so
 /// harnesses can time "batched posit" without pretending there is a
-/// staged pipeline to exploit.
+/// staged pipeline to exploit. NaR lanes resolve per lane exactly like
+/// the scalar API (NaR in, NaR out).
 pub fn eval_slice_posit32(
     name: &str,
     xs: &[rlibm_posit::Posit32],
     out: &mut [rlibm_posit::Posit32],
-) {
+) -> Result<(), UnknownFunction> {
     assert_eq!(xs.len(), out.len(), "eval_slice: input/output length mismatch");
-    let f = crate::posit32_fn_by_name(name);
+    let f = crate::posit32_fn_by_name(name).ok_or_else(|| UnknownFunction(name.to_owned()))?;
     for (xc, oc) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
         for i in 0..xc.len() {
             oc[i] = f(xc[i]);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -422,9 +440,9 @@ mod tests {
         let xs = adversarial_inputs();
         let mut out = vec![0.0f32; xs.len()];
         for name in NAMES {
-            eval_slice_f32(name, &xs, &mut out);
+            eval_slice_f32(name, &xs, &mut out).expect("known name");
             for (i, (&x, &got)) in xs.iter().zip(out.iter()).enumerate() {
-                let want = crate::eval_f32_by_name(name, x);
+                let want = crate::eval_f32_by_name(name, x).expect("known name");
                 assert!(
                     got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
                     "{name}[{i}]: x = {x:e} ({:#010x}): slice {got:e} vs scalar {want:e}",
@@ -441,11 +459,84 @@ mod tests {
         let xs: Vec<Posit32> = (0..3000).map(|_| Posit32::from_bits(rng.next_u32())).collect();
         let mut out = vec![Posit32::ZERO; xs.len()];
         for name in ["ln", "exp", "sinh", "cosh", "log10", "exp2", "exp10", "log2"] {
-            eval_slice_posit32(name, &xs, &mut out);
+            eval_slice_posit32(name, &xs, &mut out).expect("known name");
             for (&x, &got) in xs.iter().zip(out.iter()) {
-                assert_eq!(got, crate::eval_posit32_by_name(name, x), "{name}");
+                assert_eq!(got, crate::eval_posit32_by_name(name, x).expect("known name"), "{name}");
             }
         }
+    }
+
+    /// Satellite regression: specials (NaN, ±0, ±inf, subnormals,
+    /// saturating magnitudes) scattered *through* a single 64-lane chunk
+    /// must resolve per lane exactly like the scalar API — the staged
+    /// pipeline may not let a special lane contaminate its neighbours.
+    #[test]
+    fn specials_scattered_through_one_chunk_resolve_per_lane() {
+        let specials = [
+            f32::NAN,
+            f32::from_bits(0x7FC0_1234), // NaN with a payload
+            f32::from_bits(0xFFC0_0001), // negative NaN payload
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f32::from_bits(1),          // smallest subnormal
+            f32::from_bits(0x007F_FFFF), // largest subnormal
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            1e30,  // saturates exp-family
+            -1e30, // underflows exp-family
+        ];
+        // Exactly one chunk: specials at scattered lanes, plain in-domain
+        // values everywhere else.
+        let mut xs = [0.0f32; 64];
+        for (i, lane) in xs.iter_mut().enumerate() {
+            *lane = 0.25 + i as f32 * 0.37;
+        }
+        for (k, &s) in specials.iter().enumerate() {
+            xs[(k * 9 + 3) % 64] = s;
+        }
+        let mut out = [0.0f32; 64];
+        for name in NAMES {
+            eval_slice_f32(name, &xs, &mut out).expect("known name");
+            for (i, (&x, &got)) in xs.iter().zip(out.iter()).enumerate() {
+                let want = crate::eval_f32_by_name(name, x).expect("known name");
+                assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "{name} lane {i}: x = {x:e}: slice {got:e} vs scalar {want:e}"
+                );
+            }
+        }
+
+        // Posit chunk with NaR / min / max scattered among ordinary values.
+        use rlibm_posit::Posit32;
+        let mut pxs = [Posit32::from_f64(1.5); 64];
+        for (i, lane) in pxs.iter_mut().enumerate() {
+            *lane = Posit32::from_f64(0.3 + i as f64 * 0.21);
+        }
+        for (k, s) in
+            [Posit32::NAR, Posit32::ZERO, Posit32::MINPOS, Posit32::MAXPOS].into_iter().enumerate()
+        {
+            pxs[(k * 17 + 5) % 64] = s;
+        }
+        let mut pout = [Posit32::ZERO; 64];
+        for name in ["ln", "exp", "sinh", "cosh", "log10", "exp2", "exp10", "log2"] {
+            eval_slice_posit32(name, &pxs, &mut pout).expect("known name");
+            for (i, (&x, &got)) in pxs.iter().zip(pout.iter()).enumerate() {
+                let want = crate::eval_posit32_by_name(name, x).expect("known name");
+                assert_eq!(got, want, "{name} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let mut out = [0.0f32; 1];
+        let err = eval_slice_f32("tanh", &[1.0], &mut out).expect_err("unknown");
+        assert_eq!(err, UnknownFunction("tanh".to_owned()));
+        let mut pout = [rlibm_posit::Posit32::ZERO; 1];
+        assert!(eval_slice_posit32("sinpi", &[rlibm_posit::Posit32::ZERO], &mut pout).is_err());
     }
 
     #[test]

@@ -115,19 +115,20 @@ pub fn fallbacks(s: usize) -> u64 {
     imp::fallbacks(s)
 }
 
-/// Fallback count for an f32 function by its paper-table name.
+/// Fallback count for an f32 function by its paper-table name (0 for an
+/// unknown name).
 pub fn fallbacks_f32(name: &str) -> u64 {
-    fallbacks(f32_slot_by_name(name))
+    f32_slot_by_name(name).map(fallbacks).unwrap_or(0)
 }
 
-/// Fallback count for a posit32 function by name.
+/// Fallback count for a posit32 function by name (0 for an unknown name).
 pub fn fallbacks_posit32(name: &str) -> u64 {
-    fallbacks(posit32_slot_by_name(name))
+    posit32_slot_by_name(name).map(fallbacks).unwrap_or(0)
 }
 
 /// Slot index of an f32 function by name.
-pub fn f32_slot_by_name(name: &str) -> usize {
-    match name {
+pub fn f32_slot_by_name(name: &str) -> Option<usize> {
+    Some(match name {
         "ln" => slot::LN,
         "log2" => slot::LOG2,
         "log10" => slot::LOG10,
@@ -138,13 +139,13 @@ pub fn f32_slot_by_name(name: &str) -> usize {
         "cosh" => slot::COSH,
         "sinpi" => slot::SINPI,
         "cospi" => slot::COSPI,
-        _ => panic!("unknown function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Slot index of a posit32 function by name.
-pub fn posit32_slot_by_name(name: &str) -> usize {
-    match name {
+pub fn posit32_slot_by_name(name: &str) -> Option<usize> {
+    Some(match name {
         "ln" => slot::P32_LN,
         "log2" => slot::P32_LOG2,
         "log10" => slot::P32_LOG10,
@@ -153,8 +154,8 @@ pub fn posit32_slot_by_name(name: &str) -> usize {
         "exp10" => slot::P32_EXP10,
         "sinh" => slot::P32_SINH,
         "cosh" => slot::P32_COSH,
-        _ => panic!("unknown posit function {name}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Zeroes every counter (no-op without the feature).
@@ -170,11 +171,13 @@ mod tests {
     fn slot_lookup_is_total_over_func_names() {
         let names = ["ln", "log2", "log10", "exp", "exp2", "exp10", "sinh", "cosh"];
         for (i, n) in names.iter().enumerate() {
-            assert_eq!(f32_slot_by_name(n), i);
-            assert_eq!(posit32_slot_by_name(n), i + 10);
+            assert_eq!(f32_slot_by_name(n), Some(i));
+            assert_eq!(posit32_slot_by_name(n), Some(i + 10));
         }
-        assert_eq!(f32_slot_by_name("sinpi"), slot::SINPI);
-        assert_eq!(f32_slot_by_name("cospi"), slot::COSPI);
+        assert_eq!(f32_slot_by_name("sinpi"), Some(slot::SINPI));
+        assert_eq!(f32_slot_by_name("cospi"), Some(slot::COSPI));
+        assert_eq!(f32_slot_by_name("tanh"), None);
+        assert_eq!(posit32_slot_by_name("sinpi"), None);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Typed errors for the LP layer.
+//!
+//! The solvers in this crate never panic on degenerate or oversized
+//! problems: budget exhaustion and malformed inputs surface as
+//! [`LpError`] values so the generator upstream can restart with fresh
+//! samples or split the domain instead of aborting a multi-hour run.
+
+/// Failure modes of the simplex solvers and the fitting front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The pivot budget ran out before reaching optimality. With Bland's
+    /// rule engaged the simplex provably terminates, so in practice this
+    /// means the problem needs more pivots than the caller's budget — the
+    /// caller should retry with fresh samples or a smaller problem.
+    Cycling {
+        /// The exhausted budget (total pivots granted).
+        pivots: usize,
+    },
+    /// Matrix/vector dimensions disagree (ragged constraint matrix,
+    /// wrong-length cost or right-hand side, inconsistent basis length).
+    DimensionMismatch {
+        /// Which input was malformed.
+        what: &'static str,
+        /// The length implied by the rest of the problem.
+        expected: usize,
+        /// The length actually supplied.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for LpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LpError::Cycling { pivots } => {
+                write!(f, "simplex pivot budget exhausted after {pivots} pivots")
+            }
+            LpError::DimensionMismatch { what, expected, got } => {
+                write!(f, "dimension mismatch in {what}: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

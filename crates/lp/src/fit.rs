@@ -14,6 +14,7 @@
 //! coefficients are recovered from the optimal dual basis by solving the
 //! `k+1` active constraints as an exact linear system.
 
+use crate::error::LpError;
 use crate::simplex::{solve_standard_form, StandardResult};
 use crate::simplex_f64::{solve_standard_form_f64, F64Result};
 use rlibm_mp::{BigUint, Rational};
@@ -75,23 +76,26 @@ impl FitResult {
     }
 }
 
-/// Finds coefficients maximizing the margin, or `None` when no polynomial
-/// with this basis satisfies every interval.
+/// Finds coefficients maximizing the margin, or `Ok(None)` when no
+/// polynomial with this basis satisfies every interval.
 ///
 /// Following SoPlex's iterative-refinement architecture, the solve runs in
 /// two layers: a fast `f64` simplex proposes an optimal basis; the basis's
 /// active constraints are then re-solved and the full constraint set
 /// re-verified in **exact rational arithmetic**. Only when the floating
 /// point basis fails exact verification does the slow exact simplex run.
-/// A returned fit therefore always satisfies every constraint exactly; a
-/// `None` is exact whenever the exact path ran, and is a (practically
-/// always correct) floating point verdict otherwise — a wrong `None`
+/// A returned fit therefore always satisfies every constraint exactly; an
+/// `Ok(None)` is exact whenever the exact path ran, and is a (practically
+/// always correct) floating point verdict otherwise — a wrong `Ok(None)`
 /// merely causes an unnecessary domain split upstream, never an incorrect
 /// library.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if constraints disagree on the basis length.
+/// [`LpError::DimensionMismatch`] if constraints disagree on the basis
+/// length; [`LpError::Cycling`] if the *exact* simplex exhausts its pivot
+/// budget (an `f64`-layer budget exhaustion silently falls through to the
+/// exact layer). Callers respond to `Cycling` by resampling.
 ///
 /// # Example
 ///
@@ -102,20 +106,29 @@ impl FitResult {
 ///     FitConstraint::from_point(0.0, 0.9, 1.1, &[0, 1]),
 ///     FitConstraint::from_point(1.0, 1.9, 2.1, &[0, 1]),
 /// ];
-/// let fit = max_margin_fit(&cons, 2).expect("feasible");
+/// let fit = max_margin_fit(&cons, 2).expect("solver ok").expect("feasible");
 /// let c = fit.coeffs_f64();
 /// assert!((c[0] - 1.0).abs() < 0.2 && (c[1] - 1.0).abs() < 0.4);
 /// ```
-pub fn max_margin_fit(constraints: &[FitConstraint], num_coeffs: usize) -> Option<FitResult> {
+pub fn max_margin_fit(
+    constraints: &[FitConstraint],
+    num_coeffs: usize,
+) -> Result<Option<FitResult>, LpError> {
     if constraints.is_empty() {
-        return Some(FitResult {
+        return Ok(Some(FitResult {
             coeffs: vec![Rational::zero(); num_coeffs],
             margin: Rational::zero(),
-        });
+        }));
     }
     let k = num_coeffs;
     for c in constraints {
-        assert_eq!(c.basis.len(), k, "inconsistent basis length");
+        if c.basis.len() != k {
+            return Err(LpError::DimensionMismatch {
+                what: "constraint basis",
+                expected: k,
+                got: c.basis.len(),
+            });
+        }
         debug_assert!(c.lo <= c.hi, "empty interval");
     }
     let m = constraints.len();
@@ -146,7 +159,7 @@ pub fn max_margin_fit(constraints: &[FitConstraint], num_coeffs: usize) -> Optio
     let mut b64 = vec![0.0f64; rows];
     b64[k] = 1.0;
     let budget = 2000 + 80 * m;
-    if let F64Result::Optimal { basis, .. } =
+    if let Ok(F64Result::Optimal { basis, .. }) =
         solve_standard_form_f64(&a64, &b64, &c64, budget)
     {
         if let Some(fit) = recover_exact(&basis, constraints, k, cols) {
@@ -154,10 +167,10 @@ pub fn max_margin_fit(constraints: &[FitConstraint], num_coeffs: usize) -> Optio
                 // Exactly-computed optimum of the proposed basis is
                 // negative: no polynomial fits (modulo basis optimality,
                 // see the doc comment).
-                return None;
+                return Ok(None);
             }
             if verify_exact(constraints, &fit.coeffs) {
-                return Some(fit);
+                return Ok(Some(fit));
             }
         }
     }
@@ -177,22 +190,24 @@ pub fn max_margin_fit(constraints: &[FitConstraint], num_coeffs: usize) -> Optio
     }
     let mut b_std = vec![Rational::zero(); rows];
     b_std[k] = Rational::one();
-    let (basis, objective) = match solve_standard_form(&a_std, &b_std, &c_std, budget) {
+    let (basis, objective) = match solve_standard_form(&a_std, &b_std, &c_std, budget)? {
         StandardResult::Optimal { basis, objective, .. } => (basis, objective),
         StandardResult::Infeasible => {
             unreachable!("the dual of an always-feasible bounded primal cannot be infeasible")
         }
         // Dual unbounded <=> primal infeasible (cannot happen: delta is
-        // free); budget exhaustion is treated as "no fit found".
-        StandardResult::Unbounded | StandardResult::PivotLimit => return None,
+        // free). Budget exhaustion propagates as LpError::Cycling above.
+        StandardResult::Unbounded => return Ok(None),
     };
     if objective.is_negative() {
-        return None;
+        return Ok(None);
     }
-    let fit = recover_exact(&basis, constraints, k, cols)?;
+    let Some(fit) = recover_exact(&basis, constraints, k, cols) else {
+        return Ok(None);
+    };
     debug_assert_eq!(fit.margin, objective, "margin must equal the dual optimum");
     debug_assert!(verify_exact(constraints, &fit.coeffs));
-    Some(fit)
+    Ok(Some(fit))
 }
 
 /// Solves the `k+1` active primal constraints named by a dual basis as an
@@ -319,7 +334,7 @@ mod tests {
             FitConstraint::from_point(0.0, -0.1, 0.1, &[0, 1]),
             FitConstraint::from_point(1.0, 0.9, 1.1, &[0, 1]),
         ];
-        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        let fit = max_margin_fit(&cons, 2).expect("lp").expect("feasible");
         assert!(!fit.margin.is_negative());
         let c = fit.coeffs_f64();
         // P(0) in [-0.1, 0.1], P(1) in [0.9, 1.1].
@@ -331,7 +346,7 @@ mod tests {
     fn margin_is_maximized() {
         // Single constraint: value at 0 in [0, 2]. Max margin = 1, value 1.
         let cons = vec![FitConstraint::from_point(0.0, 0.0, 2.0, &[0])];
-        let fit = max_margin_fit(&cons, 1).expect("feasible");
+        let fit = max_margin_fit(&cons, 1).expect("lp").expect("feasible");
         assert_eq!(fit.margin, Rational::one());
         assert_eq!(fit.coeffs[0], Rational::one());
     }
@@ -343,7 +358,7 @@ mod tests {
             FitConstraint::from_point(0.5, 0.0, 0.1, &[0]),
             FitConstraint::from_point(0.7, 1.0, 1.1, &[0]),
         ];
-        assert!(max_margin_fit(&cons, 1).is_none());
+        assert!(max_margin_fit(&cons, 1).expect("lp").is_none());
     }
 
     #[test]
@@ -354,7 +369,7 @@ mod tests {
             .iter()
             .map(|&x| FitConstraint::from_point(x, x * x - eps, x * x + eps, &[0, 1, 2]))
             .collect();
-        let fit = max_margin_fit(&cons, 3).expect("feasible");
+        let fit = max_margin_fit(&cons, 3).expect("lp").expect("feasible");
         let c = fit.coeffs_f64();
         assert!(c[0].abs() < 1e-6, "c0 = {}", c[0]);
         assert!(c[1].abs() < 1e-5, "c1 = {}", c[1]);
@@ -372,7 +387,7 @@ mod tests {
                 FitConstraint::from_point(r, y - 1e-13, y + 1e-13, &[1, 3])
             })
             .collect();
-        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        let fit = max_margin_fit(&cons, 2).expect("lp").expect("feasible");
         let c = fit.coeffs_f64();
         assert!((c[0] - core::f64::consts::PI).abs() < 1e-4, "c1 = {}", c[0]);
         assert!(c[1] < 0.0, "cubic term of sin must be negative: {}", c[1]);
@@ -385,7 +400,7 @@ mod tests {
             FitConstraint::from_point(0.0, 1.0, 1.0, &[0, 1]),
             FitConstraint::from_point(2.0, 5.0, 5.0, &[0, 1]),
         ];
-        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        let fit = max_margin_fit(&cons, 2).expect("lp").expect("feasible");
         assert!(fit.margin.is_zero());
         assert_eq!(fit.coeffs[0], Rational::from_i64(1));
         assert_eq!(fit.coeffs[1], Rational::from_i64(2));
@@ -400,7 +415,7 @@ mod tests {
             let y = 1.0 + 0.5 * x;
             cons.push(FitConstraint::from_point(x, y - 1e-6, y + 1e-6, &[0, 1]));
         }
-        let fit = max_margin_fit(&cons, 2).expect("feasible");
+        let fit = max_margin_fit(&cons, 2).expect("lp").expect("feasible");
         let c = fit.coeffs_f64();
         assert!((c[0] - 1.0).abs() < 1e-5);
         assert!((c[1] - 0.5).abs() < 1e-5);

@@ -12,6 +12,11 @@
 //!   fitting via the dual LP (rows = number of coefficients, so tens of
 //!   thousands of constraints stay cheap), plus exact interpolation.
 //!
+//! Both solvers are bounded and panic-free: pivot budgets surface as
+//! [`LpError::Cycling`] and malformed inputs as
+//! [`LpError::DimensionMismatch`], so a degenerate basis can never hang
+//! or abort a generator run.
+//!
 //! # Example
 //!
 //! ```
@@ -22,13 +27,15 @@
 //!     FitConstraint::from_point(0.0, 0.9, 1.1, &[0, 1]),
 //!     FitConstraint::from_point(1.0, 2.9, 3.1, &[0, 1]),
 //! ];
-//! let fit = max_margin_fit(&cons, 2).expect("feasible");
+//! let fit = max_margin_fit(&cons, 2).expect("solver ok").expect("feasible");
 //! assert!(!fit.margin.is_negative());
 //! ```
 
+pub mod error;
 pub mod fit;
 pub mod simplex;
 pub mod simplex_f64;
 
+pub use error::LpError;
 pub use fit::{interpolate, max_margin_fit, FitConstraint, FitResult};
 pub use simplex::{solve_standard_form, StandardResult};

@@ -9,6 +9,7 @@
 //! Pivoting uses Dantzig's rule for speed with an automatic switch to
 //! Bland's rule (which provably terminates) if degeneracy drags on.
 
+use crate::error::LpError;
 use rlibm_mp::Rational;
 
 /// Outcome of a standard-form solve.
@@ -27,9 +28,6 @@ pub enum StandardResult {
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
-    /// The pivot budget ran out before reaching optimality. Callers treat
-    /// this as "no answer" (the generator responds by splitting domains).
-    PivotLimit,
 }
 
 /// Exact simplex solver for `min c·x, A x = b, x >= 0`.
@@ -45,40 +43,56 @@ pub enum StandardResult {
 /// let b = vec![r(4), r(3)];
 /// let c = vec![r(-1), r(0), r(0)];
 /// match solve_standard_form(&a, &b, &c, 100_000) {
-///     rlibm_lp::simplex::StandardResult::Optimal { x, .. } => {
+///     Ok(rlibm_lp::simplex::StandardResult::Optimal { x, .. }) => {
 ///         assert_eq!(x[0], r(3));
 ///     }
 ///     other => panic!("unexpected {other:?}"),
 /// }
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the matrix dimensions are inconsistent. Exhausting the
-/// `max_pivots` budget returns [`StandardResult::PivotLimit`].
+/// [`LpError::DimensionMismatch`] if the matrix dimensions are
+/// inconsistent; [`LpError::Cycling`] when the `max_pivots` budget runs
+/// out before optimality (callers respond by splitting domains or
+/// resampling).
 pub fn solve_standard_form(
     a: &[Vec<Rational>],
     b: &[Rational],
     c: &[Rational],
     max_pivots: usize,
-) -> StandardResult {
+) -> Result<StandardResult, LpError> {
     let m = a.len();
     let n = if m > 0 { a[0].len() } else { c.len() };
-    assert_eq!(b.len(), m, "rhs length mismatch");
-    for row in a {
-        assert_eq!(row.len(), n, "ragged constraint matrix");
+    if b.len() != m {
+        return Err(LpError::DimensionMismatch { what: "rhs length", expected: m, got: b.len() });
     }
-    assert_eq!(c.len(), n, "objective length mismatch");
+    for row in a {
+        if row.len() != n {
+            return Err(LpError::DimensionMismatch {
+                what: "constraint row",
+                expected: n,
+                got: row.len(),
+            });
+        }
+    }
+    if c.len() != n {
+        return Err(LpError::DimensionMismatch {
+            what: "objective length",
+            expected: n,
+            got: c.len(),
+        });
+    }
     if m == 0 {
         // No constraints: optimum is 0 iff no negative cost (else unbounded).
         if c.iter().any(|cj| cj.is_negative()) {
-            return StandardResult::Unbounded;
+            return Ok(StandardResult::Unbounded);
         }
-        return StandardResult::Optimal {
+        return Ok(StandardResult::Optimal {
             x: vec![Rational::zero(); n],
             objective: Rational::zero(),
             basis: Vec::new(),
-        };
+        });
     }
 
     // Phase 1: add one artificial per row (after sign-normalizing b >= 0),
@@ -118,7 +132,7 @@ pub fn solve_standard_form(
     ) {
         LoopOutcome::Optimal => {}
         LoopOutcome::Unbounded => unreachable!("phase-1 objective cannot be unbounded"),
-        LoopOutcome::OutOfBudget => return StandardResult::PivotLimit,
+        LoopOutcome::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
     }
     // Phase-1 objective = sum of basic artificial values.
     let mut phase1_obj = Rational::zero();
@@ -128,7 +142,7 @@ pub fn solve_standard_form(
         }
     }
     if !phase1_obj.is_zero() {
-        return StandardResult::Infeasible;
+        return Ok(StandardResult::Infeasible);
     }
     // Drive any (zero-valued) artificials out of the basis when possible.
     for i in 0..m {
@@ -163,8 +177,8 @@ pub fn solve_standard_form(
         &mut pivots_left,
     ) {
         LoopOutcome::Optimal => {}
-        LoopOutcome::Unbounded => return StandardResult::Unbounded,
-        LoopOutcome::OutOfBudget => return StandardResult::PivotLimit,
+        LoopOutcome::Unbounded => return Ok(StandardResult::Unbounded),
+        LoopOutcome::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
     }
 
     let mut x = vec![Rational::zero(); n];
@@ -179,7 +193,7 @@ pub fn solve_standard_form(
             objective = objective.add(&c[j].mul(&x[j]));
         }
     }
-    StandardResult::Optimal { x, objective, basis }
+    Ok(StandardResult::Optimal { x, objective, basis })
 }
 
 /// Result of one simplex phase.
@@ -317,7 +331,7 @@ mod tests {
         let b = vec![r(4), r(6)];
         let c = vec![r(-1), r(-1), r(0), r(0)];
         match solve_standard_form(&a, &b, &c, 10_000) {
-            StandardResult::Optimal { x, objective, .. } => {
+            Ok(StandardResult::Optimal { x, objective, .. }) => {
                 assert_eq!(x[0], rr(8, 5));
                 assert_eq!(x[1], rr(6, 5));
                 assert_eq!(objective, rr(-14, 5));
@@ -332,7 +346,7 @@ mod tests {
         let a = vec![vec![r(1)], vec![r(1)]];
         let b = vec![r(1), r(2)];
         let c = vec![r(0)];
-        assert_eq!(solve_standard_form(&a, &b, &c, 10_000), StandardResult::Infeasible);
+        assert_eq!(solve_standard_form(&a, &b, &c, 10_000), Ok(StandardResult::Infeasible));
     }
 
     #[test]
@@ -341,7 +355,7 @@ mod tests {
         let a = vec![vec![r(1), r(-1)]];
         let b = vec![r(0)];
         let c = vec![r(-1), r(0)];
-        assert_eq!(solve_standard_form(&a, &b, &c, 10_000), StandardResult::Unbounded);
+        assert_eq!(solve_standard_form(&a, &b, &c, 10_000), Ok(StandardResult::Unbounded));
     }
 
     #[test]
@@ -351,7 +365,7 @@ mod tests {
         let b = vec![r(-3)];
         let c = vec![r(1)];
         match solve_standard_form(&a, &b, &c, 10_000) {
-            StandardResult::Optimal { x, .. } => assert_eq!(x[0], r(3)),
+            Ok(StandardResult::Optimal { x, .. }) => assert_eq!(x[0], r(3)),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -366,7 +380,7 @@ mod tests {
         let b = vec![rr(10, 21), rr(9, 4)];
         let c = vec![r(-2), r(-3), r(0), r(0)];
         match solve_standard_form(&a, &b, &c, 10_000) {
-            StandardResult::Optimal { x, .. } => {
+            Ok(StandardResult::Optimal { x, .. }) => {
                 for (row, rhs) in a.iter().zip(&b) {
                     let mut lhs = Rational::zero();
                     for (aij, xj) in row.iter().zip(&x) {
@@ -393,10 +407,38 @@ mod tests {
         let b = vec![r(2), r(4), r(2)];
         let c = vec![r(-1), r(-2), r(0), r(0), r(0)];
         match solve_standard_form(&a, &b, &c, 100_000) {
-            StandardResult::Optimal { objective, .. } => {
+            Ok(StandardResult::Optimal { objective, .. }) => {
                 assert_eq!(objective, r(-4));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error() {
+        // The degenerate problem above needs several pivots; a budget of
+        // zero must surface as LpError::Cycling, never a panic or a spin.
+        let a = vec![
+            vec![r(1), r(1), r(1), r(0), r(0)],
+            vec![r(2), r(2), r(0), r(1), r(0)],
+            vec![r(1), r(1), r(0), r(0), r(1)],
+        ];
+        let b = vec![r(2), r(4), r(2)];
+        let c = vec![r(-1), r(-2), r(0), r(0), r(0)];
+        assert_eq!(
+            solve_standard_form(&a, &b, &c, 0),
+            Err(crate::error::LpError::Cycling { pivots: 0 })
+        );
+    }
+
+    #[test]
+    fn ragged_matrix_is_a_typed_error() {
+        let a = vec![vec![r(1), r(2)], vec![r(1)]];
+        let b = vec![r(1), r(2)];
+        let c = vec![r(0), r(0)];
+        assert!(matches!(
+            solve_standard_form(&a, &b, &c, 100),
+            Err(crate::error::LpError::DimensionMismatch { .. })
+        ));
     }
 }

@@ -10,6 +10,8 @@
 //! verifies every constraint in rational arithmetic, falling back to the
 //! exact simplex when the floating point basis does not check out.
 
+use crate::error::LpError;
+
 /// Outcome of the f64 solve: mirrors [`crate::simplex::StandardResult`]
 /// but with approximate values.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,21 +33,31 @@ const EPS: f64 = 1e-9;
 
 /// Solves `min c·x, A x = b, x >= 0` in `f64`, returning the final basis.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on inconsistent dimensions or when `max_pivots` is exhausted.
+/// [`LpError::DimensionMismatch`] on inconsistent dimensions;
+/// [`LpError::Cycling`] when `max_pivots` is exhausted (callers fall back
+/// to the exact solver or resample).
 pub fn solve_standard_form_f64(
     a: &[Vec<f64>],
     b: &[f64],
     c: &[f64],
     max_pivots: usize,
-) -> F64Result {
+) -> Result<F64Result, LpError> {
     let m = a.len();
     let n = if m > 0 { a[0].len() } else { c.len() };
-    assert_eq!(b.len(), m);
-    assert_eq!(c.len(), n);
+    if b.len() != m {
+        return Err(LpError::DimensionMismatch { what: "rhs length", expected: m, got: b.len() });
+    }
+    if c.len() != n {
+        return Err(LpError::DimensionMismatch {
+            what: "objective length",
+            expected: n,
+            got: c.len(),
+        });
+    }
     if m == 0 {
-        return F64Result::Optimal { basis: Vec::new(), objective: 0.0 };
+        return Ok(F64Result::Optimal { basis: Vec::new(), objective: 0.0 });
     }
     let mut tableau: Vec<Vec<f64>> = Vec::with_capacity(m);
     for i in 0..m {
@@ -64,8 +76,10 @@ pub fn solve_standard_form_f64(
 
     // Phase 1.
     let p1_cost = |j: usize| if j >= n { 1.0 } else { 0.0 };
-    if !loop_f64(&mut tableau, &mut basis, total, total, &p1_cost, &mut pivots) {
-        unreachable!("phase 1 cannot be unbounded");
+    match loop_f64(&mut tableau, &mut basis, total, total, &p1_cost, &mut pivots) {
+        LoopF64::Optimal => {}
+        LoopF64::Unbounded => unreachable!("phase 1 cannot be unbounded"),
+        LoopF64::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
     }
     let infeas: f64 = basis
         .iter()
@@ -74,7 +88,7 @@ pub fn solve_standard_form_f64(
         .map(|(i, _)| tableau[i][total])
         .sum();
     if infeas > EPS {
-        return F64Result::Infeasible;
+        return Ok(F64Result::Infeasible);
     }
     for i in 0..m {
         if basis[i] >= n {
@@ -85,8 +99,10 @@ pub fn solve_standard_form_f64(
     }
     // Phase 2.
     let p2_cost = |j: usize| if j >= n { 0.0 } else { c[j] };
-    if !loop_f64(&mut tableau, &mut basis, total, n, &p2_cost, &mut pivots) {
-        return F64Result::Unbounded;
+    match loop_f64(&mut tableau, &mut basis, total, n, &p2_cost, &mut pivots) {
+        LoopF64::Optimal => {}
+        LoopF64::Unbounded => return Ok(F64Result::Unbounded),
+        LoopF64::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
     }
     let mut objective = 0.0;
     for (i, &bj) in basis.iter().enumerate() {
@@ -94,7 +110,14 @@ pub fn solve_standard_form_f64(
             objective += c[bj] * tableau[i][total];
         }
     }
-    F64Result::Optimal { basis, objective }
+    Ok(F64Result::Optimal { basis, objective })
+}
+
+/// Result of one f64 simplex phase.
+enum LoopF64 {
+    Optimal,
+    Unbounded,
+    OutOfBudget,
 }
 
 // Same lockstep tableau indexing as the exact simplex loop.
@@ -106,7 +129,7 @@ fn loop_f64(
     enter_limit: usize,
     cost: &dyn Fn(usize) -> f64,
     pivots: &mut usize,
-) -> bool {
+) -> LoopF64 {
     let m = tableau.len();
     let mut degenerate = 0usize;
     loop {
@@ -134,7 +157,7 @@ fn loop_f64(
                 }
             }
         }
-        let Some((j_in, _)) = entering else { return true };
+        let Some((j_in, _)) = entering else { return LoopF64::Optimal };
         let mut leave: Option<(usize, f64)> = None;
         for i in 0..m {
             if tableau[i][j_in] > EPS {
@@ -151,9 +174,11 @@ fn loop_f64(
                 }
             }
         }
-        let Some((i_out, ratio)) = leave else { return false };
+        let Some((i_out, ratio)) = leave else { return LoopF64::Unbounded };
         degenerate = if ratio.abs() <= EPS { degenerate + 1 } else { 0 };
-        assert!(*pivots > 0, "f64 simplex pivot budget exhausted");
+        if *pivots == 0 {
+            return LoopF64::OutOfBudget;
+        }
         *pivots -= 1;
         pivot_f64(tableau, basis, i_out, j_in, total);
     }
@@ -198,7 +223,7 @@ mod tests {
         let b = vec![4.0, 6.0];
         let c = vec![-1.0, -1.0, 0.0, 0.0];
         match solve_standard_form_f64(&a, &b, &c, 10_000) {
-            F64Result::Optimal { objective, .. } => {
+            Ok(F64Result::Optimal { objective, .. }) => {
                 assert!((objective - (-14.0 / 5.0)).abs() < 1e-9);
             }
             other => panic!("unexpected {other:?}"),
@@ -210,7 +235,7 @@ mod tests {
         let a = vec![vec![1.0], vec![1.0]];
         let b = vec![1.0, 2.0];
         let c = vec![0.0];
-        assert_eq!(solve_standard_form_f64(&a, &b, &c, 10_000), F64Result::Infeasible);
+        assert_eq!(solve_standard_form_f64(&a, &b, &c, 10_000), Ok(F64Result::Infeasible));
     }
 
     #[test]
@@ -218,6 +243,17 @@ mod tests {
         let a = vec![vec![1.0, -1.0]];
         let b = vec![0.0];
         let c = vec![-1.0, 0.0];
-        assert_eq!(solve_standard_form_f64(&a, &b, &c, 10_000), F64Result::Unbounded);
+        assert_eq!(solve_standard_form_f64(&a, &b, &c, 10_000), Ok(F64Result::Unbounded));
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_error() {
+        let a = vec![vec![1.0, 2.0, 1.0, 0.0], vec![3.0, 1.0, 0.0, 1.0]];
+        let b = vec![4.0, 6.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0];
+        assert_eq!(
+            solve_standard_form_f64(&a, &b, &c, 0),
+            Err(LpError::Cycling { pivots: 0 })
+        );
     }
 }

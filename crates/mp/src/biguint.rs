@@ -340,17 +340,12 @@ impl BigUint {
         (q, r)
     }
 
-    /// The value as a `u64`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the value needs more than 64 bits.
+    /// The value as a `u64`. Every caller first reduces the value below
+    /// 2^64 (by shifting or a `bit_len` check); values wider than one limb
+    /// are an internal invariant violation caught in debug builds.
     pub fn to_u64(&self) -> u64 {
-        match self.limbs.len() {
-            0 => 0,
-            1 => self.limbs[0],
-            _ => panic!("BigUint::to_u64 overflow"),
-        }
+        debug_assert!(self.limbs.len() <= 1, "BigUint::to_u64 overflow");
+        self.limbs.first().copied().unwrap_or(0)
     }
 
     /// The top 64 significant bits as a `u64` with MSB set (undefined for
@@ -402,7 +397,8 @@ impl BigUint {
         assert!(!s.is_empty(), "empty decimal string");
         let mut acc = BigUint::zero();
         for c in s.chars() {
-            let d = c.to_digit(10).expect("invalid decimal digit") as u64;
+            assert!(c.is_ascii_digit(), "invalid decimal digit {c:?}");
+            let d = c.to_digit(10).unwrap_or(0) as u64;
             acc = acc.mul_u64(10).add(&BigUint::from_u64(d));
         }
         acc
@@ -464,7 +460,9 @@ impl core::fmt::Display for BigUint {
             digits.push(r);
             cur = q;
         }
-        write!(f, "{}", digits.pop().unwrap())?;
+        if let Some(top) = digits.pop() {
+            write!(f, "{top}")?;
+        }
         for d in digits.iter().rev() {
             write!(f, "{d:019}")?;
         }

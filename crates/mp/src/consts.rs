@@ -25,11 +25,20 @@ fn cache() -> &'static Mutex<HashMap<(Which, u32), MpFloat>> {
 }
 
 fn cached(which: Which, prec: u32, compute: impl FnOnce(u32) -> MpFloat) -> MpFloat {
-    if let Some(v) = cache().lock().unwrap().get(&(which, prec)) {
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // map still holds only fully computed constants, so recover it.
+    if let Some(v) = cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&(which, prec))
+    {
         return v.clone();
     }
     let v = compute(prec);
-    cache().lock().unwrap().insert((which, prec), v.clone());
+    cache()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert((which, prec), v.clone());
     v
 }
 

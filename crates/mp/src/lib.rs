@@ -10,7 +10,10 @@
 //! * [`consts`] — pi, ln 2, ln 10 to any precision.
 //! * [`elem`] — the ten elementary functions with guaranteed error bounds.
 //! * [`oracle`] — Ziv-loop correct rounding into any target representation
-//!   ([`correctly_rounded`]) or into double ([`correctly_rounded_f64`]).
+//!   ([`correctly_rounded`]) or into double ([`correctly_rounded_f64`]),
+//!   with precision-bounded variants ([`try_correctly_rounded`],
+//!   [`try_correctly_rounded_f64`]) that surface
+//!   [`OracleError::PrecisionExhausted`] instead of doubling forever.
 //!
 //! # Example
 //!
@@ -33,5 +36,8 @@ pub mod rational;
 pub use bigint::BigInt;
 pub use biguint::BigUint;
 pub use float::MpFloat;
-pub use oracle::{correctly_rounded, correctly_rounded_f64, round_mp, Func};
+pub use oracle::{
+    correctly_rounded, correctly_rounded_f64, round_mp, try_correctly_rounded,
+    try_correctly_rounded_f64, Func, OracleError, DEFAULT_PREC_CEILING,
+};
 pub use rational::Rational;

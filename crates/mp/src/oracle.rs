@@ -343,6 +343,63 @@ pub fn is_special_case(f: Func, x: f64) -> bool {
     !matches!(filter(f, x), Filtered::Continue)
 }
 
+/// Precision ceiling used by the infallible oracle wrappers: 16384 bits.
+///
+/// Every filtered (non-exact) case of the ten paper functions resolves
+/// far below this — a disagreement at 16384 bits would mean an exact case
+/// missed by [`filter`], which [`try_correctly_rounded`] reports as an
+/// error instead of doubling forever.
+pub const DEFAULT_PREC_CEILING: u32 = 1 << 14;
+
+/// Floor on the Ziv starting precision (the elementary series need some
+/// working room regardless of how low the caller sets the ceiling).
+const MIN_ZIV_PREC: u32 = 32;
+
+/// Failure modes of the bounded Ziv oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// The rounding test still disagreed at the precision ceiling. Either
+    /// the ceiling is artificially low, or the input is an exact case
+    /// that [`filter`] failed to enumerate (a table-maker's-dilemma point
+    /// that genuinely needs more bits cannot exist past a few hundred
+    /// bits for these functions).
+    PrecisionExhausted {
+        /// The function being evaluated.
+        func: Func,
+        /// The input (widened to f64).
+        input: f64,
+        /// The ceiling that was exhausted.
+        max_prec: u32,
+    },
+    /// The multi-precision evaluation returned exactly zero, which the
+    /// filter should have caught as an exact case.
+    UnexpectedZero {
+        /// The function being evaluated.
+        func: Func,
+        /// The input (widened to f64).
+        input: f64,
+        /// The working precision at which the zero appeared.
+        prec: u32,
+    },
+}
+
+impl core::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OracleError::PrecisionExhausted { func, input, max_prec } => write!(
+                f,
+                "Ziv loop exceeded {max_prec} bits for {func}({input:e}); \
+                 the result may be an unfiltered exact case"
+            ),
+            OracleError::UnexpectedZero { func, input, prec } => {
+                write!(f, "unexpected exact zero from {func}({input:e}) at {prec} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
 /// The correctly rounded value of `f(x)` in the representation `T`.
 ///
 /// This is the oracle of Algorithm 1, line 4 (`RN_T(f(x))`).
@@ -355,19 +412,48 @@ pub fn is_special_case(f: Func, x: f64) -> bool {
 /// assert_eq!(y, 2.7182817f32);
 /// ```
 pub fn correctly_rounded<T: Representation>(f: Func, x: T) -> T {
+    match try_correctly_rounded(f, x, DEFAULT_PREC_CEILING) {
+        Ok(v) => v,
+        // 16384 bits of disagreement would mean `filter` missed an exact
+        // case — impossible for the enumerated special-case tables, and
+        // covered by the exhaustive oracle sweeps in the workspace tests.
+        Err(e) => unreachable!("{e}"),
+    }
+}
+
+/// [`correctly_rounded`] with an explicit Ziv precision ceiling.
+///
+/// The Ziv loop starts at min(128, `max_prec`) bits (but never below the
+/// working floor of the elementary series) and doubles until the widened
+/// value interval rounds unambiguously; when it would exceed `max_prec`
+/// it returns [`OracleError::PrecisionExhausted`] instead of looping.
+///
+/// # Errors
+///
+/// [`OracleError::PrecisionExhausted`] when the ceiling is reached
+/// without an unambiguous rounding; [`OracleError::UnexpectedZero`] if
+/// the multi-precision evaluation collapses to exact zero (an exact case
+/// [`filter`] should have handled).
+pub fn try_correctly_rounded<T: Representation>(
+    f: Func,
+    x: T,
+    max_prec: u32,
+) -> Result<T, OracleError> {
     let xf = x.to_f64();
     match filter(f, xf) {
-        Filtered::Value(v) => T::round_from_f64(v),
-        Filtered::Exact(v) => round_mp(&v),
+        Filtered::Value(v) => Ok(T::round_from_f64(v)),
+        Filtered::Exact(v) => Ok(round_mp(&v)),
         Filtered::Continue => {
             let key = (f, TypeId::of::<T>(), x.to_bits_u32());
             if let Some(bits) = ZIV_CACHE_T.with(|c| c.borrow().get(&key).copied()) {
-                return T::from_bits_u32(bits);
+                return Ok(T::from_bits_u32(bits));
             }
-            let mut prec = 128u32;
+            let mut prec = 128u32.min(max_prec).max(MIN_ZIV_PREC);
             loop {
                 let v = f.eval_mp(xf, prec);
-                assert!(!v.is_zero(), "unexpected exact zero from {f:?}({xf})");
+                if v.is_zero() {
+                    return Err(OracleError::UnexpectedZero { func: f, input: xf, prec });
+                }
                 let lo = v.offset_ulps(-elem::ERR_ULPS);
                 let hi = v.offset_ulps(elem::ERR_ULPS);
                 let rl: T = round_mp(&lo);
@@ -380,14 +466,13 @@ pub fn correctly_rounded<T: Representation>(f: Func, x: T) -> T {
                         }
                         c.insert(key, rl.to_bits_u32());
                     });
-                    return rl;
+                    return Ok(rl);
                 }
-                prec *= 2;
-                assert!(
-                    prec <= 1 << 14,
-                    "Ziv loop exceeded 16384 bits for {f:?}({xf:e}); \
-                     the result may be an unfiltered exact case"
-                );
+                let next = prec.saturating_mul(2);
+                if next > max_prec {
+                    return Err(OracleError::PrecisionExhausted { func: f, input: xf, max_prec });
+                }
+                prec = next;
             }
         }
     }
@@ -398,18 +483,32 @@ pub fn correctly_rounded<T: Representation>(f: Func, x: T) -> T {
 /// Used by the generator when deducing reduced intervals: Algorithm 2
 /// line 7 computes `RN_H(f_i(r))` with `H = f64`.
 pub fn correctly_rounded_f64(f: Func, x: f64) -> f64 {
+    match try_correctly_rounded_f64(f, x, DEFAULT_PREC_CEILING) {
+        Ok(v) => v,
+        Err(e) => unreachable!("{e}"),
+    }
+}
+
+/// [`correctly_rounded_f64`] with an explicit Ziv precision ceiling.
+///
+/// # Errors
+///
+/// Same failure modes as [`try_correctly_rounded`].
+pub fn try_correctly_rounded_f64(f: Func, x: f64, max_prec: u32) -> Result<f64, OracleError> {
     match filter(f, x) {
-        Filtered::Value(v) => v,
-        Filtered::Exact(v) => v.to_f64(),
+        Filtered::Value(v) => Ok(v),
+        Filtered::Exact(v) => Ok(v.to_f64()),
         Filtered::Continue => {
             let key = (f, x.to_bits());
             if let Some(bits) = ZIV_CACHE_F64.with(|c| c.borrow().get(&key).copied()) {
-                return f64::from_bits(bits);
+                return Ok(f64::from_bits(bits));
             }
-            let mut prec = 128u32;
+            let mut prec = 128u32.min(max_prec).max(MIN_ZIV_PREC);
             loop {
                 let v = f.eval_mp(x, prec);
-                assert!(!v.is_zero(), "unexpected exact zero from {f:?}({x})");
+                if v.is_zero() {
+                    return Err(OracleError::UnexpectedZero { func: f, input: x, prec });
+                }
                 let lo = v.offset_ulps(-elem::ERR_ULPS);
                 let hi = v.offset_ulps(elem::ERR_ULPS);
                 let (rl, rh) = (lo.to_f64(), hi.to_f64());
@@ -421,13 +520,13 @@ pub fn correctly_rounded_f64(f: Func, x: f64) -> f64 {
                         }
                         c.insert(key, rl.to_bits());
                     });
-                    return rl;
+                    return Ok(rl);
                 }
-                prec *= 2;
-                assert!(
-                    prec <= 1 << 14,
-                    "Ziv loop exceeded 16384 bits for {f:?}({x:e}) in f64"
-                );
+                let next = prec.saturating_mul(2);
+                if next > max_prec {
+                    return Err(OracleError::PrecisionExhausted { func: f, input: x, max_prec });
+                }
+                prec = next;
             }
         }
     }
@@ -569,6 +668,54 @@ mod tests {
         assert_eq!(b.to_bits(), cb.to_bits());
         assert_eq!(h.to_bits(), ch.to_bits());
         assert_ne!(b.to_f64(), h.to_f64());
+    }
+
+    #[test]
+    fn precision_ceiling_surfaces_as_error_not_hang() {
+        // At a 32-bit ceiling the widened Ziv interval (ERR_ULPS ulps at
+        // 32 bits of working precision) routinely straddles an f32
+        // rounding boundary, so a sweep of ordinary inputs must hit
+        // PrecisionExhausted — and must *return* it rather than loop.
+        let mut exhausted = 0u32;
+        let mut agree = 0u32;
+        for i in 0..2000u32 {
+            let x = 0.5f32 + i as f32 * 1e-3;
+            match try_correctly_rounded::<f32>(Func::Ln, x, 32) {
+                Ok(y) => {
+                    // A low-ceiling success must agree with the default oracle.
+                    assert_eq!(y.to_bits(), correctly_rounded::<f32>(Func::Ln, x).to_bits());
+                    agree += 1;
+                }
+                Err(OracleError::PrecisionExhausted { func, max_prec, .. }) => {
+                    assert_eq!(func, Func::Ln);
+                    assert_eq!(max_prec, 32);
+                    exhausted += 1;
+                }
+                Err(other) => panic!("unexpected oracle error {other}"),
+            }
+        }
+        assert!(exhausted > 0, "an artificially low ceiling must be reachable");
+        assert!(agree > 0, "most inputs still resolve at 32 bits");
+        // The same inputs resolve fine under the default ceiling.
+        for i in 0..2000u32 {
+            let x = 0.5f32 + i as f32 * 1e-3;
+            assert!(try_correctly_rounded::<f32>(Func::Ln, x, DEFAULT_PREC_CEILING).is_ok());
+        }
+    }
+
+    #[test]
+    fn f64_precision_ceiling_surfaces_as_error() {
+        let mut exhausted = 0u32;
+        for i in 0..500u32 {
+            let x = 1.0 + f64::from(i) * 1e-3;
+            if matches!(
+                try_correctly_rounded_f64(Func::Exp, x, 32),
+                Err(OracleError::PrecisionExhausted { .. })
+            ) {
+                exhausted += 1;
+            }
+        }
+        assert!(exhausted > 0);
     }
 
     #[test]

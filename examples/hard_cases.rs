@@ -27,7 +27,7 @@ fn main() {
                 "cospi" => rlibm::math::baselines::float32::cospi(x),
                 _ => unreachable!(),
             };
-            let ours = rlibm::math::eval_f32_by_name(f.name(), x);
+            let ours = rlibm::math::eval_f32_by_name(f.name(), x).expect("known name");
             if base.to_bits() != ours.to_bits() && !base.is_nan() && base.is_finite() {
                 let oracle: f32 = correctly_rounded(f, x);
                 if oracle.to_bits() != ours.to_bits() {

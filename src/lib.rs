@@ -31,3 +31,71 @@ pub use rlibm_lp as lp;
 pub use rlibm_math as math;
 pub use rlibm_mp as mp;
 pub use rlibm_posit as posit;
+
+/// The stack-wide error taxonomy: every typed failure a library crate
+/// can surface, under one roof for callers that drive the whole
+/// pipeline (oracle → LP → generator → runtime library).
+///
+/// Each layer keeps its own narrow error type — [`mp::OracleError`] for
+/// the Ziv precision ceiling, [`lp::LpError`] for simplex cycling and
+/// malformed constraint systems, [`gen::pipeline::GenError`] for the
+/// end-to-end generator (which internally wraps the other two), and
+/// [`math::UnknownFunction`] for by-name dispatch — and `RlibmError`
+/// provides the `From` lattice so `?` composes across layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RlibmError {
+    /// The Ziv oracle hit its precision ceiling (or an unexpected zero).
+    Oracle(mp::OracleError),
+    /// The exact rational / f64 simplex failed (cycling, dimensions).
+    Lp(lp::LpError),
+    /// The end-to-end generator failed (includes checkpoint I/O).
+    Generator(gen::pipeline::GenError),
+    /// A by-name lookup in the runtime library missed.
+    UnknownFunction(math::UnknownFunction),
+}
+
+impl From<mp::OracleError> for RlibmError {
+    fn from(e: mp::OracleError) -> Self {
+        RlibmError::Oracle(e)
+    }
+}
+
+impl From<lp::LpError> for RlibmError {
+    fn from(e: lp::LpError) -> Self {
+        RlibmError::Lp(e)
+    }
+}
+
+impl From<gen::pipeline::GenError> for RlibmError {
+    fn from(e: gen::pipeline::GenError) -> Self {
+        RlibmError::Generator(e)
+    }
+}
+
+impl From<math::UnknownFunction> for RlibmError {
+    fn from(e: math::UnknownFunction) -> Self {
+        RlibmError::UnknownFunction(e)
+    }
+}
+
+impl core::fmt::Display for RlibmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RlibmError::Oracle(e) => write!(f, "oracle: {e}"),
+            RlibmError::Lp(e) => write!(f, "lp: {e}"),
+            RlibmError::Generator(e) => write!(f, "generator: {e}"),
+            RlibmError::UnknownFunction(e) => write!(f, "lookup: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RlibmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RlibmError::Oracle(e) => Some(e),
+            RlibmError::Lp(e) => Some(e),
+            RlibmError::Generator(e) => Some(e),
+            RlibmError::UnknownFunction(e) => Some(e),
+        }
+    }
+}

@@ -20,7 +20,7 @@ fn check(f: Func) {
     let xs = stratified_f32(per_exponent(), 0xD00D + f.name().len() as u64);
     let report = validate(
         f,
-        |x: f32| rlibm::math::eval_f32_by_name(f.name(), x),
+        |x: f32| rlibm::math::eval_f32_by_name(f.name(), x).expect("known name"),
         xs.iter().copied(),
     );
     assert!(
@@ -99,7 +99,7 @@ fn dense_strips_near_hard_regions() {
     for i in 0..n {
         let x = f32::from_bits(1.0f32.to_bits() - n / 2 + i);
         for f in [Func::Ln, Func::Log2, Func::Log10] {
-            let got = rlibm::math::eval_f32_by_name(f.name(), x);
+            let got = rlibm::math::eval_f32_by_name(f.name(), x).expect("known name");
             let want: f32 = rlibm::mp::correctly_rounded(f, x);
             assert_eq!(got.to_bits(), want.to_bits(), "{}({x:e})", f.name());
         }
@@ -109,7 +109,7 @@ fn dense_strips_near_hard_regions() {
         for sign in [1.0f32, -1.0] {
             let x = sign * f32::from_bits(0x3980_0000 + i * 37); // ~1e-4 region
             for f in [Func::Exp, Func::Exp2, Func::Exp10, Func::Sinh, Func::Cosh] {
-                let got = rlibm::math::eval_f32_by_name(f.name(), x);
+                let got = rlibm::math::eval_f32_by_name(f.name(), x).expect("known name");
                 let want: f32 = rlibm::mp::correctly_rounded(f, x);
                 assert_eq!(got.to_bits(), want.to_bits(), "{}({x:e})", f.name());
             }
@@ -120,7 +120,7 @@ fn dense_strips_near_hard_regions() {
         for base in [1.0f32, 0.5, 2.0, 7.5] {
             let x = base + i as f32 * f32::EPSILON;
             for f in [Func::SinPi, Func::CosPi] {
-                let got = rlibm::math::eval_f32_by_name(f.name(), x);
+                let got = rlibm::math::eval_f32_by_name(f.name(), x).expect("known name");
                 let want: f32 = rlibm::mp::correctly_rounded(f, x);
                 assert!(
                     got == want || (got == 0.0 && want == 0.0),
@@ -150,7 +150,7 @@ fn boundary_inputs_are_correct() {
         cases.push((Func::Cosh, x));
     }
     for (f, x) in cases {
-        let got = rlibm::math::eval_f32_by_name(f.name(), x);
+        let got = rlibm::math::eval_f32_by_name(f.name(), x).expect("known name");
         let want: f32 = rlibm::mp::correctly_rounded(f, x);
         assert!(
             got.to_bits() == want.to_bits() || (got == 0.0 && want == 0.0),

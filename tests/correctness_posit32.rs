@@ -19,7 +19,7 @@ fn check(f: Func) {
     let xs = stratified_posit32(sample_count(), 0xFACE + f.name().len() as u64);
     let report = validate(
         f,
-        |x: Posit32| rlibm::math::eval_posit32_by_name(f.name(), x),
+        |x: Posit32| rlibm::math::eval_posit32_by_name(f.name(), x).expect("known name"),
         xs.iter().copied(),
     );
     assert!(
@@ -82,7 +82,7 @@ fn tapered_precision_region_dense() {
         for &bits in &[one + i * 7, one - i * 11] {
             let x = Posit32::from_bits(bits);
             for f in [Func::Ln, Func::Exp, Func::Log2] {
-                let got = rlibm::math::eval_posit32_by_name(f.name(), x);
+                let got = rlibm::math::eval_posit32_by_name(f.name(), x).expect("known name");
                 let want: Posit32 = rlibm::mp::correctly_rounded(f, x);
                 assert_eq!(got, want, "{}({})", f.name(), x);
             }

@@ -57,8 +57,8 @@ fn f32_two_tier_matches_dd_on_exhaustive_bf16_domain() {
         .map(|b| rlibm::fp::BFloat16::from_bits(b).to_f64() as f32)
         .collect();
     for f in Func::ALL {
-        let two_tier = rlibm::math::f32_fn_by_name(f.name());
-        let dd = rlibm::math::f32_dd_fn_by_name(f.name());
+        let two_tier = rlibm::math::f32_fn_by_name(f.name()).expect("known name");
+        let dd = rlibm::math::f32_dd_fn_by_name(f.name()).expect("known name");
         let report = agreement(two_tier, dd, inputs.iter().copied());
         assert_eq!(report.total, 1 << 16);
         report_failure(f.name(), "bf16 domain", &report);
@@ -70,8 +70,8 @@ fn f32_two_tier_matches_dd_on_stratified_sweep() {
     for f in Func::ALL {
         // Seed differs per function so sweeps don't share mantissas.
         let xs = stratified_f32(per_exponent(), 0x2715 + f.name().len() as u64);
-        let two_tier = rlibm::math::f32_fn_by_name(f.name());
-        let dd = rlibm::math::f32_dd_fn_by_name(f.name());
+        let two_tier = rlibm::math::f32_fn_by_name(f.name()).expect("known name");
+        let dd = rlibm::math::f32_dd_fn_by_name(f.name()).expect("known name");
         let report = agreement_par(two_tier, dd, &xs, par::num_threads());
         report_failure(f.name(), "stratified f32", &report);
     }
@@ -81,8 +81,8 @@ fn f32_two_tier_matches_dd_on_stratified_sweep() {
 fn posit32_two_tier_matches_dd_on_stratified_sweep() {
     for f in Func::POSIT {
         let xs = stratified_posit32(posit_count(), 0x9051 + f.name().len() as u64);
-        let two_tier = rlibm::math::posit32_fn_by_name(f.name());
-        let dd = rlibm::math::posit32_dd_fn_by_name(f.name());
+        let two_tier = rlibm::math::posit32_fn_by_name(f.name()).expect("known name");
+        let dd = rlibm::math::posit32_dd_fn_by_name(f.name()).expect("known name");
         let report = agreement_par(two_tier, dd, &xs, par::num_threads());
         report_failure(f.name(), "stratified posit32", &report);
     }
@@ -98,8 +98,8 @@ fn batched_matches_scalar_on_stratified_sweep() {
     inputs.extend(stratified_f32(per_exponent() / 4 + 1, 0xBA7C));
     let mut out = vec![0.0f32; inputs.len()];
     for f in Func::ALL {
-        rlibm::math::eval_slice_f32(f.name(), &inputs, &mut out);
-        let scalar = rlibm::math::f32_fn_by_name(f.name());
+        rlibm::math::eval_slice_f32(f.name(), &inputs, &mut out).expect("known name");
+        let scalar = rlibm::math::f32_fn_by_name(f.name()).expect("known name");
         for (&x, &got) in inputs.iter().zip(out.iter()) {
             let want = scalar(x);
             assert!(
