@@ -26,10 +26,18 @@ echo "== panic-free gate: library crates deny unwrap/expect/panic =="
 # invariant checks and unreachable!() on proven-impossible arms are
 # intentionally still allowed.
 cargo clippy --offline --lib \
-    -p rlibm-fp -p rlibm-posit -p rlibm-mp -p rlibm-lp \
+    -p rlibm-obs -p rlibm-fp -p rlibm-posit -p rlibm-mp -p rlibm-lp \
     -p rlibm-core -p rlibm-math \
     -- -D warnings \
     -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "== telemetry-off identity: instrumentation changes no output bit =="
+# Workspace-wide test runs above unify features with rlibm-bench and so
+# run with telemetry ON; building the facade crate alone leaves telemetry
+# OFF. The telemetry test suite pins the runtime library's outputs on a
+# fixed sweep to one checksum constant, so passing in both configurations
+# proves the instrumented and uninstrumented libraries are bit-identical.
+cargo test -q --offline --release -p rlibm --test telemetry
 
 echo "== fault-injection smoke: corrupted fast paths never mis-round =="
 # Seeded corruption at all 18 tier-1 kernel sites, checked bit-for-bit
@@ -56,5 +64,21 @@ grep -q '"schema": "rlibm-bench/fig4/v1"' target/bench-smoke/BENCH_fig4.quick.js
 cargo run --release --offline -p rlibm-bench --bin vector_harness -- \
     --quick --out target/bench-smoke/BENCH_vector.quick.json
 grep -q '"schema": "rlibm-bench/vector/v1"' target/bench-smoke/BENCH_vector.quick.json
+
+echo "== telemetry smoke: telemetry_report --quick + JSON schema =="
+# Exercises every instrumented layer (oracle Ziv loop, LP, polygen,
+# validation, runtime fallbacks, batched eval) and snapshot-checks the
+# registry; the binary itself asserts the core sections are populated.
+cargo run --release --offline -p rlibm-bench --bin telemetry_report -- \
+    --quick --out target/bench-smoke/TELEM_report.quick.json
+grep -q '"schema": "rlibm-telem/v1"' target/bench-smoke/TELEM_report.quick.json
+
+echo "== bench_compare smoke: committed BENCH files self-diff clean =="
+# A file diffed against itself must report all-1.0 ratios and exit 0;
+# nonzero means the comparator (or a committed artifact) broke.
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    BENCH_fig3.json BENCH_fig3.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    BENCH_fig4.json BENCH_fig4.json
 
 echo "CI OK"

@@ -1,0 +1,192 @@
+//! Diffs two `BENCH_*.json` documents from the same harness and fails
+//! on timing regressions — the guard that keeps the committed full-run
+//! BENCH files honest as the kernels evolve.
+//!
+//! Both documents must carry the same `schema` tag (comparing a fig3
+//! run against a fig4 run is a usage error, exit 2). Every `ns_*`
+//! field present in both files is compared per function as the ratio
+//! `new / old`; a ratio above `1 + threshold` on any field is a
+//! regression (exit 1). The summary prints the geometric-mean ratio
+//! per field across functions, so broad drift shows up even when no
+//! single function trips the threshold. Timing noise is real: the
+//! default threshold is 25%, generous enough for run-to-run jitter on
+//! a shared machine, tight enough to catch an accidental fast-path
+//! pessimisation (the two-tier split is worth ~2x).
+//!
+//! Diffing a file against itself always passes with all-1.0 ratios —
+//! ci.sh uses that as a smoke test of the comparator itself.
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin bench_compare -- \
+//!             OLD.json NEW.json [--threshold PCT]`
+
+use rlibm_bench::json::{parse, Json};
+use rlibm_bench::timing::geomean;
+
+struct Cli {
+    old: String,
+    new: String,
+    /// Regression threshold as a fraction (0.25 = +25%).
+    threshold: f64,
+}
+
+fn parse_cli() -> Cli {
+    let mut paths = Vec::new();
+    let mut threshold = 0.25;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let pct: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold requires a percentage"));
+                threshold = pct / 100.0;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        usage("expected exactly two BENCH json paths");
+    }
+    let new = paths.pop().expect("len checked");
+    let old = paths.pop().expect("len checked");
+    Cli { old, new, threshold }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_compare OLD.json NEW.json [--threshold PCT]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+    parse(&text).unwrap_or_else(|e| usage(&format!("{path}: invalid JSON: {e}")))
+}
+
+/// The per-function entries as (name, object) pairs, insertion order.
+fn functions(doc: &Json, path: &str) -> Vec<(String, Json)> {
+    let funcs = doc
+        .get("functions")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| usage(&format!("{path}: missing 'functions' array")));
+    funcs
+        .iter()
+        .map(|f| {
+            let name = f
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| usage(&format!("{path}: function entry missing 'name'")));
+            (name.to_string(), f.clone())
+        })
+        .collect()
+}
+
+/// The `ns_*` fields of a function entry, insertion order.
+fn ns_fields(entry: &Json) -> Vec<String> {
+    match entry {
+        Json::Obj(fields) => fields
+            .iter()
+            .filter(|(k, v)| k.starts_with("ns_") && v.as_num().is_some())
+            .map(|(k, _)| k.clone())
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let old_doc = load(&cli.old);
+    let new_doc = load(&cli.new);
+
+    let old_schema = old_doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| usage(&format!("{}: missing 'schema' tag", cli.old)));
+    let new_schema = new_doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| usage(&format!("{}: missing 'schema' tag", cli.new)));
+    if old_schema != new_schema {
+        usage(&format!(
+            "schema mismatch: {} is '{old_schema}', {} is '{new_schema}'",
+            cli.old, cli.new
+        ));
+    }
+
+    let old_fns = functions(&old_doc, &cli.old);
+    let new_fns = functions(&new_doc, &cli.new);
+    // Fields shared by both files' first entries: a harness that grew a
+    // new measurement still diffs cleanly against an older emission.
+    let fields: Vec<String> = old_fns
+        .first()
+        .map(|(_, e)| ns_fields(e))
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|f| new_fns.first().is_some_and(|(_, e)| e.get(f).is_some()))
+        .collect();
+    if fields.is_empty() {
+        usage("no shared ns_* fields to compare");
+    }
+
+    println!(
+        "bench_compare: {} -> {} (schema {old_schema}, threshold +{:.0}%)\n",
+        cli.old,
+        cli.new,
+        cli.threshold * 100.0
+    );
+    let mut regressions = Vec::new();
+    let mut ratios_by_field: Vec<(String, Vec<f64>)> =
+        fields.iter().map(|f| (f.clone(), Vec::new())).collect();
+    for (name, old_entry) in &old_fns {
+        let Some((_, new_entry)) = new_fns.iter().find(|(n, _)| n == name) else {
+            println!("  {name}: only in {} — skipped", cli.old);
+            continue;
+        };
+        for (field, ratios) in &mut ratios_by_field {
+            let (Some(old_v), Some(new_v)) = (
+                old_entry.get(field).and_then(Json::as_num),
+                new_entry.get(field).and_then(Json::as_num),
+            ) else {
+                continue;
+            };
+            if old_v <= 0.0 {
+                continue;
+            }
+            let ratio = new_v / old_v;
+            ratios.push(ratio);
+            if ratio > 1.0 + cli.threshold {
+                regressions.push(format!(
+                    "{name}.{field}: {old_v:.2} -> {new_v:.2} ns ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    for (name, _) in &new_fns {
+        if !old_fns.iter().any(|(n, _)| n == name) {
+            println!("  {name}: only in {} — skipped", cli.new);
+        }
+    }
+
+    println!("{:>16} | {:>13} | {:>9}", "field", "geomean ratio", "delta");
+    println!("{}", "-".repeat(44));
+    for (field, ratios) in &ratios_by_field {
+        if ratios.is_empty() {
+            continue;
+        }
+        let g = geomean(ratios);
+        println!("{:>16} | {:>13.4} | {:>+8.1}%", field, g, (g - 1.0) * 100.0);
+    }
+
+    if regressions.is_empty() {
+        println!("\nOK: no per-function regression above +{:.0}%", cli.threshold * 100.0);
+    } else {
+        eprintln!("\nFAIL: {} regression(s) above +{:.0}%:", regressions.len(), cli.threshold * 100.0);
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

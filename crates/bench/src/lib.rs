@@ -13,6 +13,8 @@
 //! | Figure 4 (posit32 speedups)  | `fig4`   | `BENCH_fig4.json` |
 //! | Figure 5 (sub-domain sweep)  | `fig5`   | — |
 //! | §4.3 vectorization harness   | `vector_harness` | `BENCH_vector.json` |
+//! | Telemetry snapshot           | `telemetry_report` | `TELEM_report.json` |
+//! | Bench regression diff        | `bench_compare` | — (reads two BENCH files) |
 //!
 //! The timing harnesses (`fig3`, `fig4`, `vector_harness`) measure the
 //! two-tier runtime three ways per function — the plain-double fast
@@ -27,5 +29,6 @@
 
 pub mod json;
 pub mod sweep;
+pub mod telem;
 pub mod timing;
 pub mod workloads;

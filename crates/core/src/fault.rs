@@ -20,7 +20,7 @@
 //! (not merely evaluations) is reached per function, across both f32 and
 //! posit32, and reports per-site injection and dd-fallback counters.
 
-use rlibm_fp::rng::XorShift64;
+use rlibm_fp::rng::{draw_biased_f32, XorShift64};
 use rlibm_math::fault as hooks;
 use rlibm_posit::Posit32;
 
@@ -57,36 +57,6 @@ impl FaultReport {
     }
 }
 
-/// Per-function input domain that reaches the tier-1 kernel (specials
-/// and saturating magnitudes return before the injection site, so pure
-/// random bits would waste most draws for the exp family).
-fn f32_kernel_domain(name: &str) -> (f32, f32) {
-    match name {
-        "exp" => (-87.0, 88.0),
-        "exp2" => (-125.0, 127.0),
-        "exp10" => (-37.0, 38.0),
-        "sinh" | "cosh" => (-88.0, 88.0),
-        "sinpi" | "cospi" => (-4096.0, 4096.0),
-        // logs: positive reals; magnitudes drawn log-uniform below.
-        _ => (0.0, 0.0),
-    }
-}
-
-fn draw_f32(rng: &mut XorShift64, name: &str) -> f32 {
-    // One draw in four is a raw bit pattern: specials, subnormals and
-    // saturating magnitudes keep exercising the front-end filters.
-    if rng.next_u64() & 3 == 0 {
-        return f32::from_bits(rng.next_u32());
-    }
-    let (lo, hi) = f32_kernel_domain(name);
-    if lo == hi {
-        // log family: log-uniform positive value via a random exponent.
-        let e = rng.uniform_i64(1, 254) as u32;
-        return f32::from_bits((e << 23) | (rng.next_u32() & 0x007F_FFFF));
-    }
-    rng.uniform_f32(lo, hi)
-}
-
 fn bits_match_f32(a: f32, b: f32) -> bool {
     a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
 }
@@ -109,7 +79,7 @@ pub fn sweep_f32(name: &str, target_injections: u64, seed: u64) -> Option<FaultR
     let max_evals = target_injections.saturating_mul(40).max(1000);
     hooks::arm(seed);
     while hooks::injected(site) - injected0 < target_injections && evaluated < max_evals {
-        let x = draw_f32(&mut rng, name);
+        let x = draw_biased_f32(&mut rng, name);
         let got = fast(x);
         hooks::disarm();
         let want = dd(x);

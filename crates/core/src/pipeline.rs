@@ -16,9 +16,18 @@ use rlibm_fp::Representation;
 use rlibm_mp::{
     try_correctly_rounded, try_correctly_rounded_f64, Func, OracleError, DEFAULT_PREC_CEILING,
 };
+use rlibm_obs::SpanTimer;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+// Phase spans for the end-to-end generator (no-ops unless built with the
+// `telemetry` feature). `pipeline.generate` wraps the whole run; the
+// oracle sweep and the assembly phase nest inside it, so the snapshot
+// shows where a generation run's wall-clock actually goes.
+static GENERATE_SPAN: SpanTimer = SpanTimer::new("pipeline.generate");
+static ORACLE_CASES_SPAN: SpanTimer = SpanTimer::new("pipeline.oracle_cases");
+static ASSEMBLE_SPAN: SpanTimer = SpanTimer::new("pipeline.assemble");
 
 /// Range reduction in `H`: `x -> r`.
 pub type RangeReduce = Arc<dyn Fn(f64) -> f64 + Send + Sync>;
@@ -178,6 +187,7 @@ pub fn generate_with_checkpoint<T: Representation>(
     checkpoint: Option<&Path>,
 ) -> Result<GeneratedFunction, GenError> {
     assert_eq!(spec.components.len(), spec.approx_cfgs.len());
+    let _span = GENERATE_SPAN.start();
     let start = Instant::now();
     let cases = match checkpoint {
         Some(path) if path.exists() => load_checkpoint(spec, inputs.len(), path)?,
@@ -201,6 +211,7 @@ fn oracle_cases<T: Representation>(
     spec: &GeneratorSpec,
     inputs: &[T],
 ) -> Result<Vec<ReductionCase>, GenError> {
+    let _span = ORACLE_CASES_SPAN.start();
     crate::par::par_map(inputs, crate::par::num_threads(), |&x| {
         if x.is_nan() {
             return None;
@@ -238,6 +249,7 @@ fn assemble(
     cases: &[ReductionCase],
     start: Instant,
 ) -> Result<GeneratedFunction, GenError> {
+    let _span = ASSEMBLE_SPAN.start();
     // Algorithm 2.
     let per_component = deduce_reduced_intervals(cases, spec.output_comp.as_ref())?;
     // Merge duplicates, then Algorithm 3 + 4 per component.

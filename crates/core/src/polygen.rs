@@ -22,6 +22,19 @@ use crate::reduced::ReducedConstraint;
 use rlibm_fp::bits::{next_down_f64, next_up_f64};
 use rlibm_lp::fit::{max_margin_fit, FitConstraint};
 use rlibm_lp::LpError;
+use rlibm_obs::{Counter, Histogram, SpanTimer};
+
+// Generation telemetry (no-ops unless built with the `telemetry`
+// feature). The counters aggregate the same quantities `PolyGenStats`
+// reports per call — the registry view adds up across the many
+// sub-domain runs of a full pipeline, failures included.
+static POLYGEN_RUNS: Counter = Counter::new("polygen.runs");
+static POLYGEN_FAILURES: Counter = Counter::new("polygen.failures");
+static POLYGEN_LP_CALLS: Counter = Counter::new("polygen.lp_calls");
+static POLYGEN_LP_RESTARTS: Counter = Counter::new("polygen.lp_restarts");
+static POLYGEN_CEGIS_ROUNDS: Histogram = Histogram::new("polygen.cegis_rounds");
+static POLYGEN_FINAL_SAMPLE: Histogram = Histogram::new("polygen.final_sample");
+static POLYGEN_SPAN: SpanTimer = SpanTimer::new("polygen.gen_polynomial");
 
 /// Below this many constraints the full-set counterexample check runs
 /// serially — thread spawn/merge overhead would exceed the sweep itself.
@@ -116,9 +129,34 @@ pub fn gen_polynomial(
     constraints: &[ReducedConstraint],
     cfg: &PolyGenConfig,
 ) -> Result<(Polynomial, PolyGenStats), PolyGenError> {
+    let _span = POLYGEN_SPAN.start();
+    POLYGEN_RUNS.add(1);
+    let (result, stats) = gen_polynomial_impl(constraints, cfg);
+    // Registry gets the per-run stats whether the run succeeded or not;
+    // the final-sample histogram only makes sense for completed runs.
+    POLYGEN_LP_CALLS.add(stats.lp_calls as u64);
+    POLYGEN_LP_RESTARTS.add(stats.lp_restarts as u64);
+    POLYGEN_CEGIS_ROUNDS.record(stats.cegis_rounds as u64);
+    match result {
+        Ok(poly) => {
+            POLYGEN_FINAL_SAMPLE.record(stats.final_sample as u64);
+            Ok((poly, stats))
+        }
+        Err(e) => {
+            POLYGEN_FAILURES.add(1);
+            Err(e)
+        }
+    }
+}
+
+fn gen_polynomial_impl(
+    constraints: &[ReducedConstraint],
+    cfg: &PolyGenConfig,
+) -> (Result<Polynomial, PolyGenError>, PolyGenStats) {
     let mut stats = PolyGenStats::default();
     if constraints.is_empty() {
-        return Ok((Polynomial::new(cfg.terms.clone(), vec![0.0; cfg.terms.len()]), stats));
+        let poly = Polynomial::new(cfg.terms.clone(), vec![0.0; cfg.terms.len()]);
+        return (Ok(poly), stats);
     }
     // Restart-with-fresh-samples backoff: a simplex `Cycling` verdict is a
     // property of one basis sequence, so re-seed the sample (shifted and
@@ -126,12 +164,12 @@ pub fn gen_polynomial(
     let mut attempt = 0;
     loop {
         match gen_attempt(constraints, cfg, attempt, &mut stats) {
-            Ok(poly) => return Ok((poly, stats)),
+            Ok(poly) => return (Ok(poly), stats),
             Err(PolyGenError::Solver(LpError::Cycling { .. })) if attempt < MAX_LP_RESTARTS => {
                 attempt += 1;
                 stats.lp_restarts += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => return (Err(e), stats),
         }
     }
 }

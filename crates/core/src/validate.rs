@@ -6,6 +6,21 @@ use crate::par;
 use rlibm_fp::rng::XorShift64;
 use rlibm_fp::Representation;
 use rlibm_mp::{correctly_rounded, Func};
+use rlibm_obs::{Counter, Histogram, SpanTimer};
+
+// Validation telemetry (no-ops unless built with the `telemetry`
+// feature). Totals are added once per report — never per input — so the
+// sweep loops stay free of atomics; mismatch recording sits on the
+// already-cold failure path. The chunk spans expose per-worker
+// throughput of the parallel engine.
+static VALIDATE_INPUTS: Counter = Counter::new("validate.inputs");
+static VALIDATE_MISMATCHES: Counter = Counter::new("validate.mismatches");
+static VALIDATE_MISMATCH_BITS: Histogram = Histogram::new("validate.mismatch_bits");
+static VALIDATE_CHUNK_SPAN: SpanTimer = SpanTimer::new("validate.chunk");
+static AGREEMENT_INPUTS: Counter = Counter::new("agreement.inputs");
+static AGREEMENT_MISMATCHES: Counter = Counter::new("agreement.mismatches");
+static AGREEMENT_MISMATCH_BITS: Histogram = Histogram::new("agreement.mismatch_bits");
+static AGREEMENT_CHUNK_SPAN: SpanTimer = SpanTimer::new("agreement.chunk");
 
 /// Result of validating an implementation over a set of inputs.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +79,10 @@ pub fn validate<T: Representation>(
         let want = correctly_rounded(func, x);
         if !same_result(got, want) {
             report.wrong += 1;
+            // The mismatch-bits histogram locates failures in the input
+            // space: the log2 bucket of the bit pattern separates small
+            // (low-pattern) inputs from the high exponent ranges.
+            VALIDATE_MISMATCH_BITS.record(u64::from(x.to_bits_u32()));
             if report.examples.len() < 8 {
                 report
                     .examples
@@ -71,6 +90,8 @@ pub fn validate<T: Representation>(
             }
         }
     }
+    VALIDATE_INPUTS.add(report.total);
+    VALIDATE_MISMATCHES.add(report.wrong);
     report
 }
 
@@ -90,6 +111,7 @@ pub fn validate_par<T: Representation>(
 ) -> ValidationReport {
     let chunk = par::default_chunk_size(inputs.len(), threads);
     let reports = par::run_chunked(inputs.len(), chunk, threads, |_, range| {
+        let _span = VALIDATE_CHUNK_SPAN.start();
         validate(func, &implementation, inputs[range].iter().copied())
     });
     let mut merged = ValidationReport::default();
@@ -120,6 +142,7 @@ pub fn agreement<T: Representation>(
         let want = reference(x);
         if got.to_bits_u32() != want.to_bits_u32() && !(got.is_nan() && want.is_nan()) {
             report.wrong += 1;
+            AGREEMENT_MISMATCH_BITS.record(u64::from(x.to_bits_u32()));
             if report.examples.len() < 8 {
                 report
                     .examples
@@ -127,6 +150,8 @@ pub fn agreement<T: Representation>(
             }
         }
     }
+    AGREEMENT_INPUTS.add(report.total);
+    AGREEMENT_MISMATCHES.add(report.wrong);
     report
 }
 
@@ -141,6 +166,7 @@ pub fn agreement_par<T: Representation>(
 ) -> ValidationReport {
     let chunk = par::default_chunk_size(inputs.len(), threads);
     let reports = par::run_chunked(inputs.len(), chunk, threads, |_, range| {
+        let _span = AGREEMENT_CHUNK_SPAN.start();
         agreement(&implementation, &reference, inputs[range].iter().copied())
     });
     let mut merged = ValidationReport::default();

@@ -75,6 +75,43 @@ impl XorShift64 {
     }
 }
 
+/// The f32 input range in which a tier-1 kernel (rather than the
+/// special-case filter or a saturating front end) handles the named
+/// function. The log family returns the `(0.0, 0.0)` sentinel: its
+/// kernel-reaching inputs are the positive reals, which
+/// [`draw_biased_f32`] covers log-uniformly instead of by interval.
+pub fn f32_kernel_domain(name: &str) -> (f32, f32) {
+    match name {
+        "exp" => (-87.0, 88.0),
+        "exp2" => (-125.0, 127.0),
+        "exp10" => (-37.0, 38.0),
+        "sinh" | "cosh" => (-88.0, 88.0),
+        "sinpi" | "cospi" => (-4096.0, 4096.0),
+        // logs: positive reals; magnitudes drawn log-uniform instead.
+        _ => (0.0, 0.0),
+    }
+}
+
+/// A domain-biased f32 draw for the named function: three draws in four
+/// land in the kernel-reaching domain ([`f32_kernel_domain`]; log-uniform
+/// positives for the log family), the fourth is a raw bit pattern so
+/// specials, subnormals and saturating magnitudes keep exercising the
+/// front-end filters. Shared by the fault-injection sweep and the
+/// telemetry fallback sweep, both of which would waste most uniform
+/// random bits on the exp family's saturated tails.
+pub fn draw_biased_f32(rng: &mut XorShift64, name: &str) -> f32 {
+    if rng.next_u64() & 3 == 0 {
+        return f32::from_bits(rng.next_u32());
+    }
+    let (lo, hi) = f32_kernel_domain(name);
+    if lo == hi {
+        // log family: log-uniform positive value via a random exponent.
+        let e = rng.uniform_i64(1, 254) as u32;
+        return f32::from_bits((e << 23) | (rng.next_u32() & 0x007F_FFFF));
+    }
+    rng.uniform_f32(lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +146,27 @@ mod tests {
             assert!(r.finite_f64().is_finite());
             let u = r.next_unit_f64();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn biased_draws_mostly_reach_the_kernel_domain() {
+        for name in ["ln", "log2", "exp", "exp2", "exp10", "sinh", "cosh", "sinpi", "cospi"] {
+            let mut r = XorShift64::new(0xD0);
+            let (lo, hi) = f32_kernel_domain(name);
+            let in_domain = (0..4000)
+                .filter(|_| {
+                    let x = draw_biased_f32(&mut r, name);
+                    if lo == hi {
+                        x.is_finite() && x > 0.0
+                    } else {
+                        (lo..hi).contains(&x)
+                    }
+                })
+                .count();
+            // 3/4 of draws target the domain; raw-bit draws can land there
+            // too, so well over half of all draws must be inside.
+            assert!(in_domain > 2000, "{name}: only {in_domain}/4000 in-domain");
         }
     }
 

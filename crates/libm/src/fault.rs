@@ -34,6 +34,17 @@
 /// Number of injection sites (one per [`crate::stats::slot`]).
 pub const SITE_COUNT: usize = crate::stats::slot::COUNT;
 
+/// Registry mirror of the injection total. The per-site atomics below
+/// stay authoritative (the sweep asserts exact per-site deltas); this
+/// counter puts the grand total next to the fallback counters in a
+/// telemetry snapshot.
+static FAULT_INJECTED: rlibm_obs::Counter = rlibm_obs::Counter::new("runtime.fault.injected");
+
+/// Forces the injection-total mirror into the snapshot registry at zero.
+pub(crate) fn register_metrics() {
+    FAULT_INJECTED.register();
+}
+
 /// Certification slack per site, in f64 ulps: `BAND - DERIVED` for the
 /// kernel feeding that site (posit sites share the f32 kernels).
 #[cfg(feature = "fault")]
@@ -135,6 +146,7 @@ mod imp {
             let y2 = corrupt(y, slack, r);
             if y2.to_bits() != y.to_bits() {
                 INJECTED[site % super::SITE_COUNT].fetch_add(1, Ordering::Relaxed);
+                super::FAULT_INJECTED.add(1);
             }
             y2
         })

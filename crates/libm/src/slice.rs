@@ -31,11 +31,26 @@
 
 use crate::fast;
 use crate::tables as t;
+use rlibm_obs::Counter;
 
 /// Chunk width of the staged pipeline. 64 lanes of f64 is 4 cache lines
 /// per stage array — small enough to stay resident, wide enough that the
 /// per-chunk loop overhead vanishes.
 const LANES: usize = 64;
+
+// Batched-evaluation telemetry (no-ops unless built with the `telemetry`
+// feature). Both counters accumulate locally and hit the atomics once per
+// chunk / call, never per lane. The rescalar count is the number to
+// watch: every rescalar lane pays the scalar two-tier price, so a high
+// ratio against `64 * chunks` means the workload defeats the staging.
+static SLICE_CHUNKS: Counter = Counter::new("runtime.slice.f32.chunks");
+static SLICE_RESCALAR: Counter = Counter::new("runtime.slice.f32.rescalar_lanes");
+
+/// Forces the slice counters into the snapshot registry at value zero.
+pub(crate) fn register_metrics() {
+    SLICE_CHUNKS.register();
+    SLICE_RESCALAR.register();
+}
 
 /// Shared chunk driver: widen in-domain lanes, run the staged fast
 /// evaluation, then resolve every lane through the safety test (special
@@ -52,7 +67,10 @@ fn drive(
     assert_eq!(xs.len(), out.len(), "eval_slice: input/output length mismatch");
     let mut xd = [0.0f64; LANES];
     let mut y = [0.0f64; LANES];
+    let mut chunks = 0u64;
+    let mut rescalar = 0u64;
     for (xc, oc) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+        chunks += 1;
         let n = xc.len();
         for i in 0..n {
             // Placeholder 1.0 keeps every stage total for special lanes;
@@ -64,10 +82,13 @@ fn drive(
             oc[i] = if dom(xc[i]) && crate::round::f32_round_safe(y[i], band) {
                 y[i] as f32
             } else {
+                rescalar += 1;
                 scalar(xc[i])
             };
         }
     }
+    SLICE_CHUNKS.add(chunks);
+    SLICE_RESCALAR.add(rescalar);
 }
 
 // ---------------------------------------------------------------------

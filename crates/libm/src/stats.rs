@@ -1,15 +1,24 @@
 //! Fallback-rate instrumentation for the two-tier kernels.
 //!
 //! Every f32/posit32 front end calls [`record_fallback`] when the fast
-//! path's safety test rejects a result and the dd kernel re-runs. With the
-//! `fallback-counters` cargo feature the events land in per-function
-//! relaxed atomics; without it the call compiles to nothing, so the
-//! shipping library carries zero instrumentation cost.
+//! path's safety test rejects a result and the dd kernel re-runs. The
+//! counters live in the workspace-wide `rlibm-obs` registry under
+//! `runtime.fallback.{f32,posit32}.<fn>`, so a telemetry snapshot sees
+//! them next to the generator's metrics; with telemetry off (the
+//! default — the `fallback-counters` feature is now an alias for
+//! `telemetry`) the call compiles to nothing and the shipping library
+//! carries zero instrumentation cost.
 //!
 //! Only *fallbacks* are counted — never total calls. Fallbacks are a few
 //! parts per million of inputs, so the counters stay out of the hot path
 //! and do not perturb benchmark timing; harnesses divide by their own
 //! known input counts to report a rate.
+//!
+//! The slot-indexed API below predates the registry and is kept as a
+//! compat shim: the fig3/fig4 harnesses address counters by slot or by
+//! name, and both views read the same registry statics.
+
+use rlibm_obs::Counter;
 
 /// One counter slot per function, f32 functions in the paper's Table 1
 /// order followed by the eight posit32 functions.
@@ -54,65 +63,45 @@ pub mod slot {
     pub const COUNT: usize = 18;
 }
 
-#[cfg(feature = "fallback-counters")]
-mod imp {
-    use super::slot;
-    use core::sync::atomic::{AtomicU64, Ordering};
+/// The registry-backed counters, indexed by [`slot`] constants.
+static FALLBACKS: [Counter; slot::COUNT] = [
+    Counter::new("runtime.fallback.f32.ln"),
+    Counter::new("runtime.fallback.f32.log2"),
+    Counter::new("runtime.fallback.f32.log10"),
+    Counter::new("runtime.fallback.f32.exp"),
+    Counter::new("runtime.fallback.f32.exp2"),
+    Counter::new("runtime.fallback.f32.exp10"),
+    Counter::new("runtime.fallback.f32.sinh"),
+    Counter::new("runtime.fallback.f32.cosh"),
+    Counter::new("runtime.fallback.f32.sinpi"),
+    Counter::new("runtime.fallback.f32.cospi"),
+    Counter::new("runtime.fallback.posit32.ln"),
+    Counter::new("runtime.fallback.posit32.log2"),
+    Counter::new("runtime.fallback.posit32.log10"),
+    Counter::new("runtime.fallback.posit32.exp"),
+    Counter::new("runtime.fallback.posit32.exp2"),
+    Counter::new("runtime.fallback.posit32.exp10"),
+    Counter::new("runtime.fallback.posit32.sinh"),
+    Counter::new("runtime.fallback.posit32.cosh"),
+];
 
-    static FALLBACKS: [AtomicU64; slot::COUNT] = [const { AtomicU64::new(0) }; slot::COUNT];
-
-    pub fn enabled() -> bool {
-        true
-    }
-
-    #[inline]
-    pub fn record_fallback(s: usize) {
-        FALLBACKS[s].fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn fallbacks(s: usize) -> u64 {
-        FALLBACKS[s].load(Ordering::Relaxed)
-    }
-
-    pub fn reset() {
-        for c in &FALLBACKS {
-            c.store(0, Ordering::Relaxed);
-        }
-    }
-}
-
-#[cfg(not(feature = "fallback-counters"))]
-mod imp {
-    pub fn enabled() -> bool {
-        false
-    }
-
-    #[inline(always)]
-    pub fn record_fallback(_s: usize) {}
-
-    pub fn fallbacks(_s: usize) -> u64 {
-        0
-    }
-
-    pub fn reset() {}
-}
-
-/// True when the crate was built with the `fallback-counters` feature —
-/// callers that *measure* rates should assert this so a misconfigured
-/// build fails loudly instead of reporting a silent zero.
+/// True when the crate was built with runtime telemetry (either the
+/// `telemetry` feature or its `fallback-counters` alias) — callers that
+/// *measure* rates should assert this so a misconfigured build fails
+/// loudly instead of reporting a silent zero.
 pub fn enabled() -> bool {
-    imp::enabled()
+    rlibm_obs::enabled()
 }
 
-/// Records one dd-fallback event for `slot` (no-op without the feature).
+/// Records one dd-fallback event for `slot` (no-op without telemetry).
 #[inline(always)]
 pub(crate) fn record_fallback(s: usize) {
-    imp::record_fallback(s);
+    FALLBACKS[s].add(1);
 }
 
 /// Fallback events recorded for `slot` since the last [`reset`].
 pub fn fallbacks(s: usize) -> u64 {
-    imp::fallbacks(s)
+    FALLBACKS[s].get()
 }
 
 /// Fallback count for an f32 function by its paper-table name (0 for an
@@ -158,9 +147,23 @@ pub fn posit32_slot_by_name(name: &str) -> Option<usize> {
     })
 }
 
-/// Zeroes every counter (no-op without the feature).
+/// Zeroes every counter (no-op without telemetry).
 pub fn reset() {
-    imp::reset()
+    for c in &FALLBACKS {
+        c.reset();
+    }
+}
+
+/// Forces all 18 fallback counters (and the runtime's other metrics)
+/// into the snapshot registry at value zero, so a report can distinguish
+/// "no fallbacks observed" from "counters not linked". Harnesses call
+/// this once before taking snapshots.
+pub fn register_all() {
+    for c in &FALLBACKS {
+        c.register();
+    }
+    crate::slice::register_metrics();
+    crate::fault::register_metrics();
 }
 
 #[cfg(test)]
@@ -192,5 +195,18 @@ mod tests {
         }
         reset();
         assert_eq!(fallbacks(slot::LN), 0);
+    }
+
+    #[test]
+    fn registry_sees_the_same_counters() {
+        register_all();
+        record_fallback(slot::EXP);
+        let snap = rlibm_obs::snapshot();
+        if enabled() {
+            let v = snap.counter("runtime.fallback.f32.exp").expect("registered");
+            assert_eq!(v, fallbacks(slot::EXP), "slot view and registry view agree");
+        } else {
+            assert!(snap.counters.is_empty());
+        }
     }
 }

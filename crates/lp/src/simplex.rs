@@ -11,6 +11,25 @@
 
 use crate::error::LpError;
 use rlibm_mp::Rational;
+use rlibm_obs::Counter;
+
+// Solver telemetry (no-ops unless built with the `telemetry` feature).
+// Pivot counts dominate generation cost once tableau entries grow, so the
+// exact/f64 pivot ratio is the number to watch when tuning the basis-
+// oracle refinement path.
+static LP_EXACT_SOLVES: Counter = Counter::new("lp.exact.solves");
+static LP_EXACT_PIVOTS: Counter = Counter::new("lp.exact.pivots");
+static LP_EXACT_CYCLING: Counter = Counter::new("lp.exact.cycling");
+
+/// Forces the exact-simplex counters into the snapshot registry at zero.
+/// The exact layer only runs when the f64 proposal fails certification,
+/// so without this a clean run would omit the counters entirely and a
+/// report could not distinguish "never needed" from "not linked".
+pub fn register_metrics() {
+    LP_EXACT_SOLVES.register();
+    LP_EXACT_PIVOTS.register();
+    LP_EXACT_CYCLING.register();
+}
 
 /// Outcome of a standard-form solve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +81,7 @@ pub fn solve_standard_form(
     c: &[Rational],
     max_pivots: usize,
 ) -> Result<StandardResult, LpError> {
+    LP_EXACT_SOLVES.add(1);
     let m = a.len();
     let n = if m > 0 { a[0].len() } else { c.len() };
     if b.len() != m {
@@ -132,7 +152,10 @@ pub fn solve_standard_form(
     ) {
         LoopOutcome::Optimal => {}
         LoopOutcome::Unbounded => unreachable!("phase-1 objective cannot be unbounded"),
-        LoopOutcome::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
+        LoopOutcome::OutOfBudget => {
+            LP_EXACT_CYCLING.add(1);
+            return Err(LpError::Cycling { pivots: max_pivots });
+        }
     }
     // Phase-1 objective = sum of basic artificial values.
     let mut phase1_obj = Rational::zero();
@@ -178,7 +201,10 @@ pub fn solve_standard_form(
     ) {
         LoopOutcome::Optimal => {}
         LoopOutcome::Unbounded => return Ok(StandardResult::Unbounded),
-        LoopOutcome::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
+        LoopOutcome::OutOfBudget => {
+            LP_EXACT_CYCLING.add(1);
+            return Err(LpError::Cycling { pivots: max_pivots });
+        }
     }
 
     let mut x = vec![Rational::zero(); n];
@@ -280,6 +306,7 @@ fn simplex_loop(
 
 /// Gauss-Jordan pivot on (row, col).
 fn pivot(tableau: &mut [Vec<Rational>], basis: &mut [usize], row: usize, col: usize, total_cols: usize) {
+    LP_EXACT_PIVOTS.add(1);
     let p = tableau[row][col].clone();
     debug_assert!(!p.is_zero());
     for v in tableau[row].iter_mut() {

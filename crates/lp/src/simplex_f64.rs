@@ -11,6 +11,21 @@
 //! exact simplex when the floating point basis does not check out.
 
 use crate::error::LpError;
+use rlibm_obs::Counter;
+
+// Basis-oracle telemetry, mirroring the exact engine's counters (no-ops
+// unless built with the `telemetry` feature).
+static LP_F64_SOLVES: Counter = Counter::new("lp.f64.solves");
+static LP_F64_PIVOTS: Counter = Counter::new("lp.f64.pivots");
+static LP_F64_CYCLING: Counter = Counter::new("lp.f64.cycling");
+
+/// Forces the f64-simplex counters into the snapshot registry at zero
+/// (see `simplex::register_metrics`).
+pub fn register_metrics() {
+    LP_F64_SOLVES.register();
+    LP_F64_PIVOTS.register();
+    LP_F64_CYCLING.register();
+}
 
 /// Outcome of the f64 solve: mirrors [`crate::simplex::StandardResult`]
 /// but with approximate values.
@@ -44,6 +59,7 @@ pub fn solve_standard_form_f64(
     c: &[f64],
     max_pivots: usize,
 ) -> Result<F64Result, LpError> {
+    LP_F64_SOLVES.add(1);
     let m = a.len();
     let n = if m > 0 { a[0].len() } else { c.len() };
     if b.len() != m {
@@ -79,7 +95,10 @@ pub fn solve_standard_form_f64(
     match loop_f64(&mut tableau, &mut basis, total, total, &p1_cost, &mut pivots) {
         LoopF64::Optimal => {}
         LoopF64::Unbounded => unreachable!("phase 1 cannot be unbounded"),
-        LoopF64::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
+        LoopF64::OutOfBudget => {
+            LP_F64_CYCLING.add(1);
+            return Err(LpError::Cycling { pivots: max_pivots });
+        }
     }
     let infeas: f64 = basis
         .iter()
@@ -102,7 +121,10 @@ pub fn solve_standard_form_f64(
     match loop_f64(&mut tableau, &mut basis, total, n, &p2_cost, &mut pivots) {
         LoopF64::Optimal => {}
         LoopF64::Unbounded => return Ok(F64Result::Unbounded),
-        LoopF64::OutOfBudget => return Err(LpError::Cycling { pivots: max_pivots }),
+        LoopF64::OutOfBudget => {
+            LP_F64_CYCLING.add(1);
+            return Err(LpError::Cycling { pivots: max_pivots });
+        }
     }
     let mut objective = 0.0;
     for (i, &bj) in basis.iter().enumerate() {
@@ -191,6 +213,7 @@ fn pivot_f64(
     col: usize,
     total: usize,
 ) {
+    LP_F64_PIVOTS.add(1);
     let p = tableau[row][col];
     for v in tableau[row].iter_mut() {
         *v /= p;

@@ -24,6 +24,7 @@ use crate::elem;
 use crate::float::MpFloat;
 use core::any::TypeId;
 use rlibm_fp::Representation;
+use rlibm_obs::{Counter, Histogram};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -41,6 +42,51 @@ const _: () = {
 /// cache fills up it is cleared wholesale — no eviction bookkeeping, and
 /// a full sweep over a 16-bit domain still fits in one generation.
 const ZIV_CACHE_CAP: usize = 1 << 16;
+
+// Ziv-loop telemetry (no-ops unless built with the `telemetry` feature).
+// Indexed by [`Func::index`], i.e. [`Func::ALL`] order. The final-precision
+// histograms are the load-bearing metric: they show how often the oracle
+// settles at the 128-bit starting precision versus escalating toward the
+// hard cases near rounding boundaries.
+static ZIV_FINAL_PREC: [Histogram; 10] = [
+    Histogram::new("oracle.ziv.final_prec.ln"),
+    Histogram::new("oracle.ziv.final_prec.log2"),
+    Histogram::new("oracle.ziv.final_prec.log10"),
+    Histogram::new("oracle.ziv.final_prec.exp"),
+    Histogram::new("oracle.ziv.final_prec.exp2"),
+    Histogram::new("oracle.ziv.final_prec.exp10"),
+    Histogram::new("oracle.ziv.final_prec.sinh"),
+    Histogram::new("oracle.ziv.final_prec.cosh"),
+    Histogram::new("oracle.ziv.final_prec.sinpi"),
+    Histogram::new("oracle.ziv.final_prec.cospi"),
+];
+static ZIV_ESCALATIONS: [Counter; 10] = [
+    Counter::new("oracle.ziv.escalations.ln"),
+    Counter::new("oracle.ziv.escalations.log2"),
+    Counter::new("oracle.ziv.escalations.log10"),
+    Counter::new("oracle.ziv.escalations.exp"),
+    Counter::new("oracle.ziv.escalations.exp2"),
+    Counter::new("oracle.ziv.escalations.exp10"),
+    Counter::new("oracle.ziv.escalations.sinh"),
+    Counter::new("oracle.ziv.escalations.cosh"),
+    Counter::new("oracle.ziv.escalations.sinpi"),
+    Counter::new("oracle.ziv.escalations.cospi"),
+];
+static ZIV_CACHE_HITS: Counter = Counter::new("oracle.ziv.cache_hits");
+static ZIV_MP_EVALS: Counter = Counter::new("oracle.ziv.mp_evals");
+
+/// Forces every oracle metric into the snapshot registry at value zero,
+/// so reports can distinguish "never escalated" from "not linked".
+pub fn register_metrics() {
+    for h in &ZIV_FINAL_PREC {
+        h.register();
+    }
+    for c in &ZIV_ESCALATIONS {
+        c.register();
+    }
+    ZIV_CACHE_HITS.register();
+    ZIV_MP_EVALS.register();
+}
 
 thread_local! {
     // Ziv-loop results are worth caching: the generator evaluates
@@ -107,6 +153,12 @@ impl Func {
         Func::Sinh,
         Func::Cosh,
     ];
+
+    /// Dense index of this function in [`Func::ALL`] order (0..10).
+    /// Harnesses use it to key per-function metric and result arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short lowercase name as printed in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -446,10 +498,13 @@ pub fn try_correctly_rounded<T: Representation>(
         Filtered::Continue => {
             let key = (f, TypeId::of::<T>(), x.to_bits_u32());
             if let Some(bits) = ZIV_CACHE_T.with(|c| c.borrow().get(&key).copied()) {
+                ZIV_CACHE_HITS.add(1);
                 return Ok(T::from_bits_u32(bits));
             }
             let mut prec = 128u32.min(max_prec).max(MIN_ZIV_PREC);
+            let mut escalations = 0u64;
             loop {
+                ZIV_MP_EVALS.add(1);
                 let v = f.eval_mp(xf, prec);
                 if v.is_zero() {
                     return Err(OracleError::UnexpectedZero { func: f, input: xf, prec });
@@ -459,6 +514,8 @@ pub fn try_correctly_rounded<T: Representation>(
                 let rl: T = round_mp(&lo);
                 let rh: T = round_mp(&hi);
                 if rl.to_bits_u32() == rh.to_bits_u32() {
+                    ZIV_FINAL_PREC[f.index()].record(u64::from(prec));
+                    ZIV_ESCALATIONS[f.index()].add(escalations);
                     ZIV_CACHE_T.with(|c| {
                         let mut c = c.borrow_mut();
                         if c.len() >= ZIV_CACHE_CAP {
@@ -473,6 +530,7 @@ pub fn try_correctly_rounded<T: Representation>(
                     return Err(OracleError::PrecisionExhausted { func: f, input: xf, max_prec });
                 }
                 prec = next;
+                escalations += 1;
             }
         }
     }
@@ -501,10 +559,13 @@ pub fn try_correctly_rounded_f64(f: Func, x: f64, max_prec: u32) -> Result<f64, 
         Filtered::Continue => {
             let key = (f, x.to_bits());
             if let Some(bits) = ZIV_CACHE_F64.with(|c| c.borrow().get(&key).copied()) {
+                ZIV_CACHE_HITS.add(1);
                 return Ok(f64::from_bits(bits));
             }
             let mut prec = 128u32.min(max_prec).max(MIN_ZIV_PREC);
+            let mut escalations = 0u64;
             loop {
+                ZIV_MP_EVALS.add(1);
                 let v = f.eval_mp(x, prec);
                 if v.is_zero() {
                     return Err(OracleError::UnexpectedZero { func: f, input: x, prec });
@@ -513,6 +574,8 @@ pub fn try_correctly_rounded_f64(f: Func, x: f64, max_prec: u32) -> Result<f64, 
                 let hi = v.offset_ulps(elem::ERR_ULPS);
                 let (rl, rh) = (lo.to_f64(), hi.to_f64());
                 if rl.to_bits() == rh.to_bits() {
+                    ZIV_FINAL_PREC[f.index()].record(u64::from(prec));
+                    ZIV_ESCALATIONS[f.index()].add(escalations);
                     ZIV_CACHE_F64.with(|c| {
                         let mut c = c.borrow_mut();
                         if c.len() >= ZIV_CACHE_CAP {
@@ -527,6 +590,7 @@ pub fn try_correctly_rounded_f64(f: Func, x: f64, max_prec: u32) -> Result<f64, 
                     return Err(OracleError::PrecisionExhausted { func: f, input: x, max_prec });
                 }
                 prec = next;
+                escalations += 1;
             }
         }
     }

@@ -1,0 +1,270 @@
+//! Counters and log2-bucketed histograms.
+
+#[cfg(feature = "telemetry")]
+use core::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "telemetry")]
+use std::sync::Once;
+
+/// Number of histogram buckets: bucket 0 for exact zeros, buckets
+/// `1..=64` for values with that many significant bits.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Lower bound of histogram bucket `i` (inclusive): 0, 1, 2, 4, 8, ...
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1).min(63),
+    }
+}
+
+#[cfg(feature = "telemetry")]
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A named event counter. Declare as a `static`; increments are relaxed
+/// atomics and the counter registers itself in the global snapshot
+/// registry on first use.
+pub struct Counter {
+    name: &'static str,
+    #[cfg(feature = "telemetry")]
+    value: AtomicU64,
+    #[cfg(feature = "telemetry")]
+    once: Once,
+}
+
+impl Counter {
+    /// A new counter. `name` follows the workspace scheme
+    /// (`layer.component.metric[.function]`).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            #[cfg(feature = "telemetry")]
+            value: AtomicU64::new(0),
+            #[cfg(feature = "telemetry")]
+            once: Once::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` events (no-op without the `telemetry` feature).
+    #[inline(always)]
+    pub fn add(&'static self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.register();
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
+    }
+
+    /// Current value (0 without the feature).
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        0
+    }
+
+    /// Forces the counter into the snapshot registry even at value zero,
+    /// so readers can distinguish "never fired" from "not linked".
+    pub fn register(&'static self) {
+        #[cfg(feature = "telemetry")]
+        self.once
+            .call_once(|| crate::registry::register(crate::registry::MetricRef::Counter(self)));
+    }
+
+    /// Zeroes the counter (no-op without the feature).
+    pub fn reset(&self) {
+        #[cfg(feature = "telemetry")]
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named log2-bucketed histogram of `u64` samples. Tracks the bucket
+/// counts plus the exact sample count and sum, all as relaxed atomics.
+pub struct Histogram {
+    name: &'static str,
+    #[cfg(feature = "telemetry")]
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    #[cfg(feature = "telemetry")]
+    count: AtomicU64,
+    #[cfg(feature = "telemetry")]
+    sum: AtomicU64,
+    #[cfg(feature = "telemetry")]
+    once: Once,
+}
+
+impl Histogram {
+    /// A new histogram (see [`Counter::new`] for naming).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            #[cfg(feature = "telemetry")]
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            #[cfg(feature = "telemetry")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "telemetry")]
+            sum: AtomicU64::new(0),
+            #[cfg(feature = "telemetry")]
+            once: Once::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample (no-op without the `telemetry` feature).
+    #[inline(always)]
+    pub fn record(&'static self, v: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.register();
+            self.record_fields(v);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = v;
+    }
+
+    /// Records without touching the registry — used by [`crate::SpanTimer`],
+    /// which registers itself under the span section instead.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub(crate) fn record_fields(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Forces registration at zero samples (see [`Counter::register`]).
+    pub fn register(&'static self) {
+        #[cfg(feature = "telemetry")]
+        self.once
+            .call_once(|| crate::registry::register(crate::registry::MetricRef::Histogram(self)));
+    }
+
+    /// Total samples recorded (0 without the feature).
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        0
+    }
+
+    /// Sum of all samples (0 without the feature).
+    pub fn sum(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.sum.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        0
+    }
+
+    /// Nonzero buckets as `(bucket index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        Vec::new()
+    }
+
+    /// Zeroes every bucket, the count and the sum.
+    pub fn reset(&self) {
+        #[cfg(feature = "telemetry")]
+        {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(2), 2);
+        assert_eq!(bucket_lo(3), 4);
+        assert_eq!(bucket_lo(64), 1u64 << 63);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every v lands in the bucket whose range contains it.
+        for v in [0u64, 1, 2, 5, 127, 128, 1 << 40, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v >= bucket_lo(i));
+            if i < 64 {
+                assert!(v < bucket_lo(i + 1) || i == 0 && v == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_reflects_build_configuration() {
+        static C: Counter = Counter::new("test.metric.counter");
+        C.add(3);
+        C.add(4);
+        if crate::enabled() {
+            assert_eq!(C.get(), 7);
+        } else {
+            assert_eq!(C.get(), 0);
+        }
+        C.reset();
+        assert_eq!(C.get(), 0);
+        assert_eq!(C.name(), "test.metric.counter");
+    }
+
+    #[test]
+    fn histogram_reflects_build_configuration() {
+        static H: Histogram = Histogram::new("test.metric.hist");
+        H.record(0);
+        H.record(1);
+        H.record(1024);
+        if crate::enabled() {
+            assert_eq!(H.count(), 3);
+            assert_eq!(H.sum(), 1025);
+            assert_eq!(H.nonzero_buckets(), vec![(0, 1), (1, 1), (11, 1)]);
+        } else {
+            assert_eq!(H.count(), 0);
+            assert!(H.nonzero_buckets().is_empty());
+        }
+        H.reset();
+        assert_eq!(H.count(), 0);
+    }
+}

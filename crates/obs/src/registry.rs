@@ -1,0 +1,194 @@
+//! The process-wide metric registry and its serializable snapshot.
+
+use crate::metric::{Counter, Histogram};
+use crate::span::SpanTimer;
+
+#[cfg(feature = "telemetry")]
+use std::sync::Mutex;
+
+/// True when the crate was built with the `telemetry` feature. Harnesses
+/// that *measure* assert this so a misconfigured build fails loudly
+/// instead of reporting silent zeros.
+pub fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// A registered metric (all metrics are `&'static`, registered once).
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) enum MetricRef {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+    Span(&'static SpanTimer),
+}
+
+#[cfg(feature = "telemetry")]
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+#[cfg(feature = "telemetry")]
+pub(crate) fn register(m: MetricRef) {
+    // Poisoning is impossible (no panicking code holds the lock), but
+    // recover anyway: telemetry must never take the process down.
+    let mut g = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    g.push(m);
+}
+
+#[cfg(feature = "telemetry")]
+fn with_registry<R>(f: impl FnOnce(&[MetricRef]) -> R) -> R {
+    let g = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    f(&g)
+}
+
+/// One counter in a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Value at capture time.
+    pub value: u64,
+}
+
+/// One histogram in a [`TelemetrySnapshot`]. For spans the samples are
+/// elapsed nanoseconds, so `sum` is total time in the span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Nonzero `(log2 bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Span snapshots share the histogram shape (nanosecond samples).
+pub type SpanSnapshot = HistogramSnapshot;
+
+/// A point-in-time capture of every registered metric, sorted by name
+/// within each section (deterministic, diff-friendly output).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// All registered counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All registered histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All registered span timers (nanosecond histograms).
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Value of a counter by name (`None` when not registered).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// A span by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}
+
+/// Captures every registered metric. Empty without the `telemetry`
+/// feature. Concurrent recording during capture is safe (relaxed reads);
+/// the snapshot is a consistent-enough view for reporting, not a
+/// linearization point.
+pub fn snapshot() -> TelemetrySnapshot {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut snap = with_registry(|ms| {
+            let mut snap = TelemetrySnapshot::default();
+            for m in ms {
+                match m {
+                    MetricRef::Counter(c) => {
+                        snap.counters.push(CounterSnapshot { name: c.name(), value: c.get() });
+                    }
+                    MetricRef::Histogram(h) => snap.histograms.push(HistogramSnapshot {
+                        name: h.name(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.nonzero_buckets(),
+                    }),
+                    MetricRef::Span(s) => {
+                        let h = s.durations_ns();
+                        snap.spans.push(SpanSnapshot {
+                            name: s.name(),
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets: h.nonzero_buckets(),
+                        });
+                    }
+                }
+            }
+            snap
+        });
+        snap.counters.sort_by_key(|c| c.name);
+        snap.histograms.sort_by_key(|h| h.name);
+        snap.spans.sort_by_key(|s| s.name);
+        snap
+    }
+    #[cfg(not(feature = "telemetry"))]
+    TelemetrySnapshot::default()
+}
+
+/// Zeroes every registered metric (counters, histogram buckets, span
+/// histograms). Metrics stay registered. Harnesses call this before a
+/// measured phase so the snapshot reflects only that phase.
+pub fn reset_all() {
+    #[cfg(feature = "telemetry")]
+    with_registry(|ms| {
+        for m in ms {
+            match m {
+                MetricRef::Counter(c) => c.reset(),
+                MetricRef::Histogram(h) => h.reset(),
+                MetricRef::Span(s) => s.durations_ns().reset(),
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lists_registered_metrics_sorted() {
+        static CB: Counter = Counter::new("test.registry.b");
+        static CA: Counter = Counter::new("test.registry.a");
+        static H: Histogram = Histogram::new("test.registry.hist");
+        CB.add(2);
+        CA.add(1);
+        H.record(9);
+        let snap = snapshot();
+        if enabled() {
+            assert_eq!(snap.counter("test.registry.a"), Some(1));
+            assert_eq!(snap.counter("test.registry.b"), Some(2));
+            let names: Vec<_> = snap.counters.iter().map(|c| c.name).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "counters are name-sorted");
+            let h = snap.histogram("test.registry.hist").expect("registered");
+            assert!(h.count >= 1);
+        } else {
+            assert!(snap.counters.is_empty());
+            assert!(snap.histograms.is_empty());
+            assert!(snap.spans.is_empty());
+        }
+    }
+
+    #[test]
+    fn register_makes_zero_counters_visible() {
+        static Z: Counter = Counter::new("test.registry.zero");
+        Z.register();
+        let snap = snapshot();
+        if enabled() {
+            assert_eq!(snap.counter("test.registry.zero"), Some(0));
+        } else {
+            assert_eq!(snap.counter("test.registry.zero"), None);
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //!   intervals, domain splitting, counterexample-guided polynomials).
 //! * [`math`] — the generated correctly rounded library for `f32`,
 //!   `posit32` and `bfloat16`.
+//! * [`obs`] — zero-dependency telemetry (counters, log2 histograms,
+//!   span timers). Compiles to no-ops unless the `telemetry` feature of
+//!   this crate (or of any crate in the build graph) is enabled.
 //!
 //! # Quickstart
 //!
@@ -30,6 +33,7 @@ pub use rlibm_fp as fp;
 pub use rlibm_lp as lp;
 pub use rlibm_math as math;
 pub use rlibm_mp as mp;
+pub use rlibm_obs as obs;
 pub use rlibm_posit as posit;
 
 /// The stack-wide error taxonomy: every typed failure a library crate
