@@ -64,6 +64,9 @@ grep -q '"schema": "rlibm-bench/fig4/v1"' target/bench-smoke/BENCH_fig4.quick.js
 cargo run --release --offline -p rlibm-bench --bin vector_harness -- \
     --quick --out target/bench-smoke/BENCH_vector.quick.json
 grep -q '"schema": "rlibm-bench/vector/v1"' target/bench-smoke/BENCH_vector.quick.json
+cargo run --release --offline -p rlibm-bench --bin gen_bench -- \
+    --quick --out target/bench-smoke/BENCH_gen.quick.json
+grep -q '"schema": "rlibm-bench/gen/v1"' target/bench-smoke/BENCH_gen.quick.json
 
 echo "== telemetry smoke: telemetry_report --quick + JSON schema =="
 # Exercises every instrumented layer (oracle Ziv loop, LP, polygen,
@@ -80,5 +83,7 @@ cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_fig3.json BENCH_fig3.json
 cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_fig4.json BENCH_fig4.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    BENCH_gen.json BENCH_gen.json
 
 echo "CI OK"

@@ -15,14 +15,25 @@
 //! * **Sample-size threshold**: if the sample grows past the configured
 //!   threshold the sub-domain is declared infeasible, triggering a domain
 //!   split upstream.
+//!
+//! Two generation-side performance mechanisms ride on the loop structure:
+//! LP re-solves within one attempt are **warm-started** from the previous
+//! optimal basis (the CEGIS moves — appending counterexample columns and
+//! shrinking sampled intervals — both leave the old basis feasible, so
+//! the solver can skip phase 1; any stale basis falls back to a cold
+//! solve inside `rlibm_lp`), and counterexamples are **deduplicated** by
+//! content before joining the sample (a violator bit-identical to an
+//! already-sampled constraint adds an LP column without adding
+//! information).
 
 use crate::par;
 use crate::poly::Polynomial;
 use crate::reduced::ReducedConstraint;
 use rlibm_fp::bits::{next_down_f64, next_up_f64};
-use rlibm_lp::fit::{max_margin_fit, FitConstraint};
+use rlibm_lp::fit::{max_margin_fit_warm, FitConstraint, FitWarmStart};
 use rlibm_lp::LpError;
 use rlibm_obs::{Counter, Histogram, SpanTimer};
+use std::collections::HashSet;
 
 // Generation telemetry (no-ops unless built with the `telemetry`
 // feature). The counters aggregate the same quantities `PolyGenStats`
@@ -32,6 +43,7 @@ static POLYGEN_RUNS: Counter = Counter::new("polygen.runs");
 static POLYGEN_FAILURES: Counter = Counter::new("polygen.failures");
 static POLYGEN_LP_CALLS: Counter = Counter::new("polygen.lp_calls");
 static POLYGEN_LP_RESTARTS: Counter = Counter::new("polygen.lp_restarts");
+static POLYGEN_DUP_COUNTEREXAMPLES: Counter = Counter::new("polygen.dup_counterexamples");
 static POLYGEN_CEGIS_ROUNDS: Histogram = Histogram::new("polygen.cegis_rounds");
 static POLYGEN_FINAL_SAMPLE: Histogram = Histogram::new("polygen.final_sample");
 static POLYGEN_SPAN: SpanTimer = SpanTimer::new("polygen.gen_polynomial");
@@ -62,6 +74,10 @@ pub struct PolyGenConfig {
     pub highly_constrained_width: f64,
     /// Cap on LP re-solves in the coefficient search-and-refine loop.
     pub max_refinements: usize,
+    /// Carry the optimal LP basis across re-solves within one attempt
+    /// (phase-1 skipping). Solver-level fallbacks keep this safe; the
+    /// switch exists for differential testing against the cold path.
+    pub warm_start: bool,
 }
 
 impl Default for PolyGenConfig {
@@ -72,6 +88,7 @@ impl Default for PolyGenConfig {
             max_sample: 4_000,
             highly_constrained_width: 0.0,
             max_refinements: 64,
+            warm_start: true,
         }
     }
 }
@@ -118,6 +135,9 @@ pub struct PolyGenStats {
     pub final_sample: usize,
     /// Fresh-sample restarts forced by simplex cycling.
     pub lp_restarts: usize,
+    /// Counterexamples dropped because a bit-identical `(r, lo, hi)`
+    /// constraint was already in the sample (no information gain).
+    pub dup_counterexamples: usize,
 }
 
 /// Runs Algorithm 4 on one sub-domain's constraints (sorted by `r`).
@@ -136,6 +156,7 @@ pub fn gen_polynomial(
     // the final-sample histogram only makes sense for completed runs.
     POLYGEN_LP_CALLS.add(stats.lp_calls as u64);
     POLYGEN_LP_RESTARTS.add(stats.lp_restarts as u64);
+    POLYGEN_DUP_COUNTEREXAMPLES.add(stats.dup_counterexamples as u64);
     POLYGEN_CEGIS_ROUNDS.record(stats.cegis_rounds as u64);
     match result {
         Ok(poly) => {
@@ -207,6 +228,25 @@ fn gen_attempt(
     // them; the originals stay as the validation target).
     let mut work: Vec<ReducedConstraint> = constraints.to_vec();
 
+    // Content identity of every sampled constraint (original, unshrunk
+    // values): a counterexample whose exact (r, lo, hi) bits are already
+    // sampled would duplicate an LP column without adding information.
+    let content_key = |c: &ReducedConstraint| {
+        (c.r.to_bits(), c.interval.lo.to_bits(), c.interval.hi.to_bits())
+    };
+    let mut sample_keys: HashSet<(u64, u64, u64)> = constraints
+        .iter()
+        .zip(&in_sample)
+        .filter(|(_, s)| **s)
+        .map(|(c, _)| content_key(c))
+        .collect();
+
+    // The previous round's optimal LP basis, keyed by constraint index
+    // (stable within an attempt: the sample only grows). Carrying it
+    // forward lets the solver re-enter at the old optimum; any staleness
+    // is handled by the solver's own cold fallback.
+    let mut warm: Option<FitWarmStart> = None;
+
     loop {
         let sample_count = in_sample.iter().filter(|s| **s).count();
         if sample_count > cfg.max_sample {
@@ -216,17 +256,35 @@ fn gen_attempt(
         let poly = {
             let mut refinements = 0;
             loop {
-                let fit_cons: Vec<FitConstraint> = work
+                let (fit_cons, ids): (Vec<FitConstraint>, Vec<u64>) = work
                     .iter()
+                    .enumerate()
                     .zip(&in_sample)
                     .filter(|(_, s)| **s)
-                    .map(|(c, _)| {
-                        FitConstraint::from_point(c.r, c.interval.lo, c.interval.hi, &cfg.terms)
+                    .map(|((i, c), _)| {
+                        (
+                            FitConstraint::from_point(
+                                c.r,
+                                c.interval.lo,
+                                c.interval.hi,
+                                &cfg.terms,
+                            ),
+                            i as u64,
+                        )
                     })
-                    .collect();
+                    .unzip();
                 stats.lp_calls += 1;
-                let fit = match max_margin_fit(&fit_cons, cfg.terms.len()) {
-                    Ok(Some(fit)) => fit,
+                let prev = if cfg.warm_start { warm.take() } else { None };
+                let fit = match max_margin_fit_warm(
+                    &fit_cons,
+                    cfg.terms.len(),
+                    &ids,
+                    prev.as_ref(),
+                ) {
+                    Ok(Some((fit, ws))) => {
+                        warm = Some(ws);
+                        fit
+                    }
                     Ok(None) => return Err(PolyGenError::Infeasible),
                     Err(e) => return Err(PolyGenError::Solver(e)),
                 };
@@ -292,9 +350,21 @@ fn gen_attempt(
                 })
                 .collect()
         };
-        let new_counterexamples = violations.len();
+        // Append, skipping content duplicates. A skipped violator is
+        // still safe: its bit-identical twin joins (or is already in) the
+        // sample, and a polynomial satisfying the twin's interval — even
+        // after shrinking, which only tightens it — satisfies the
+        // duplicate's identical original interval too. For the same
+        // reason a round with violations always admits at least one new
+        // sample point, so progress is preserved.
+        let mut new_counterexamples = 0usize;
         for i in violations {
-            in_sample[i] = true;
+            if sample_keys.insert(content_key(&constraints[i])) {
+                in_sample[i] = true;
+                new_counterexamples += 1;
+            } else {
+                stats.dup_counterexamples += 1;
+            }
         }
         if new_counterexamples == 0 {
             // Could still have violations on sampled-and-shrunk points?
@@ -427,6 +497,60 @@ mod tests {
         for c in &cons {
             assert!(c.interval.contains(poly_a.eval(c.r)));
         }
+    }
+
+    #[test]
+    fn warm_and_cold_cegis_generate_identical_polynomials() {
+        // The warm-started LP chain must not change *what* is generated,
+        // only how fast: same polynomial bits, same CEGIS trajectory.
+        // The wiggly low-sample workload forces several counterexample
+        // rounds plus refinement re-solves, so the warm path is genuinely
+        // exercised (first call cold, every later call warm).
+        let n = 3000;
+        let cons = constraints_from_fn(
+            |x| (core::f64::consts::PI * x).sin(),
+            (1..n).map(|i| i as f64 * 0.002 / n as f64),
+            5e-14,
+        );
+        let warm_cfg = PolyGenConfig {
+            terms: vec![1, 3],
+            initial_sample: 3,
+            warm_start: true,
+            ..Default::default()
+        };
+        let cold_cfg = PolyGenConfig { warm_start: false, ..warm_cfg.clone() };
+        let (poly_w, stats_w) = gen_polynomial(&cons, &warm_cfg).expect("warm feasible");
+        let (poly_c, stats_c) = gen_polynomial(&cons, &cold_cfg).expect("cold feasible");
+        assert_eq!(poly_w.coeffs(), poly_c.coeffs(), "coefficient bits must match");
+        assert_eq!(stats_w.lp_calls, stats_c.lp_calls);
+        assert_eq!(stats_w.cegis_rounds, stats_c.cegis_rounds);
+        assert_eq!(stats_w.final_sample, stats_c.final_sample);
+    }
+
+    #[test]
+    fn duplicate_counterexamples_are_dropped() {
+        // Wide windows around y = x, plus a bit-identical *pair* of tight
+        // off-center constraints hidden between initial sample points.
+        // The first fit (y = x, the max-margin center) violates both
+        // twins; the CEGIS round must admit exactly one and count the
+        // other as a duplicate instead of growing the LP.
+        let mut cons = constraints_from_fn(|x| x, (0..100).map(|i| i as f64 / 100.0), 0.1);
+        let twin = ReducedConstraint {
+            r: 0.505,
+            interval: Interval::new(0.555 - 1e-6, 0.555 + 1e-6),
+        };
+        cons.splice(51..51, [twin, twin]);
+        let cfg = PolyGenConfig {
+            terms: vec![0, 1],
+            initial_sample: 8, // step 12: indices 0, 12, ..., 96 — twins at 51/52 unsampled
+            ..Default::default()
+        };
+        let (poly, stats) = gen_polynomial(&cons, &cfg).expect("feasible");
+        for c in &cons {
+            assert!(c.interval.contains(poly.eval(c.r)), "violated at {}", c.r);
+        }
+        assert_eq!(stats.dup_counterexamples, 1, "stats: {stats:?}");
+        assert!(stats.cegis_rounds >= 1);
     }
 
     #[test]

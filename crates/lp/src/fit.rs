@@ -15,9 +15,10 @@
 //! `k+1` active constraints as an exact linear system.
 
 use crate::error::LpError;
-use crate::simplex::{solve_standard_form, StandardResult};
-use crate::simplex_f64::{solve_standard_form_f64, F64Result};
+use crate::simplex::{solve_standard_form, solve_standard_form_warm, StandardResult};
+use crate::simplex_f64::{solve_standard_form_f64, solve_standard_form_f64_warm, F64Result};
 use rlibm_mp::{BigUint, Rational};
+use std::collections::HashMap;
 
 /// One linear constraint `lo <= sum_j basis_j * c_j <= hi` on the
 /// polynomial coefficients `c`.
@@ -76,6 +77,39 @@ impl FitResult {
     }
 }
 
+/// Stable identity of one dual column across CEGIS rounds.
+///
+/// Between LP calls the sample grows (counterexamples append) so raw
+/// column *indices* shift; what stays meaningful is *which constraint's
+/// which bound* a dual variable belongs to. Warm bases are therefore
+/// keyed by caller-supplied constraint ids and translated back to column
+/// indices against each round's constraint slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmCol {
+    /// The dual variable of constraint `id`'s upper (`hi`) or lower
+    /// (`lo`) primal inequality.
+    Constraint {
+        /// Caller-assigned stable id of the constraint.
+        id: u64,
+        /// `true` for the `hi` bound's dual variable, `false` for `lo`'s.
+        upper: bool,
+    },
+    /// An artificial left basic at zero in tableau row `row` (a redundant
+    /// dual row; row count `k + 1` is fixed across rounds, so the slot
+    /// translates directly).
+    Artificial {
+        /// Tableau row index of the basic artificial.
+        row: usize,
+    },
+}
+
+/// Optimal-basis snapshot handed back by [`max_margin_fit_warm`], to be
+/// fed to the next call on a grown sample. Treat as opaque.
+#[derive(Debug, Clone, Default)]
+pub struct FitWarmStart {
+    cols: Vec<WarmCol>,
+}
+
 /// Finds coefficients maximizing the margin, or `Ok(None)` when no
 /// polynomial with this basis satisfies every interval.
 ///
@@ -114,11 +148,50 @@ pub fn max_margin_fit(
     constraints: &[FitConstraint],
     num_coeffs: usize,
 ) -> Result<Option<FitResult>, LpError> {
+    let ids: Vec<u64> = (0..constraints.len() as u64).collect();
+    Ok(max_margin_fit_warm(constraints, num_coeffs, &ids, None)?.map(|(fit, _)| fit))
+}
+
+/// [`max_margin_fit`] with warm-started re-solves for CEGIS loops.
+///
+/// `ids[i]` is a caller-chosen stable identity for `constraints[i]` —
+/// stable meaning that when the caller re-invokes with a grown constraint
+/// set (the CEGIS move: counterexamples append, intervals never change
+/// identity), a surviving constraint keeps its id. The returned
+/// [`FitWarmStart`] snapshots the optimal basis in id space; feeding it
+/// to the next call lets both simplex layers skip phase 1 and re-enter at
+/// the previous optimum, which is typically a handful of pivots from the
+/// new one. Warm entry is strictly best-effort: any mismatch falls back
+/// to the cold path inside the solver (counted by the
+/// `lp.*.warm_fallbacks` telemetry), so correctness is untouched — a
+/// returned fit is still exactly verified against every constraint.
+///
+/// # Errors
+///
+/// As [`max_margin_fit`], plus [`LpError::DimensionMismatch`] when `ids`
+/// and `constraints` disagree in length. Duplicate ids make the id space
+/// ambiguous and simply disable warm entry for that call.
+pub fn max_margin_fit_warm(
+    constraints: &[FitConstraint],
+    num_coeffs: usize,
+    ids: &[u64],
+    warm: Option<&FitWarmStart>,
+) -> Result<Option<(FitResult, FitWarmStart)>, LpError> {
     if constraints.is_empty() {
-        return Ok(Some(FitResult {
-            coeffs: vec![Rational::zero(); num_coeffs],
-            margin: Rational::zero(),
-        }));
+        return Ok(Some((
+            FitResult {
+                coeffs: vec![Rational::zero(); num_coeffs],
+                margin: Rational::zero(),
+            },
+            FitWarmStart::default(),
+        )));
+    }
+    if ids.len() != constraints.len() {
+        return Err(LpError::DimensionMismatch {
+            what: "constraint ids",
+            expected: constraints.len(),
+            got: ids.len(),
+        });
     }
     let k = num_coeffs;
     for c in constraints {
@@ -138,6 +211,40 @@ pub fn max_margin_fit(
     // with one dual variable per primal inequality.
     let rows = k + 1;
     let cols = 2 * m;
+
+    // Translate the id-space warm basis into this round's column indices.
+    // An unknown id or bad row means the snapshot predates a sample reset:
+    // silently solve cold (the solver-level fallback counters only track
+    // warm attempts that reached the solver and failed there).
+    let warm_cols: Option<Vec<usize>> = warm.and_then(|ws| {
+        let index_of: HashMap<u64, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        if index_of.len() != ids.len() {
+            return None; // duplicate ids: id space is ambiguous
+        }
+        ws.cols
+            .iter()
+            .map(|&wc| match wc {
+                WarmCol::Constraint { id, upper } => index_of
+                    .get(&id)
+                    .map(|&i| 2 * i + usize::from(!upper)),
+                WarmCol::Artificial { row } => (row < rows).then_some(cols + row),
+            })
+            .collect()
+    });
+    // Snapshot a solved basis back into id space.
+    let snapshot = |basis: &[usize]| FitWarmStart {
+        cols: basis
+            .iter()
+            .map(|&bj| {
+                if bj < cols {
+                    WarmCol::Constraint { id: ids[bj / 2], upper: bj % 2 == 0 }
+                } else {
+                    WarmCol::Artificial { row: bj - cols }
+                }
+            })
+            .collect(),
+    };
 
     // ---- Fast layer: f64 simplex proposes a basis. ----
     let basis_f64: Vec<f64> = constraints
@@ -159,18 +266,27 @@ pub fn max_margin_fit(
     let mut b64 = vec![0.0f64; rows];
     b64[k] = 1.0;
     let budget = 2000 + 80 * m;
-    if let Ok(F64Result::Optimal { basis, .. }) =
-        solve_standard_form_f64(&a64, &b64, &c64, budget)
-    {
+    let f64_result = match &warm_cols {
+        Some(wb) => solve_standard_form_f64_warm(&a64, &b64, &c64, budget, wb),
+        None => solve_standard_form_f64(&a64, &b64, &c64, budget),
+    };
+    if let Ok(F64Result::Optimal { basis, .. }) = f64_result {
         if let Some(fit) = recover_exact(&basis, constraints, k, cols) {
             if fit.margin.is_negative() {
-                // Exactly-computed optimum of the proposed basis is
-                // negative: no polynomial fits (modulo basis optimality,
-                // see the doc comment).
-                return Ok(None);
-            }
-            if verify_exact(constraints, &fit.coeffs) {
-                return Ok(Some(fit));
+                if warm_cols.is_none() {
+                    // Exactly-computed optimum of the proposed basis is
+                    // negative: no polynomial fits (modulo basis
+                    // optimality, see the doc comment).
+                    return Ok(None);
+                }
+                // A warm-started proposal must not decide infeasibility:
+                // near a zero-margin optimum the warm pivot path can
+                // terminate one vertex away from the cold path's, and an
+                // "infeasible" verdict aborts the whole sub-domain. Fall
+                // through to the exact layer for an exact verdict.
+            } else if verify_exact(constraints, &fit.coeffs) {
+                let ws = snapshot(&basis);
+                return Ok(Some((fit, ws)));
             }
         }
     }
@@ -190,7 +306,11 @@ pub fn max_margin_fit(
     }
     let mut b_std = vec![Rational::zero(); rows];
     b_std[k] = Rational::one();
-    let (basis, objective) = match solve_standard_form(&a_std, &b_std, &c_std, budget)? {
+    let exact_result = match &warm_cols {
+        Some(wb) => solve_standard_form_warm(&a_std, &b_std, &c_std, budget, wb)?,
+        None => solve_standard_form(&a_std, &b_std, &c_std, budget)?,
+    };
+    let (basis, objective) = match exact_result {
         StandardResult::Optimal { basis, objective, .. } => (basis, objective),
         StandardResult::Infeasible => {
             unreachable!("the dual of an always-feasible bounded primal cannot be infeasible")
@@ -207,7 +327,8 @@ pub fn max_margin_fit(
     };
     debug_assert_eq!(fit.margin, objective, "margin must equal the dual optimum");
     debug_assert!(verify_exact(constraints, &fit.coeffs));
-    Ok(Some(fit))
+    let ws = snapshot(&basis);
+    Ok(Some((fit, ws)))
 }
 
 /// Solves the `k+1` active primal constraints named by a dual basis as an
@@ -444,5 +565,67 @@ mod tests {
     fn pow2_rational_both_signs() {
         assert_eq!(pow2_rational(10).to_f64(), 1024.0);
         assert_eq!(pow2_rational(-3).to_f64(), 0.125);
+    }
+
+    #[test]
+    fn warm_chain_reproduces_cold_fits_exactly() {
+        // Simulate a CEGIS loop: start with a seed sample, append one
+        // constraint per round (keeping ids stable), and carry the warm
+        // basis forward. The cubic target is *not* representable by the
+        // quadratic basis, so the max-margin optimum is pinned by genuine
+        // approximation error and is unique (no equal-margin vertex
+        // ties, the generic situation for real rounding intervals). The
+        // warm fit must then be *identical* — same exact rational
+        // coefficients — to a cold fit of the same constraint set: warm
+        // entry may only change the pivot path, not the optimum.
+        let curve = |x: f64| 0.3 + 0.7 * x - 0.4 * x * x + 0.9 * x * x * x;
+        let mk = |i: usize| {
+            let x = 0.05 + i as f64 * 0.11 + (i * i % 7) as f64 * 0.013;
+            // Width chosen so the best-quadratic error binds (margin < w,
+            // making the optimum unique) while staying feasible as the
+            // appended points stretch the domain.
+            let w = 0.08;
+            FitConstraint::from_point(x, curve(x) - w, curve(x) + w, &[0, 1, 2])
+        };
+        let mut cons: Vec<FitConstraint> = (0..8).map(mk).collect();
+        let mut ids: Vec<u64> = (0..8).collect();
+        let mut warm: Option<FitWarmStart> = None;
+        for round in 0..6 {
+            let (fit, ws) = max_margin_fit_warm(&cons, 3, &ids, warm.as_ref())
+                .expect("lp")
+                .expect("feasible");
+            let cold = max_margin_fit(&cons, 3).expect("lp").expect("feasible");
+            assert_eq!(fit.margin, cold.margin, "round {round}");
+            assert_eq!(fit.coeffs, cold.coeffs, "round {round}");
+            let i = 8 + round;
+            cons.push(mk(i));
+            ids.push(i as u64);
+            warm = Some(ws);
+        }
+    }
+
+    #[test]
+    fn mismatched_ids_are_a_typed_error() {
+        let cons = vec![FitConstraint::from_point(0.0, 0.0, 2.0, &[0])];
+        assert!(matches!(
+            max_margin_fit_warm(&cons, 1, &[], None),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_warm_start_still_fits() {
+        // A warm start naming ids that no longer exist must fall back
+        // cleanly and still produce a verified fit.
+        let cons = vec![FitConstraint::from_point(0.0, 0.0, 2.0, &[0])];
+        let (_, ws) = max_margin_fit_warm(&cons, 1, &[7], None)
+            .expect("lp")
+            .expect("feasible");
+        let cons2 = vec![FitConstraint::from_point(0.0, 0.0, 4.0, &[0])];
+        let (fit, _) = max_margin_fit_warm(&cons2, 1, &[99], Some(&ws))
+            .expect("lp")
+            .expect("feasible");
+        assert_eq!(fit.coeffs[0], Rational::from_i64(2));
+        assert_eq!(fit.margin, Rational::from_i64(2));
     }
 }

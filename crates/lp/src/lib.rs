@@ -37,5 +37,7 @@ pub mod simplex;
 pub mod simplex_f64;
 
 pub use error::LpError;
-pub use fit::{interpolate, max_margin_fit, FitConstraint, FitResult};
+pub use fit::{
+    interpolate, max_margin_fit, max_margin_fit_warm, FitConstraint, FitResult, FitWarmStart,
+};
 pub use simplex::{solve_standard_form, StandardResult};

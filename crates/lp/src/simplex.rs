@@ -20,6 +20,8 @@ use rlibm_obs::Counter;
 static LP_EXACT_SOLVES: Counter = Counter::new("lp.exact.solves");
 static LP_EXACT_PIVOTS: Counter = Counter::new("lp.exact.pivots");
 static LP_EXACT_CYCLING: Counter = Counter::new("lp.exact.cycling");
+static LP_EXACT_WARM_STARTS: Counter = Counter::new("lp.exact.warm_starts");
+static LP_EXACT_WARM_FALLBACKS: Counter = Counter::new("lp.exact.warm_fallbacks");
 
 /// Forces the exact-simplex counters into the snapshot registry at zero.
 /// The exact layer only runs when the f64 proposal fails certification,
@@ -29,6 +31,8 @@ pub fn register_metrics() {
     LP_EXACT_SOLVES.register();
     LP_EXACT_PIVOTS.register();
     LP_EXACT_CYCLING.register();
+    LP_EXACT_WARM_STARTS.register();
+    LP_EXACT_WARM_FALLBACKS.register();
 }
 
 /// Outcome of a standard-form solve.
@@ -117,19 +121,7 @@ pub fn solve_standard_form(
 
     // Phase 1: add one artificial per row (after sign-normalizing b >= 0),
     // minimize their sum.
-    let mut tableau: Vec<Vec<Rational>> = Vec::with_capacity(m);
-    for i in 0..m {
-        let flip = b[i].is_negative();
-        let mut row: Vec<Rational> = Vec::with_capacity(n + m + 1);
-        for v in a[i].iter().take(n) {
-            row.push(if flip { v.neg() } else { v.clone() });
-        }
-        for k in 0..m {
-            row.push(if k == i { Rational::one() } else { Rational::zero() });
-        }
-        row.push(if flip { b[i].neg() } else { b[i].clone() });
-        tableau.push(row);
-    }
+    let mut tableau = build_tableau(a, b, m, n);
     let total_cols = n + m; // artificial columns are n..n+m
     let mut basis: Vec<usize> = (n..n + m).collect();
 
@@ -220,6 +212,151 @@ pub fn solve_standard_form(
         }
     }
     Ok(StandardResult::Optimal { x, objective, basis })
+}
+
+/// Like [`solve_standard_form`], but first tries to re-enter the simplex
+/// from `warm_basis`, the optimal basis of a previous related solve with
+/// the same rows. The two moves a CEGIS loop makes between LP calls —
+/// appending columns (new counterexamples become dual variables) and
+/// rewriting the objective (interval refinement) — both leave an old
+/// basis primal feasible, so phase 1 can be skipped: rebuild the tableau,
+/// pivot the warm columns back in, and run phase 2 directly. Any snag
+/// (stale index, dependent column, negative rhs, exhausted budget) falls
+/// back to the cold two-phase solve; warm starting can only change speed,
+/// never the exactness of the answer.
+///
+/// # Errors
+///
+/// As [`solve_standard_form`]; a failed warm entry is not an error, only
+/// a counted fallback.
+pub fn solve_standard_form_warm(
+    a: &[Vec<Rational>],
+    b: &[Rational],
+    c: &[Rational],
+    max_pivots: usize,
+    warm_basis: &[usize],
+) -> Result<StandardResult, LpError> {
+    let m = a.len();
+    let n = if m > 0 { a[0].len() } else { c.len() };
+    let dims_ok = m > 0
+        && b.len() == m
+        && c.len() == n
+        && warm_basis.len() == m
+        && a.iter().all(|row| row.len() == n);
+    if dims_ok {
+        if let Some(res) = warm_attempt(a, b, c, max_pivots, warm_basis, m, n) {
+            LP_EXACT_SOLVES.add(1);
+            LP_EXACT_WARM_STARTS.add(1);
+            return Ok(res);
+        }
+    }
+    LP_EXACT_WARM_FALLBACKS.add(1);
+    solve_standard_form(a, b, c, max_pivots)
+}
+
+/// The warm-entry body: `None` means "fall back to the cold solve".
+fn warm_attempt(
+    a: &[Vec<Rational>],
+    b: &[Rational],
+    c: &[Rational],
+    max_pivots: usize,
+    warm_basis: &[usize],
+    m: usize,
+    n: usize,
+) -> Option<StandardResult> {
+    let total_cols = n + m;
+    let mut tableau = build_tableau(a, b, m, n);
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut pivots_left = max_pivots;
+
+    // Artificial warm columns are already basic in their own row (the
+    // identity block); structural ones must be pivoted in.
+    let mut claimed = vec![false; m];
+    let mut seen = vec![false; total_cols];
+    let mut structural = Vec::with_capacity(m);
+    for &j in warm_basis {
+        if j >= total_cols || seen[j] {
+            return None; // stale or duplicated column: basis unusable
+        }
+        seen[j] = true;
+        if j >= n {
+            claimed[j - n] = true;
+        } else {
+            structural.push(j);
+        }
+    }
+    for j in structural {
+        // Exact arithmetic: any nonzero entry in an unclaimed row is a
+        // valid pivot. First-match keeps the entry deterministic.
+        let i = (0..m).find(|&i| !claimed[i] && !tableau[i][j].is_zero())?;
+        if pivots_left == 0 {
+            return None;
+        }
+        pivots_left -= 1;
+        pivot(&mut tableau, &mut basis, i, j, total_cols);
+        claimed[i] = true;
+    }
+    // The rebuilt basis must be primal feasible (rhs >= 0) with every
+    // still-basic artificial exactly zero; otherwise phase 1 is really
+    // needed and the cold path should run it.
+    for (i, row) in tableau.iter().enumerate() {
+        let rhs = &row[total_cols];
+        if rhs.is_negative() || (basis[i] >= n && !rhs.is_zero()) {
+            return None;
+        }
+    }
+    // Phase 2 straight away (artificials barred from entering, as in the
+    // cold path).
+    let phase2_cost = |j: usize| {
+        if j >= n {
+            Rational::from_i64(1)
+        } else {
+            c[j].clone()
+        }
+    };
+    match simplex_loop(
+        &mut tableau,
+        &mut basis,
+        total_cols,
+        n,
+        &|j| phase2_cost(j),
+        &mut pivots_left,
+    ) {
+        LoopOutcome::Optimal => {}
+        LoopOutcome::Unbounded => return Some(StandardResult::Unbounded),
+        LoopOutcome::OutOfBudget => return None, // suspected cycling: restart cold
+    }
+    let mut x = vec![Rational::zero(); n];
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj < n {
+            x[bj] = tableau[i][total_cols].clone();
+        }
+    }
+    let mut objective = Rational::zero();
+    for j in 0..n {
+        if !x[j].is_zero() {
+            objective = objective.add(&c[j].mul(&x[j]));
+        }
+    }
+    Some(StandardResult::Optimal { x, objective, basis })
+}
+
+/// Sign-normalized `[A | I | b]` tableau with one artificial per row.
+fn build_tableau(a: &[Vec<Rational>], b: &[Rational], m: usize, n: usize) -> Vec<Vec<Rational>> {
+    let mut tableau: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let flip = b[i].is_negative();
+        let mut row: Vec<Rational> = Vec::with_capacity(n + m + 1);
+        for v in a[i].iter().take(n) {
+            row.push(if flip { v.neg() } else { v.clone() });
+        }
+        for k in 0..m {
+            row.push(if k == i { Rational::one() } else { Rational::zero() });
+        }
+        row.push(if flip { b[i].neg() } else { b[i].clone() });
+        tableau.push(row);
+    }
+    tableau
 }
 
 /// Result of one simplex phase.
@@ -456,6 +593,75 @@ mod tests {
             solve_standard_form(&a, &b, &c, 0),
             Err(crate::error::LpError::Cycling { pivots: 0 })
         );
+    }
+
+    #[test]
+    fn warm_restart_from_own_optimum_is_exact() {
+        let a = vec![
+            vec![r(1), r(2), r(1), r(0)],
+            vec![r(3), r(1), r(0), r(1)],
+        ];
+        let b = vec![r(4), r(6)];
+        let c = vec![r(-1), r(-1), r(0), r(0)];
+        let Ok(StandardResult::Optimal { x, objective, basis }) =
+            solve_standard_form(&a, &b, &c, 10_000)
+        else {
+            panic!("cold solve failed")
+        };
+        match solve_standard_form_warm(&a, &b, &c, basis.len(), &basis) {
+            Ok(StandardResult::Optimal { x: wx, objective: wo, .. }) => {
+                assert_eq!(wx, x);
+                assert_eq!(wo, objective);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_survives_appended_columns_and_changed_objective() {
+        // The CEGIS moves: append columns, rewrite the objective. The old
+        // basis indices survive verbatim and the warm answer must equal
+        // the cold one exactly.
+        let a1 = vec![vec![r(1), r(0)], vec![r(0), r(1)]];
+        let b = vec![r(2), r(3)];
+        let c1 = vec![r(-1), r(-1)];
+        let Ok(StandardResult::Optimal { basis, .. }) = solve_standard_form(&a1, &b, &c1, 1000)
+        else {
+            panic!("round 1 failed")
+        };
+        let a2 = vec![
+            vec![r(1), r(0), r(1), r(2)],
+            vec![r(0), r(1), r(1), r(1)],
+        ];
+        let c2 = vec![r(-1), r(-2), r(-10), r(0)];
+        let warm = solve_standard_form_warm(&a2, &b, &c2, 1000, &basis).expect("warm");
+        let cold = solve_standard_form(&a2, &b, &c2, 1000).expect("cold");
+        let (
+            StandardResult::Optimal { objective: wo, .. },
+            StandardResult::Optimal { objective: co, .. },
+        ) = (warm, cold)
+        else {
+            panic!("expected optimal from both paths")
+        };
+        assert_eq!(wo, co);
+    }
+
+    #[test]
+    fn stale_warm_basis_falls_back_to_cold() {
+        let a = vec![
+            vec![r(1), r(2), r(1), r(0)],
+            vec![r(3), r(1), r(0), r(1)],
+        ];
+        let b = vec![r(4), r(6)];
+        let c = vec![r(-1), r(-1), r(0), r(0)];
+        for bogus in [vec![99usize, 0], vec![1usize, 1], vec![0usize]] {
+            match solve_standard_form_warm(&a, &b, &c, 10_000, &bogus) {
+                Ok(StandardResult::Optimal { objective, .. }) => {
+                    assert_eq!(objective, rr(-14, 5));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

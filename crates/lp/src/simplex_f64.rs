@@ -18,6 +18,8 @@ use rlibm_obs::Counter;
 static LP_F64_SOLVES: Counter = Counter::new("lp.f64.solves");
 static LP_F64_PIVOTS: Counter = Counter::new("lp.f64.pivots");
 static LP_F64_CYCLING: Counter = Counter::new("lp.f64.cycling");
+static LP_F64_WARM_STARTS: Counter = Counter::new("lp.f64.warm_starts");
+static LP_F64_WARM_FALLBACKS: Counter = Counter::new("lp.f64.warm_fallbacks");
 
 /// Forces the f64-simplex counters into the snapshot registry at zero
 /// (see `simplex::register_metrics`).
@@ -25,6 +27,8 @@ pub fn register_metrics() {
     LP_F64_SOLVES.register();
     LP_F64_PIVOTS.register();
     LP_F64_CYCLING.register();
+    LP_F64_WARM_STARTS.register();
+    LP_F64_WARM_FALLBACKS.register();
 }
 
 /// Outcome of the f64 solve: mirrors [`crate::simplex::StandardResult`]
@@ -75,17 +79,7 @@ pub fn solve_standard_form_f64(
     if m == 0 {
         return Ok(F64Result::Optimal { basis: Vec::new(), objective: 0.0 });
     }
-    let mut tableau: Vec<Vec<f64>> = Vec::with_capacity(m);
-    for i in 0..m {
-        let flip = b[i] < 0.0;
-        let s = if flip { -1.0 } else { 1.0 };
-        let mut row: Vec<f64> = a[i].iter().map(|&v| s * v).collect();
-        for k in 0..m {
-            row.push(if k == i { 1.0 } else { 0.0 });
-        }
-        row.push(s * b[i]);
-        tableau.push(row);
-    }
+    let mut tableau = build_tableau_f64(a, b, m, n);
     let total = n + m;
     let mut basis: Vec<usize> = (n..n + m).collect();
     let mut pivots = max_pivots;
@@ -133,6 +127,133 @@ pub fn solve_standard_form_f64(
         }
     }
     Ok(F64Result::Optimal { basis, objective })
+}
+
+/// Like [`solve_standard_form_f64`], but first tries to re-enter the
+/// simplex from `warm_basis`, the optimal basis of a previous related
+/// solve with the same rows. CEGIS re-solves only ever *append columns*
+/// (new counterexamples add dual variables) or *change the objective*
+/// (interval refinement rewrites `c`); neither move disturbs the primal
+/// feasibility of an old basis, so phase 1 can be skipped: rebuild the
+/// tableau, pivot each warm column back into the basis, and run phase 2
+/// directly. Any snag — stale index, duplicate or dependent column,
+/// negative rhs, exhausted budget — falls back to the cold two-phase
+/// solve, so the warm path can only change *speed*, never the result's
+/// validity (the caller certifies optimality downstream regardless).
+///
+/// # Errors
+///
+/// As [`solve_standard_form_f64`]; a failed warm entry is not an error,
+/// only a counted fallback.
+pub fn solve_standard_form_f64_warm(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    max_pivots: usize,
+    warm_basis: &[usize],
+) -> Result<F64Result, LpError> {
+    let m = a.len();
+    let n = if m > 0 { a[0].len() } else { c.len() };
+    if m > 0 && b.len() == m && c.len() == n && warm_basis.len() == m {
+        if let Some(res) = warm_attempt_f64(a, b, c, max_pivots, warm_basis, m, n) {
+            LP_F64_SOLVES.add(1);
+            LP_F64_WARM_STARTS.add(1);
+            return Ok(res);
+        }
+    }
+    LP_F64_WARM_FALLBACKS.add(1);
+    solve_standard_form_f64(a, b, c, max_pivots)
+}
+
+/// The warm-entry body: `None` means "fall back to the cold solve".
+fn warm_attempt_f64(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+    max_pivots: usize,
+    warm_basis: &[usize],
+    m: usize,
+    n: usize,
+) -> Option<F64Result> {
+    let total = n + m;
+    let mut tableau = build_tableau_f64(a, b, m, n);
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut pivots = max_pivots;
+
+    // Split warm targets: artificial columns are already basic in their
+    // own row (the identity block), structural columns must be pivoted in.
+    let mut claimed = vec![false; m];
+    let mut seen = vec![false; total];
+    let mut structural = Vec::with_capacity(m);
+    for &j in warm_basis {
+        if j >= total || seen[j] {
+            return None; // stale or duplicated column: basis unusable
+        }
+        seen[j] = true;
+        if j >= n {
+            claimed[j - n] = true;
+        } else {
+            structural.push(j);
+        }
+    }
+    for j in structural {
+        // Partial pivoting over the unclaimed rows: the warm columns are
+        // linearly independent if the old basis still makes sense, so a
+        // greedy max-|entry| assignment succeeds unless the basis is stale.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, row) in tableau.iter().enumerate() {
+            let v = row[j].abs();
+            if !claimed[i] && v > EPS && best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((i, v));
+            }
+        }
+        let (i, _) = best?;
+        if pivots == 0 {
+            return None;
+        }
+        pivots -= 1;
+        pivot_f64(&mut tableau, &mut basis, i, j, total);
+        claimed[i] = true;
+    }
+    // The rebuilt basis must be primal feasible (rhs >= 0) with every
+    // still-basic artificial stuck at zero; otherwise phase 1 is needed
+    // after all and the cold path should run it.
+    for (i, row) in tableau.iter().enumerate() {
+        let rhs = row[total];
+        if rhs < -EPS || (basis[i] >= n && rhs > EPS) {
+            return None;
+        }
+    }
+    let p2_cost = |j: usize| if j >= n { 0.0 } else { c[j] };
+    match loop_f64(&mut tableau, &mut basis, total, n, &p2_cost, &mut pivots) {
+        LoopF64::Optimal => {
+            let mut objective = 0.0;
+            for (i, &bj) in basis.iter().enumerate() {
+                if bj < n {
+                    objective += c[bj] * tableau[i][total];
+                }
+            }
+            Some(F64Result::Optimal { basis, objective })
+        }
+        LoopF64::Unbounded => Some(F64Result::Unbounded),
+        LoopF64::OutOfBudget => None, // suspected cycling: restart cold
+    }
+}
+
+/// Sign-normalized `[A | I | b]` tableau with one artificial per row.
+fn build_tableau_f64(a: &[Vec<f64>], b: &[f64], m: usize, n: usize) -> Vec<Vec<f64>> {
+    let mut tableau: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let flip = b[i] < 0.0;
+        let s = if flip { -1.0 } else { 1.0 };
+        let mut row: Vec<f64> = a[i].iter().take(n).map(|&v| s * v).collect();
+        for k in 0..m {
+            row.push(if k == i { 1.0 } else { 0.0 });
+        }
+        row.push(s * b[i]);
+        tableau.push(row);
+    }
+    tableau
 }
 
 /// Result of one f64 simplex phase.
@@ -278,5 +399,73 @@ mod tests {
             solve_standard_form_f64(&a, &b, &c, 0),
             Err(LpError::Cycling { pivots: 0 })
         );
+    }
+
+    #[test]
+    fn warm_restart_from_own_optimum_matches_cold() {
+        let a = vec![vec![1.0, 2.0, 1.0, 0.0], vec![3.0, 1.0, 0.0, 1.0]];
+        let b = vec![4.0, 6.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0];
+        let Ok(F64Result::Optimal { basis, objective }) =
+            solve_standard_form_f64(&a, &b, &c, 10_000)
+        else {
+            panic!("cold solve failed")
+        };
+        // Re-solving from the optimum must hit the same objective with no
+        // phase-1 work (an already-optimal basis needs zero phase-2 pivots,
+        // so a budget covering only the basis-entry pivots suffices).
+        match solve_standard_form_f64_warm(&a, &b, &c, basis.len(), &basis) {
+            Ok(F64Result::Optimal { objective: warm_obj, basis: warm_basis }) => {
+                assert!((warm_obj - objective).abs() < 1e-12);
+                let mut sorted = warm_basis.clone();
+                sorted.sort_unstable();
+                let mut cold_sorted = basis.clone();
+                cold_sorted.sort_unstable();
+                assert_eq!(sorted, cold_sorted);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_survives_appended_columns_and_changed_objective() {
+        // Round 1: two columns. Round 2 appends two more columns (the
+        // CEGIS move) and perturbs the objective; the old basis must still
+        // warm-start and reach the new optimum.
+        let a1 = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let b = vec![2.0, 3.0];
+        let c1 = vec![-1.0, -1.0];
+        let Ok(F64Result::Optimal { basis, .. }) = solve_standard_form_f64(&a1, &b, &c1, 1000)
+        else {
+            panic!("round 1 failed")
+        };
+        let a2 = vec![vec![1.0, 0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0, 0.5]];
+        let c2 = vec![-1.0, -2.0, -10.0, 0.0];
+        // Old basis indices survive verbatim: columns were only appended.
+        let warm = solve_standard_form_f64_warm(&a2, &b, &c2, 1000, &basis)
+            .expect("warm solve");
+        let cold = solve_standard_form_f64(&a2, &b, &c2, 1000).expect("cold solve");
+        let (F64Result::Optimal { objective: wo, .. }, F64Result::Optimal { objective: co, .. }) =
+            (warm, cold)
+        else {
+            panic!("expected optimal from both paths")
+        };
+        assert!((wo - co).abs() < 1e-9, "warm {wo} vs cold {co}");
+    }
+
+    #[test]
+    fn stale_warm_basis_falls_back_to_cold() {
+        let a = vec![vec![1.0, 2.0, 1.0, 0.0], vec![3.0, 1.0, 0.0, 1.0]];
+        let b = vec![4.0, 6.0];
+        let c = vec![-1.0, -1.0, 0.0, 0.0];
+        // Out-of-range and duplicated columns: both must quietly cold-solve.
+        for bogus in [vec![99usize, 0], vec![1usize, 1]] {
+            match solve_standard_form_f64_warm(&a, &b, &c, 10_000, &bogus) {
+                Ok(F64Result::Optimal { objective, .. }) => {
+                    assert!((objective - (-14.0 / 5.0)).abs() < 1e-9);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 }

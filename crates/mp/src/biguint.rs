@@ -4,10 +4,40 @@
 //! needs: mantissa arithmetic for [`crate::MpFloat`] (add/sub/mul/div/shift
 //! on numbers of a few thousand bits) and exact rational arithmetic for the
 //! LP solver. Little-endian `u64` limbs, canonical form (no trailing zero
-//! limbs). Schoolbook algorithms throughout — operand sizes here are tens
-//! of limbs, where simplicity beats asymptotics.
+//! limbs).
+//!
+//! Two generation-hot-path optimizations (DESIGN.md "Generator
+//! performance"):
+//!
+//! * **Inline small values.** The exact simplex churns through rationals
+//!   whose components overwhelmingly fit in one or two limbs; storing
+//!   0–2 limbs directly in the struct ([`Repr::Inline`]) removes a heap
+//!   allocation per intermediate value. The representation is canonical —
+//!   any value that fits two limbs is *always* `Inline`, so structural
+//!   equality over the limb slice is value equality.
+//! * **Karatsuba multiplication** above [`KARATSUBA_THRESHOLD`] limbs
+//!   (the Ziv oracle's `MpFloat` mantissas reach thousands of bits at
+//!   high precisions); schoolbook below, where simplicity beats
+//!   asymptotics.
 
 use core::cmp::Ordering;
+
+/// Limbs stored without allocation. Two limbs cover every `u128` and the
+/// vast majority of LP-intermediate rational components.
+const INLINE_LIMBS: usize = 2;
+
+/// Operands with at least this many limbs on both sides multiply via
+/// Karatsuba; below it, schoolbook wins on constant factors.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Canonical limb storage: values of at most [`INLINE_LIMBS`] limbs are
+/// always `Inline` (unused inline limbs are zero); `Heap` vectors always
+/// have more than [`INLINE_LIMBS`] limbs with a nonzero top limb.
+#[derive(Debug, Clone)]
+enum Repr {
+    Inline { len: u8, limbs: [u64; INLINE_LIMBS] },
+    Heap(Vec<u64>),
+}
 
 /// An arbitrary-precision unsigned integer.
 ///
@@ -21,29 +51,200 @@ use core::cmp::Ordering;
 /// assert_eq!(q, a);
 /// assert!(r.is_zero());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone)]
 pub struct BigUint {
-    /// Little-endian limbs; highest limb nonzero (empty means zero).
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for BigUint {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl PartialEq for BigUint {
+    fn eq(&self, other: &Self) -> bool {
+        self.limbs() == other.limbs()
+    }
+}
+
+impl Eq for BigUint {}
+
+impl core::hash::Hash for BigUint {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.limbs().hash(state);
+    }
+}
+
+/// Drops high zero limbs from a slice view.
+fn trim(mut s: &[u64]) -> &[u64] {
+    while let Some((&0, rest)) = s.split_last() {
+        s = rest;
+    }
+    s
+}
+
+/// Schoolbook product of two normalized limb slices.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let t = x as u128 * y as u128 + out[i + j] as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// `a + b` over raw limb slices (result may carry one extra limb).
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &x) in long.iter().enumerate() {
+        let y = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a -= b` over raw limbs; requires `a >= b` as integers.
+fn sub_limbs_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, slot) in a.iter_mut().enumerate() {
+        let y = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = slot.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *slot = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "limb subtraction underflow");
+}
+
+/// `acc[shift..] += x`, propagating the carry inside `acc` (the caller
+/// sizes `acc` so the carry cannot run off the end).
+fn add_into(acc: &mut [u64], x: &[u64], shift: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < x.len() || carry > 0 {
+        let y = x.get(i).copied().unwrap_or(0);
+        let slot = &mut acc[shift + i];
+        let (s1, c1) = slot.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *slot = s2;
+        carry = (c1 as u64) + (c2 as u64);
+        i += 1;
+    }
+}
+
+/// Karatsuba above the threshold, schoolbook below. Inputs normalized;
+/// output may have high zero limbs (callers re-normalize).
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    // Split both operands at half the shorter one so every quarter is
+    // nonempty: a = a1·2^(64m) + a0, b likewise, then the three-product
+    // identity a·b = z2·2^(128m) + (z1 - z2 - z0)·2^(64m) + z0 with
+    // z1 = (a0+a1)(b0+b1).
+    let m = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(m);
+    let (b0, b1) = b.split_at(m);
+    let (a0, b0) = (trim(a0), trim(b0));
+    let z0 = mul_limbs(a0, b0);
+    let z2 = mul_limbs(a1, b1);
+    let sa = add_limbs(a0, a1);
+    let sb = add_limbs(b0, b1);
+    let mut z1 = mul_limbs(trim(&sa), trim(&sb));
+    sub_limbs_in_place(&mut z1, &z0);
+    sub_limbs_in_place(&mut z1, &z2);
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_into(&mut out, &z0, 0);
+    add_into(&mut out, trim(&z1), m);
+    add_into(&mut out, &z2, 2 * m);
+    out
 }
 
 impl BigUint {
+    /// Builds the canonical representation from (possibly denormalized)
+    /// little-endian limbs.
+    fn from_norm_vec(mut v: Vec<u64>) -> Self {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        if v.len() <= INLINE_LIMBS {
+            let mut limbs = [0u64; INLINE_LIMBS];
+            limbs[..v.len()].copy_from_slice(&v);
+            BigUint { repr: Repr::Inline { len: v.len() as u8, limbs } }
+        } else {
+            BigUint { repr: Repr::Heap(v) }
+        }
+    }
+
+    /// As [`Self::from_norm_vec`] but from a fixed-size scratch array,
+    /// allocating only when the value needs more than two limbs.
+    fn from_limb_array(s: &[u64]) -> Self {
+        let s = trim(s);
+        if s.len() <= INLINE_LIMBS {
+            let mut limbs = [0u64; INLINE_LIMBS];
+            limbs[..s.len()].copy_from_slice(s);
+            BigUint { repr: Repr::Inline { len: s.len() as u8, limbs } }
+        } else {
+            BigUint { repr: Repr::Heap(s.to_vec()) }
+        }
+    }
+
+    /// The canonical little-endian limb slice (empty for zero).
+    fn limbs(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline { len, limbs } => &limbs[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// The whole value as a `u128` when it fits inline.
+    fn as_u128(&self) -> Option<u128> {
+        match &self.repr {
+            // Unused inline limbs are zero by the canonical invariant.
+            Repr::Inline { limbs, .. } => {
+                Some(limbs[0] as u128 | (limbs[1] as u128) << 64)
+            }
+            Repr::Heap(_) => None,
+        }
+    }
+
     /// Zero.
     pub fn zero() -> Self {
-        BigUint { limbs: Vec::new() }
+        BigUint { repr: Repr::Inline { len: 0, limbs: [0; INLINE_LIMBS] } }
     }
 
     /// One.
     pub fn one() -> Self {
-        BigUint { limbs: vec![1] }
+        Self::from_u64(1)
     }
 
     /// Constructs from a `u64`.
     pub fn from_u64(x: u64) -> Self {
-        if x == 0 {
-            Self::zero()
-        } else {
-            BigUint { limbs: vec![x] }
+        BigUint {
+            repr: Repr::Inline { len: (x != 0) as u8, limbs: [x, 0] },
         }
     }
 
@@ -54,41 +255,37 @@ impl BigUint {
         if hi == 0 {
             Self::from_u64(lo)
         } else {
-            BigUint { limbs: vec![lo, hi] }
-        }
-    }
-
-    fn normalize(&mut self) {
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
+            BigUint { repr: Repr::Inline { len: 2, limbs: [lo, hi] } }
         }
     }
 
     /// True for zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Inline { len: 0, .. })
     }
 
     /// True for one.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Inline { len: 1, limbs: [1, 0] })
     }
 
     /// Number of significant bits (0 for zero).
     pub fn bit_len(&self) -> u64 {
-        match self.limbs.last() {
+        let limbs = self.limbs();
+        match limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() as u64) * 64 - top.leading_zeros() as u64,
+            Some(&top) => (limbs.len() as u64) * 64 - top.leading_zeros() as u64,
         }
     }
 
     /// The bit at index `i` (little-endian, index 0 = LSB).
     pub fn bit(&self, i: u64) -> bool {
+        let limbs = self.limbs();
         let limb = (i / 64) as usize;
-        if limb >= self.limbs.len() {
+        if limb >= limbs.len() {
             return false;
         }
-        (self.limbs[limb] >> (i % 64)) & 1 == 1
+        (limbs[limb] >> (i % 64)) & 1 == 1
     }
 
     /// Number of trailing zero bits.
@@ -98,7 +295,7 @@ impl BigUint {
     /// Panics on zero (which has no well-defined answer).
     pub fn trailing_zeros(&self) -> u64 {
         assert!(!self.is_zero(), "trailing_zeros of zero");
-        for (i, &l) in self.limbs.iter().enumerate() {
+        for (i, &l) in self.limbs().iter().enumerate() {
             if l != 0 {
                 return i as u64 * 64 + l.trailing_zeros() as u64;
             }
@@ -109,15 +306,16 @@ impl BigUint {
     /// True when any of the low `n` bits is set (used for sticky-bit
     /// computations when rounding mantissas).
     pub fn any_low_bits(&self, n: u64) -> bool {
+        let limbs = self.limbs();
         let full = (n / 64) as usize;
-        for &l in self.limbs.iter().take(full) {
+        for &l in limbs.iter().take(full) {
             if l != 0 {
                 return true;
             }
         }
         let rem = n % 64;
-        if rem > 0 && full < self.limbs.len() {
-            return self.limbs[full] & ((1u64 << rem) - 1) != 0;
+        if rem > 0 && full < limbs.len() {
+            return limbs[full] & ((1u64 << rem) - 1) != 0;
         }
         false
     }
@@ -127,28 +325,36 @@ impl BigUint {
         if self.is_zero() {
             return Self::zero();
         }
+        if let Some(a) = self.as_u128() {
+            if self.bit_len() + n <= 128 {
+                return Self::from_u128(a << n);
+            }
+        }
+        let limbs = self.limbs();
         let limb_shift = (n / 64) as usize;
         let bit_shift = (n % 64) as u32;
-        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
-        for (i, &l) in self.limbs.iter().enumerate() {
+        let mut out = vec![0u64; limbs.len() + limb_shift + 1];
+        for (i, &l) in limbs.iter().enumerate() {
             out[i + limb_shift] |= l << bit_shift;
             if bit_shift > 0 {
                 out[i + limb_shift + 1] |= l >> (64 - bit_shift);
             }
         }
-        let mut r = BigUint { limbs: out };
-        r.normalize();
-        r
+        Self::from_norm_vec(out)
     }
 
     /// Right shift by `n` bits (bits shifted out are discarded).
     pub fn shr(&self, n: u64) -> BigUint {
+        if let Some(a) = self.as_u128() {
+            return if n >= 128 { Self::zero() } else { Self::from_u128(a >> n) };
+        }
+        let limbs = self.limbs();
         let limb_shift = (n / 64) as usize;
-        if limb_shift >= self.limbs.len() {
+        if limb_shift >= limbs.len() {
             return Self::zero();
         }
         let bit_shift = (n % 64) as u32;
-        let src = &self.limbs[limb_shift..];
+        let src = &limbs[limb_shift..];
         let mut out = vec![0u64; src.len()];
         for i in 0..src.len() {
             out[i] = src[i] >> bit_shift;
@@ -156,33 +362,19 @@ impl BigUint {
                 out[i] |= src[i + 1] << (64 - bit_shift);
             }
         }
-        let mut r = BigUint { limbs: out };
-        r.normalize();
-        r
+        Self::from_norm_vec(out)
     }
 
     /// Addition.
     pub fn add(&self, other: &BigUint) -> BigUint {
-        let (long, short) = if self.limbs.len() >= other.limbs.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let mut out = Vec::with_capacity(long.limbs.len() + 1);
-        let mut carry = 0u64;
-        for i in 0..long.limbs.len() {
-            let b = short.limbs.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long.limbs[i].overflowing_add(b);
-            let (s2, c2) = s1.overflowing_add(carry);
-            out.push(s2);
-            carry = (c1 as u64) + (c2 as u64);
+        if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
+            let (s, carried) = a.overflowing_add(b);
+            if !carried {
+                return Self::from_u128(s);
+            }
+            return Self::from_norm_vec(vec![s as u64, (s >> 64) as u64, 1]);
         }
-        if carry > 0 {
-            out.push(carry);
-        }
-        let mut r = BigUint { limbs: out };
-        r.normalize();
-        r
+        Self::from_norm_vec(add_limbs(self.limbs(), other.limbs()))
     }
 
     /// Subtraction.
@@ -192,45 +384,40 @@ impl BigUint {
     /// Panics if `other > self`.
     pub fn sub(&self, other: &BigUint) -> BigUint {
         assert!(self >= other, "BigUint subtraction underflow");
-        let mut out = Vec::with_capacity(self.limbs.len());
-        let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(b);
-            let (d2, b2) = d1.overflowing_sub(borrow);
-            out.push(d2);
-            borrow = (b1 as u64) + (b2 as u64);
+        if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
+            return Self::from_u128(a - b);
         }
-        debug_assert_eq!(borrow, 0);
-        let mut r = BigUint { limbs: out };
-        r.normalize();
-        r
+        let mut out = self.limbs().to_vec();
+        sub_limbs_in_place(&mut out, other.limbs());
+        Self::from_norm_vec(out)
     }
 
-    /// Multiplication (schoolbook).
+    /// Multiplication (schoolbook up to [`KARATSUBA_THRESHOLD`] limbs,
+    /// Karatsuba above).
     pub fn mul(&self, other: &BigUint) -> BigUint {
         if self.is_zero() || other.is_zero() {
             return Self::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
-                out[i + j] = t as u64;
-                carry = t >> 64;
+        if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
+            // Single-limb operands stay entirely in u128.
+            if (a >> 64) == 0 && (b >> 64) == 0 {
+                return Self::from_u128(a * b);
             }
-            let mut k = i + other.limbs.len();
-            while carry > 0 {
-                let t = out[k] as u128 + carry;
-                out[k] = t as u64;
-                carry = t >> 64;
-                k += 1;
-            }
+            // Two-limb operands fill at most a fixed 4-limb scratch.
+            // Four partial products; the column sums below stay within
+            // u128 (mid < 3*2^64, p11 + carry <= 2^128 - 1).
+            let (a0, a1) = (a as u64, (a >> 64) as u64);
+            let (b0, b1) = (b as u64, (b >> 64) as u64);
+            let p00 = a0 as u128 * b0 as u128;
+            let p01 = a0 as u128 * b1 as u128;
+            let p10 = a1 as u128 * b0 as u128;
+            let p11 = a1 as u128 * b1 as u128;
+            let mid = (p00 >> 64) + (p01 as u64 as u128) + (p10 as u64 as u128);
+            let high = p11 + (mid >> 64) + (p01 >> 64) + (p10 >> 64);
+            let out = [p00 as u64, mid as u64, high as u64, (high >> 64) as u64];
+            return Self::from_limb_array(&out);
         }
-        let mut r = BigUint { limbs: out };
-        r.normalize();
-        r
+        Self::from_norm_vec(mul_limbs(self.limbs(), other.limbs()))
     }
 
     /// Multiplication by a `u64`.
@@ -238,9 +425,17 @@ impl BigUint {
         if m == 0 || self.is_zero() {
             return Self::zero();
         }
-        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        if let Some(a) = self.as_u128() {
+            let lo = (a as u64) as u128 * m as u128;
+            let hi = ((a >> 64) as u64) as u128 * m as u128;
+            let mid = hi + (lo >> 64);
+            let out = [lo as u64, mid as u64, (mid >> 64) as u64];
+            return Self::from_limb_array(&out);
+        }
+        let limbs = self.limbs();
+        let mut out = Vec::with_capacity(limbs.len() + 1);
         let mut carry = 0u128;
-        for &a in &self.limbs {
+        for &a in limbs {
             let t = a as u128 * m as u128 + carry;
             out.push(t as u64);
             carry = t >> 64;
@@ -248,7 +443,7 @@ impl BigUint {
         if carry > 0 {
             out.push(carry as u64);
         }
-        BigUint { limbs: out }
+        Self::from_norm_vec(out)
     }
 
     /// Division by a `u64` divisor, returning `(quotient, remainder)`.
@@ -258,16 +453,18 @@ impl BigUint {
     /// Panics on division by zero.
     pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
         assert!(d != 0, "division by zero");
-        let mut out = vec![0u64; self.limbs.len()];
+        if let Some(a) = self.as_u128() {
+            return (Self::from_u128(a / d as u128), (a % d as u128) as u64);
+        }
+        let limbs = self.limbs();
+        let mut out = vec![0u64; limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
             out[i] = (cur / d as u128) as u64;
             rem = cur % d as u128;
         }
-        let mut q = BigUint { limbs: out };
-        q.normalize();
-        (q, rem as u64)
+        (Self::from_norm_vec(out), rem as u64)
     }
 
     /// Division, returning `(quotient, remainder)`.
@@ -281,8 +478,12 @@ impl BigUint {
     /// Panics on division by zero.
     pub fn div_rem(&self, d: &BigUint) -> (BigUint, BigUint) {
         assert!(!d.is_zero(), "division by zero");
-        if d.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u64(d.limbs[0]);
+        if let (Some(a), Some(b)) = (self.as_u128(), d.as_u128()) {
+            return (Self::from_u128(a / b), Self::from_u128(a % b));
+        }
+        let d_limbs = d.limbs();
+        if d_limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(d_limbs[0]);
             return (q, BigUint::from_u64(r));
         }
         match self.cmp(d) {
@@ -294,18 +495,18 @@ impl BigUint {
         let shift = 64 - ((d.bit_len() - 1) % 64 + 1);
         let u = self.shl(shift);
         let v = d.shl(shift);
-        let n = v.limbs.len();
-        let m = u.limbs.len() - n;
-        let v_top = v.limbs[n - 1];
-        let v_second = if n >= 2 { v.limbs[n - 2] } else { 0 };
+        let n = v.limbs().len();
+        let m = u.limbs().len() - n;
+        let v_top = v.limbs()[n - 1];
+        let v_second = if n >= 2 { v.limbs()[n - 2] } else { 0 };
 
         let mut rem = u.clone();
         let mut q_limbs = vec![0u64; m + 1];
         for j in (0..=m).rev() {
             // Estimate q_hat from the top limbs of rem relative to position j.
-            let r2 = rem.limbs.get(j + n).copied().unwrap_or(0);
-            let r1 = rem.limbs.get(j + n - 1).copied().unwrap_or(0);
-            let r0 = rem.limbs.get(j + n - 2).copied().unwrap_or(0);
+            let r2 = rem.limbs().get(j + n).copied().unwrap_or(0);
+            let r1 = rem.limbs().get(j + n - 1).copied().unwrap_or(0);
+            let r0 = rem.limbs().get(j + n - 2).copied().unwrap_or(0);
             let top = ((r2 as u128) << 64) | r1 as u128;
             let mut q_hat = if r2 >= v_top {
                 u64::MAX as u128
@@ -333,8 +534,7 @@ impl BigUint {
             }
             q_limbs[j] = q_hat;
         }
-        let mut q = BigUint { limbs: q_limbs };
-        q.normalize();
+        let q = Self::from_norm_vec(q_limbs);
         let r = rem.shr(shift);
         debug_assert!(&q.mul(d).add(&r) == self);
         (q, r)
@@ -344,8 +544,8 @@ impl BigUint {
     /// 2^64 (by shifting or a `bit_len` check); values wider than one limb
     /// are an internal invariant violation caught in debug builds.
     pub fn to_u64(&self) -> u64 {
-        debug_assert!(self.limbs.len() <= 1, "BigUint::to_u64 overflow");
-        self.limbs.first().copied().unwrap_or(0)
+        debug_assert!(self.limbs().len() <= 1, "BigUint::to_u64 overflow");
+        self.limbs().first().copied().unwrap_or(0)
     }
 
     /// The top 64 significant bits as a `u64` with MSB set (undefined for
@@ -354,22 +554,55 @@ impl BigUint {
         assert!(!self.is_zero());
         let len = self.bit_len();
         if len <= 64 {
-            self.limbs[0] << (64 - len)
+            self.limbs()[0] << (64 - len)
         } else {
             self.shr(len - 64).to_u64()
         }
     }
 
-    /// Greatest common divisor (Euclid's algorithm).
+    /// Greatest common divisor.
+    ///
+    /// Binary (Stein) gcd — only shifts and subtractions, so the inner
+    /// loop is cheap limb traffic instead of full divisions. When the
+    /// operand sizes are far apart one Euclidean reduction first brings
+    /// them together (a pure subtract-and-shift loop would grind through
+    /// the size gap 64 bits at a time).
     pub fn gcd(&self, other: &BigUint) -> BigUint {
         let mut a = self.clone();
         let mut b = other.clone();
-        while !b.is_zero() {
-            let (_, r) = a.div_rem(&b);
-            a = b;
-            b = r;
+        if a.is_zero() {
+            return b;
         }
-        a
+        if b.is_zero() {
+            return a;
+        }
+        if a.limbs().len() + 2 < b.limbs().len() {
+            b = b.div_rem(&a).1;
+            if b.is_zero() {
+                return a;
+            }
+        } else if b.limbs().len() + 2 < a.limbs().len() {
+            a = a.div_rem(&b).1;
+            if a.is_zero() {
+                return b;
+            }
+        }
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let k = az.min(bz);
+        a = a.shr(az);
+        b = b.shr(bz);
+        // Invariant: a and b odd.
+        loop {
+            if a > b {
+                core::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                return a.shl(k);
+            }
+            b = b.shr(b.trailing_zeros());
+        }
     }
 
     /// `self^exp` by binary exponentiation.
@@ -413,12 +646,13 @@ impl PartialOrd for BigUint {
 
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
+        let (a, b) = (self.limbs(), other.limbs());
+        match a.len().cmp(&b.len()) {
             Ordering::Equal => {}
             ord => return ord,
         }
-        for i in (0..self.limbs.len()).rev() {
-            match self.limbs[i].cmp(&other.limbs[i]) {
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
                 Ordering::Equal => {}
                 ord => return ord,
             }
@@ -590,6 +824,20 @@ mod tests {
     }
 
     #[test]
+    fn gcd_handles_disparate_sizes_and_powers_of_two() {
+        // Size gap > 2 limbs exercises the initial Euclidean reduction.
+        let small = BigUint::from_u64(3 << 5);
+        let huge = BigUint::from_u64(3).shl(1000);
+        assert_eq!(small.gcd(&huge), BigUint::from_u64(3 << 5));
+        assert_eq!(huge.gcd(&small), BigUint::from_u64(3 << 5));
+        let a = BigUint::from_u64(7).shl(200);
+        let b = BigUint::from_u64(7).shl(100);
+        assert_eq!(a.gcd(&b), b);
+        assert!(a.gcd(&BigUint::zero()) == a);
+        assert!(BigUint::zero().gcd(&b) == b);
+    }
+
+    #[test]
     fn pow_and_display() {
         let t = BigUint::from_u64(10).pow(25);
         assert_eq!(t.to_string(), "10000000000000000000000000");
@@ -608,5 +856,66 @@ mod tests {
         let a = BigUint::from_u64(1).shl(100);
         assert_eq!(a.top_bits(), 1u64 << 63);
         assert_eq!(BigUint::from_u64(3).top_bits(), 3u64 << 62);
+    }
+
+    /// Values that fit two limbs must always be stored inline, including
+    /// results that *shrink* back across the boundary.
+    #[test]
+    fn representation_is_canonical_across_the_inline_boundary() {
+        let two64 = BigUint::from_u128(1u128 << 64);
+        let big3 = BigUint::one().shl(128); // 3 limbs, heap
+        assert!(matches!(big3.repr, Repr::Heap(_)));
+        let shrunk = big3.sub(&BigUint::one()); // 2^128 - 1: exactly 2 limbs
+        assert!(matches!(shrunk.repr, Repr::Inline { len: 2, .. }));
+        assert_eq!(shrunk, BigUint::from_u128(u128::MAX));
+        let back = shrunk.add(&BigUint::one());
+        assert!(matches!(back.repr, Repr::Heap(_)));
+        assert_eq!(back, big3);
+        let q = big3.div_rem(&two64).0;
+        assert!(matches!(q.repr, Repr::Inline { len: 2, .. }));
+        assert_eq!(q, two64);
+    }
+
+    #[test]
+    fn inline_mul_covers_all_limb_count_combinations() {
+        let vals: [u128; 6] = [
+            1,
+            0xFFFF_FFFF_FFFF_FFFF,
+            0x1_0000_0000_0000_0000,
+            u128::MAX,
+            0xDEAD_BEEF_CAFE_F00D_1234_5678_9ABC_DEF0,
+            0x8000_0000_0000_0000_0000_0000_0000_0000,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let got = BigUint::from_u128(a).mul(&BigUint::from_u128(b));
+                // Reference: schoolbook over the raw limb slices.
+                let want = BigUint::from_norm_vec(mul_schoolbook(
+                    trim(&[a as u64, (a >> 64) as u64]),
+                    trim(&[b as u64, (b >> 64) as u64]),
+                ));
+                assert_eq!(got, want, "{a:#x} * {b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_above_threshold() {
+        // Deterministic pseudo-random limbs spanning the threshold.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (la, lb) in [(32, 32), (33, 64), (64, 64), (65, 40), (100, 33)] {
+            let a: Vec<u64> = (0..la).map(|_| next()).collect();
+            let b: Vec<u64> = (0..lb).map(|_| next()).collect();
+            let (a, b) = (trim(&a).to_vec(), trim(&b).to_vec());
+            let kara = BigUint::from_norm_vec(mul_limbs(&a, &b));
+            let school = BigUint::from_norm_vec(mul_schoolbook(&a, &b));
+            assert_eq!(kara, school, "sizes {la}x{lb}");
+        }
     }
 }

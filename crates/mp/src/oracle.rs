@@ -74,6 +74,10 @@ static ZIV_ESCALATIONS: [Counter; 10] = [
 ];
 static ZIV_CACHE_HITS: Counter = Counter::new("oracle.ziv.cache_hits");
 static ZIV_MP_EVALS: Counter = Counter::new("oracle.ziv.mp_evals");
+// Wholesale cache flushes at ZIV_CACHE_CAP: each one discards every warm
+// entry on the thread, so a nonzero count explains sudden cache-hit-rate
+// cliffs in long generation runs.
+static ZIV_CACHE_CLEARS: Counter = Counter::new("oracle.ziv.cache_clears");
 
 /// Forces every oracle metric into the snapshot registry at value zero,
 /// so reports can distinguish "never escalated" from "not linked".
@@ -86,6 +90,7 @@ pub fn register_metrics() {
     }
     ZIV_CACHE_HITS.register();
     ZIV_MP_EVALS.register();
+    ZIV_CACHE_CLEARS.register();
 }
 
 thread_local! {
@@ -519,6 +524,7 @@ pub fn try_correctly_rounded<T: Representation>(
                     ZIV_CACHE_T.with(|c| {
                         let mut c = c.borrow_mut();
                         if c.len() >= ZIV_CACHE_CAP {
+                            ZIV_CACHE_CLEARS.add(1);
                             c.clear();
                         }
                         c.insert(key, rl.to_bits_u32());
@@ -579,6 +585,7 @@ pub fn try_correctly_rounded_f64(f: Func, x: f64, max_prec: u32) -> Result<f64, 
                     ZIV_CACHE_F64.with(|c| {
                         let mut c = c.borrow_mut();
                         if c.len() >= ZIV_CACHE_CAP {
+                            ZIV_CACHE_CLEARS.add(1);
                             c.clear();
                         }
                         c.insert(key, rl.to_bits());

@@ -4,13 +4,40 @@
 //! uses SoPlex in exact rational mode precisely because floating point
 //! pivoting can certify an infeasible system as feasible (or vice versa),
 //! which would silently break the correctly rounded guarantee.
+//!
+//! # Lazy normalization
+//!
+//! The exact simplex and the basis-recovery Gaussian elimination are the
+//! dominant producers of intermediate rationals, and reducing by gcd on
+//! *every* `add`/`mul` used to dominate their cost. Arithmetic therefore
+//! keeps results **unreduced** and only runs the gcd
+//!
+//! * when a result's combined numerator+denominator bit size crosses
+//!   [`REDUCE_WATERMARK_BITS`] (bounding the blow-up of long operation
+//!   chains), and
+//! * on explicit canonicalization ([`Rational::canonicalize`], `Display`,
+//!   `Hash`).
+//!
+//! Comparison needs no normalization at all — `Ord`/`PartialEq` cross-
+//! multiply, so equality is *value* equality regardless of representation.
+//! Constructors ([`Rational::new`], [`Rational::from_f64`], ...) still
+//! produce canonical values, so [`Rational::numer`]/[`Rational::denom`]
+//! on a freshly constructed value see the reduced form.
 
 use crate::bigint::BigInt;
 use crate::biguint::BigUint;
 use core::cmp::Ordering;
 
-/// An exact rational number `num / den`, always in canonical form:
-/// `den > 0`, `gcd(|num|, den) == 1`, and zero is `0/1`.
+/// Unreduced results whose numerator+denominator bit lengths exceed this
+/// watermark are reduced eagerly; below it the gcd is deferred. Sized so
+/// the LP's typical degree-7 power-basis entries (a few hundred bits)
+/// chain several operations allocation-cheap before a reduction lands.
+const REDUCE_WATERMARK_BITS: u64 = 2048;
+
+/// An exact rational number `num / den` with `den > 0` and zero stored
+/// as `0/1`. The representation may be *unreduced* after arithmetic (see
+/// the module docs); `==`, `Ord` and `Hash` all have value semantics, so
+/// `2/4 == 1/2` regardless of storage.
 ///
 /// # Example
 ///
@@ -20,7 +47,7 @@ use core::cmp::Ordering;
 /// let b = Rational::from_ratio_i64(1, 6);
 /// assert_eq!(&a + &b, Rational::from_ratio_i64(1, 2));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Rational {
     num: BigInt,
     den: BigUint,
@@ -29,6 +56,23 @@ pub struct Rational {
 impl Default for Rational {
     fn default() -> Self {
         Rational::zero()
+    }
+}
+
+impl PartialEq for Rational {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Rational {}
+
+impl core::hash::Hash for Rational {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        // Hash the canonical form so value-equal representations collide.
+        let c = self.clone().reduce();
+        c.num.hash(state);
+        c.den.hash(state);
     }
 }
 
@@ -70,13 +114,44 @@ impl Rational {
         if num.is_zero() {
             return Self::zero();
         }
-        let g = num.magnitude().gcd(&den);
-        let (n, _) = num.magnitude().div_rem(&g);
-        let (d, _) = den.div_rem(&g);
+        (Rational { num, den }).reduce()
+    }
+
+    /// Internal lazy constructor: keeps the result unreduced unless its
+    /// size crosses the watermark (zero still normalizes to `0/1`).
+    fn from_parts(num: BigInt, den: BigUint) -> Self {
+        debug_assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let r = Rational { num, den };
+        if r.num.magnitude().bit_len() + r.den.bit_len() > REDUCE_WATERMARK_BITS {
+            r.reduce()
+        } else {
+            r
+        }
+    }
+
+    /// Divides out `gcd(|num|, den)`.
+    fn reduce(self) -> Self {
+        let g = self.num.magnitude().gcd(&self.den);
+        if g.is_one() {
+            return self;
+        }
+        let (n, _) = self.num.magnitude().div_rem(&g);
+        let (d, _) = self.den.div_rem(&g);
         Rational {
-            num: BigInt::from_biguint(num.is_negative(), n),
+            num: BigInt::from_biguint(self.num.is_negative(), n),
             den: d,
         }
+    }
+
+    /// Reduces the stored representation to canonical form (`den > 0`,
+    /// `gcd(|num|, den) == 1`). Call before extracting components of a
+    /// value produced by arithmetic.
+    pub fn canonicalize(&mut self) {
+        let taken = core::mem::take(self);
+        *self = taken.reduce();
     }
 
     /// Exact conversion from a finite `f64`: every double is a rational
@@ -106,12 +181,15 @@ impl Rational {
         }
     }
 
-    /// The numerator.
+    /// The numerator *as stored*: canonical for constructor-produced
+    /// values; arithmetic results may be unreduced until
+    /// [`Self::canonicalize`]. Compare values with `==`/`cmp`, not by
+    /// component.
     pub fn numer(&self) -> &BigInt {
         &self.num
     }
 
-    /// The (positive) denominator.
+    /// The (positive) denominator *as stored* (see [`Self::numer`]).
     pub fn denom(&self) -> &BigUint {
         &self.den
     }
@@ -145,7 +223,7 @@ impl Rational {
     pub fn add(&self, other: &Rational) -> Rational {
         let num = &self.num.mul(&BigInt::from_biguint(false, other.den.clone()))
             + &other.num.mul(&BigInt::from_biguint(false, self.den.clone()));
-        Rational::new(num, self.den.mul(&other.den))
+        Rational::from_parts(num, self.den.mul(&other.den))
     }
 
     /// Subtraction.
@@ -155,7 +233,7 @@ impl Rational {
 
     /// Multiplication.
     pub fn mul(&self, other: &Rational) -> Rational {
-        Rational::new(self.num.mul(&other.num), self.den.mul(&other.den))
+        Rational::from_parts(self.num.mul(&other.num), self.den.mul(&other.den))
     }
 
     /// Division.
@@ -168,7 +246,7 @@ impl Rational {
         let num = self.num.mul(&BigInt::from_biguint(false, other.den.clone()));
         let den_sign = other.num.is_negative();
         let den = self.den.mul(other.num.magnitude());
-        Rational::new(if den_sign { num.neg() } else { num }, den)
+        Rational::from_parts(if den_sign { num.neg() } else { num }, den)
     }
 
     /// Reciprocal.
@@ -181,6 +259,10 @@ impl Rational {
     }
 
     /// Correctly rounded (RNE) conversion to `f64`.
+    ///
+    /// Works on the stored representation directly — the quotient (and
+    /// thus the rounding) is invariant under common factors, so no
+    /// normalization is needed.
     pub fn to_f64(&self) -> f64 {
         if self.is_zero() {
             return 0.0;
@@ -243,7 +325,7 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0); representation-invariant.
         let lhs = self.num.mul(&BigInt::from_biguint(false, other.den.clone()));
         let rhs = other.num.mul(&BigInt::from_biguint(false, self.den.clone()));
         lhs.cmp(&rhs)
@@ -275,10 +357,12 @@ impl core::ops::Neg for &Rational {
 
 impl core::fmt::Display for Rational {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        if self.den.is_one() {
-            write!(f, "{}", self.num)
+        // Display the canonical form whatever the storage.
+        let c = self.clone().reduce();
+        if c.den.is_one() {
+            write!(f, "{}", c.num)
         } else {
-            write!(f, "{}/{}", self.num, self.den)
+            write!(f, "{}/{}", c.num, c.den)
         }
     }
 }
@@ -370,5 +454,43 @@ mod tests {
     fn display() {
         assert_eq!(r(1, 2).to_string(), "1/2");
         assert_eq!(r(-7, 1).to_string(), "-7");
+    }
+
+    #[test]
+    fn lazy_results_have_value_semantics() {
+        // 1/6 * 3/1 stays stored as 3/6 under the watermark; equality,
+        // ordering, hashing and canonicalization all see 1/2.
+        let half = r(1, 6).mul(&r(3, 1));
+        assert_eq!(half, r(1, 2));
+        assert!(half <= r(1, 2) && half >= r(1, 2));
+        use core::hash::{Hash, Hasher};
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        half.hash(&mut h1);
+        r(1, 2).hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish(), "value-equal hashes must agree");
+        let mut c = half.clone();
+        c.canonicalize();
+        assert!(!c.denom().is_one() && *c.denom() == BigUint::from_u64(2));
+        assert_eq!(half.to_string(), "1/2", "Display shows the canonical form");
+        assert_eq!(half.to_f64(), 0.5);
+    }
+
+    #[test]
+    fn watermark_bounds_representation_growth() {
+        // A long unreduced product chain must stay below (roughly) the
+        // watermark instead of growing without bound.
+        let mut acc = Rational::one();
+        let step = Rational::from_f64(1.5f64.powi(40)); // wide power-of-two den
+        let inv = step.recip();
+        for _ in 0..200 {
+            acc = acc.mul(&step).mul(&inv);
+        }
+        assert_eq!(acc, Rational::one());
+        let bits = acc.numer().magnitude().bit_len() + acc.denom().bit_len();
+        assert!(
+            bits <= REDUCE_WATERMARK_BITS + 512,
+            "unreduced growth escaped the watermark: {bits} bits"
+        );
     }
 }

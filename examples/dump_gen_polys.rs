@@ -1,0 +1,68 @@
+//! Dumps the exact bit patterns of every polynomial coefficient the
+//! `gen_bench` workloads generate, one line per function. Diffing this
+//! output between two revisions proves (or refutes) that a generator
+//! change is bit-identical where it claims to be — the evidence protocol
+//! behind DESIGN.md "Generator performance".
+//!
+//! Run: `cargo run --release --offline --example dump_gen_polys`
+
+use rlibm::gen::reduced::ReductionCase;
+use rlibm::gen::validate::all_16bit;
+use rlibm::gen::{
+    deduce_reduced_intervals, gen_polynomial, merge_by_reduced_input, rounding_interval,
+    PolyGenConfig, ReducedConstraint,
+};
+use rlibm::mp::oracle::{
+    is_special_case, try_correctly_rounded, try_correctly_rounded_f64, DEFAULT_PREC_CEILING,
+};
+use rlibm::mp::Func;
+
+fn main() {
+    // Mirrors the gen_bench workload table (crates/bench/src/bin/gen_bench.rs).
+    let workloads: Vec<(Func, Vec<u32>, f64, f64, bool)> = vec![
+        (Func::Ln, (0..=7).collect(), 1.0, 2.0, false),
+        (Func::Log2, (0..=7).collect(), 1.0, 2.0, false),
+        (Func::Log10, (0..=7).collect(), 1.0, 2.0, false),
+        (Func::Exp, (0..=6).collect(), 2f64.powi(-8), 2f64.powi(-2), true),
+        (Func::Exp2, (0..=6).collect(), 2f64.powi(-8), 2f64.powi(-2), true),
+        (Func::Exp10, (0..=6).collect(), 2f64.powi(-8), 2f64.powi(-2), true),
+        (Func::Sinh, vec![1, 3, 5], 2f64.powi(-6), 2f64.powi(-2), false),
+        (Func::Cosh, vec![0, 2, 4], 2f64.powi(-6), 2f64.powi(-2), false),
+        (Func::SinPi, vec![1, 3, 5, 7], 2f64.powi(-8), 2f64.powi(-2), false),
+        (Func::CosPi, vec![0, 2, 4, 6], 2f64.powi(-8), 2f64.powi(-2), false),
+    ];
+    for (func, terms, lo, hi, both_signs) in workloads {
+        let name = func.name();
+        let inputs: Vec<rlibm::fp::Half> = all_16bit::<rlibm::fp::Half>()
+            .filter(|x| {
+                let v = x.to_f64();
+                let m = v.abs();
+                v.is_finite()
+                    && (lo..hi).contains(&m)
+                    && (both_signs || v > 0.0)
+                    && !is_special_case(func, v)
+            })
+            .collect();
+        let mut cases = Vec::with_capacity(inputs.len());
+        for &x in &inputs {
+            let xf = x.to_f64();
+            let y: rlibm::fp::Half =
+                try_correctly_rounded(func, x, DEFAULT_PREC_CEILING).expect("oracle");
+            let Some(target) = rounding_interval(y) else { continue };
+            let cv = try_correctly_rounded_f64(func, xf, DEFAULT_PREC_CEILING).expect("f64 oracle");
+            cases.push(ReductionCase { x: xf, target, r: xf, component_values: vec![cv] });
+        }
+        let per_component =
+            deduce_reduced_intervals(&cases, &|vals, _| vals[0]).expect("deduce");
+        let merged: Vec<ReducedConstraint> =
+            merge_by_reduced_input(&per_component[0], 0).expect("merge");
+        let cfg = PolyGenConfig { terms, ..Default::default() };
+        let (poly, _) = gen_polynomial(&merged, &cfg).expect("generate");
+        let bits: Vec<String> = poly
+            .coeffs()
+            .iter()
+            .map(|c| format!("{:016x}", c.to_bits()))
+            .collect();
+        println!("{name}: {}", bits.join(" "));
+    }
+}

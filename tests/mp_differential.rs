@@ -1,0 +1,290 @@
+//! Differential tests for the generator-hot-path bignum optimizations.
+//!
+//! PR 5 gave `BigUint` an inline 0–2-limb representation with Karatsuba
+//! multiplication above a limb threshold, and made `Rational` defer gcd
+//! normalization (see DESIGN.md "Generator performance"). Both changes
+//! must be *representation-only*: every operation must produce the same
+//! value as the schoolbook/eager code they replaced. These sweeps pin
+//! that equivalence against independent references built purely from
+//! public single-limb primitives (`mul_u64` + `shl` + `add`) and `u128`
+//! machine arithmetic, concentrating samples on the edges where the new
+//! code switches strategy: the 1→2-limb and 2→3-limb (inline→heap)
+//! boundaries and the Karatsuba threshold (32 limbs per side).
+
+use rlibm::fp::rng::XorShift64;
+use rlibm::mp::{BigInt, BigUint, Rational};
+
+const CASES: usize = 1024;
+
+/// Schoolbook product via public single-limb primitives only:
+/// `a * b = Σ_i a.mul_u64(b_i) << 64i`. `mul_u64` is a single carry
+/// chain, so this reference never enters the multi-limb (inline-u128 or
+/// Karatsuba) paths under test.
+fn mul_reference(a: &BigUint, b_limbs: &[u64]) -> BigUint {
+    let mut acc = BigUint::zero();
+    for (i, &l) in b_limbs.iter().enumerate() {
+        acc = acc.add(&a.mul_u64(l).shl(64 * i as u64));
+    }
+    acc
+}
+
+/// Builds a value from little-endian limbs through `from_u64`/`shl`/`add`.
+fn from_limbs(limbs: &[u64]) -> BigUint {
+    mul_reference(&BigUint::one(), limbs)
+}
+
+/// Draws a `u128` whose limb count (0, 1 or 2) is chosen uniformly, with
+/// extra mass on the exact boundary patterns `2^64 ± k` and `2^128 - k`.
+fn stratified_u128(rng: &mut XorShift64) -> u128 {
+    match rng.next_u64() % 8 {
+        0 => 0,
+        1 => rng.next_u64() as u128,                       // 1 limb
+        2 => (rng.next_u64() % 16) as u128,                // tiny
+        3 => (1u128 << 64) - 1 - (rng.next_u64() % 4) as u128, // top of 1 limb
+        4 => (1u128 << 64) + (rng.next_u64() % 4) as u128, // bottom of 2 limbs
+        5 => u128::MAX - (rng.next_u64() % 4) as u128,     // top of 2 limbs
+        _ => (rng.next_u64() as u128) << 64 | rng.next_u64() as u128,
+    }
+}
+
+/// Inline-path multiplication (0–2 limbs per operand, where the new code
+/// runs entirely in `u128` scratch) against the single-limb schoolbook
+/// reference, sweeping the 1–2-limb and inline→heap boundaries.
+#[test]
+fn inline_mul_matches_single_limb_schoolbook() {
+    let mut rng = XorShift64::new(0x5EED_D1FF_0001);
+    for _ in 0..CASES {
+        let a = stratified_u128(&mut rng);
+        let b = stratified_u128(&mut rng);
+        let ba = BigUint::from_u128(a);
+        let got = ba.mul(&BigUint::from_u128(b));
+        let want = mul_reference(&ba, &[b as u64, (b >> 64) as u64]);
+        assert_eq!(got, want, "{a:#x} * {b:#x}");
+        // When the product fits in machine u128, it must also agree with
+        // machine arithmetic exactly.
+        if let Some(p) = a.checked_mul(b) {
+            assert_eq!(got, BigUint::from_u128(p), "{a:#x} * {b:#x}");
+        }
+    }
+}
+
+/// Inline-path add/sub against machine `u128` arithmetic on the same
+/// stratified boundary values.
+#[test]
+fn inline_add_sub_match_u128() {
+    let mut rng = XorShift64::new(0x5EED_D1FF_0002);
+    for _ in 0..CASES {
+        let a = stratified_u128(&mut rng);
+        let b = stratified_u128(&mut rng);
+        let (ba, bb) = (BigUint::from_u128(a), BigUint::from_u128(b));
+        if let Some(s) = a.checked_add(b) {
+            assert_eq!(ba.add(&bb), BigUint::from_u128(s), "{a:#x} + {b:#x}");
+        } else {
+            // Carry out of two limbs: check against the limb reference.
+            let s = a.wrapping_add(b);
+            let want = from_limbs(&[s as u64, (s >> 64) as u64, 1]);
+            assert_eq!(ba.add(&bb), want, "{a:#x} + {b:#x} (carry)");
+        }
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let (bhi, blo) = (BigUint::from_u128(hi), BigUint::from_u128(lo));
+        assert_eq!(bhi.sub(&blo), BigUint::from_u128(hi - lo), "{hi:#x} - {lo:#x}");
+    }
+}
+
+/// Multi-limb multiplication across the Karatsuba threshold (32 limbs per
+/// side) against the single-limb schoolbook reference. Sizes straddle the
+/// cutoff from both sides, including asymmetric shapes where only the
+/// shorter operand decides the strategy.
+#[test]
+fn karatsuba_matches_single_limb_schoolbook() {
+    let mut rng = XorShift64::new(0x5EED_D1FF_0003);
+    // (len_a, len_b) pairs around the 32-limb threshold; strictly-below
+    // shapes pin the schoolbook side of the dispatch too.
+    let shapes = [
+        (3usize, 3usize),
+        (16, 31),
+        (31, 31),
+        (31, 32),
+        (32, 32),
+        (32, 33),
+        (33, 33),
+        (33, 64),
+        (40, 65),
+        (64, 64),
+    ];
+    for &(la, lb) in &shapes {
+        for _ in 0..6 {
+            let mut limbs_a: Vec<u64> = (0..la).map(|_| rng.next_u64()).collect();
+            let mut limbs_b: Vec<u64> = (0..lb).map(|_| rng.next_u64()).collect();
+            // Occasionally zero runs to exercise carry/normalization edges.
+            if rng.next_u64().is_multiple_of(3) {
+                for l in limbs_a.iter_mut().take(la / 2) {
+                    *l = 0;
+                }
+            }
+            if rng.next_u64().is_multiple_of(3) {
+                for l in limbs_b.iter_mut().skip(lb / 2) {
+                    *l = u64::MAX;
+                }
+            }
+            let a = from_limbs(&limbs_a);
+            let b = from_limbs(&limbs_b);
+            let got = a.mul(&b);
+            assert_eq!(got, mul_reference(&a, &limbs_b), "shape {la}x{lb}");
+            assert_eq!(got, b.mul(&a), "commutativity {la}x{lb}");
+            // Division must invert the product exactly.
+            if !a.is_zero() {
+                let (q, r) = got.div_rem(&a);
+                assert_eq!(q, b, "quotient {la}x{lb}");
+                assert!(r.is_zero(), "remainder {la}x{lb}");
+            }
+        }
+    }
+}
+
+/// An exact eagerly-reduced fraction over `i128`, the independent
+/// reference for the lazy-gcd `Rational`.
+#[derive(Clone, Copy)]
+struct EagerFrac {
+    num: i128,
+    den: i128, // > 0
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.abs().max(1)
+}
+
+impl EagerFrac {
+    fn new(num: i128, den: i128) -> EagerFrac {
+        let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd_i128(num, den);
+        EagerFrac { num: num / g, den: den / g }
+    }
+
+    /// `true` when any intermediate of `self op other` could overflow the
+    /// i128 reference (conservative bit-length bound).
+    fn would_overflow(&self, other: &EagerFrac) -> bool {
+        let bits = |x: i128| 128 - x.unsigned_abs().leading_zeros();
+        bits(self.num).max(bits(self.den)) + bits(other.num).max(bits(other.den)) > 120
+    }
+
+    fn to_rational(self) -> Rational {
+        let neg = self.num < 0;
+        Rational::new(
+            BigInt::from_biguint(neg, BigUint::from_u128(self.num.unsigned_abs())),
+            BigUint::from_u128(self.den as u128),
+        )
+    }
+}
+
+/// Long random op chains through the lazy-gcd `Rational` against the
+/// eagerly reduced `i128` fraction: every intermediate must be value-equal
+/// (`==`, `cmp`, hash, `to_f64`), and canonicalization must recover the
+/// reduced components exactly.
+#[test]
+fn lazy_rational_chain_matches_eager_reference() {
+    use core::hash::{Hash, Hasher};
+    let mut rng = XorShift64::new(0x5EED_D1FF_0004);
+    for _ in 0..256 {
+        let mut eager = EagerFrac::new(rng.uniform_i64(-999, 999) as i128, 1);
+        let mut lazy = eager.to_rational();
+        for _ in 0..12 {
+            let op_num = rng.uniform_i64(-999, 999);
+            let op_den = rng.uniform_i64(1, 999);
+            let rhs_eager = EagerFrac::new(op_num as i128, op_den as i128);
+            if eager.would_overflow(&rhs_eager) {
+                // Reference would overflow i128: restart the chain here.
+                eager = rhs_eager;
+                lazy = eager.to_rational();
+                continue;
+            }
+            let rhs_lazy = Rational::from_ratio_i64(op_num, op_den);
+            match rng.next_u64() % 4 {
+                0 => {
+                    eager = EagerFrac::new(
+                        eager.num * rhs_eager.den + rhs_eager.num * eager.den,
+                        eager.den * rhs_eager.den,
+                    );
+                    lazy = lazy.add(&rhs_lazy);
+                }
+                1 => {
+                    eager = EagerFrac::new(
+                        eager.num * rhs_eager.den - rhs_eager.num * eager.den,
+                        eager.den * rhs_eager.den,
+                    );
+                    lazy = lazy.sub(&rhs_lazy);
+                }
+                2 => {
+                    eager = EagerFrac::new(
+                        eager.num * rhs_eager.num,
+                        eager.den * rhs_eager.den,
+                    );
+                    lazy = lazy.mul(&rhs_lazy);
+                }
+                _ => {
+                    if rhs_eager.num == 0 {
+                        continue;
+                    }
+                    eager = EagerFrac::new(
+                        eager.num * rhs_eager.den,
+                        eager.den * rhs_eager.num,
+                    );
+                    lazy = lazy.div(&rhs_lazy);
+                }
+            }
+            let want = eager.to_rational();
+            assert_eq!(lazy, want);
+            assert_eq!(lazy.cmp(&want), core::cmp::Ordering::Equal);
+            assert_eq!(lazy.to_f64(), want.to_f64());
+            assert_eq!(lazy.is_zero(), eager.num == 0);
+            assert_eq!(lazy.signum(), eager.num.signum() as i32);
+            let (mut h1, mut h2) = (
+                std::collections::hash_map::DefaultHasher::new(),
+                std::collections::hash_map::DefaultHasher::new(),
+            );
+            lazy.hash(&mut h1);
+            want.hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "lazy/eager hash split");
+        }
+        // Canonicalization must land on exactly the eager components.
+        lazy.canonicalize();
+        assert_eq!(
+            lazy.numer().magnitude(),
+            &BigUint::from_u128(eager.num.unsigned_abs())
+        );
+        assert_eq!(lazy.denom(), &BigUint::from_u128(eager.den as u128));
+    }
+}
+
+/// Ordering between lazily produced values must match the eager reference
+/// even when both sides are stored unreduced.
+#[test]
+fn lazy_rational_ordering_is_representation_invariant() {
+    let mut rng = XorShift64::new(0x5EED_D1FF_0005);
+    for _ in 0..CASES {
+        let (a, b, c, d) = (
+            rng.uniform_i64(-500, 500),
+            rng.uniform_i64(1, 500),
+            rng.uniform_i64(-500, 500),
+            rng.uniform_i64(1, 500),
+        );
+        // Build each value twice: canonical, and via an unreduced detour
+        // (multiply and divide by the same junk factor).
+        let junk = Rational::from_ratio_i64(rng.uniform_i64(1, 97), 1);
+        let x_canon = Rational::from_ratio_i64(a, b);
+        let x_lazy = x_canon.mul(&junk).div(&junk);
+        let y_canon = Rational::from_ratio_i64(c, d);
+        let y_lazy = y_canon.mul(&junk).div(&junk);
+        assert_eq!(x_lazy, x_canon);
+        assert_eq!(y_lazy, y_canon);
+        assert_eq!(x_lazy.cmp(&y_lazy), x_canon.cmp(&y_canon));
+        // Machine-rational cross-check of the ordering itself.
+        assert_eq!(
+            x_canon.cmp(&y_canon),
+            (a as i128 * d as i128).cmp(&(c as i128 * b as i128))
+        );
+    }
+}
