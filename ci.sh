@@ -76,6 +76,24 @@ cargo run --release --offline -p rlibm-bench --bin telemetry_report -- \
     --quick --out target/bench-smoke/TELEM_report.quick.json
 grep -q '"schema": "rlibm-telem/v1"' target/bench-smoke/TELEM_report.quick.json
 
+echo "== certification smoke: special-region shards certify clean =="
+# Five special-region shards per (kind, function) at 2^16 geometry —
+# signed zeros/subnormals, the 1.0 neighborhood, inf/NaN and the posit
+# analogues — fast path vs dd reference bit-for-bit plus a budgeted
+# Ziv-oracle sample, fully offline, state wiped each run so the smoke
+# re-certifies. Exits nonzero on any mismatch.
+cargo run --release --offline -p rlibm-bench --bin certify -- \
+    --quick --out target/bench-smoke/CERT_manifest.quick.json
+grep -q '"schema": "rlibm-cert/v1"' target/bench-smoke/CERT_manifest.quick.json
+
+echo "== certification manifest check: committed CERT_manifest.json =="
+# Re-parses the committed full-run manifest, re-validates the schema,
+# byte-compares it against its own canonical re-emission, cross-checks
+# the function set against the live dispatch registry, and fails on any
+# recorded mismatch.
+cargo run --release --offline -p rlibm-bench --bin certify -- \
+    --check CERT_manifest.json
+
 echo "== bench_compare smoke: committed BENCH files self-diff clean =="
 # A file diffed against itself must report all-1.0 ratios and exit 0;
 # nonzero means the comparator (or a committed artifact) broke.

@@ -284,16 +284,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'n') => out.push('\n'),
                     Some(b't') => out.push('\t'),
                     Some(b'r') => out.push('\r'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
-                        *pos += 4;
-                    }
+                    Some(b'u') => out.push(parse_unicode_escape(bytes, pos)?),
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
                 *pos += 1;
@@ -306,6 +297,54 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += c.len_utf8();
             }
         }
+    }
+}
+
+/// Four hex digits of a `\uXXXX` escape, with `*pos` on the `u`; leaves
+/// `*pos` on the last digit. `esc_at` is the byte offset of the escape's
+/// backslash, carried into every error.
+fn parse_hex4(bytes: &[u8], pos: &mut usize, esc_at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(*pos + 1..*pos + 5)
+        .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or_else(|| format!("bad \\u escape at byte {esc_at}"))?;
+    let code =
+        u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape at byte {esc_at}"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+/// Decodes one `\uXXXX` escape (with `*pos` on the `u`), including UTF-16
+/// surrogate pairs spelled as two consecutive escapes (the only way JSON
+/// can express code points above U+FFFF). Unpaired surrogates denote no
+/// scalar value and are rejected with the escape's byte offset. Leaves
+/// `*pos` on the last consumed byte.
+fn parse_unicode_escape(bytes: &[u8], pos: &mut usize) -> Result<char, String> {
+    let esc_at = *pos - 1; // the backslash
+    let hi = parse_hex4(bytes, pos, esc_at)?;
+    match hi {
+        0xD800..=0xDBFF => {
+            if bytes.get(*pos + 1) != Some(&b'\\') || bytes.get(*pos + 2) != Some(&b'u') {
+                return Err(format!("unpaired high surrogate \\u{hi:04x} at byte {esc_at}"));
+            }
+            let lo_esc_at = *pos + 1;
+            *pos += 2; // onto the second escape's 'u'
+            let lo = parse_hex4(bytes, pos, lo_esc_at)?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(format!(
+                    "high surrogate \\u{hi:04x} at byte {esc_at} followed by \
+                     non-low-surrogate \\u{lo:04x}"
+                ));
+            }
+            let code = 0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            // Always a valid scalar: supplementary-plane range by construction.
+            char::from_u32(code).ok_or_else(|| format!("bad \\u pair at byte {esc_at}"))
+        }
+        0xDC00..=0xDFFF => {
+            Err(format!("unpaired low surrogate \\u{hi:04x} at byte {esc_at}"))
+        }
+        _ => char::from_u32(hi).ok_or_else(|| format!("bad \\u codepoint at byte {esc_at}")),
     }
 }
 
@@ -398,6 +437,49 @@ mod tests {
         assert_eq!(j.get("a").unwrap().as_arr().unwrap().len(), 4);
         assert_eq!(j.get("a").unwrap().as_arr().unwrap()[1].as_num(), Some(-2500.0));
         assert_eq!(parse("\"\\u0041\\n\"").unwrap(), Json::Str("A\n".into()));
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        // U+1D11E (musical G clef) as its UTF-16 pair.
+        assert_eq!(parse("\"\\uD834\\uDD1E\"").unwrap(), Json::Str("\u{1D11E}".into()));
+        // Lowercase hex, embedded in surrounding text.
+        assert_eq!(parse("\"a\\ud83d\\ude00b\"").unwrap(), Json::Str("a\u{1F600}b".into()));
+        // An astral char written literally round-trips through the emitter.
+        let doc = Json::Str("clef \u{1D11E}".into());
+        assert_eq!(parse(&doc.to_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_unpaired_surrogates_with_offsets() {
+        let err = parse("\"\\uD834\"").unwrap_err();
+        assert!(err.contains("unpaired high surrogate") && err.contains("byte 1"), "{err}");
+        let err = parse("\"\\uDC00x\"").unwrap_err();
+        assert!(err.contains("unpaired low surrogate") && err.contains("byte 1"), "{err}");
+        // High surrogate followed by a non-surrogate escape.
+        let err = parse("\"\\uD834\\u0041\"").unwrap_err();
+        assert!(err.contains("non-low-surrogate"), "{err}");
+        // High surrogate followed by a literal char, not an escape.
+        let err = parse("\"\\uD834A\"").unwrap_err();
+        assert!(err.contains("unpaired high surrogate"), "{err}");
+        // Offsets point at the failing escape, not the string start.
+        let err = parse("\"ab\\uDC00\"").unwrap_err();
+        assert!(err.contains("byte 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_unicode_escapes_with_offsets() {
+        let err = parse("\"\\u12\"").unwrap_err();
+        assert!(err.contains("bad \\u escape") && err.contains("byte 1"), "{err}");
+        let err = parse("\"\\u12g4\"").unwrap_err();
+        assert!(err.contains("bad \\u escape"), "{err}");
+        // `from_str_radix` would accept a leading '+'; the digit filter
+        // must not.
+        let err = parse("\"\\u+123\"").unwrap_err();
+        assert!(err.contains("bad \\u escape"), "{err}");
+        // Truncated pair: high surrogate then EOF inside the low escape.
+        let err = parse("\"\\uD834\\uDD\"").unwrap_err();
+        assert!(err.contains("bad \\u escape") && err.contains("byte 7"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! End-to-end exercise of the certification driver against the real
+//! library: sweeps special-value shards of `exp` (float32) and `ln`
+//! (posit32), and pins the kill/resume contract — a reloaded state must
+//! not rescan finished shards and must keep accumulating.
+
+use std::path::PathBuf;
+
+use rlibm_core::certify::{sweep_shard, CertState, OracleBudget};
+use rlibm_mp::{correctly_rounded, Func};
+use rlibm_posit::Posit32;
+
+fn f32_bits(f: fn(f32) -> f32) -> impl Fn(u32) -> u32 + Sync {
+    move |b| {
+        let y = f(f32::from_bits(b));
+        if y.is_nan() {
+            0x7FC0_0000
+        } else {
+            y.to_bits()
+        }
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlibm-certify-driver-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn exp_special_shards_certify_clean_and_resume_skips_done_work() {
+    let dir = tmpdir("exp");
+    let fast = f32_bits(rlibm_math::exp);
+    let dd = f32_bits(rlibm_math::f32_dd_fn_by_name("exp").expect("registry"));
+    let oracle = |b: u32| {
+        let y = correctly_rounded::<f32>(Func::Exp, f32::from_bits(b));
+        if y.is_nan() {
+            0x7FC0_0000
+        } else {
+            y.to_bits()
+        }
+    };
+    let budget = OracleBudget { oracle: &oracle, samples: 8, seed: 1 };
+
+    // Phase 1 ("the run that gets killed"): two shards, checkpointed.
+    let mut st = CertState::load_or_new(&dir, "exp", "float32", 16).expect("fresh state");
+    for shard in [0x0000u32, 0x3F80] {
+        let v = sweep_shard(shard, 16, 2, &fast, &dd, Some(&budget)).expect("sweep");
+        assert!(v.clean(), "exp shard {shard:#x} must certify clean: {v:?}");
+        st.record(v).expect("record");
+        st.save(&dir).expect("save");
+    }
+
+    // Phase 2 ("the resumed run"): the finished shards are not remaining.
+    let mut resumed = CertState::load_or_new(&dir, "exp", "float32", 16).expect("resume");
+    let remaining = resumed.remaining();
+    assert!(!remaining.contains(&0x0000) && !remaining.contains(&0x3F80));
+    assert_eq!(remaining.len(), 65536 - 2);
+    assert_eq!(resumed.verdict(0x3F80).map(|v| v.oracle_checked), Some(8));
+
+    // Accumulation: one more shard (the overflow/NaN boundary region).
+    let v = sweep_shard(0x7F80, 16, 2, &fast, &dd, Some(&budget)).expect("sweep");
+    assert!(v.clean(), "exp inf/NaN shard must certify clean: {v:?}");
+    resumed.record(v).expect("record");
+    resumed.save(&dir).expect("save");
+    let s = CertState::load_or_new(&dir, "exp", "float32", 16).expect("reload").summary();
+    assert_eq!(s.shards_done, 3);
+    assert_eq!(s.inputs_checked, 3 * 65536);
+    assert_eq!(s.mismatches, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn posit_ln_special_shards_certify_clean() {
+    let fast = rlibm_math::posit32_fn_by_name("ln").expect("registry");
+    let dd = rlibm_math::posit32_dd_fn_by_name("ln").expect("registry");
+    let fast_bits = move |b: u32| fast(Posit32::from_bits(b)).to_bits();
+    let dd_bits = move |b: u32| dd(Posit32::from_bits(b)).to_bits();
+    let oracle =
+        |b: u32| correctly_rounded::<Posit32>(Func::Ln, Posit32::from_bits(b)).to_bits();
+    let budget = OracleBudget { oracle: &oracle, samples: 8, seed: 2 };
+    // Zero/minpos region, the 1.0 neighborhood, NaR and the negative zone
+    // (ln < 0 -> NaR), maxpos saturation.
+    for shard in [0x0000u32, 0x4000, 0x7FFF, 0x8000, 0xC000] {
+        let v = sweep_shard(shard, 16, 2, fast_bits, dd_bits, Some(&budget)).expect("sweep");
+        assert!(v.clean(), "posit ln shard {shard:#x} must certify clean: {v:?}");
+    }
+}

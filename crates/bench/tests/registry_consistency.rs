@@ -1,0 +1,154 @@
+//! The workspace carries several hand-maintained per-function lists: the
+//! name-dispatch tables in `rlibm_math`, the 18 fallback-counter slots in
+//! `stats`, the fault-injection sites keyed to those slots, the bench
+//! timing workloads, and the oracle's `Func` enum. They must all agree on
+//! one function-name set — Table 1's ten float functions and Table 2's
+//! eight posit functions — or a future registry change silently desyncs a
+//! harness. This test pins the agreement so drift fails fast.
+
+use rlibm_mp::Func;
+use rlibm_posit::Posit32;
+
+/// Names that must never resolve anywhere: close misses and the two
+/// float-only functions on posit dispatchers.
+const UNKNOWN: &[&str] = &["tan", "log", "exp3", "", "LN", "sinpi ", "ln\n"];
+
+fn float_names() -> Vec<&'static str> {
+    Func::ALL.iter().map(|f| f.name()).collect()
+}
+
+fn posit_names() -> Vec<&'static str> {
+    Func::POSIT.iter().map(|f| f.name()).collect()
+}
+
+#[test]
+fn table_sizes_agree() {
+    assert_eq!(Func::ALL.len(), 10, "paper Table 1");
+    assert_eq!(Func::POSIT.len(), 8, "paper Table 2");
+    assert_eq!(
+        rlibm_math::stats::slot::COUNT,
+        Func::ALL.len() + Func::POSIT.len(),
+        "one fallback-counter slot per (kind, function)"
+    );
+    assert_eq!(
+        rlibm_math::fault::SITE_COUNT,
+        rlibm_math::stats::slot::COUNT,
+        "one fault-injection site per counter slot"
+    );
+    // Every posit function is also a float function (Table 2 is a prefix
+    // of Table 1 in the paper's ordering).
+    for name in posit_names() {
+        assert!(float_names().contains(&name), "posit fn {name} missing from Table 1");
+    }
+}
+
+#[test]
+fn float32_dispatchers_cover_exactly_the_table() {
+    for (i, name) in float_names().into_iter().enumerate() {
+        assert!(rlibm_math::f32_fn_by_name(name).is_some(), "f32 dispatch missing {name}");
+        assert!(rlibm_math::f32_dd_fn_by_name(name).is_some(), "dd dispatch missing {name}");
+        assert!(
+            rlibm_math::baseline_f32_fn_by_name(name).is_some(),
+            "baseline dispatch missing {name}"
+        );
+        let slot = rlibm_math::stats::f32_slot_by_name(name);
+        assert_eq!(slot, Some(i), "stats slot for {name} must follow Table 1 order");
+        assert!(
+            rlibm_math::eval_f32_by_name(name, 0.5).is_some(),
+            "eval_f32_by_name missing {name}"
+        );
+        let xs = [0.25f32, 0.5, 1.5];
+        let mut out = [0.0f32; 3];
+        assert!(
+            rlibm_math::eval_slice_f32(name, &xs, &mut out).is_ok(),
+            "eval_slice_f32 missing {name}"
+        );
+    }
+    for name in UNKNOWN {
+        assert!(rlibm_math::f32_fn_by_name(name).is_none(), "f32 dispatch resolves '{name}'");
+        assert!(rlibm_math::f32_dd_fn_by_name(name).is_none());
+        assert!(rlibm_math::baseline_f32_fn_by_name(name).is_none());
+        assert!(rlibm_math::stats::f32_slot_by_name(name).is_none());
+    }
+}
+
+#[test]
+fn posit32_dispatchers_cover_exactly_the_table() {
+    let x = Posit32::from_f64(0.5);
+    for (i, name) in posit_names().into_iter().enumerate() {
+        assert!(rlibm_math::posit32_fn_by_name(name).is_some(), "posit dispatch missing {name}");
+        assert!(
+            rlibm_math::posit32_dd_fn_by_name(name).is_some(),
+            "posit dd dispatch missing {name}"
+        );
+        let slot = rlibm_math::stats::posit32_slot_by_name(name);
+        assert_eq!(
+            slot,
+            Some(Func::ALL.len() + i),
+            "posit slot for {name} must follow the float block"
+        );
+        assert!(rlibm_math::eval_posit32_by_name(name, x).is_some());
+    }
+    // The two pi-trig functions are float-only (Table 2 has no sinpi/cospi).
+    for name in ["sinpi", "cospi"] {
+        assert!(
+            rlibm_math::posit32_fn_by_name(name).is_none(),
+            "posit dispatch must not resolve {name}"
+        );
+        assert!(rlibm_math::posit32_dd_fn_by_name(name).is_none());
+        assert!(rlibm_math::stats::posit32_slot_by_name(name).is_none());
+    }
+    for name in UNKNOWN {
+        assert!(rlibm_math::posit32_fn_by_name(name).is_none());
+        assert!(rlibm_math::eval_posit32_by_name(name, x).is_none());
+    }
+}
+
+#[test]
+fn sixteen_bit_dispatchers_cover_the_posit_set() {
+    // The 16-bit targets (posit16, binary16, bfloat16) share Table 2's
+    // eight-function set.
+    let p = rlibm_posit::Posit16::from_f64(0.5);
+    let h = rlibm_fp::Half::from_f64(0.5);
+    let b = rlibm_fp::BFloat16::from_f64(0.5);
+    for name in posit_names() {
+        assert!(rlibm_math::eval_posit16_by_name(name, p).is_some(), "posit16 missing {name}");
+        assert!(rlibm_math::eval_half_by_name(name, h).is_some(), "half missing {name}");
+        assert!(rlibm_math::eval_bf16_by_name(name, b).is_some(), "bf16 missing {name}");
+    }
+    for name in ["sinpi", "cospi"] {
+        assert!(rlibm_math::eval_posit16_by_name(name, p).is_none());
+        assert!(rlibm_math::eval_half_by_name(name, h).is_none());
+        assert!(rlibm_math::eval_bf16_by_name(name, b).is_none());
+    }
+}
+
+#[test]
+fn bench_workloads_cover_both_tables() {
+    for name in float_names() {
+        let xs = rlibm_bench::workloads::timing_inputs_f32(name, 64, 7);
+        assert_eq!(xs.len(), 64, "f32 workload for {name}");
+        assert!(xs.iter().all(|x| x.is_finite()), "f32 workload for {name} must be finite");
+    }
+    for name in posit_names() {
+        let xs = rlibm_bench::workloads::timing_inputs_posit32(name, 64, 7);
+        assert_eq!(xs.len(), 64, "posit workload for {name}");
+        assert!(!xs.iter().any(|x| x.is_nar()), "posit workload for {name} must avoid NaR");
+    }
+}
+
+#[test]
+fn fallback_counters_key_by_the_same_names() {
+    if !rlibm_math::stats::enabled() {
+        return;
+    }
+    rlibm_math::stats::reset();
+    for name in float_names() {
+        // One guaranteed-fallback-free probe per function; the counter
+        // lookup itself must resolve the name either way.
+        let _ = rlibm_math::stats::fallbacks_f32(name);
+    }
+    for name in posit_names() {
+        let _ = rlibm_math::stats::fallbacks_posit32(name);
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`par`] — the in-tree chunked work-distribution engine (scoped
 //!   threads, deterministic chunk-ordered merges) that parallelizes the
 //!   oracle sweeps above without any registry dependency.
+//! * [`certify`] — the sharded, checkpointed, resumable sweep driver
+//!   that certifies the shipped two-tier library over the full 2^32
+//!   bit-pattern domain (the paper's all-inputs claim as an artifact).
 //!
 //! # End-to-end example (a 16-bit target, exhaustively correct)
 //!
@@ -47,6 +50,7 @@
 //! ```
 
 pub mod approx;
+pub mod certify;
 #[cfg(feature = "fault")]
 pub mod fault;
 pub mod interval;

@@ -189,6 +189,18 @@ pub fn generate_with_checkpoint<T: Representation>(
     assert_eq!(spec.components.len(), spec.approx_cfgs.len());
     let _span = GENERATE_SPAN.start();
     let start = Instant::now();
+    if let Some(path) = checkpoint {
+        // A run killed between write and rename leaves a `.tmp` sibling.
+        // The rename never happened, so the main file (or its absence) is
+        // the authoritative state — drop the torn temporary instead of
+        // letting it pile up next to every long-running sweep.
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp).map_err(|e| {
+                GenError::Checkpoint(format!("remove stale {}: {e}", tmp.display()))
+            })?;
+        }
+    }
     let cases = match checkpoint {
         Some(path) if path.exists() => load_checkpoint(spec, inputs.len(), path)?,
         _ => {
@@ -354,6 +366,17 @@ fn load_checkpoint(
         spec.components.len(),
     );
     let Some(count_str) = header.strip_prefix(&expect) else {
+        // Distinguish "written by a different format version" (this build
+        // cannot read it at all) from "belongs to a different run" (same
+        // format, different spec/inputs) — both typed, never a garbled
+        // line-level parse error further down.
+        if !header.starts_with(CHECKPOINT_MAGIC) {
+            return Err(GenError::Checkpoint(format!(
+                "{}: unsupported checkpoint version (header {header:?}, this build reads \
+                 {CHECKPOINT_MAGIC:?}); delete the file to recompute",
+                path.display(),
+            )));
+        }
         return Err(GenError::Checkpoint(format!(
             "{}: header {header:?} does not match this run ({expect}<n>); \
              delete the file to recompute",
@@ -539,6 +562,49 @@ mod tests {
             Err(GenError::Checkpoint(_)) => {}
             Err(other) => panic!("expected Checkpoint error, got {other:?}"),
             Ok(_) => panic!("corrupt checkpoint must be rejected"),
+        }
+        // A future format version is its own typed rejection, naming the
+        // version this build reads — not a garbled line-level parse.
+        std::fs::write(&path, "rlibm-checkpoint v9 func=log2 inputs=1 components=1 cases=0\n")
+            .expect("rewrite");
+        match generate_with_checkpoint(&spec, &inputs, Some(path.as_path())) {
+            Err(GenError::Checkpoint(msg)) => assert!(
+                msg.contains("unsupported checkpoint version"),
+                "version mismatch must be named: {msg}"
+            ),
+            Err(other) => panic!("expected Checkpoint error, got {other:?}"),
+            Ok(_) => panic!("version-mismatched checkpoint must be rejected"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_stale_tmp_is_cleaned_on_resume() {
+        let spec = GeneratorSpec::identity(Func::Log2, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let inputs: Vec<Half> = all_16bit::<Half>()
+            .filter(|x: &Half| {
+                x.is_finite()
+                    && x.to_f64() >= 1.0
+                    && x.to_f64() < 2.0
+                    && !rlibm_mp::oracle::is_special_case(Func::Log2, x.to_f64())
+            })
+            .collect();
+        let path = std::env::temp_dir().join(format!("rlibm_ckpt_tmp_{}.txt", std::process::id()));
+        let tmp = path.with_extension("tmp");
+        let _ = std::fs::remove_file(&path);
+        // Simulate a crash between write and rename: a torn tmp, no
+        // main checkpoint. The next run must clean it up and proceed.
+        std::fs::write(&tmp, "rlibm-checkpoint v1 half-written").expect("plant tmp");
+        let g1 = generate_with_checkpoint(&spec, &inputs, Some(path.as_path())).expect("run");
+        assert!(!tmp.exists(), "stale tmp must be removed on resume");
+        assert!(path.exists());
+        // And again with a valid checkpoint present: the tmp is still
+        // dropped, the checkpoint still honored.
+        std::fs::write(&tmp, "torn again").expect("plant tmp");
+        let g2 = generate_with_checkpoint(&spec, &inputs, Some(path.as_path())).expect("resume");
+        assert!(!tmp.exists());
+        for x in inputs.iter().step_by(29) {
+            assert_eq!(g1.eval(x.to_f64()).to_bits(), g2.eval(x.to_f64()).to_bits());
         }
         let _ = std::fs::remove_file(&path);
     }

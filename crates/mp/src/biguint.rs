@@ -10,10 +10,12 @@
 //! performance"):
 //!
 //! * **Inline small values.** The exact simplex churns through rationals
-//!   whose components overwhelmingly fit in one or two limbs; storing
-//!   0–2 limbs directly in the struct ([`Repr::Inline`]) removes a heap
-//!   allocation per intermediate value. The representation is canonical —
-//!   any value that fits two limbs is *always* `Inline`, so structural
+//!   whose components overwhelmingly fit in one or two limbs, and the Ziv
+//!   oracle's working precision starts at 128 bits — whose products,
+//!   guard-shifted sums and normalization shifts are 129–256 bits wide.
+//!   Storing 0–4 limbs directly in the struct ([`Repr::Inline`]) keeps all
+//!   of those off the heap. The representation is canonical — any value
+//!   that fits [`INLINE_LIMBS`] limbs is *always* `Inline`, so structural
 //!   equality over the limb slice is value equality.
 //! * **Karatsuba multiplication** above [`KARATSUBA_THRESHOLD`] limbs
 //!   (the Ziv oracle's `MpFloat` mantissas reach thousands of bits at
@@ -22,9 +24,14 @@
 
 use core::cmp::Ordering;
 
-/// Limbs stored without allocation. Two limbs cover every `u128` and the
-/// vast majority of LP-intermediate rational components.
-const INLINE_LIMBS: usize = 2;
+/// Limbs stored without allocation. Four limbs cover every 256-bit value:
+/// the LP-intermediate rational components (overwhelmingly 1–2 limbs) and
+/// the Ziv oracle's entire 128-bit-precision working set, including the
+/// double-width mantissa products it normalizes back down. Two limbs put
+/// the oracle's mantissas exactly *at* the boundary, so every product
+/// heap-allocated (the PR-5 `ns_oracle` regression); four puts the whole
+/// first Ziv round inside it.
+const INLINE_LIMBS: usize = 4;
 
 /// Operands with at least this many limbs on both sides multiply via
 /// Karatsuba; below it, schoolbook wins on constant factors.
@@ -84,9 +91,9 @@ fn trim(mut s: &[u64]) -> &[u64] {
     s
 }
 
-/// Schoolbook product of two normalized limb slices.
-fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
-    let mut out = vec![0u64; a.len() + b.len()];
+/// Schoolbook product into a zeroed buffer of exactly `a.len() + b.len()`
+/// limbs (the fixed-scratch and heap paths share this core).
+fn mul_schoolbook_into(out: &mut [u64], a: &[u64], b: &[u64]) {
     for (i, &x) in a.iter().enumerate() {
         let mut carry = 0u128;
         for (j, &y) in b.iter().enumerate() {
@@ -102,25 +109,69 @@ fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
             k += 1;
         }
     }
+}
+
+/// Schoolbook product of two normalized limb slices.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    mul_schoolbook_into(&mut out, a, b);
     out
 }
 
-/// `a + b` over raw limb slices (result may carry one extra limb).
-fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+/// `out = a + b` over raw limbs into a zeroed buffer one limb longer than
+/// the longer operand.
+fn add_limbs_into(out: &mut [u64], a: &[u64], b: &[u64]) {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
-    let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
     for (i, &x) in long.iter().enumerate() {
         let y = short.get(i).copied().unwrap_or(0);
         let (s1, c1) = x.overflowing_add(y);
         let (s2, c2) = s1.overflowing_add(carry);
-        out.push(s2);
+        out[i] = s2;
         carry = (c1 as u64) + (c2 as u64);
     }
-    if carry > 0 {
-        out.push(carry);
-    }
+    out[long.len()] = carry;
+}
+
+/// `a + b` over raw limb slices (result may carry one extra limb).
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len().max(b.len()) + 1];
+    add_limbs_into(&mut out, a, b);
     out
+}
+
+/// `out = limbs << (64*limb_shift + bit_shift)` into a zeroed buffer of
+/// exactly `limbs.len() + limb_shift + 1` limbs.
+fn shl_into(out: &mut [u64], limbs: &[u64], limb_shift: usize, bit_shift: u32) {
+    for (i, &l) in limbs.iter().enumerate() {
+        out[i + limb_shift] |= l << bit_shift;
+        if bit_shift > 0 {
+            out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+        }
+    }
+}
+
+/// `out = src >> bit_shift` (sub-limb shift only) into a buffer of exactly
+/// `src.len()` limbs.
+fn shr_into(out: &mut [u64], src: &[u64], bit_shift: u32) {
+    for i in 0..src.len() {
+        out[i] = src[i] >> bit_shift;
+        if bit_shift > 0 && i + 1 < src.len() {
+            out[i] |= src[i + 1] << (64 - bit_shift);
+        }
+    }
+}
+
+/// `out = limbs / d`, returning the remainder; `out` is exactly
+/// `limbs.len()` limbs and `d` is nonzero.
+fn div_limbs_u64_into(out: &mut [u64], limbs: &[u64], d: u64) -> u64 {
+    let mut rem = 0u128;
+    for i in (0..limbs.len()).rev() {
+        let cur = (rem << 64) | limbs[i] as u128;
+        out[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    rem as u64
 }
 
 /// `a -= b` over raw limbs; requires `a >= b` as integers.
@@ -200,7 +251,8 @@ impl BigUint {
     }
 
     /// As [`Self::from_norm_vec`] but from a fixed-size scratch array,
-    /// allocating only when the value needs more than two limbs.
+    /// allocating only when the value needs more than [`INLINE_LIMBS`]
+    /// limbs.
     fn from_limb_array(s: &[u64]) -> Self {
         let s = trim(s);
         if s.len() <= INLINE_LIMBS {
@@ -220,14 +272,17 @@ impl BigUint {
         }
     }
 
-    /// The whole value as a `u128` when it fits inline.
+    /// The whole value as a `u128` when it fits in two limbs. Inline
+    /// values can be wider than that (up to [`INLINE_LIMBS`] limbs), so
+    /// the length gate is load-bearing — the `u128` fast paths keyed on
+    /// this must not see truncated values.
     fn as_u128(&self) -> Option<u128> {
         match &self.repr {
             // Unused inline limbs are zero by the canonical invariant.
-            Repr::Inline { limbs, .. } => {
+            Repr::Inline { len, limbs } if *len <= 2 => {
                 Some(limbs[0] as u128 | (limbs[1] as u128) << 64)
             }
-            Repr::Heap(_) => None,
+            _ => None,
         }
     }
 
@@ -243,9 +298,9 @@ impl BigUint {
 
     /// Constructs from a `u64`.
     pub fn from_u64(x: u64) -> Self {
-        BigUint {
-            repr: Repr::Inline { len: (x != 0) as u8, limbs: [x, 0] },
-        }
+        let mut limbs = [0u64; INLINE_LIMBS];
+        limbs[0] = x;
+        BigUint { repr: Repr::Inline { len: (x != 0) as u8, limbs } }
     }
 
     /// Constructs from a `u128`.
@@ -255,7 +310,10 @@ impl BigUint {
         if hi == 0 {
             Self::from_u64(lo)
         } else {
-            BigUint { repr: Repr::Inline { len: 2, limbs: [lo, hi] } }
+            let mut limbs = [0u64; INLINE_LIMBS];
+            limbs[0] = lo;
+            limbs[1] = hi;
+            BigUint { repr: Repr::Inline { len: 2, limbs } }
         }
     }
 
@@ -266,7 +324,7 @@ impl BigUint {
 
     /// True for one.
     pub fn is_one(&self) -> bool {
-        matches!(self.repr, Repr::Inline { len: 1, limbs: [1, 0] })
+        matches!(&self.repr, Repr::Inline { len: 1, limbs } if limbs[0] == 1)
     }
 
     /// Number of significant bits (0 for zero).
@@ -333,13 +391,14 @@ impl BigUint {
         let limbs = self.limbs();
         let limb_shift = (n / 64) as usize;
         let bit_shift = (n % 64) as u32;
-        let mut out = vec![0u64; limbs.len() + limb_shift + 1];
-        for (i, &l) in limbs.iter().enumerate() {
-            out[i + limb_shift] |= l << bit_shift;
-            if bit_shift > 0 {
-                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
-            }
+        let out_len = limbs.len() + limb_shift + 1;
+        if out_len <= INLINE_LIMBS + 1 {
+            let mut out = [0u64; INLINE_LIMBS + 1];
+            shl_into(&mut out[..out_len], limbs, limb_shift, bit_shift);
+            return Self::from_limb_array(&out[..out_len]);
         }
+        let mut out = vec![0u64; out_len];
+        shl_into(&mut out, limbs, limb_shift, bit_shift);
         Self::from_norm_vec(out)
     }
 
@@ -355,13 +414,13 @@ impl BigUint {
         }
         let bit_shift = (n % 64) as u32;
         let src = &limbs[limb_shift..];
-        let mut out = vec![0u64; src.len()];
-        for i in 0..src.len() {
-            out[i] = src[i] >> bit_shift;
-            if bit_shift > 0 && i + 1 < src.len() {
-                out[i] |= src[i + 1] << (64 - bit_shift);
-            }
+        if src.len() <= INLINE_LIMBS {
+            let mut out = [0u64; INLINE_LIMBS];
+            shr_into(&mut out[..src.len()], src, bit_shift);
+            return Self::from_limb_array(&out[..src.len()]);
         }
+        let mut out = vec![0u64; src.len()];
+        shr_into(&mut out, src, bit_shift);
         Self::from_norm_vec(out)
     }
 
@@ -372,9 +431,16 @@ impl BigUint {
             if !carried {
                 return Self::from_u128(s);
             }
-            return Self::from_norm_vec(vec![s as u64, (s >> 64) as u64, 1]);
+            return Self::from_limb_array(&[s as u64, (s >> 64) as u64, 1]);
         }
-        Self::from_norm_vec(add_limbs(self.limbs(), other.limbs()))
+        let (a, b) = (self.limbs(), other.limbs());
+        let out_len = a.len().max(b.len()) + 1;
+        if out_len <= INLINE_LIMBS + 1 {
+            let mut out = [0u64; INLINE_LIMBS + 1];
+            add_limbs_into(&mut out[..out_len], a, b);
+            return Self::from_limb_array(&out[..out_len]);
+        }
+        Self::from_norm_vec(add_limbs(a, b))
     }
 
     /// Subtraction.
@@ -387,7 +453,14 @@ impl BigUint {
         if let (Some(a), Some(b)) = (self.as_u128(), other.as_u128()) {
             return Self::from_u128(a - b);
         }
-        let mut out = self.limbs().to_vec();
+        let a = self.limbs();
+        if a.len() <= INLINE_LIMBS {
+            let mut out = [0u64; INLINE_LIMBS];
+            out[..a.len()].copy_from_slice(a);
+            sub_limbs_in_place(&mut out[..a.len()], other.limbs());
+            return Self::from_limb_array(&out[..a.len()]);
+        }
+        let mut out = a.to_vec();
         sub_limbs_in_place(&mut out, other.limbs());
         Self::from_norm_vec(out)
     }
@@ -417,7 +490,17 @@ impl BigUint {
             let out = [p00 as u64, mid as u64, high as u64, (high >> 64) as u64];
             return Self::from_limb_array(&out);
         }
-        Self::from_norm_vec(mul_limbs(self.limbs(), other.limbs()))
+        let (a, b) = (self.limbs(), other.limbs());
+        // Wider inline operands (the oracle's 129..256-bit intermediates
+        // at escalated Ziv precisions) still fit a fixed double-width
+        // scratch.
+        let out_len = a.len() + b.len();
+        if out_len <= 2 * INLINE_LIMBS {
+            let mut out = [0u64; 2 * INLINE_LIMBS];
+            mul_schoolbook_into(&mut out[..out_len], a, b);
+            return Self::from_limb_array(&out[..out_len]);
+        }
+        Self::from_norm_vec(mul_limbs(a, b))
     }
 
     /// Multiplication by a `u64`.
@@ -433,6 +516,11 @@ impl BigUint {
             return Self::from_limb_array(&out);
         }
         let limbs = self.limbs();
+        if limbs.len() <= INLINE_LIMBS {
+            let mut out = [0u64; INLINE_LIMBS + 1];
+            mul_schoolbook_into(&mut out[..limbs.len() + 1], limbs, &[m]);
+            return Self::from_limb_array(&out[..limbs.len() + 1]);
+        }
         let mut out = Vec::with_capacity(limbs.len() + 1);
         let mut carry = 0u128;
         for &a in limbs {
@@ -457,14 +545,14 @@ impl BigUint {
             return (Self::from_u128(a / d as u128), (a % d as u128) as u64);
         }
         let limbs = self.limbs();
-        let mut out = vec![0u64; limbs.len()];
-        let mut rem = 0u128;
-        for i in (0..limbs.len()).rev() {
-            let cur = (rem << 64) | limbs[i] as u128;
-            out[i] = (cur / d as u128) as u64;
-            rem = cur % d as u128;
+        if limbs.len() <= INLINE_LIMBS {
+            let mut out = [0u64; INLINE_LIMBS];
+            let rem = div_limbs_u64_into(&mut out[..limbs.len()], limbs, d);
+            return (Self::from_limb_array(&out[..limbs.len()]), rem);
         }
-        (Self::from_norm_vec(out), rem as u64)
+        let mut out = vec![0u64; limbs.len()];
+        let rem = div_limbs_u64_into(&mut out, limbs, d);
+        (Self::from_norm_vec(out), rem)
     }
 
     /// Division, returning `(quotient, remainder)`.
@@ -858,22 +946,63 @@ mod tests {
         assert_eq!(BigUint::from_u64(3).top_bits(), 3u64 << 62);
     }
 
-    /// Values that fit two limbs must always be stored inline, including
-    /// results that *shrink* back across the boundary.
+    /// Values that fit [`INLINE_LIMBS`] limbs must always be stored
+    /// inline, including results that *shrink* back across the boundary.
     #[test]
     fn representation_is_canonical_across_the_inline_boundary() {
         let two64 = BigUint::from_u128(1u128 << 64);
-        let big3 = BigUint::one().shl(128); // 3 limbs, heap
-        assert!(matches!(big3.repr, Repr::Heap(_)));
-        let shrunk = big3.sub(&BigUint::one()); // 2^128 - 1: exactly 2 limbs
-        assert!(matches!(shrunk.repr, Repr::Inline { len: 2, .. }));
-        assert_eq!(shrunk, BigUint::from_u128(u128::MAX));
+        // The oracle's 256-bit mantissa products sit exactly at the top of
+        // the inline range.
+        let top4 = BigUint::one().shl(255); // 4 limbs: inline
+        assert!(matches!(top4.repr, Repr::Inline { len: 4, .. }));
+        let big5 = BigUint::one().shl(256); // 5 limbs: heap
+        assert!(matches!(big5.repr, Repr::Heap(_)));
+        let shrunk = big5.sub(&BigUint::one()); // 2^256 - 1: exactly 4 limbs
+        assert!(matches!(shrunk.repr, Repr::Inline { len: 4, .. }));
+        assert_eq!(shrunk.bit_len(), 256);
         let back = shrunk.add(&BigUint::one());
         assert!(matches!(back.repr, Repr::Heap(_)));
-        assert_eq!(back, big3);
-        let q = big3.div_rem(&two64).0;
-        assert!(matches!(q.repr, Repr::Inline { len: 2, .. }));
-        assert_eq!(q, two64);
+        assert_eq!(back, big5);
+        let q = big5.div_rem(&two64).0; // 2^192: 4 limbs
+        assert!(matches!(q.repr, Repr::Inline { len: 4, .. }));
+        assert_eq!(q, BigUint::one().shl(192));
+    }
+
+    /// Inline values wider than two limbs must bypass the `u128` fast
+    /// paths untruncated: every op on 3–4-limb operands has to agree with
+    /// the slice-based reference routines.
+    #[test]
+    fn wide_inline_values_bypass_the_u128_fast_paths() {
+        let vals: Vec<BigUint> = [
+            BigUint::from_u128(u128::MAX),
+            BigUint::from_u128(0xDEAD_BEEF_CAFE_F00D).shl(130),
+            BigUint::one().shl(128),                       // 3 limbs
+            BigUint::one().shl(192).sub(&BigUint::one()),  // 3 limbs, all ones
+            BigUint::one().shl(255),                       // 4 limbs
+            BigUint::one().shl(256).sub(&BigUint::one()),  // 4 limbs, all ones
+        ]
+        .to_vec();
+        for a in &vals {
+            for b in &vals {
+                let want_mul =
+                    BigUint::from_norm_vec(mul_schoolbook(a.limbs(), b.limbs()));
+                assert_eq!(a.mul(b), want_mul, "{a} * {b}");
+                let want_add = BigUint::from_norm_vec(add_limbs(a.limbs(), b.limbs()));
+                assert_eq!(a.add(b), want_add, "{a} + {b}");
+                let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+                assert_eq!(hi.sub(lo).add(lo), *hi, "{hi} - {lo}");
+            }
+            assert_eq!(a.shl(37).shr(37), *a, "{a} shift roundtrip");
+            assert_eq!(a.shl(64).shr(1).shr(63), *a, "{a} limb-shift roundtrip");
+            let m = 0x1234_5678_9ABC_DEF0u64;
+            assert_eq!(
+                a.mul_u64(m),
+                a.mul(&BigUint::from_u64(m)),
+                "{a} * small"
+            );
+            let (q, r) = a.div_rem_u64(97);
+            assert_eq!(q.mul_u64(97).add(&BigUint::from_u64(r)), *a, "{a} / 97");
+        }
     }
 
     #[test]
