@@ -27,7 +27,7 @@ echo "== panic-free gate: library crates deny unwrap/expect/panic =="
 # intentionally still allowed.
 cargo clippy --offline --lib \
     -p rlibm-obs -p rlibm-fp -p rlibm-posit -p rlibm-mp -p rlibm-lp \
-    -p rlibm-core -p rlibm-math \
+    -p rlibm-core -p rlibm-math -p rlibm-serve \
     -- -D warnings \
     -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
@@ -38,6 +38,18 @@ echo "== telemetry-off identity: instrumentation changes no output bit =="
 # fixed sweep to one checksum constant, so passing in both configurations
 # proves the instrumented and uninstrumented libraries are bit-identical.
 cargo test -q --offline --release -p rlibm --test telemetry
+
+echo "== simd feature leg: build, bit-identity matrix, clippy =="
+# The AVX2 staged slice kernels (crates/libm/src/slice_simd.rs) must be
+# drop-in bit-identical to the scalar reference. The workspace test run
+# above already pins the batched-output checksum with default features;
+# this leg re-runs the identity suite with `simd` on — same pinned
+# constant, so a single diverging output bit fails one of the two runs.
+# Clippy with the feature keeps the intrinsics cfg warning-clean.
+cargo build --workspace --release --offline --features rlibm/simd,rlibm-bench/simd
+cargo test -q --offline --release -p rlibm --features simd --test two_tier_identity
+cargo clippy --workspace --all-targets --offline \
+    --features rlibm/simd,rlibm-bench/simd -- -D warnings
 
 echo "== fault-injection smoke: corrupted fast paths never mis-round =="
 # Seeded corruption at all 18 tier-1 kernel sites, checked bit-for-bit
@@ -67,6 +79,28 @@ grep -q '"schema": "rlibm-bench/vector/v1"' target/bench-smoke/BENCH_vector.quic
 cargo run --release --offline -p rlibm-bench --bin gen_bench -- \
     --quick --out target/bench-smoke/BENCH_gen.quick.json
 grep -q '"schema": "rlibm-bench/gen/v1"' target/bench-smoke/BENCH_gen.quick.json
+
+echo "== serve smoke: serve_bench --quick + JSON schema =="
+# Closed-loop sharded serving over the slice kernels (simd config, like
+# the committed full run): the bin itself asserts every served response
+# is bit-identical to the scalar functions before writing the document.
+cargo run --release --offline -p rlibm-bench --features simd --bin serve_bench -- \
+    --quick --out target/bench-smoke/BENCH_serve.quick.json
+grep -q '"schema": "rlibm-bench/serve/v1"' target/bench-smoke/BENCH_serve.quick.json
+
+echo "== vector regression gate: committed BENCH_vector vs quick simd run =="
+# The committed BENCH_vector.json is a full simd-feature run; a fresh
+# --quick run in the same configuration must stay within the comparator's
+# regression threshold on every ns_* field (scalar AND batched paths),
+# so a slice-kernel pessimisation fails CI here. Threshold is widened to
+# +60% over the default: quick mode does fewer reps and this gate runs
+# on whatever shared hardware CI lands on — it is an order-of-magnitude
+# tripwire, while the committed-file protocol (EXPERIMENTS.md) remains
+# the precise before/after evidence.
+cargo run --release --offline -p rlibm-bench --features simd --bin vector_harness -- \
+    --quick --out target/bench-smoke/BENCH_vector.simd.quick.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    BENCH_vector.json target/bench-smoke/BENCH_vector.simd.quick.json --threshold 60
 
 echo "== telemetry smoke: telemetry_report --quick + JSON schema =="
 # Exercises every instrumented layer (oracle Ziv loop, LP, polygen,
@@ -103,5 +137,9 @@ cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_fig4.json BENCH_fig4.json
 cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_gen.json BENCH_gen.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    BENCH_vector.json BENCH_vector.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    BENCH_serve.json BENCH_serve.json
 
 echo "CI OK"

@@ -22,6 +22,18 @@
 use rlibm_bench::json::{parse, Json};
 use rlibm_bench::timing::geomean;
 
+/// BENCH document schemas this comparator understands. A tag outside
+/// this list is a usage error (exit 2): it would mean diffing documents
+/// no harness in this workspace emits, so the "same schema" check can't
+/// vouch that the ns_* fields mean the same thing in both files.
+const KNOWN_SCHEMAS: &[&str] = &[
+    "rlibm-bench/fig3/v1",
+    "rlibm-bench/fig4/v1",
+    "rlibm-bench/vector/v1",
+    "rlibm-bench/gen/v1",
+    "rlibm-bench/serve/v1",
+];
+
 struct Cli {
     old: String,
     new: String,
@@ -112,6 +124,12 @@ fn main() {
         usage(&format!(
             "schema mismatch: {} is '{old_schema}', {} is '{new_schema}'",
             cli.old, cli.new
+        ));
+    }
+    if !KNOWN_SCHEMAS.contains(&old_schema) {
+        usage(&format!(
+            "unknown schema '{old_schema}' (known: {})",
+            KNOWN_SCHEMAS.join(", ")
         ));
     }
 

@@ -1,0 +1,144 @@
+//! Load generator for the `rlibm-serve` layer: runs the closed-loop
+//! sharded service against a synthetic mixed f32/posit workload,
+//! verifies every served response bit-identical to the scalar two-tier
+//! functions, and emits throughput plus p50/p99/p999 per-request
+//! latency into a schema-checked `BENCH_serve.json`
+//! (`rlibm-bench/serve/v1`, re-parsed and validated before exit).
+//!
+//! Latency fields are `ns_*` so `bench_compare` treats higher latency as
+//! a regression, exactly like the timing harnesses.
+//!
+//! Usage: `cargo run -p rlibm-bench --release --bin serve_bench -- \
+//!             [--quick] [--out PATH]`
+
+use rlibm_bench::json::{write_validated, Json};
+use rlibm_serve::{serve_closed_loop, workload, ServeConfig};
+
+pub const SCHEMA: &str = "rlibm-bench/serve/v1";
+pub const PER_FN_FIELDS: &[&str] = &["ns_p50", "ns_p99", "ns_p999"];
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => panic!("bad arg '{other}'"),
+        }
+    }
+
+    rlibm_serve::register_metrics();
+    let cfg = ServeConfig {
+        requests: if quick { 60_000 } else { 2_000_000 },
+        ..ServeConfig::default()
+    };
+    println!(
+        "serve_bench: {} requests, {} shard(s), {} producer(s), ring {} deep{}\n",
+        cfg.requests,
+        cfg.shards.clamp(1, rlibm_serve::metrics::MAX_SHARDS),
+        cfg.producers.max(1),
+        cfg.queue_capacity,
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let report = serve_closed_loop(&cfg);
+    assert_eq!(
+        report.completions.len() as u64,
+        cfg.requests,
+        "every request must complete"
+    );
+
+    // Verify: the service answers with the scalar functions' exact bits.
+    let mut mismatches = 0u64;
+    for c in &report.completions {
+        if c.y_bits != workload::scalar_eval_bits(c.func, c.x_bits) {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(mismatches, 0, "served responses must be bit-identical to scalar");
+
+    // Percentiles: overall and per function id.
+    let mut by_func: Vec<Vec<u64>> = (0..workload::NUM_FUNCS).map(|_| Vec::new()).collect();
+    let mut all: Vec<u64> = Vec::with_capacity(report.completions.len());
+    for c in &report.completions {
+        all.push(c.latency_ns);
+        by_func[c.func as usize % workload::NUM_FUNCS].push(c.latency_ns);
+    }
+    all.sort_unstable();
+    let elapsed_ms = report.elapsed_ns as f64 / 1e6;
+    let rps = report.requests_per_sec();
+
+    println!(
+        "{:>16} | {:>9} | {:>10} | {:>10} | {:>10}",
+        "function", "requests", "p50 (ns)", "p99 (ns)", "p999 (ns)"
+    );
+    println!("{}", "-".repeat(68));
+    let mut rows = Vec::new();
+    let mut row = |label: String, lat: &mut Vec<u64>| {
+        lat.sort_unstable();
+        let (p50, p99, p999) = (
+            percentile(lat, 0.50),
+            percentile(lat, 0.99),
+            percentile(lat, 0.999),
+        );
+        println!(
+            "{:>16} | {:>9} | {:>10} | {:>10} | {:>10}",
+            label,
+            lat.len(),
+            p50,
+            p99,
+            p999
+        );
+        rows.push(
+            Json::obj()
+                .set("name", label.as_str())
+                .set("requests", lat.len() as f64)
+                .set("ns_p50", p50 as f64)
+                .set("ns_p99", p99 as f64)
+                .set("ns_p999", p999 as f64),
+        );
+    };
+    row("all".to_string(), &mut all);
+    for f in 0..workload::NUM_FUNCS as u8 {
+        row(workload::func_label(f), &mut by_func[f as usize]);
+    }
+    println!("{}", "-".repeat(68));
+    println!(
+        "\nthroughput: {:.0} requests/s over {:.1} ms ({} shard(s), {} producer(s)); \
+         all {} responses bit-identical to scalar",
+        rps,
+        elapsed_ms,
+        report.shards,
+        report.producers,
+        report.completions.len()
+    );
+    if rlibm_obs::enabled() {
+        println!(
+            "telemetry: serve.shard*.requests total = {}",
+            rlibm_serve::metrics::total_requests()
+        );
+    }
+
+    let doc = Json::obj()
+        .set("schema", SCHEMA)
+        .set("quick", quick)
+        .set("n_inputs", cfg.requests as f64)
+        .set("shards", report.shards as f64)
+        .set("producers", report.producers as f64)
+        .set("elapsed_ms", elapsed_ms)
+        .set("requests_per_sec", rps)
+        .set("functions", rows);
+    write_validated(&out_path, &doc, SCHEMA, PER_FN_FIELDS).expect("write BENCH json");
+    println!("\nwrote {out_path} (schema {SCHEMA}, parsed + validated)");
+}

@@ -33,6 +33,14 @@ use crate::fast;
 use crate::tables as t;
 use rlibm_obs::Counter;
 
+/// AVX2 implementations of the staged pipeline (`simd` feature, x86_64
+/// only). The entry points below dispatch into it at runtime when AVX2
+/// is present; the scalar chunk functions in this module stay the
+/// certified reference and the fallback.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[path = "slice_simd.rs"]
+mod simd;
+
 /// Chunk width of the staged pipeline. 64 lanes of f64 is 4 cache lines
 /// per stage array — small enough to stay resident, wide enough that the
 /// per-chunk loop overhead vanishes.
@@ -46,10 +54,18 @@ const LANES: usize = 64;
 static SLICE_CHUNKS: Counter = Counter::new("runtime.slice.f32.chunks");
 static SLICE_RESCALAR: Counter = Counter::new("runtime.slice.f32.rescalar_lanes");
 
+// Posit batching has no staged pipeline (and so no rescalar lanes), but
+// serving-layer posit traffic still needs to show up in TELEM snapshots:
+// chunks processed and total requests (lanes) served.
+static SLICE_POSIT_CHUNKS: Counter = Counter::new("runtime.slice.posit32.chunks");
+static SLICE_POSIT_REQUESTS: Counter = Counter::new("runtime.slice.posit32.requests");
+
 /// Forces the slice counters into the snapshot registry at value zero.
 pub(crate) fn register_metrics() {
     SLICE_CHUNKS.register();
     SLICE_RESCALAR.register();
+    SLICE_POSIT_CHUNKS.register();
+    SLICE_POSIT_REQUESTS.register();
 }
 
 /// Shared chunk driver: widen in-domain lanes, run the staged fast
@@ -263,38 +279,57 @@ fn cospi_chunk(xd: &[f64], y: &mut [f64]) {
 // public entry points
 // ---------------------------------------------------------------------
 
+/// Routes an entry point through the AVX2 staged pipeline when the
+/// `simd` feature is on and the CPU has AVX2; otherwise falls through to
+/// the scalar chunk driver below. Expands to nothing without the feature.
+macro_rules! simd_dispatch {
+    ($fn_name:ident, $xs:expr, $out:expr) => {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd::avx2_available() {
+            return simd::$fn_name($xs, $out);
+        }
+    };
+}
+
 /// Batched [`crate::exp`]: bit-identical to the scalar map.
 pub fn exp_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(exp_slice, xs, out);
     drive(xs, out, |x| (-106.0..=89.0).contains(&x), exp_chunk, fast::EXP_BAND, crate::exp)
 }
 
 /// Batched [`crate::exp2`].
 pub fn exp2_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(exp2_slice, xs, out);
     drive(xs, out, |x| (-151.0..128.0).contains(&x), exp2_chunk, fast::EXP2_BAND, crate::exp2)
 }
 
 /// Batched [`crate::exp10`].
 pub fn exp10_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(exp10_slice, xs, out);
     drive(xs, out, |x| (-45.5..=38.6).contains(&x), exp10_chunk, fast::EXP10_BAND, crate::exp10)
 }
 
 /// Batched [`crate::ln`].
 pub fn ln_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(ln_slice, xs, out);
     drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, ln_chunk, fast::LN_BAND, crate::ln)
 }
 
 /// Batched [`crate::log2`].
 pub fn log2_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(log2_slice, xs, out);
     drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, log2_chunk, fast::LOG2_BAND, crate::log2)
 }
 
 /// Batched [`crate::log10`].
 pub fn log10_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(log10_slice, xs, out);
     drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, log10_chunk, fast::LOG10_BAND, crate::log10)
 }
 
 /// Batched [`crate::sinh`].
 pub fn sinh_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(sinh_slice, xs, out);
     let tiny = 2f32.powi(-12);
     drive(
         xs,
@@ -308,6 +343,7 @@ pub fn sinh_slice(xs: &[f32], out: &mut [f32]) {
 
 /// Batched [`crate::cosh`].
 pub fn cosh_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(cosh_slice, xs, out);
     let tiny = 2f32.powi(-13);
     drive(
         xs,
@@ -321,6 +357,7 @@ pub fn cosh_slice(xs: &[f32], out: &mut [f32]) {
 
 /// Batched [`crate::sinpi`].
 pub fn sinpi_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(sinpi_slice, xs, out);
     drive(
         xs,
         out,
@@ -336,6 +373,7 @@ pub fn sinpi_slice(xs: &[f32], out: &mut [f32]) {
 
 /// Batched [`crate::cospi`].
 pub fn cospi_slice(xs: &[f32], out: &mut [f32]) {
+    simd_dispatch!(cospi_slice, xs, out);
     drive(
         xs,
         out,
@@ -400,11 +438,15 @@ pub fn eval_slice_posit32(
 ) -> Result<(), UnknownFunction> {
     assert_eq!(xs.len(), out.len(), "eval_slice: input/output length mismatch");
     let f = crate::posit32_fn_by_name(name).ok_or_else(|| UnknownFunction(name.to_owned()))?;
+    let mut chunks = 0u64;
     for (xc, oc) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+        chunks += 1;
         for i in 0..xc.len() {
             oc[i] = f(xc[i]);
         }
     }
+    SLICE_POSIT_CHUNKS.add(chunks);
+    SLICE_POSIT_REQUESTS.add(xs.len() as u64);
     Ok(())
 }
 

@@ -1,0 +1,281 @@
+//! rlibm-serve — a sharded, thread-per-core serving layer over the
+//! slice kernels.
+//!
+//! The shape of a production deployment, scaled to whatever the host
+//! offers: one worker thread ("shard") per core, each owning a bounded
+//! lock-free MPMC ring ([`queue::MpmcQueue`]) that producers push
+//! requests into round-robin. Workers batch requests per function into
+//! the 64-lane staged slice chunks (AVX2 under the `simd` feature) and
+//! answer with bit patterns identical to the scalar two-tier functions
+//! — the correctness contract of the whole stack carries through the
+//! service unchanged. Backpressure is structural: full rings push back
+//! on producers, so overload degrades throughput, not memory.
+//!
+//! There is no per-request allocation anywhere on the serve path: rings
+//! and accumulators are fixed arrays, staging buffers live on the worker
+//! stack, and the completion logs are pre-sized by the driver.
+//!
+//! Per-shard observability rides on `rlibm-obs` ([`metrics`]): request
+//! and batch counters, batch fill lanes, a queue-depth histogram and a
+//! per-request latency log2 histogram, all no-ops unless built with the
+//! `telemetry` feature.
+//!
+//! [`serve_closed_loop`] is the in-process driver used by `serve_bench`:
+//! it spawns the shards and a set of synthetic-workload producers
+//! (XorShift64-seeded, domain-biased — see [`workload`]), runs the
+//! closed loop to completion, and returns every completion with its
+//! measured latency.
+
+pub mod metrics;
+pub mod queue;
+mod shard;
+pub mod workload;
+
+pub use shard::{Completion, Request, BATCH};
+
+use queue::MpmcQueue;
+use rlibm_fp::rng::XorShift64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Closed-loop service run configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (clamped to `1..=`[`metrics::MAX_SHARDS`]).
+    pub shards: usize,
+    /// Producer threads synthesizing the workload (min 1).
+    pub producers: usize,
+    /// Total requests across all producers.
+    pub requests: u64,
+    /// Ring capacity per shard (rounded up to a power of two).
+    pub queue_capacity: usize,
+    /// Workload seed; producer `p` derives its own stream from it.
+    pub seed: u64,
+    /// Share of traffic (out of 1000) routed to the posit32 table.
+    pub posit_permille: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: std::thread::available_parallelism().map_or(1, usize::from),
+            producers: 2,
+            requests: 1 << 20,
+            queue_capacity: 1024,
+            seed: 0x524C_4942_4D33_32A1,
+            posit_permille: 250,
+        }
+    }
+}
+
+/// Everything a closed-loop run produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Every served request with its measured latency (order is
+    /// per-shard completion order, shards concatenated).
+    pub completions: Vec<Completion>,
+    /// Wall-clock duration of the whole run in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Shard count actually used (after clamping).
+    pub shards: usize,
+    /// Producer count actually used.
+    pub producers: usize,
+}
+
+impl ServeReport {
+    /// Overall throughput in requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.completions.len() as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// Runs the service as a closed loop: `producers` synthetic-workload
+/// threads push `requests` total requests round-robin into the shard
+/// rings (yield-spinning on backpressure), shards serve until every
+/// producer has finished and the rings are dry, and every completion is
+/// returned. Deterministic workload per seed; the serve outputs are
+/// bit-identical to the scalar functions regardless of sharding.
+pub fn serve_closed_loop(cfg: &ServeConfig) -> ServeReport {
+    let shards = cfg.shards.clamp(1, metrics::MAX_SHARDS);
+    let producers = cfg.producers.max(1);
+    let total = cfg.requests;
+    let queues: Vec<MpmcQueue<Request>> =
+        (0..shards).map(|_| MpmcQueue::with_capacity(cfg.queue_capacity)).collect();
+    let stop = AtomicBool::new(false);
+    let epoch = Instant::now();
+    // Round-robin routing bounds any shard's share of the traffic by
+    // one extra request per producer; pad by a batch for slack so the
+    // completion log never reallocates mid-run.
+    let per_shard = (total as usize) / shards + producers + BATCH;
+    let mut shard_logs: Vec<Vec<Completion>> = Vec::with_capacity(shards);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..shards)
+            .map(|i| {
+                let q = &queues[i];
+                let stop = &stop;
+                s.spawn(move || shard::shard_worker(i, q, stop, epoch, per_shard))
+            })
+            .collect();
+        let prods: Vec<_> = (0..producers)
+            .map(|p| {
+                let queues = &queues;
+                s.spawn(move || {
+                    // Distinct, deterministic stream per producer.
+                    let mut rng = XorShift64::new(
+                        cfg.seed ^ (p as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let n = total / producers as u64
+                        + u64::from((p as u64) < total % producers as u64);
+                    let mut rr = p;
+                    for j in 0..n {
+                        let func = workload::pick_func(&mut rng, cfg.posit_permille);
+                        let x_bits = workload::synth_bits(&mut rng, func);
+                        let mut req = Request {
+                            func,
+                            x_bits,
+                            tag: ((p as u32) << 24) | (j as u32 & 0x00FF_FFFF),
+                            t_enqueue_ns: epoch.elapsed().as_nanos() as u64,
+                        };
+                        loop {
+                            match queues[rr % shards].push(req) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    // Ring full: structural backpressure.
+                                    req = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        rr = rr.wrapping_add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in prods {
+            let _ = h.join();
+        }
+        // All producers joined: nothing can push after this store, so a
+        // worker observing stop && empty is truly done.
+        stop.store(true, Ordering::Release);
+        for h in workers {
+            if let Ok(log) = h.join() {
+                shard_logs.push(log);
+            }
+        }
+    });
+    let elapsed_ns = epoch.elapsed().as_nanos() as u64;
+    let mut completions = Vec::with_capacity(total as usize);
+    for log in shard_logs {
+        completions.extend_from_slice(&log);
+    }
+    ServeReport { completions, elapsed_ns, shards, producers }
+}
+
+/// Forces every serve metric into the registry (see
+/// [`metrics::register_metrics`]).
+pub fn register_metrics() {
+    metrics::register_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            producers: 2,
+            requests: 10_000,
+            queue_capacity: 256,
+            seed: 0x5EED,
+            posit_permille: 300,
+        }
+    }
+
+    /// Every request is served exactly once and every response is
+    /// bit-identical to the scalar two-tier function — the stack's
+    /// correctness contract survives sharding, batching and SIMD.
+    #[test]
+    fn closed_loop_serves_everything_bit_identically() {
+        let cfg = small_cfg();
+        let report = serve_closed_loop(&cfg);
+        assert_eq!(report.completions.len() as u64, cfg.requests);
+        assert!(report.elapsed_ns > 0);
+        let mut posit_seen = false;
+        for c in &report.completions {
+            let want = workload::scalar_eval_bits(c.func, c.x_bits);
+            assert_eq!(
+                c.y_bits,
+                want,
+                "func {} x {:#010x}: served {:#010x} vs scalar {:#010x}",
+                workload::func_label(c.func),
+                c.x_bits,
+                c.y_bits,
+                want
+            );
+            posit_seen |= workload::is_posit(c.func);
+        }
+        assert!(posit_seen, "posit share of the workload was served");
+        // Tags are unique: each request completed exactly once.
+        let mut tags: Vec<u32> = report.completions.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len() as u64, cfg.requests);
+    }
+
+    /// The served output set is a function of the seed alone — shard
+    /// count, producer interleaving and queue capacity must not change
+    /// what is computed, only when.
+    #[test]
+    fn serve_results_independent_of_sharding() {
+        fn result_set(shards: usize, queue_capacity: usize) -> Vec<(u32, u32, u32)> {
+            let report = serve_closed_loop(&ServeConfig {
+                shards,
+                queue_capacity,
+                requests: 4_000,
+                ..small_cfg()
+            });
+            let mut v: Vec<(u32, u32, u32)> =
+                report.completions.iter().map(|c| (c.tag, c.x_bits, c.y_bits)).collect();
+            v.sort_unstable();
+            v
+        }
+        let a = result_set(1, 64);
+        let b = result_set(4, 1024);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_observe_the_run_when_enabled() {
+        register_metrics();
+        let before = metrics::total_requests();
+        let cfg = small_cfg();
+        let report = serve_closed_loop(&cfg);
+        assert_eq!(report.completions.len() as u64, cfg.requests);
+        let after = metrics::total_requests();
+        if rlibm_obs::enabled() {
+            assert_eq!(after - before, cfg.requests);
+        } else {
+            assert_eq!(after, 0);
+        }
+    }
+
+    #[test]
+    fn config_clamps_are_safe() {
+        let report = serve_closed_loop(&ServeConfig {
+            shards: 0,
+            producers: 0,
+            requests: 100,
+            queue_capacity: 0,
+            seed: 1,
+            posit_permille: 1000,
+        });
+        assert_eq!(report.shards, 1);
+        assert_eq!(report.producers, 1);
+        assert_eq!(report.completions.len(), 100);
+        assert!(report.completions.iter().all(|c| workload::is_posit(c.func)));
+    }
+}

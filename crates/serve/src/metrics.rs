@@ -1,0 +1,119 @@
+//! Per-shard serving metrics (rlibm-obs registry; no-ops without the
+//! `telemetry` feature).
+//!
+//! Metric statics need `&'static str` names, so shard slots are a fixed
+//! bank of [`MAX_SHARDS`] entries; a deployment with more worker threads
+//! than slots folds shard `i` onto slot `i % MAX_SHARDS` (the driver
+//! also clamps the shard count, so in practice the mapping is 1:1).
+//!
+//! Per slot:
+//! * `serve.shard<i>.requests` — requests dequeued by the worker;
+//! * `serve.shard<i>.batches` / `serve.shard<i>.batch_lanes` — slice
+//!   flushes and the lanes they carried; fill ratio is
+//!   `batch_lanes / (64 * batches)`;
+//! * `serve.shard<i>.queue_depth` — log2 histogram of ring occupancy
+//!   sampled at every flush;
+//! * `serve.shard<i>.latency_ns` — log2 histogram of per-request
+//!   enqueue-to-completion latency.
+
+use rlibm_obs::{Counter, Histogram};
+
+/// Number of metric slots (and the driver's shard-count cap).
+pub const MAX_SHARDS: usize = 8;
+
+static REQUESTS: [Counter; MAX_SHARDS] = [
+    Counter::new("serve.shard0.requests"),
+    Counter::new("serve.shard1.requests"),
+    Counter::new("serve.shard2.requests"),
+    Counter::new("serve.shard3.requests"),
+    Counter::new("serve.shard4.requests"),
+    Counter::new("serve.shard5.requests"),
+    Counter::new("serve.shard6.requests"),
+    Counter::new("serve.shard7.requests"),
+];
+
+static BATCHES: [Counter; MAX_SHARDS] = [
+    Counter::new("serve.shard0.batches"),
+    Counter::new("serve.shard1.batches"),
+    Counter::new("serve.shard2.batches"),
+    Counter::new("serve.shard3.batches"),
+    Counter::new("serve.shard4.batches"),
+    Counter::new("serve.shard5.batches"),
+    Counter::new("serve.shard6.batches"),
+    Counter::new("serve.shard7.batches"),
+];
+
+static BATCH_LANES: [Counter; MAX_SHARDS] = [
+    Counter::new("serve.shard0.batch_lanes"),
+    Counter::new("serve.shard1.batch_lanes"),
+    Counter::new("serve.shard2.batch_lanes"),
+    Counter::new("serve.shard3.batch_lanes"),
+    Counter::new("serve.shard4.batch_lanes"),
+    Counter::new("serve.shard5.batch_lanes"),
+    Counter::new("serve.shard6.batch_lanes"),
+    Counter::new("serve.shard7.batch_lanes"),
+];
+
+static QUEUE_DEPTH: [Histogram; MAX_SHARDS] = [
+    Histogram::new("serve.shard0.queue_depth"),
+    Histogram::new("serve.shard1.queue_depth"),
+    Histogram::new("serve.shard2.queue_depth"),
+    Histogram::new("serve.shard3.queue_depth"),
+    Histogram::new("serve.shard4.queue_depth"),
+    Histogram::new("serve.shard5.queue_depth"),
+    Histogram::new("serve.shard6.queue_depth"),
+    Histogram::new("serve.shard7.queue_depth"),
+];
+
+static LATENCY_NS: [Histogram; MAX_SHARDS] = [
+    Histogram::new("serve.shard0.latency_ns"),
+    Histogram::new("serve.shard1.latency_ns"),
+    Histogram::new("serve.shard2.latency_ns"),
+    Histogram::new("serve.shard3.latency_ns"),
+    Histogram::new("serve.shard4.latency_ns"),
+    Histogram::new("serve.shard5.latency_ns"),
+    Histogram::new("serve.shard6.latency_ns"),
+    Histogram::new("serve.shard7.latency_ns"),
+];
+
+#[inline]
+fn slot(shard: usize) -> usize {
+    shard % MAX_SHARDS
+}
+
+pub(crate) fn requests(shard: usize) -> &'static Counter {
+    &REQUESTS[slot(shard)]
+}
+
+pub(crate) fn batches(shard: usize) -> &'static Counter {
+    &BATCHES[slot(shard)]
+}
+
+pub(crate) fn batch_lanes(shard: usize) -> &'static Counter {
+    &BATCH_LANES[slot(shard)]
+}
+
+pub(crate) fn queue_depth(shard: usize) -> &'static Histogram {
+    &QUEUE_DEPTH[slot(shard)]
+}
+
+pub(crate) fn latency_ns(shard: usize) -> &'static Histogram {
+    &LATENCY_NS[slot(shard)]
+}
+
+/// Total requests served across every shard slot (0 without telemetry).
+pub fn total_requests() -> u64 {
+    REQUESTS.iter().map(|c| c.get()).sum()
+}
+
+/// Forces every per-shard metric into the snapshot registry at zero, so
+/// TELEM readers see idle shards as zeros rather than missing names.
+pub fn register_metrics() {
+    for i in 0..MAX_SHARDS {
+        requests(i).register();
+        batches(i).register();
+        batch_lanes(i).register();
+        queue_depth(i).register();
+        latency_ns(i).register();
+    }
+}

@@ -1,0 +1,254 @@
+//! Bounded lock-free MPMC ring queue (Vyukov's algorithm).
+//!
+//! One queue per shard carries requests from any number of producers to
+//! the shard's worker. The design goals, in order: no allocation after
+//! construction (one boxed slot array), no locks anywhere on the
+//! request path, and bounded memory so a slow shard exerts backpressure
+//! (a full queue makes [`MpmcQueue::push`] fail and the producer spins
+//! or yields) instead of growing without limit under overload.
+//!
+//! Each slot carries a sequence number that encodes its state relative
+//! to the head/tail tickets: `seq == pos` means free for the producer
+//! holding ticket `pos`, `seq == pos + 1` means occupied for the
+//! consumer holding ticket `pos`, anything less means the ring is
+//! full/empty from that side. The sequence store is the release edge
+//! that publishes the payload write, so no other synchronization is
+//! needed.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads the two ticket counters to separate cache lines so producers
+/// and consumers don't false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer queue. Capacity is fixed at
+/// construction (rounded up to a power of two); `push` on a full queue
+/// returns the value back instead of blocking or allocating.
+pub struct MpmcQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the slot protocol hands each value from exactly one producer
+// to exactly one consumer (tickets are claimed by CAS; the seq store
+// with Release ordering publishes the payload), so sharing the queue
+// across threads is sound whenever T itself can move between threads.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// A queue holding at least `capacity` elements (rounded up to the
+    /// next power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> MpmcQueue<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcQueue {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Capacity in elements (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Attempts to enqueue; a full ring hands the value back so the
+    /// caller owns the backpressure policy (spin, yield, drop).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed ticket `pos`, so this
+                        // thread is the unique writer of this slot until
+                        // the seq store below publishes it.
+                        unsafe { (*slot.val.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return Err(value); // ring full
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; `None` means the ring was observed empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS claimed ticket `pos`; the
+                        // Acquire load of seq synchronized with the
+                        // producer's Release store, so the payload is
+                        // fully written and this thread is its unique
+                        // reader.
+                        let value = unsafe { (*slot.val.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return None; // ring empty
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate occupancy (exact when quiescent) — the queue-depth
+    /// metric samples this.
+    pub fn len(&self) -> usize {
+        let head = self.enqueue_pos.0.load(Ordering::Relaxed);
+        let tail = self.dequeue_pos.0.load(Ordering::Relaxed);
+        head.wrapping_sub(tail).min(self.slots.len())
+    }
+
+    /// True when [`MpmcQueue::len`] observes zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Drain so non-trivial payloads drop exactly once.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MpmcQueue;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = MpmcQueue::with_capacity(8);
+        assert_eq!(q.capacity(), 8);
+        for i in 0..8u32 {
+            assert!(q.push(i).is_ok());
+        }
+        assert_eq!(q.push(99), Err(99), "full ring hands the value back");
+        assert_eq!(q.len(), 8);
+        for i in 0..8u32 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(MpmcQueue::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let q = MpmcQueue::with_capacity(4);
+        for round in 0..100u64 {
+            assert!(q.push(round).is_ok());
+            assert_eq!(q.pop(), Some(round));
+        }
+    }
+
+    /// Every pushed value is popped exactly once across concurrent
+    /// producers and consumers (checksum equality).
+    #[test]
+    fn concurrent_transfer_is_lossless() {
+        const PER_PRODUCER: u64 = 20_000;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: usize = 3;
+        let q = MpmcQueue::with_capacity(64);
+        let popped_sum = AtomicU64::new(0);
+        let popped_n = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i + 1;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let total = PRODUCERS * PER_PRODUCER;
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let popped_sum = &popped_sum;
+                let popped_n = &popped_n;
+                s.spawn(move || loop {
+                    match q.pop() {
+                        Some(v) => {
+                            popped_sum.fetch_add(v, Ordering::Relaxed);
+                            if popped_n.fetch_add(1, Ordering::Relaxed) + 1 == total {
+                                break;
+                            }
+                        }
+                        None => {
+                            if popped_n.load(Ordering::Relaxed) >= total {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(popped_n.load(Ordering::Relaxed), n);
+        assert_eq!(popped_sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The shard worker: drains its request ring, batches per function into
+//! 64-lane slice chunks, and resolves completions.
+//!
+//! Zero allocation per request: the per-function accumulators are fixed
+//! `[_; 64]` arrays owned by the worker, the slice staging buffers are
+//! stack arrays, and the completion log is one `Vec` pre-sized by the
+//! driver (pushes stay within capacity in the closed loop). The only
+//! heap traffic after startup is the final hand-off of that log.
+//!
+//! Batching policy: a full 64-lane batch flushes immediately; any
+//! partially filled batches flush as soon as the ring runs dry, so an
+//! idle service converges to scalar-sized batches (low latency) and a
+//! loaded one to full chunks (high throughput) without a timer.
+
+use crate::metrics;
+use crate::queue::MpmcQueue;
+use crate::workload;
+use rlibm_posit::Posit32;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Lanes per flush — the slice kernels' chunk width.
+pub const BATCH: usize = 64;
+
+/// One request: a function id, the argument bit pattern, a caller tag
+/// echoed into the completion, and the enqueue timestamp (nanoseconds
+/// since the service epoch) that anchors the latency measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    pub func: u8,
+    pub x_bits: u32,
+    pub tag: u32,
+    pub t_enqueue_ns: u64,
+}
+
+/// One served response, with the measured enqueue-to-completion latency.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    pub func: u8,
+    pub x_bits: u32,
+    pub y_bits: u32,
+    pub tag: u32,
+    pub latency_ns: u64,
+}
+
+/// Per-function accumulator: parallel columns of a pending batch.
+struct Batch {
+    x_bits: [u32; BATCH],
+    tag: [u32; BATCH],
+    t_enq: [u64; BATCH],
+    len: usize,
+}
+
+impl Batch {
+    const fn new() -> Batch {
+        Batch { x_bits: [0; BATCH], tag: [0; BATCH], t_enq: [0; BATCH], len: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, req: Request) -> bool {
+        self.x_bits[self.len] = req.x_bits;
+        self.tag[self.len] = req.tag;
+        self.t_enq[self.len] = req.t_enqueue_ns;
+        self.len += 1;
+        self.len == BATCH
+    }
+}
+
+/// Scratch for the slice staging buffers (stack arrays, reused across
+/// flushes).
+struct Scratch {
+    xs: [f32; BATCH],
+    ys: [f32; BATCH],
+    pxs: [Posit32; BATCH],
+    pys: [Posit32; BATCH],
+}
+
+fn flush(
+    shard: usize,
+    func: u8,
+    batch: &mut Batch,
+    scratch: &mut Scratch,
+    queue: &MpmcQueue<Request>,
+    epoch: Instant,
+    completions: &mut Vec<Completion>,
+) {
+    let n = batch.len;
+    if n == 0 {
+        return;
+    }
+    if workload::is_posit(func) {
+        for i in 0..n {
+            scratch.pxs[i] = Posit32::from_bits(batch.x_bits[i]);
+        }
+        workload::posit_slice_eval(func, &scratch.pxs[..n], &mut scratch.pys[..n]);
+    } else {
+        for i in 0..n {
+            scratch.xs[i] = f32::from_bits(batch.x_bits[i]);
+        }
+        workload::f32_slice_eval(func, &scratch.xs[..n], &mut scratch.ys[..n]);
+    }
+    let now = epoch.elapsed().as_nanos() as u64;
+    metrics::batches(shard).add(1);
+    metrics::batch_lanes(shard).add(n as u64);
+    metrics::queue_depth(shard).record(queue.len() as u64);
+    let lat = metrics::latency_ns(shard);
+    for i in 0..n {
+        let latency_ns = now.saturating_sub(batch.t_enq[i]);
+        lat.record(latency_ns);
+        let y_bits = if workload::is_posit(func) {
+            scratch.pys[i].to_bits()
+        } else {
+            scratch.ys[i].to_bits()
+        };
+        completions.push(Completion {
+            func,
+            x_bits: batch.x_bits[i],
+            y_bits,
+            tag: batch.tag[i],
+            latency_ns,
+        });
+    }
+    batch.len = 0;
+}
+
+/// Runs one shard to completion: drain the ring, batch, flush; once
+/// `stop` is raised (the driver sets it only after every producer has
+/// joined, so no push can race it) and the ring and all accumulators are
+/// empty, return the completion log.
+pub(crate) fn shard_worker(
+    shard: usize,
+    queue: &MpmcQueue<Request>,
+    stop: &AtomicBool,
+    epoch: Instant,
+    expected: usize,
+) -> Vec<Completion> {
+    let mut completions = Vec::with_capacity(expected);
+    let mut batches: Vec<Batch> = (0..workload::NUM_FUNCS).map(|_| Batch::new()).collect();
+    let mut scratch =
+        Scratch { xs: [0.0; BATCH], ys: [0.0; BATCH], pxs: [Posit32::ZERO; BATCH], pys: [Posit32::ZERO; BATCH] };
+    loop {
+        match queue.pop() {
+            Some(req) => {
+                metrics::requests(shard).add(1);
+                let f = workload::fold(req.func);
+                if batches[f].push(req) {
+                    flush(shard, f as u8, &mut batches[f], &mut scratch, queue, epoch, &mut completions);
+                }
+            }
+            None => {
+                let mut flushed = false;
+                for (f, batch) in batches.iter_mut().enumerate() {
+                    if batch.len > 0 {
+                        flush(shard, f as u8, batch, &mut scratch, queue, epoch, &mut completions);
+                        flushed = true;
+                    }
+                }
+                if !flushed {
+                    if stop.load(Ordering::Acquire) && queue.is_empty() {
+                        break;
+                    }
+                    // Closed-loop friendly idle: yield so producers (and,
+                    // on a single hardware thread, everyone else) run.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    completions
+}

@@ -144,6 +144,36 @@ fn instrumentation_never_changes_an_output_bit() {
     assert_eq!(runtime_output_checksum(), 0x67f0_f69c_f718_15ea);
 }
 
+/// The posit batched entry records its own slice counters
+/// (`runtime.slice.posit32.{chunks,requests}`), so serving-layer posit
+/// traffic is visible in TELEM snapshots alongside the f32 slice
+/// counters. Delta-based: other tests share the process registry.
+#[test]
+fn posit_slice_counters_track_chunks_and_requests() {
+    use rlibm::posit::Posit32;
+    rlibm::math::stats::register_all();
+    let read = |name: &str| {
+        rlibm::obs::snapshot()
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let chunks0 = read("runtime.slice.posit32.chunks");
+    let requests0 = read("runtime.slice.posit32.requests");
+    // 130 lanes = 3 chunks (64 + 64 + 2).
+    let xs: Vec<Posit32> = (0..130).map(|i| Posit32::from_f64(0.1 + f64::from(i))).collect();
+    let mut out = vec![Posit32::ZERO; xs.len()];
+    rlibm::math::eval_slice_posit32("exp", &xs, &mut out).expect("known name");
+    if rlibm::obs::enabled() {
+        assert_eq!(read("runtime.slice.posit32.chunks") - chunks0, 3);
+        assert_eq!(read("runtime.slice.posit32.requests") - requests0, 130);
+    } else {
+        assert_eq!(read("runtime.slice.posit32.chunks"), 0);
+        assert_eq!(read("runtime.slice.posit32.requests"), 0);
+    }
+}
+
 #[test]
 fn snapshot_carries_all_runtime_fallback_counters() {
     rlibm::math::stats::register_all();

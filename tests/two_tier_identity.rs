@@ -88,6 +88,48 @@ fn posit32_two_tier_matches_dd_on_stratified_sweep() {
     }
 }
 
+/// One checksum over the batched API's outputs on a FIXED input set,
+/// pinned to a constant — the feature-matrix identity gate. ci.sh runs
+/// this test with default features and again with `--features simd`;
+/// both must reproduce the same constant, so the AVX2 staged kernels
+/// cannot change a single output bit relative to the scalar reference
+/// (which is itself certified against dd above). The input set is
+/// deliberately independent of `per_exponent()` so the constant holds
+/// in debug and release builds alike: every bf16 pattern (specials,
+/// subnormals, saturation tails) plus a fixed 200k-draw biased sweep
+/// per function.
+#[test]
+fn batched_output_checksum_is_feature_invariant() {
+    use rlibm_fp::rng::{draw_biased_f32, XorShift64};
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bits: u32| {
+        for b in bits.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    let bf16: Vec<f32> =
+        (0..=u16::MAX).map(|b| rlibm::fp::BFloat16::from_bits(b).to_f64() as f32).collect();
+    for (i, f) in Func::ALL.iter().enumerate() {
+        let mut rng = XorShift64::new(0x51AB_C0DE ^ (i as u64));
+        let mut inputs = bf16.clone();
+        inputs.extend((0..200_000).map(|_| draw_biased_f32(&mut rng, f.name())));
+        let mut out = vec![0.0f32; inputs.len()];
+        rlibm::math::eval_slice_f32(f.name(), &inputs, &mut out).expect("known name");
+        for y in out {
+            // NaNs canonicalized: the identity contract for NaN lanes is
+            // "a NaN comes back", not a payload guarantee.
+            mix(if y.is_nan() { 0x7FC0_0000 } else { y.to_bits() });
+        }
+    }
+    assert_eq!(
+        h, 0x5AE7_6CCE_56B2_6D0E,
+        "batched outputs changed: if this fails only with --features simd, \
+         the AVX2 kernels diverged from the scalar reference; if it fails \
+         in both configs, the kernels changed (re-pin after re-certifying)"
+    );
+}
+
 /// The batched API must agree bit-for-bit with the scalar two-tier
 /// functions on the same stratified inputs (plus every bf16 pattern).
 #[test]
