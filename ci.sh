@@ -60,6 +60,34 @@ echo "== fault-injection smoke: corrupted fast paths never mis-round =="
 cargo run --release --offline -p rlibm-core --features fault \
     --bin fault_sweep -- 5000
 
+echo "== serve fault leg: chaos-injected supervision tests =="
+# The workspace test run above unifies features WITHOUT rlibm-serve's
+# `fault` (production builds carry no serve-layer injection sites), so
+# the chaos-dependent serve tests — panic salvage/restart, restart-budget
+# exhaustion, corruption detection — only compile and run here. Clippy
+# with the feature keeps the injection code under the same panic-free
+# gate as the rest of the serve library (the one deliberate chaos panic
+# site carries a scoped allow).
+cargo test -q --offline --release -p rlibm-serve --features fault
+cargo clippy --offline --lib -p rlibm-serve --features fault \
+    -- -D warnings \
+    -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
+
+echo "== chaos smoke: chaos_bench --quick + committed manifest check =="
+# Six adversarial scenarios against the supervised serving layer (shard
+# panic storms, deadline pressure, ring corruption, backpressure, drain
+# under load, kernel faults composed with panics); the bin asserts on
+# every scenario that each request ends as exactly one of a bit-identical
+# completion or an explicitly-reasoned shed record, with zero mis-rounded
+# outputs. --check re-validates the committed full-run manifest: schema,
+# per-row balance, zero mismatches, and the 100k-injection floor.
+mkdir -p target/bench-smoke
+cargo run --release --offline -p rlibm-bench --features fault --bin chaos_bench -- \
+    --quick --out target/bench-smoke/CHAOS_manifest.quick.json
+grep -q '"schema": "rlibm-chaos/v1"' target/bench-smoke/CHAOS_manifest.quick.json
+cargo run --release --offline -p rlibm-bench --features fault --bin chaos_bench -- \
+    --check CHAOS_manifest.json
+
 echo "== bench smoke: fig3 --quick + JSON schema =="
 # Quick-mode harness run, fully offline, writing under target/ so the
 # committed full-run BENCH_*.json files are never clobbered. Each
@@ -141,5 +169,7 @@ cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_vector.json BENCH_vector.json
 cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_serve.json BENCH_serve.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    CHAOS_manifest.json CHAOS_manifest.json
 
 echo "CI OK"

@@ -32,6 +32,9 @@ const KNOWN_SCHEMAS: &[&str] = &[
     "rlibm-bench/vector/v1",
     "rlibm-bench/gen/v1",
     "rlibm-bench/serve/v1",
+    // chaos_bench rows are scenarios, not functions, but carry ns_p50 /
+    // ns_p99 per scenario — comparable between runs of the same harness.
+    "rlibm-chaos/v1",
 ];
 
 struct Cli {

@@ -1,8 +1,10 @@
 //! Load generator for the `rlibm-serve` layer: runs the closed-loop
-//! sharded service against a synthetic mixed f32/posit workload,
-//! verifies every served response bit-identical to the scalar two-tier
-//! functions, and emits throughput plus p50/p99/p999 per-request
-//! latency into a schema-checked `BENCH_serve.json`
+//! sharded service (shards under their panic-isolating supervisors —
+//! the committed numbers include the supervision overhead) against a
+//! synthetic mixed f32/posit workload, verifies every served response
+//! bit-identical to the scalar two-tier functions and the accounting
+//! balanced with zero sheds, and emits throughput plus p50/p99/p999
+//! per-request latency into a schema-checked `BENCH_serve.json`
 //! (`rlibm-bench/serve/v1`, re-parsed and validated before exit).
 //!
 //! Latency fields are `ns_*` so `bench_compare` treats higher latency as
@@ -52,20 +54,21 @@ fn main() {
         if quick { " (quick mode)" } else { "" }
     );
 
-    let report = serve_closed_loop(&cfg);
+    // Supervision is always on now: each shard runs under its
+    // panic-isolating supervisor even on this healthy path, so the
+    // numbers below are the cost-inclusive ones.
+    let report = serve_closed_loop(&cfg).expect("healthy serve run");
+    assert!(report.balanced(), "completions + sheds must equal submitted");
     assert_eq!(
         report.completions.len() as u64,
         cfg.requests,
-        "every request must complete"
+        "a healthy run (no deadlines, no chaos) completes every request"
     );
+    assert!(report.sheds.is_empty(), "a healthy run sheds nothing");
+    assert!(report.failed_shards.is_empty(), "no shard may exhaust its restart budget");
 
     // Verify: the service answers with the scalar functions' exact bits.
-    let mut mismatches = 0u64;
-    for c in &report.completions {
-        if c.y_bits != workload::scalar_eval_bits(c.func, c.x_bits) {
-            mismatches += 1;
-        }
-    }
+    let mismatches = workload::count_mismatches(&report.completions);
     assert_eq!(mismatches, 0, "served responses must be bit-identical to scalar");
 
     // Percentiles: overall and per function id.
@@ -138,6 +141,13 @@ fn main() {
         .set("producers", report.producers as f64)
         .set("elapsed_ms", elapsed_ms)
         .set("requests_per_sec", rps)
+        // Supervision accounting: all zero on a healthy run, but the
+        // fields are committed so a regression that starts panicking or
+        // shedding shows up in the artifact diff, not just in timing.
+        .set("panics", report.panics as f64)
+        .set("restarts", report.restarts as f64)
+        .set("sheds", report.sheds.len() as f64)
+        .set("drain_ns", report.drain_ns as f64)
         .set("functions", rows);
     write_validated(&out_path, &doc, SCHEMA, PER_FN_FIELDS).expect("write BENCH json");
     println!("\nwrote {out_path} (schema {SCHEMA}, parsed + validated)");

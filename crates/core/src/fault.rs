@@ -156,9 +156,43 @@ pub fn sweep_all(target_injections_per_func: u64, seed: u64) -> Vec<FaultReport>
     reports
 }
 
+/// Snapshot of the kernel-level injection counters, per site, with the
+/// paper-table names attached: `(name, repr, injections)` in table
+/// order, f32 first. Harnesses that arm the hooks indirectly (the serve
+/// chaos harness arms them per worker thread) use this to attribute
+/// their kernel-fault totals to functions; counters are cumulative per
+/// process, so callers diff two snapshots around a run.
+pub fn site_injections() -> Vec<(&'static str, &'static str, u64)> {
+    let mut out = Vec::with_capacity(F32_FUNCS.len() + POSIT32_FUNCS.len());
+    for name in F32_FUNCS {
+        if let Some(site) = rlibm_math::stats::f32_slot_by_name(name) {
+            out.push((name, "f32", hooks::injected(site)));
+        }
+    }
+    for name in POSIT32_FUNCS {
+        if let Some(site) = rlibm_math::stats::posit32_slot_by_name(name) {
+            out.push((name, "posit32", hooks::injected(site)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_snapshot_diffs_attribute_injections() {
+        let before: u64 = site_injections().iter().map(|(_, _, n)| n).sum();
+        let r = sweep_f32("exp", 500, 0xABCD).expect("known name");
+        assert!(r.injected >= 500);
+        let after = site_injections();
+        assert_eq!(after.len(), F32_FUNCS.len() + POSIT32_FUNCS.len());
+        let total: u64 = after.iter().map(|(_, _, n)| n).sum();
+        assert!(total - before >= r.injected, "snapshot diff sees the sweep's injections");
+        let exp = after.iter().find(|(n, r, _)| *n == "exp" && *r == "f32").expect("exp row");
+        assert!(exp.2 >= 500);
+    }
 
     #[test]
     fn smoke_sweep_is_clean_and_injects() {

@@ -1,5 +1,6 @@
 //! rlibm-serve — a sharded, thread-per-core serving layer over the
-//! slice kernels.
+//! slice kernels, with a supervision and failure-handling layer that
+//! carries the correctness contract through crashes and overload.
 //!
 //! The shape of a production deployment, scaled to whatever the host
 //! offers: one worker thread ("shard") per core, each owning a bounded
@@ -8,35 +9,71 @@
 //! the 64-lane staged slice chunks (AVX2 under the `simd` feature) and
 //! answer with bit patterns identical to the scalar two-tier functions
 //! — the correctness contract of the whole stack carries through the
-//! service unchanged. Backpressure is structural: full rings push back
-//! on producers, so overload degrades throughput, not memory.
+//! service unchanged.
+//!
+//! The failure model extends the contract to the service layer itself
+//! (see DESIGN.md "Failure model"):
+//!
+//! * **Panic-isolated shards** — each worker body runs under
+//!   `catch_unwind` in a per-shard supervisor ([`supervisor`]) that
+//!   salvages the in-flight completion log and batches, requeues or
+//!   sheds the poisoned work, and restarts the shard with capped
+//!   exponential backoff. A shard that exhausts its restart budget
+//!   gives up *accountably*: its backlog becomes explicit
+//!   [`ShedReason::Poisoned`] records and the failure is surfaced in
+//!   [`ServeReport::failed_shards`].
+//! * **Deadlines and load shedding** — every [`Request`] carries a
+//!   deadline; past-deadline requests are shed as explicit
+//!   [`ShedReason::Deadline`] records, and producers push with a
+//!   bounded backoff budget, shedding [`ShedReason::Backpressure`] on
+//!   a persistently full ring instead of spinning forever. Nothing is
+//!   ever silently lost: `completions + sheds == submitted` always
+//!   ([`ServeReport::balanced`]).
+//! * **Graceful drain** — shutdown is a two-phase protocol on
+//!   [`supervisor::ServiceControl`]: close admission (producers shed
+//!   unsubmitted work as [`ShedReason::AdmissionClosed`]), then stop
+//!   workers once the rings are flushed; the per-shard
+//!   [`supervisor::ShardQuiesce`] report accounts for the retired
+//!   backlog.
+//! * **Integrity checks** — requests carry an enqueue-time checksum
+//!   verified at dequeue; a corrupted ring slot is detected and shed as
+//!   [`ShedReason::Corrupted`], never served with a wrong argument.
+//! * **Chaos injection** (feature `fault`, [`chaos`]) — seeded shard
+//!   panics, delayed flushes, request corruption and kernel-level fault
+//!   arming, driven at scale by the `chaos_bench` harness.
 //!
 //! There is no per-request allocation anywhere on the serve path: rings
 //! and accumulators are fixed arrays, staging buffers live on the worker
 //! stack, and the completion logs are pre-sized by the driver.
 //!
-//! Per-shard observability rides on `rlibm-obs` ([`metrics`]): request
-//! and batch counters, batch fill lanes, a queue-depth histogram and a
-//! per-request latency log2 histogram, all no-ops unless built with the
-//! `telemetry` feature.
+//! Per-shard observability rides on `rlibm-obs` ([`metrics`]): request,
+//! batch, panic and restart counters, shed counters by reason, a
+//! queue-depth histogram and a per-request latency log2 histogram, all
+//! no-ops unless built with the `telemetry` feature.
 //!
-//! [`serve_closed_loop`] is the in-process driver used by `serve_bench`:
-//! it spawns the shards and a set of synthetic-workload producers
-//! (XorShift64-seeded, domain-biased — see [`workload`]), runs the
-//! closed loop to completion, and returns every completion with its
-//! measured latency.
+//! [`serve_closed_loop`] is the in-process driver used by `serve_bench`
+//! and `chaos_bench`: it spawns the supervised shards and a set of
+//! synthetic-workload producers (XorShift64-seeded, domain-biased — see
+//! [`workload`]), runs the closed loop to completion through the drain
+//! protocol, and returns every completion and shed record.
 
+pub mod chaos;
 pub mod metrics;
 pub mod queue;
 mod shard;
+pub mod supervisor;
 pub mod workload;
 
-pub use shard::{Completion, Request, BATCH};
+pub use chaos::{ChaosConfig, ChaosStats};
+pub use shard::{make_tag, Completion, Request, Shed, ShedReason, BATCH, NO_DEADLINE, TAG_SEQ_BITS};
+pub use supervisor::{ServiceControl, ShardQuiesce};
 
 use queue::MpmcQueue;
 use rlibm_fp::rng::XorShift64;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Producer indices must fit the tag's high bits.
+pub const MAX_PRODUCERS: usize = 1 << 24;
 
 /// Closed-loop service run configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +90,28 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Share of traffic (out of 1000) routed to the posit32 table.
     pub posit_permille: u32,
+    /// Relative request deadline in ns (0 = no deadline): a request
+    /// still queued `deadline_ns` after its enqueue is shed as
+    /// [`ShedReason::Deadline`] instead of served.
+    pub deadline_ns: u64,
+    /// Producer push budget: attempts (spin, then yield) against a full
+    /// ring before the request is shed as
+    /// [`ShedReason::Backpressure`]. Min 1.
+    pub push_budget: u32,
+    /// Per-shard supervisor restart budget; a shard that panics more
+    /// than this gives up and drains its backlog into
+    /// [`ShedReason::Poisoned`] sheds.
+    pub max_restarts: u32,
+    /// Base supervisor backoff before a restart; doubles per restart,
+    /// capped at 64×.
+    pub restart_backoff_ns: u64,
+    /// When nonzero, a monitor closes admission this many ns after the
+    /// epoch — a mid-run graceful drain (producers shed the remainder
+    /// as [`ShedReason::AdmissionClosed`]).
+    pub drain_after_ns: u64,
+    /// Chaos injection plan (requires the `fault` feature; see
+    /// [`chaos`]). `None` = no injection.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -64,114 +123,386 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             seed: 0x524C_4942_4D33_32A1,
             posit_permille: 250,
+            deadline_ns: 0,
+            push_budget: 1 << 16,
+            max_restarts: 64,
+            restart_backoff_ns: 100_000,
+            drain_after_ns: 0,
+            chaos: None,
         }
     }
 }
 
-/// Everything a closed-loop run produced.
+/// Config rejected before any thread spawns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// More producers than the tag's high bits can index.
+    TooManyProducers { producers: usize },
+    /// A producer's request quota would overflow its 2^40 tag sequence
+    /// space, breaking the exactly-once dedup check.
+    TagSpaceOverflow { per_producer: u64 },
+    /// A chaos plan was supplied but this build has the `fault` feature
+    /// off — injection would silently not happen.
+    ChaosRequiresFaultFeature,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::TooManyProducers { producers } => {
+                write!(f, "{producers} producers exceed the 2^24 tag namespace")
+            }
+            ConfigError::TagSpaceOverflow { per_producer } => write!(
+                f,
+                "{per_producer} requests per producer exceed the 2^{TAG_SEQ_BITS} tag sequence space"
+            ),
+            ConfigError::ChaosRequiresFaultFeature => {
+                write!(f, "chaos config supplied but the `fault` feature is compiled out")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A closed-loop run that could not account for every request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configuration was rejected up front.
+    Config(ConfigError),
+    /// A shard thread died outside the supervised region; its
+    /// completion log is gone. (The supervisor catches worker panics,
+    /// so this indicates a bug in the supervisor itself.)
+    ShardLost { shard: usize },
+    /// A producer thread panicked; the submitted-request ground truth
+    /// is gone.
+    ProducerLost { producer: usize },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "invalid serve config: {e}"),
+            ServeError::ShardLost { shard } => {
+                write!(f, "shard {shard} died outside supervision; its log is lost")
+            }
+            ServeError::ProducerLost { producer } => {
+                write!(f, "producer {producer} panicked; submission accounting is lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> ServeError {
+        ServeError::Config(e)
+    }
+}
+
+impl ServeConfig {
+    /// Rejects configurations whose failure-accounting guarantees could
+    /// not hold: tag-space overflow (which would break exactly-once
+    /// dedup) and chaos plans on builds that cannot inject.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let producers = self.producers.max(1);
+        if producers > MAX_PRODUCERS {
+            return Err(ConfigError::TooManyProducers { producers });
+        }
+        let per_producer = self.requests / producers as u64 + 1;
+        if per_producer >= 1u64 << TAG_SEQ_BITS {
+            return Err(ConfigError::TagSpaceOverflow { per_producer });
+        }
+        if self.chaos.is_some() && !chaos::injection_compiled_in() {
+            return Err(ConfigError::ChaosRequiresFaultFeature);
+        }
+        Ok(())
+    }
+}
+
+/// Everything a closed-loop run produced. `completions + sheds`
+/// partition the submitted requests: nothing is ever silently lost
+/// ([`ServeReport::balanced`]).
 #[derive(Debug)]
 pub struct ServeReport {
     /// Every served request with its measured latency (order is
     /// per-shard completion order, shards concatenated).
     pub completions: Vec<Completion>,
+    /// Every explicitly shed request, with its reason (shard sheds
+    /// first, then producer-side sheds).
+    pub sheds: Vec<Shed>,
+    /// Requests the producers generated (the accounting denominator).
+    pub submitted: u64,
     /// Wall-clock duration of the whole run in nanoseconds.
     pub elapsed_ns: u64,
+    /// Drain time: stop raised → last worker joined, in nanoseconds.
+    pub drain_ns: u64,
     /// Shard count actually used (after clamping).
     pub shards: usize,
     /// Producer count actually used.
     pub producers: usize,
+    /// Worker panics caught by the supervisors.
+    pub panics: u64,
+    /// Shard restarts the supervisors performed.
+    pub restarts: u64,
+    /// Shards that exhausted their restart budget and drained their
+    /// backlog into `Poisoned` sheds. Empty on a healthy run.
+    pub failed_shards: Vec<usize>,
+    /// Exact chaos injection counts (all zero without the `fault`
+    /// feature or with no chaos plan).
+    pub chaos: ChaosStats,
+    /// Per-shard drain accounting from the quiesce protocol.
+    pub quiesce: Vec<ShardQuiesce>,
 }
 
 impl ServeReport {
-    /// Overall throughput in requests per second.
+    /// Overall throughput in requests per second (completions only).
     pub fn requests_per_sec(&self) -> f64 {
         if self.elapsed_ns == 0 {
             return 0.0;
         }
         self.completions.len() as f64 * 1e9 / self.elapsed_ns as f64
     }
+
+    /// The no-silent-loss invariant: every submitted request ended as
+    /// exactly one completion or one explicit shed record.
+    pub fn balanced(&self) -> bool {
+        self.completions.len() as u64 + self.sheds.len() as u64 == self.submitted
+    }
+
+    /// Shed records with the given reason.
+    pub fn shed_count(&self, reason: ShedReason) -> u64 {
+        self.sheds.iter().filter(|s| s.reason == reason).count() as u64
+    }
+}
+
+/// Requests producer `p` generates out of `total` split over
+/// `producers` streams (round-robin remainder to the low indices).
+pub fn producer_quota(total: u64, producers: usize, p: usize) -> u64 {
+    total / producers as u64 + u64::from((p as u64) < total % producers as u64)
+}
+
+/// What one producer thread hands back: its explicit shed records.
+struct ProducerOutcome {
+    sheds: Vec<Shed>,
+}
+
+/// Bounded-backoff push: a few spins, then yields, up to `budget`
+/// attempts. Returns the request on a persistently full ring (the
+/// typed `Sheddable` outcome) or when admission closes mid-wait.
+fn push_with_backoff(
+    queue: &MpmcQueue<Request>,
+    mut req: Request,
+    budget: u32,
+    ctrl: &ServiceControl,
+) -> Result<u32, Request> {
+    for attempt in 0..budget.max(1) {
+        match queue.push(req) {
+            Ok(()) => return Ok(attempt + 1),
+            Err(back) => {
+                req = back;
+                if ctrl.admission_closed() {
+                    return Err(req);
+                }
+                if attempt < 32 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    Err(req)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn producer_loop(
+    p: usize,
+    cfg: &ServeConfig,
+    queues: &[MpmcQueue<Request>],
+    shards: usize,
+    producers: usize,
+    ctrl: &ServiceControl,
+    epoch: Instant,
+) -> ProducerOutcome {
+    // Distinct, deterministic stream per producer.
+    let mut rng = XorShift64::new(cfg.seed ^ (p as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n = producer_quota(cfg.requests, producers, p);
+    let mut rr = p;
+    let mut sheds = Vec::new();
+    for j in 0..n {
+        // Always draw the payload, even when shedding: the submitted
+        // stream stays a function of the seed alone, so ground truth
+        // (and the sharding-independence property) survives a drain.
+        let func = workload::pick_func(&mut rng, cfg.posit_permille);
+        let x_bits = workload::synth_bits(&mut rng, func);
+        let tag = make_tag(p, j);
+        if ctrl.admission_closed() {
+            metrics::shed_counter(ShedReason::AdmissionClosed).add(1);
+            sheds.push(Shed { func, x_bits, tag, reason: ShedReason::AdmissionClosed });
+            continue;
+        }
+        let t_enqueue_ns = epoch.elapsed().as_nanos() as u64;
+        let deadline_ns = if cfg.deadline_ns == 0 {
+            NO_DEADLINE
+        } else {
+            t_enqueue_ns.saturating_add(cfg.deadline_ns)
+        };
+        let req = Request::new(func, x_bits, tag, t_enqueue_ns, deadline_ns);
+        match push_with_backoff(&queues[rr % shards], req, cfg.push_budget, ctrl) {
+            // Record only contended pushes: a first-try success is the
+            // overwhelmingly common case, and two histogram atomics per
+            // request would tax the hot path just to count ones.
+            Ok(attempts) => {
+                if attempts > 1 {
+                    metrics::push_attempts().record(u64::from(attempts));
+                }
+            }
+            Err(req) => {
+                metrics::push_attempts().record(u64::from(cfg.push_budget.max(1)));
+                let reason = if ctrl.admission_closed() {
+                    ShedReason::AdmissionClosed
+                } else {
+                    ShedReason::Backpressure
+                };
+                metrics::shed_counter(reason).add(1);
+                sheds.push(Shed { func: req.func, x_bits: req.x_bits, tag: req.tag, reason });
+            }
+        }
+        rr = rr.wrapping_add(1);
+    }
+    ProducerOutcome { sheds }
 }
 
 /// Runs the service as a closed loop: `producers` synthetic-workload
 /// threads push `requests` total requests round-robin into the shard
-/// rings (yield-spinning on backpressure), shards serve until every
-/// producer has finished and the rings are dry, and every completion is
-/// returned. Deterministic workload per seed; the serve outputs are
-/// bit-identical to the scalar functions regardless of sharding.
-pub fn serve_closed_loop(cfg: &ServeConfig) -> ServeReport {
+/// rings (bounded-backoff, shedding on overflow), supervised shards
+/// serve until the drain protocol completes, and every completion and
+/// shed record is returned. Deterministic workload per seed; the serve
+/// outputs are bit-identical to the scalar functions regardless of
+/// sharding, supervision, or injected faults.
+///
+/// `Err` is reserved for runs whose accounting is genuinely lost (a
+/// thread died outside supervision, or the config was rejected);
+/// degraded-but-accounted runs — restarts, sheds, even a shard giving
+/// up — come back as `Ok` with the damage itemized in the report.
+pub fn serve_closed_loop(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
+    cfg.validate()?;
     let shards = cfg.shards.clamp(1, metrics::MAX_SHARDS);
     let producers = cfg.producers.max(1);
     let total = cfg.requests;
     let queues: Vec<MpmcQueue<Request>> =
         (0..shards).map(|_| MpmcQueue::with_capacity(cfg.queue_capacity)).collect();
-    let stop = AtomicBool::new(false);
+    let ctrl = ServiceControl::new();
     let epoch = Instant::now();
     // Round-robin routing bounds any shard's share of the traffic by
     // one extra request per producer; pad by a batch for slack so the
     // completion log never reallocates mid-run.
     let per_shard = (total as usize) / shards + producers + BATCH;
-    let mut shard_logs: Vec<Vec<Completion>> = Vec::with_capacity(shards);
+    let mut shard_outcomes: Vec<Option<supervisor::ShardOutcome>> = Vec::with_capacity(shards);
+    let mut producer_outcomes: Vec<Option<ProducerOutcome>> = Vec::with_capacity(producers);
+    let mut drain_ns = 0u64;
     std::thread::scope(|s| {
+        if cfg.drain_after_ns > 0 {
+            let ctrl = &ctrl;
+            let drain_after = cfg.drain_after_ns;
+            s.spawn(move || {
+                // Mid-run drain monitor: close admission once the
+                // deadline passes (or quit early if the run finished).
+                while !ctrl.stopping() {
+                    if epoch.elapsed().as_nanos() as u64 >= drain_after {
+                        ctrl.close_admission();
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            });
+        }
         let workers: Vec<_> = (0..shards)
             .map(|i| {
                 let q = &queues[i];
-                let stop = &stop;
-                s.spawn(move || shard::shard_worker(i, q, stop, epoch, per_shard))
+                let ctrl = &ctrl;
+                let chaos = cfg.chaos.as_ref();
+                s.spawn(move || {
+                    supervisor::supervise_shard(
+                        i,
+                        q,
+                        ctrl,
+                        epoch,
+                        per_shard,
+                        cfg.max_restarts,
+                        cfg.restart_backoff_ns,
+                        chaos,
+                    )
+                })
             })
             .collect();
         let prods: Vec<_> = (0..producers)
             .map(|p| {
                 let queues = &queues;
-                s.spawn(move || {
-                    // Distinct, deterministic stream per producer.
-                    let mut rng = XorShift64::new(
-                        cfg.seed ^ (p as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
-                    let n = total / producers as u64
-                        + u64::from((p as u64) < total % producers as u64);
-                    let mut rr = p;
-                    for j in 0..n {
-                        let func = workload::pick_func(&mut rng, cfg.posit_permille);
-                        let x_bits = workload::synth_bits(&mut rng, func);
-                        let mut req = Request {
-                            func,
-                            x_bits,
-                            tag: ((p as u32) << 24) | (j as u32 & 0x00FF_FFFF),
-                            t_enqueue_ns: epoch.elapsed().as_nanos() as u64,
-                        };
-                        loop {
-                            match queues[rr % shards].push(req) {
-                                Ok(()) => break,
-                                Err(back) => {
-                                    // Ring full: structural backpressure.
-                                    req = back;
-                                    std::thread::yield_now();
-                                }
-                            }
-                        }
-                        rr = rr.wrapping_add(1);
-                    }
-                })
+                let ctrl = &ctrl;
+                s.spawn(move || producer_loop(p, cfg, queues, shards, producers, ctrl, epoch))
             })
             .collect();
         for h in prods {
-            let _ = h.join();
+            producer_outcomes.push(h.join().ok());
         }
-        // All producers joined: nothing can push after this store, so a
-        // worker observing stop && empty is truly done.
-        stop.store(true, Ordering::Release);
+        // Drain: close admission (idempotent with the monitor), then —
+        // with every producer joined, so nothing can race the flag —
+        // raise stop. Workers flush partial batches and exit once their
+        // rings are dry.
+        ctrl.close_admission();
+        ctrl.raise_stop();
+        let drain_t0 = Instant::now();
         for h in workers {
-            if let Ok(log) = h.join() {
-                shard_logs.push(log);
-            }
+            shard_outcomes.push(h.join().ok());
         }
+        drain_ns = drain_t0.elapsed().as_nanos() as u64;
     });
     let elapsed_ns = epoch.elapsed().as_nanos() as u64;
-    let mut completions = Vec::with_capacity(total as usize);
-    for log in shard_logs {
-        completions.extend_from_slice(&log);
+    if let Some(p) = producer_outcomes.iter().position(Option::is_none) {
+        return Err(ServeError::ProducerLost { producer: p });
     }
-    ServeReport { completions, elapsed_ns, shards, producers }
+    if let Some(i) = shard_outcomes.iter().position(Option::is_none) {
+        return Err(ServeError::ShardLost { shard: i });
+    }
+    let mut completions = Vec::with_capacity(total as usize);
+    let mut sheds = Vec::new();
+    let mut panics = 0u64;
+    let mut restarts = 0u64;
+    let mut failed_shards = Vec::new();
+    let mut chaos_stats = ChaosStats::default();
+    let mut quiesce = Vec::with_capacity(shards);
+    for (i, outcome) in shard_outcomes.into_iter().enumerate() {
+        let o = outcome.unwrap_or_else(|| unreachable!("checked above"));
+        completions.extend_from_slice(&o.completions);
+        sheds.extend_from_slice(&o.sheds);
+        panics += o.panics;
+        restarts += o.restarts;
+        if o.gave_up {
+            failed_shards.push(i);
+        }
+        chaos_stats.accumulate(o.chaos);
+        quiesce.push(o.quiesce);
+    }
+    for outcome in producer_outcomes.into_iter().flatten() {
+        sheds.extend_from_slice(&outcome.sheds);
+    }
+    Ok(ServeReport {
+        completions,
+        sheds,
+        submitted: total,
+        elapsed_ns,
+        drain_ns,
+        shards,
+        producers,
+        panics,
+        restarts,
+        failed_shards,
+        chaos: chaos_stats,
+        quiesce,
+    })
 }
 
 /// Forces every serve metric into the registry (see
@@ -192,6 +523,7 @@ mod tests {
             queue_capacity: 256,
             seed: 0x5EED,
             posit_permille: 300,
+            ..ServeConfig::default()
         }
     }
 
@@ -201,26 +533,21 @@ mod tests {
     #[test]
     fn closed_loop_serves_everything_bit_identically() {
         let cfg = small_cfg();
-        let report = serve_closed_loop(&cfg);
+        let report = serve_closed_loop(&cfg).expect("healthy run");
         assert_eq!(report.completions.len() as u64, cfg.requests);
+        assert!(report.sheds.is_empty(), "no sheds without deadlines or chaos");
+        assert!(report.balanced());
         assert!(report.elapsed_ns > 0);
-        let mut posit_seen = false;
-        for c in &report.completions {
-            let want = workload::scalar_eval_bits(c.func, c.x_bits);
-            assert_eq!(
-                c.y_bits,
-                want,
-                "func {} x {:#010x}: served {:#010x} vs scalar {:#010x}",
-                workload::func_label(c.func),
-                c.x_bits,
-                c.y_bits,
-                want
-            );
-            posit_seen |= workload::is_posit(c.func);
-        }
-        assert!(posit_seen, "posit share of the workload was served");
+        assert_eq!(report.panics, 0);
+        assert_eq!(report.restarts, 0);
+        assert!(report.failed_shards.is_empty());
+        assert_eq!(workload::count_mismatches(&report.completions), 0);
+        assert!(
+            report.completions.iter().any(|c| workload::is_posit(c.func)),
+            "posit share of the workload was served"
+        );
         // Tags are unique: each request completed exactly once.
-        let mut tags: Vec<u32> = report.completions.iter().map(|c| c.tag).collect();
+        let mut tags: Vec<u64> = report.completions.iter().map(|c| c.tag).collect();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len() as u64, cfg.requests);
@@ -231,14 +558,15 @@ mod tests {
     /// what is computed, only when.
     #[test]
     fn serve_results_independent_of_sharding() {
-        fn result_set(shards: usize, queue_capacity: usize) -> Vec<(u32, u32, u32)> {
+        fn result_set(shards: usize, queue_capacity: usize) -> Vec<(u64, u32, u32)> {
             let report = serve_closed_loop(&ServeConfig {
                 shards,
                 queue_capacity,
                 requests: 4_000,
                 ..small_cfg()
-            });
-            let mut v: Vec<(u32, u32, u32)> =
+            })
+            .expect("healthy run");
+            let mut v: Vec<(u64, u32, u32)> =
                 report.completions.iter().map(|c| (c.tag, c.x_bits, c.y_bits)).collect();
             v.sort_unstable();
             v
@@ -253,7 +581,7 @@ mod tests {
         register_metrics();
         let before = metrics::total_requests();
         let cfg = small_cfg();
-        let report = serve_closed_loop(&cfg);
+        let report = serve_closed_loop(&cfg).expect("healthy run");
         assert_eq!(report.completions.len() as u64, cfg.requests);
         let after = metrics::total_requests();
         if rlibm_obs::enabled() {
@@ -272,10 +600,220 @@ mod tests {
             queue_capacity: 0,
             seed: 1,
             posit_permille: 1000,
-        });
+            ..ServeConfig::default()
+        })
+        .expect("healthy run");
         assert_eq!(report.shards, 1);
         assert_eq!(report.producers, 1);
         assert_eq!(report.completions.len(), 100);
         assert!(report.completions.iter().all(|c| workload::is_posit(c.func)));
+    }
+
+    /// Tag-space overflow is a typed config error, not a silent
+    /// collision: 2^40 requests on one producer would wrap the
+    /// sequence bits.
+    #[test]
+    fn config_validation_rejects_tag_overflow() {
+        let cfg = ServeConfig { producers: 1, requests: u64::MAX / 2, ..ServeConfig::default() };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::TagSpaceOverflow { per_producer: u64::MAX / 2 + 1 })
+        );
+        assert!(matches!(
+            serve_closed_loop(&cfg),
+            Err(ServeError::Config(ConfigError::TagSpaceOverflow { .. }))
+        ));
+        // The committed bench config (and anything remotely plausible)
+        // is fine.
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+    }
+
+    /// A chaos plan on a build without the `fault` feature is rejected
+    /// loudly instead of silently not injecting.
+    #[cfg(not(feature = "fault"))]
+    #[test]
+    fn chaos_config_requires_fault_feature() {
+        let cfg = ServeConfig { chaos: Some(ChaosConfig::default()), ..small_cfg() };
+        assert_eq!(cfg.validate(), Err(ConfigError::ChaosRequiresFaultFeature));
+    }
+
+    /// An aggressive deadline sheds explicitly — and the accounting
+    /// still balances: every request is a completion or a shed record.
+    #[test]
+    fn deadline_sheds_are_explicit_and_balanced() {
+        let report = serve_closed_loop(&ServeConfig {
+            deadline_ns: 1, // everything is past-deadline by dequeue time
+            requests: 20_000,
+            ..small_cfg()
+        })
+        .expect("healthy run");
+        assert!(report.balanced(), "deadline shedding must not lose requests");
+        assert!(
+            report.shed_count(ShedReason::Deadline) > 0,
+            "a 1ns deadline must shed at dequeue"
+        );
+        assert_eq!(workload::count_mismatches(&report.completions), 0);
+        // Exactly-once across BOTH outcome kinds.
+        let mut tags: Vec<u64> = report
+            .completions
+            .iter()
+            .map(|c| c.tag)
+            .chain(report.sheds.iter().map(|s| s.tag))
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len() as u64, report.submitted);
+    }
+
+    /// A mid-run drain stops admission, sheds the unsubmitted remainder
+    /// explicitly, and still quiesces with balanced accounting.
+    #[test]
+    fn mid_run_drain_is_graceful_and_accounted() {
+        let report = serve_closed_loop(&ServeConfig {
+            requests: 2_000_000,
+            drain_after_ns: 2_000_000, // 2ms into a much longer run
+            ..small_cfg()
+        })
+        .expect("healthy run");
+        assert!(report.balanced());
+        assert!(
+            report.shed_count(ShedReason::AdmissionClosed) > 0,
+            "the drain monitor must have cut admission mid-run"
+        );
+        assert!(!report.completions.is_empty(), "work admitted before the drain is served");
+        assert_eq!(workload::count_mismatches(&report.completions), 0);
+        assert_eq!(report.quiesce.len(), report.shards);
+    }
+
+    /// The bounded-backoff push surfaces a typed overflow outcome
+    /// instead of spinning forever: with no consumer, a full ring and
+    /// an exhausted budget hand the request back.
+    #[test]
+    fn push_backoff_returns_request_when_budget_exhausts() {
+        let ctrl = ServiceControl::new();
+        let q: MpmcQueue<Request> = MpmcQueue::with_capacity(2);
+        for j in 0..2 {
+            let r = Request::new(0, 0, make_tag(0, j), 0, NO_DEADLINE);
+            assert!(push_with_backoff(&q, r, 4, &ctrl).is_ok());
+        }
+        let r = Request::new(0, 7, make_tag(0, 2), 0, NO_DEADLINE);
+        let back = push_with_backoff(&q, r, 4, &ctrl).expect_err("ring is full");
+        assert_eq!(back.tag, make_tag(0, 2));
+        assert_eq!(back.x_bits, 7);
+        // Closing admission short-circuits the wait.
+        ctrl.close_admission();
+        let r = Request::new(0, 8, make_tag(0, 3), 0, NO_DEADLINE);
+        assert!(push_with_backoff(&q, r, u32::MAX, &ctrl).is_err());
+    }
+
+    /// Chaos-injected shard panics cannot shrink the completion log
+    /// unnoticed: the supervisor salvages in-flight work, restarts the
+    /// shard, and the run still accounts for every request. This is the
+    /// regression test for the old `if let Ok(log) = h.join()` silent
+    /// loss.
+    #[cfg(feature = "fault")]
+    #[test]
+    fn panicking_shard_cannot_shrink_completions_unnoticed() {
+        suppress_chaos_panic_output();
+        let cfg = ServeConfig {
+            requests: 30_000,
+            restart_backoff_ns: 1_000,
+            max_restarts: u32::MAX,
+            chaos: Some(ChaosConfig {
+                seed: 0xC405,
+                panic_per_million: 50_000, // 5% of flushes unwind
+                ..ChaosConfig::default()
+            }),
+            ..small_cfg()
+        };
+        let report = serve_closed_loop(&cfg).expect("supervised run");
+        assert!(report.panics > 0, "the chaos plan must actually inject panics");
+        assert_eq!(report.panics, report.chaos.panics);
+        assert_eq!(report.restarts, report.panics, "every panic restarts within budget");
+        assert!(report.balanced(), "panics must not lose requests");
+        assert_eq!(workload::count_mismatches(&report.completions), 0);
+        let mut tags: Vec<u64> = report
+            .completions
+            .iter()
+            .map(|c| c.tag)
+            .chain(report.sheds.iter().map(|s| s.tag))
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len() as u64, cfg.requests, "exactly-once across panics");
+    }
+
+    /// A shard that exhausts its restart budget gives up accountably:
+    /// the run terminates (this test completing is the no-hang proof),
+    /// the failure is itemized, and the backlog becomes explicit
+    /// Poisoned sheds rather than vanishing.
+    #[cfg(feature = "fault")]
+    #[test]
+    fn restart_budget_exhaustion_degrades_without_losing_requests() {
+        suppress_chaos_panic_output();
+        let report = serve_closed_loop(&ServeConfig {
+            requests: 20_000,
+            restart_backoff_ns: 1_000,
+            max_restarts: 1,
+            chaos: Some(ChaosConfig {
+                seed: 0xDEAD,
+                panic_per_million: 1_000_000, // every flush panics
+                ..ChaosConfig::default()
+            }),
+            ..small_cfg()
+        })
+        .expect("degraded but accounted run");
+        assert!(!report.failed_shards.is_empty(), "shards must exhaust the 1-restart budget");
+        assert!(report.balanced(), "given-up shards must shed, not lose");
+        assert!(report.shed_count(ShedReason::Poisoned) > 0);
+        assert_eq!(workload::count_mismatches(&report.completions), 0);
+    }
+
+    /// Every injected ring corruption is detected by the per-request
+    /// checksum and shed explicitly — zero corrupted arguments are ever
+    /// served.
+    #[cfg(feature = "fault")]
+    #[test]
+    fn corruption_is_always_detected_and_shed() {
+        suppress_chaos_panic_output();
+        let report = serve_closed_loop(&ServeConfig {
+            requests: 30_000,
+            chaos: Some(ChaosConfig {
+                seed: 0xBAD5_107,
+                corrupt_per_million: 30_000, // 3% of dequeues corrupted
+                ..ChaosConfig::default()
+            }),
+            ..small_cfg()
+        })
+        .expect("supervised run");
+        assert!(report.chaos.corruptions > 0, "the chaos plan must actually corrupt");
+        assert_eq!(
+            report.shed_count(ShedReason::Corrupted),
+            report.chaos.corruptions,
+            "every corruption is detected, no more and no fewer"
+        );
+        assert!(report.balanced());
+        assert_eq!(workload::count_mismatches(&report.completions), 0);
+    }
+
+    /// Replaces the default panic hook with one that stays quiet for
+    /// injected chaos panics (they are expected by the supervisor) but
+    /// still reports everything else.
+    #[cfg(feature = "fault")]
+    fn suppress_chaos_panic_output() {
+        use std::sync::Once;
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.starts_with("chaos:"));
+                if !injected {
+                    default_hook(info);
+                }
+            }));
+        });
     }
 }

@@ -14,8 +14,30 @@
 //! * `serve.shard<i>.queue_depth` — log2 histogram of ring occupancy
 //!   sampled at every flush;
 //! * `serve.shard<i>.latency_ns` — log2 histogram of per-request
-//!   enqueue-to-completion latency.
+//!   enqueue-to-completion latency;
+//! * `serve.shard<i>.panics` / `serve.shard<i>.restarts` — worker
+//!   panics caught by the supervisor and the restarts it performed
+//!   (panics == restarts unless a shard exhausted its budget).
+//!
+//! Note: `serve.shard<i>.requests` counts *dequeues*; a batch requeued
+//! after a salvaged panic is dequeued again, so under chaos the counter
+//! can exceed the number of distinct requests (the report's tag
+//! accounting, not this counter, is the exactly-once evidence).
+//!
+//! Service-wide (not per shard):
+//! * `serve.shed.{deadline,backpressure,admission,corrupted,poisoned}`
+//!   — explicit shed records by reason;
+//! * `serve.shed.overdue_ns` — histogram of how far past its deadline
+//!   each deadline-shed request was;
+//! * `serve.push.attempts` — histogram of producer push attempts for
+//!   *contended* pushes (first-try successes are not recorded, keeping
+//!   two atomics off the uncontended hot path; the distribution is the
+//!   backpressure / contention signal);
+//! * `serve.chaos.{panics,delays,corruptions}` — injections performed
+//!   by the chaos layer (`fault` feature; exact counts also travel in
+//!   `ServeReport::chaos`).
 
+use crate::shard::ShedReason;
 use rlibm_obs::{Counter, Histogram};
 
 /// Number of metric slots (and the driver's shard-count cap).
@@ -76,6 +98,40 @@ static LATENCY_NS: [Histogram; MAX_SHARDS] = [
     Histogram::new("serve.shard7.latency_ns"),
 ];
 
+static PANICS: [Counter; MAX_SHARDS] = [
+    Counter::new("serve.shard0.panics"),
+    Counter::new("serve.shard1.panics"),
+    Counter::new("serve.shard2.panics"),
+    Counter::new("serve.shard3.panics"),
+    Counter::new("serve.shard4.panics"),
+    Counter::new("serve.shard5.panics"),
+    Counter::new("serve.shard6.panics"),
+    Counter::new("serve.shard7.panics"),
+];
+
+static RESTARTS: [Counter; MAX_SHARDS] = [
+    Counter::new("serve.shard0.restarts"),
+    Counter::new("serve.shard1.restarts"),
+    Counter::new("serve.shard2.restarts"),
+    Counter::new("serve.shard3.restarts"),
+    Counter::new("serve.shard4.restarts"),
+    Counter::new("serve.shard5.restarts"),
+    Counter::new("serve.shard6.restarts"),
+    Counter::new("serve.shard7.restarts"),
+];
+
+static SHED_DEADLINE: Counter = Counter::new("serve.shed.deadline");
+static SHED_BACKPRESSURE: Counter = Counter::new("serve.shed.backpressure");
+static SHED_ADMISSION: Counter = Counter::new("serve.shed.admission");
+static SHED_CORRUPTED: Counter = Counter::new("serve.shed.corrupted");
+static SHED_POISONED: Counter = Counter::new("serve.shed.poisoned");
+static SHED_OVERDUE_NS: Histogram = Histogram::new("serve.shed.overdue_ns");
+static PUSH_ATTEMPTS: Histogram = Histogram::new("serve.push.attempts");
+
+static CHAOS_PANICS: Counter = Counter::new("serve.chaos.panics");
+static CHAOS_DELAYS: Counter = Counter::new("serve.chaos.delays");
+static CHAOS_CORRUPTIONS: Counter = Counter::new("serve.chaos.corruptions");
+
 #[inline]
 fn slot(shard: usize) -> usize {
     shard % MAX_SHARDS
@@ -101,9 +157,70 @@ pub(crate) fn latency_ns(shard: usize) -> &'static Histogram {
     &LATENCY_NS[slot(shard)]
 }
 
+pub(crate) fn panics(shard: usize) -> &'static Counter {
+    &PANICS[slot(shard)]
+}
+
+pub(crate) fn restarts(shard: usize) -> &'static Counter {
+    &RESTARTS[slot(shard)]
+}
+
+pub(crate) fn shed_counter(reason: ShedReason) -> &'static Counter {
+    match reason {
+        ShedReason::Deadline => &SHED_DEADLINE,
+        ShedReason::Backpressure => &SHED_BACKPRESSURE,
+        ShedReason::AdmissionClosed => &SHED_ADMISSION,
+        ShedReason::Corrupted => &SHED_CORRUPTED,
+        ShedReason::Poisoned => &SHED_POISONED,
+    }
+}
+
+pub(crate) fn shed_overdue_ns() -> &'static Histogram {
+    &SHED_OVERDUE_NS
+}
+
+pub(crate) fn push_attempts() -> &'static Histogram {
+    &PUSH_ATTEMPTS
+}
+
+#[cfg(feature = "fault")]
+pub(crate) fn chaos_panics() -> &'static Counter {
+    &CHAOS_PANICS
+}
+
+#[cfg(feature = "fault")]
+pub(crate) fn chaos_delays() -> &'static Counter {
+    &CHAOS_DELAYS
+}
+
+#[cfg(feature = "fault")]
+pub(crate) fn chaos_corruptions() -> &'static Counter {
+    &CHAOS_CORRUPTIONS
+}
+
 /// Total requests served across every shard slot (0 without telemetry).
 pub fn total_requests() -> u64 {
     REQUESTS.iter().map(|c| c.get()).sum()
+}
+
+/// Total caught panics across every shard slot (0 without telemetry).
+pub fn total_panics() -> u64 {
+    PANICS.iter().map(|c| c.get()).sum()
+}
+
+/// Total supervisor restarts across every shard slot (0 without
+/// telemetry).
+pub fn total_restarts() -> u64 {
+    RESTARTS.iter().map(|c| c.get()).sum()
+}
+
+/// Total explicit sheds across every reason (0 without telemetry).
+pub fn total_sheds() -> u64 {
+    SHED_DEADLINE.get()
+        + SHED_BACKPRESSURE.get()
+        + SHED_ADMISSION.get()
+        + SHED_CORRUPTED.get()
+        + SHED_POISONED.get()
 }
 
 /// Forces every per-shard metric into the snapshot registry at zero, so
@@ -115,5 +232,17 @@ pub fn register_metrics() {
         batch_lanes(i).register();
         queue_depth(i).register();
         latency_ns(i).register();
+        panics(i).register();
+        restarts(i).register();
     }
+    SHED_DEADLINE.register();
+    SHED_BACKPRESSURE.register();
+    SHED_ADMISSION.register();
+    SHED_CORRUPTED.register();
+    SHED_POISONED.register();
+    SHED_OVERDUE_NS.register();
+    PUSH_ATTEMPTS.register();
+    CHAOS_PANICS.register();
+    CHAOS_DELAYS.register();
+    CHAOS_CORRUPTIONS.register();
 }

@@ -70,6 +70,23 @@ impl<T> MpmcQueue<T> {
         self.slots.len()
     }
 
+    /// A queue whose tickets start at `base` instead of 0, so tests can
+    /// exercise the wrapping ticket arithmetic near `usize::MAX`
+    /// without pushing 2^64 elements first.
+    #[cfg(test)]
+    fn with_capacity_at_base(capacity: usize, base: usize) -> MpmcQueue<T> {
+        let q = MpmcQueue::with_capacity(capacity);
+        // Free-state invariant: the slot that ticket `base + k` maps to
+        // must carry seq `base + k`.
+        for k in 0..q.slots.len() {
+            let pos = base.wrapping_add(k);
+            q.slots[pos & q.mask].seq.store(pos, Ordering::Relaxed);
+        }
+        q.enqueue_pos.0.store(base, Ordering::Relaxed);
+        q.dequeue_pos.0.store(base, Ordering::Relaxed);
+        q
+    }
+
     /// Attempts to enqueue; a full ring hands the value back so the
     /// caller owns the backpressure policy (spin, yield, drop).
     pub fn push(&self, value: T) -> Result<(), T> {
@@ -250,5 +267,118 @@ mod tests {
         let n = PRODUCERS * PER_PRODUCER;
         assert_eq!(popped_n.load(Ordering::Relaxed), n);
         assert_eq!(popped_sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+    }
+
+    /// The degenerate minimum ring (requested capacity 1 rounds up to
+    /// 2) still honours the push-returns-on-full contract instead of
+    /// losing or duplicating: the producer-side backpressure path in
+    /// the serve layer leans on exactly this behaviour.
+    #[test]
+    fn minimum_capacity_ring_returns_on_full() {
+        let q = MpmcQueue::with_capacity(1);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(10u32).is_ok());
+        assert!(q.push(11).is_ok());
+        assert_eq!(q.push(12), Err(12));
+        assert_eq!(q.push(12), Err(12), "rejection is repeatable, not one-shot");
+        assert_eq!(q.pop(), Some(10));
+        assert!(q.push(12).is_ok(), "one pop frees exactly one slot");
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(12));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Ticket arithmetic is wrapping: a ring whose tickets start just
+    /// below `usize::MAX` pushes and pops across the wrap boundary
+    /// without losing FIFO order or slot state.
+    #[test]
+    fn tickets_wrap_across_usize_max() {
+        let q = MpmcQueue::with_capacity_at_base(4, usize::MAX - 2);
+        // Fill across the boundary: tickets MAX-2, MAX-1, MAX, 0.
+        for i in 0..4u64 {
+            assert!(q.push(i).is_ok(), "push {i} across the wrap");
+        }
+        assert_eq!(q.push(99), Err(99), "full detection survives the wrap");
+        for i in 0..4u64 {
+            assert_eq!(q.pop(), Some(i), "FIFO order survives the wrap");
+        }
+        assert_eq!(q.pop(), None);
+        // Several more laps to march every slot's seq through the wrap.
+        for round in 0..16u64 {
+            assert!(q.push(round).is_ok());
+            assert!(q.push(round + 100).is_ok());
+            assert_eq!(q.pop(), Some(round));
+            assert_eq!(q.pop(), Some(round + 100));
+        }
+        assert!(q.is_empty());
+    }
+
+    /// High-contention exactly-once: more threads than capacity slots,
+    /// a tiny ring, and a per-value seen-bitmap — any duplicate or lost
+    /// pop trips the exact check (the checksum test above could in
+    /// principle miss compensating errors).
+    #[test]
+    fn contended_tiny_ring_delivers_exactly_once() {
+        const PER_PRODUCER: usize = 4_000;
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        const TOTAL: usize = PRODUCERS * PER_PRODUCER;
+        let q = MpmcQueue::with_capacity(4); // far fewer slots than threads
+        let seen: Vec<AtomicU64> = (0..TOTAL.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        let popped_n = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = (p * PER_PRODUCER + i) as u64;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    // Yield, not spin: with more threads
+                                    // than cores a spin wait starves the
+                                    // consumers this test depends on.
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let seen = &seen;
+                let popped_n = &popped_n;
+                s.spawn(move || loop {
+                    match q.pop() {
+                        Some(v) => {
+                            let prev = seen[(v / 64) as usize]
+                                .fetch_or(1u64 << (v % 64), Ordering::Relaxed);
+                            assert_eq!(prev & (1u64 << (v % 64)), 0, "value {v} popped twice");
+                            if popped_n.fetch_add(1, Ordering::Relaxed) + 1 == TOTAL as u64 {
+                                break;
+                            }
+                        }
+                        None => {
+                            if popped_n.load(Ordering::Relaxed) >= TOTAL as u64 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(popped_n.load(Ordering::Relaxed), TOTAL as u64);
+        let full_words = TOTAL / 64;
+        assert!(seen[..full_words].iter().all(|w| w.load(Ordering::Relaxed) == u64::MAX));
+        if !TOTAL.is_multiple_of(64) {
+            assert_eq!(
+                seen[full_words].load(Ordering::Relaxed),
+                (1u64 << (TOTAL % 64)) - 1
+            );
+        }
     }
 }

@@ -1,36 +1,115 @@
 //! The shard worker: drains its request ring, batches per function into
-//! 64-lane slice chunks, and resolves completions.
+//! 64-lane slice chunks, and resolves every dequeued request as exactly
+//! one of a bit-identical [`Completion`] or an explicit [`Shed`] record.
 //!
 //! Zero allocation per request: the per-function accumulators are fixed
 //! `[_; 64]` arrays owned by the worker, the slice staging buffers are
-//! stack arrays, and the completion log is one `Vec` pre-sized by the
-//! driver (pushes stay within capacity in the closed loop). The only
-//! heap traffic after startup is the final hand-off of that log.
+//! stack arrays, and the completion/shed logs are `Vec`s pre-sized by
+//! the driver (pushes stay within capacity in the closed loop). The only
+//! heap traffic after startup is the final hand-off of those logs.
 //!
 //! Batching policy: a full 64-lane batch flushes immediately; any
 //! partially filled batches flush as soon as the ring runs dry, so an
 //! idle service converges to scalar-sized batches (low latency) and a
 //! loaded one to full chunks (high throughput) without a timer.
+//!
+//! Failure handling on the worker path (see `supervisor` for the
+//! restart side):
+//!
+//! * every dequeued request is **integrity-checked** against its
+//!   enqueue-time checksum; a corrupted request is shed as
+//!   [`ShedReason::Corrupted`] instead of being served with a wrong
+//!   argument;
+//! * a request past its **deadline** is shed as
+//!   [`ShedReason::Deadline`] at dequeue time (once admitted to a
+//!   batch, the shard commits to answering it);
+//! * the worker body ([`shard_pass`]) is run under `catch_unwind` by
+//!   the supervisor, with all logs and accumulators living *outside*
+//!   the unwind so a panic can salvage the in-flight work.
 
+use crate::chaos::ChaosState;
 use crate::metrics;
 use crate::queue::MpmcQueue;
+use crate::supervisor::{ServiceControl, ShardQuiesce};
 use crate::workload;
 use rlibm_posit::Posit32;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Lanes per flush — the slice kernels' chunk width.
 pub const BATCH: usize = 64;
 
+/// Bits of the per-producer sequence number inside a [`Request::tag`];
+/// the producer index occupies the bits above. 2^40 requests per
+/// producer and 2^24 producers before the tag space is exhausted —
+/// configs that could overflow are rejected up front
+/// (`ServeConfig::validate`), never silently wrapped.
+pub const TAG_SEQ_BITS: u32 = 40;
+
+/// Builds the exactly-once tag for producer `p`'s `j`-th request.
+/// Collision-free whenever `p < 2^24` and `j < 2^40` (enforced by
+/// config validation).
+#[inline]
+pub fn make_tag(producer: usize, j: u64) -> u64 {
+    ((producer as u64) << TAG_SEQ_BITS) | j
+}
+
+/// Sentinel deadline meaning "no deadline".
+pub const NO_DEADLINE: u64 = u64::MAX;
+
 /// One request: a function id, the argument bit pattern, a caller tag
-/// echoed into the completion, and the enqueue timestamp (nanoseconds
-/// since the service epoch) that anchors the latency measurement.
+/// echoed into the completion, the enqueue timestamp and deadline
+/// (nanoseconds since the service epoch), and an integrity checksum
+/// over all of the above, verified at dequeue.
 #[derive(Clone, Copy, Debug)]
 pub struct Request {
     pub func: u8,
     pub x_bits: u32,
-    pub tag: u32,
+    pub tag: u64,
     pub t_enqueue_ns: u64,
+    /// Absolute deadline in ns since the epoch; [`NO_DEADLINE`] = none.
+    pub deadline_ns: u64,
+    /// Enqueue-time checksum binding every field above.
+    pub check: u32,
+}
+
+impl Request {
+    /// A request with its checksum computed from the other fields.
+    pub fn new(func: u8, x_bits: u32, tag: u64, t_enqueue_ns: u64, deadline_ns: u64) -> Request {
+        Request {
+            func,
+            x_bits,
+            tag,
+            t_enqueue_ns,
+            deadline_ns,
+            check: checksum(func, x_bits, tag, t_enqueue_ns, deadline_ns),
+        }
+    }
+
+    /// True when the checksum still matches the fields — i.e. the
+    /// request survived the ring intact.
+    #[inline]
+    pub fn verify(&self) -> bool {
+        self.check == checksum(self.func, self.x_bits, self.tag, self.t_enqueue_ns, self.deadline_ns)
+    }
+}
+
+/// Per-request integrity checksum. `x_bits` enters through a bijective
+/// map (odd-constant multiply, xored in last), so any single-bit change
+/// to `x_bits` — the chaos harness's ring-corruption model — changes
+/// the checksum with certainty, not merely with high probability. The
+/// remaining fields are mixed through a single multiply (rotations keep
+/// their bits from cancelling each other), detected with probability
+/// ~1-2^-32 per flip: one multiply instead of a dependency chain of
+/// four, because this runs twice per request on the serve hot path.
+#[inline]
+fn checksum(func: u8, x_bits: u32, tag: u64, t_enqueue_ns: u64, deadline_ns: u64) -> u32 {
+    let h = (tag
+        ^ t_enqueue_ns.rotate_left(21)
+        ^ deadline_ns.rotate_left(43)
+        ^ (u64::from(func) << 56))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let folded = (h ^ (h >> 32)) as u32;
+    folded ^ x_bits.wrapping_mul(0x9E37_79B9)
 }
 
 /// One served response, with the measured enqueue-to-completion latency.
@@ -39,28 +118,64 @@ pub struct Completion {
     pub func: u8,
     pub x_bits: u32,
     pub y_bits: u32,
-    pub tag: u32,
+    pub tag: u64,
     pub latency_ns: u64,
 }
 
+/// Why a request was shed instead of served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Past its deadline at dequeue time.
+    Deadline,
+    /// The producer's bounded-backoff push budget ran out on a full
+    /// ring.
+    Backpressure,
+    /// Admission was already closed (drain in progress) when the
+    /// producer tried to submit.
+    AdmissionClosed,
+    /// The dequeued request failed its integrity checksum.
+    Corrupted,
+    /// In flight on a shard that exhausted its restart budget (or could
+    /// not be requeued after a panic).
+    Poisoned,
+}
+
+/// An explicitly shed request — the accounting twin of [`Completion`]:
+/// every submitted request ends as exactly one of the two.
+#[derive(Clone, Copy, Debug)]
+pub struct Shed {
+    pub func: u8,
+    pub x_bits: u32,
+    pub tag: u64,
+    pub reason: ShedReason,
+}
+
 /// Per-function accumulator: parallel columns of a pending batch.
-struct Batch {
-    x_bits: [u32; BATCH],
-    tag: [u32; BATCH],
-    t_enq: [u64; BATCH],
-    len: usize,
+pub(crate) struct Batch {
+    pub x_bits: [u32; BATCH],
+    pub tag: [u64; BATCH],
+    pub t_enq: [u64; BATCH],
+    pub deadline: [u64; BATCH],
+    pub len: usize,
 }
 
 impl Batch {
     const fn new() -> Batch {
-        Batch { x_bits: [0; BATCH], tag: [0; BATCH], t_enq: [0; BATCH], len: 0 }
+        Batch {
+            x_bits: [0; BATCH],
+            tag: [0; BATCH],
+            t_enq: [0; BATCH],
+            deadline: [0; BATCH],
+            len: 0,
+        }
     }
 
     #[inline]
-    fn push(&mut self, req: Request) -> bool {
+    fn push(&mut self, req: &Request) -> bool {
         self.x_bits[self.len] = req.x_bits;
         self.tag[self.len] = req.tag;
         self.t_enq[self.len] = req.t_enqueue_ns;
+        self.deadline[self.len] = req.deadline_ns;
         self.len += 1;
         self.len == BATCH
     }
@@ -75,11 +190,56 @@ struct Scratch {
     pys: [Posit32; BATCH],
 }
 
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch {
+            xs: [0.0; BATCH],
+            ys: [0.0; BATCH],
+            pxs: [Posit32::ZERO; BATCH],
+            pys: [Posit32::ZERO; BATCH],
+        }
+    }
+}
+
+/// Everything a shard accumulates across supervised passes. Lives in
+/// the supervisor's frame, *outside* `catch_unwind`, so a panicking
+/// pass cannot take the completion log or the in-flight batches with
+/// it.
+pub(crate) struct ShardState {
+    pub completions: Vec<Completion>,
+    pub sheds: Vec<Shed>,
+    pub batches: Vec<Batch>,
+    pub chaos: ChaosState,
+    pub quiesce: ShardQuiesce,
+}
+
+impl ShardState {
+    pub fn new(shard: usize, expected: usize, chaos_cfg: Option<&crate::chaos::ChaosConfig>) -> ShardState {
+        ShardState {
+            completions: Vec::with_capacity(expected),
+            sheds: Vec::new(),
+            batches: (0..workload::NUM_FUNCS).map(|_| Batch::new()).collect(),
+            chaos: ChaosState::new(chaos_cfg, shard),
+            quiesce: ShardQuiesce { shard, ..ShardQuiesce::default() },
+        }
+    }
+
+    pub fn shed(&mut self, func: u8, x_bits: u32, tag: u64, reason: ShedReason) {
+        metrics::shed_counter(reason).add(1);
+        self.sheds.push(Shed { func, x_bits, tag, reason });
+    }
+}
+
+// Takes the batch, chaos state and completion log as disjoint borrows of
+// ShardState (they cannot be passed as one &mut without aliasing the
+// batch), hence the argument count.
+#[allow(clippy::too_many_arguments)]
 fn flush(
     shard: usize,
     func: u8,
     batch: &mut Batch,
     scratch: &mut Scratch,
+    chaos: &mut ChaosState,
     queue: &MpmcQueue<Request>,
     epoch: Instant,
     completions: &mut Vec<Completion>,
@@ -88,6 +248,10 @@ fn flush(
     if n == 0 {
         return;
     }
+    // Chaos hooks fire before any completion is recorded: a panic here
+    // leaves the whole batch in flight for the supervisor to salvage.
+    chaos.fire_panic_if_armed();
+    chaos.maybe_delay();
     if workload::is_posit(func) {
         for i in 0..n {
             scratch.pxs[i] = Posit32::from_bits(batch.x_bits[i]);
@@ -123,48 +287,130 @@ fn flush(
     batch.len = 0;
 }
 
-/// Runs one shard to completion: drain the ring, batch, flush; once
-/// `stop` is raised (the driver sets it only after every producer has
-/// joined, so no push can race it) and the ring and all accumulators are
-/// empty, return the completion log.
-pub(crate) fn shard_worker(
+/// One supervised pass of the shard: drain the ring, batch, flush.
+/// Returns normally only at quiesce — once the driver has raised `stop`
+/// (admission closed, producers joined, so no push can race it) and the
+/// ring and every accumulator are empty. A panic (injected or real)
+/// unwinds into the supervisor with `state` intact.
+pub(crate) fn shard_pass(
     shard: usize,
     queue: &MpmcQueue<Request>,
-    stop: &AtomicBool,
+    ctrl: &ServiceControl,
     epoch: Instant,
-    expected: usize,
-) -> Vec<Completion> {
-    let mut completions = Vec::with_capacity(expected);
-    let mut batches: Vec<Batch> = (0..workload::NUM_FUNCS).map(|_| Batch::new()).collect();
-    let mut scratch =
-        Scratch { xs: [0.0; BATCH], ys: [0.0; BATCH], pxs: [Posit32::ZERO; BATCH], pys: [Posit32::ZERO; BATCH] };
+    state: &mut ShardState,
+) {
+    let mut scratch = Scratch::new();
+    let st = &mut *state;
     loop {
         match queue.pop() {
-            Some(req) => {
+            Some(mut req) => {
                 metrics::requests(shard).add(1);
+                if ctrl.stopping() {
+                    st.quiesce.drained_requests += 1;
+                }
+                st.chaos.maybe_corrupt(&mut req);
+                if !req.verify() {
+                    st.shed(req.func, req.x_bits, req.tag, ShedReason::Corrupted);
+                    continue;
+                }
+                if req.deadline_ns != NO_DEADLINE {
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    if now > req.deadline_ns {
+                        metrics::shed_overdue_ns().record(now - req.deadline_ns);
+                        st.shed(req.func, req.x_bits, req.tag, ShedReason::Deadline);
+                        continue;
+                    }
+                }
                 let f = workload::fold(req.func);
-                if batches[f].push(req) {
-                    flush(shard, f as u8, &mut batches[f], &mut scratch, queue, epoch, &mut completions);
+                if st.batches[f].push(&req) {
+                    flush(
+                        shard,
+                        f as u8,
+                        &mut st.batches[f],
+                        &mut scratch,
+                        &mut st.chaos,
+                        queue,
+                        epoch,
+                        &mut st.completions,
+                    );
                 }
             }
             None => {
-                let mut flushed = false;
-                for (f, batch) in batches.iter_mut().enumerate() {
-                    if batch.len > 0 {
-                        flush(shard, f as u8, batch, &mut scratch, queue, epoch, &mut completions);
-                        flushed = true;
+                let mut flushed_lanes = 0u64;
+                for f in 0..workload::NUM_FUNCS {
+                    if st.batches[f].len > 0 {
+                        flushed_lanes += st.batches[f].len as u64;
+                        flush(
+                            shard,
+                            f as u8,
+                            &mut st.batches[f],
+                            &mut scratch,
+                            &mut st.chaos,
+                            queue,
+                            epoch,
+                            &mut st.completions,
+                        );
                     }
                 }
-                if !flushed {
-                    if stop.load(Ordering::Acquire) && queue.is_empty() {
+                if flushed_lanes == 0 {
+                    if ctrl.stopping() && queue.is_empty() {
                         break;
                     }
                     // Closed-loop friendly idle: yield so producers (and,
                     // on a single hardware thread, everyone else) run.
                     std::thread::yield_now();
+                } else if ctrl.stopping() {
+                    st.quiesce.trailing_flush_lanes += flushed_lanes;
                 }
             }
         }
     }
-    completions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_detects_any_single_bit_corruption_of_x_bits() {
+        let req = Request::new(3, 0xDEAD_BEEF, make_tag(2, 77), 1_000, 5_000);
+        assert!(req.verify());
+        for bit in 0..32 {
+            let mut bad = req;
+            bad.x_bits ^= 1 << bit;
+            assert!(!bad.verify(), "bit {bit} flip went undetected");
+        }
+        // The other fields are covered too (probabilistically exact for
+        // these spot checks).
+        for bad in [
+            Request { tag: req.tag + 1, ..req },
+            Request { func: req.func + 1, ..req },
+            Request { deadline_ns: req.deadline_ns + 1, ..req },
+            Request { t_enqueue_ns: req.t_enqueue_ns + 1, ..req },
+        ] {
+            assert!(!bad.verify());
+        }
+    }
+
+    /// The u32 tag scheme collided at 2^24 requests per producer
+    /// (`(p << 24) | (j & 0xFF_FFFF)`); the u64 scheme must not.
+    #[test]
+    fn tags_do_not_collide_past_the_old_24_bit_boundary() {
+        // The exact collision pair under the old scheme.
+        assert_ne!(make_tag(0, 1 << 24), make_tag(1, 0));
+        // Dense probe around the boundary, several producers.
+        let mut tags: Vec<u64> = Vec::new();
+        for p in 0..4 {
+            for j in ((1u64 << 24) - 4)..((1u64 << 24) + 4) {
+                tags.push(make_tag(p, j));
+            }
+        }
+        let n = tags.len();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), n, "tag collision across the 2^24 boundary");
+        // And the documented capacity bounds round-trip.
+        assert_eq!(make_tag(5, 9) >> TAG_SEQ_BITS, 5);
+        assert_eq!(make_tag(5, 9) & ((1 << TAG_SEQ_BITS) - 1), 9);
+    }
 }

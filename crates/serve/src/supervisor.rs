@@ -1,0 +1,239 @@
+//! Shard supervision: panic isolation, capped-backoff restarts, and the
+//! graceful-drain protocol.
+//!
+//! Each worker thread runs [`supervise_shard`] instead of a bare worker
+//! loop. The supervisor owns the shard's [`ShardState`] (completion and
+//! shed logs, in-flight batch accumulators, chaos state) and runs the
+//! actual worker body ([`crate::shard::shard_pass`]) under
+//! `catch_unwind`, so a panic — injected by the chaos harness or real —
+//! can never take the completion log with it:
+//!
+//! 1. the panic is counted (`serve.shard<i>.panics`) and the in-flight
+//!    batches are **salvaged**: every buffered request is requeued onto
+//!    the shard's own ring (it will be served on the next pass), or, if
+//!    the ring is full, shed explicitly as
+//!    [`crate::ShedReason::Poisoned`] — never silently dropped;
+//! 2. the shard **restarts** (`serve.shard<i>.restarts`) after a capped
+//!    exponential backoff (`restart_backoff_ns << n`, capped at 64×);
+//! 3. a shard that exhausts `max_restarts` **gives up deterministically**:
+//!    it stops serving and drains its ring into `Poisoned` shed records
+//!    until the stop flag is raised, so producers never wedge and the
+//!    exactly-once accounting still balances. The failure is reported in
+//!    `ServeReport::failed_shards`, not hidden.
+//!
+//! [`ServiceControl`] carries the two-phase shutdown protocol: closing
+//! **admission** stops producers from submitting new work (each
+//! unsubmitted request becomes an explicit `AdmissionClosed` shed);
+//! raising **stop** tells workers to flush their partial batches and
+//! exit once their ring is dry. The driver's drain sequence — close
+//! admission, join producers, raise stop, join workers — yields a
+//! [`ShardQuiesce`] per shard recording how much in-flight work the
+//! drain had to retire.
+
+use crate::chaos::{ChaosConfig, ChaosStats};
+use crate::metrics;
+use crate::queue::MpmcQueue;
+use crate::shard::{shard_pass, Request, Shed, ShedReason, ShardState};
+use crate::workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared shutdown/drain state between the driver, producers and
+/// shards.
+pub struct ServiceControl {
+    admission_closed: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Default for ServiceControl {
+    fn default() -> ServiceControl {
+        ServiceControl::new()
+    }
+}
+
+impl ServiceControl {
+    pub fn new() -> ServiceControl {
+        ServiceControl {
+            admission_closed: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Phase 1 of drain: no new requests are admitted. Producers shed
+    /// everything they have not yet submitted as `AdmissionClosed`.
+    pub fn close_admission(&self) {
+        self.admission_closed.store(true, Ordering::Release);
+    }
+
+    /// True once admission has been closed.
+    pub fn admission_closed(&self) -> bool {
+        self.admission_closed.load(Ordering::Acquire)
+    }
+
+    /// Phase 2 of drain: workers flush partial batches and exit once
+    /// their ring is observed empty. Only raised after every producer
+    /// has joined, so no push can race the stop flag.
+    pub(crate) fn raise_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// True once the stop flag is raised.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Per-shard drain accounting, reported in `ServeReport::quiesce`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardQuiesce {
+    /// Which shard this entry describes.
+    pub shard: usize,
+    /// Requests dequeued after the stop flag was observed — the ring
+    /// backlog the drain retired.
+    pub drained_requests: u64,
+    /// Lanes flushed from partial batches during the drain.
+    pub trailing_flush_lanes: u64,
+}
+
+/// Everything one supervised shard hands back to the driver.
+pub(crate) struct ShardOutcome {
+    pub completions: Vec<crate::shard::Completion>,
+    pub sheds: Vec<Shed>,
+    pub panics: u64,
+    pub restarts: u64,
+    pub gave_up: bool,
+    pub chaos: ChaosStats,
+    pub quiesce: ShardQuiesce,
+}
+
+/// Backoff before restart `n` (0-based): `base << n`, capped at 64×.
+pub(crate) fn restart_backoff(base_ns: u64, restart: u64) -> Duration {
+    let shift = restart.min(6) as u32;
+    Duration::from_nanos(base_ns.saturating_mul(1u64 << shift))
+}
+
+/// Runs one shard under supervision until quiesce (or until its restart
+/// budget is exhausted and its ring has been drained into explicit shed
+/// records). Never unwinds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn supervise_shard(
+    shard: usize,
+    queue: &MpmcQueue<Request>,
+    ctrl: &ServiceControl,
+    epoch: Instant,
+    expected: usize,
+    max_restarts: u32,
+    restart_backoff_ns: u64,
+    chaos_cfg: Option<&ChaosConfig>,
+) -> ShardOutcome {
+    let mut state = ShardState::new(shard, expected, chaos_cfg);
+    state.chaos.arm_kernel();
+    let mut panics = 0u64;
+    let mut restarts = 0u64;
+    let mut gave_up = false;
+    loop {
+        let pass = catch_unwind(AssertUnwindSafe(|| {
+            shard_pass(shard, queue, ctrl, epoch, &mut state);
+        }));
+        match pass {
+            Ok(()) => break, // clean quiesce
+            Err(payload) => {
+                drop(payload);
+                panics += 1;
+                metrics::panics(shard).add(1);
+                if restarts >= u64::from(max_restarts) {
+                    // Budget exhausted: stop serving, but leave nothing
+                    // unaccounted — batches and ring drain into
+                    // explicit Poisoned sheds.
+                    salvage_batches(queue, &mut state, false);
+                    drain_to_sheds(queue, ctrl, &mut state);
+                    gave_up = true;
+                    break;
+                }
+                // Salvage the in-flight batches (requeue, shed on a
+                // full ring), then restart after a capped backoff.
+                salvage_batches(queue, &mut state, true);
+                std::thread::sleep(restart_backoff(restart_backoff_ns, restarts));
+                restarts += 1;
+                metrics::restarts(shard).add(1);
+            }
+        }
+    }
+    state.chaos.disarm_kernel();
+    ShardOutcome {
+        completions: state.completions,
+        sheds: state.sheds,
+        panics,
+        restarts,
+        gave_up,
+        chaos: state.chaos.stats,
+        quiesce: state.quiesce,
+    }
+}
+
+/// Moves every request buffered in the in-flight batches back onto the
+/// ring (`requeue`), or straight into `Poisoned` shed records when
+/// requeueing is off or the ring is full. Fields were captured at
+/// enqueue time, so the rebuilt request carries the original tag,
+/// timestamps and a valid checksum.
+fn salvage_batches(queue: &MpmcQueue<Request>, state: &mut ShardState, requeue: bool) {
+    for f in 0..workload::NUM_FUNCS {
+        for i in 0..state.batches[f].len {
+            let b = &state.batches[f];
+            let req = Request::new(f as u8, b.x_bits[i], b.tag[i], b.t_enq[i], b.deadline[i]);
+            if !requeue || queue.push(req).is_err() {
+                state.shed(req.func, req.x_bits, req.tag, ShedReason::Poisoned);
+            }
+        }
+        state.batches[f].len = 0;
+    }
+}
+
+/// Terminal drain for a shard that gave up: pops until the stop flag is
+/// raised and the ring is dry, turning every request into an explicit
+/// `Poisoned` shed so producers never block on a dead shard and the
+/// exactly-once accounting still balances.
+fn drain_to_sheds(queue: &MpmcQueue<Request>, ctrl: &ServiceControl, state: &mut ShardState) {
+    loop {
+        match queue.pop() {
+            Some(req) => state.shed(req.func, req.x_bits, req.tag, ShedReason::Poisoned),
+            None => {
+                if ctrl.stopping() && queue.is_empty() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let base = 1_000u64;
+        assert_eq!(restart_backoff(base, 0), Duration::from_nanos(1_000));
+        assert_eq!(restart_backoff(base, 1), Duration::from_nanos(2_000));
+        assert_eq!(restart_backoff(base, 6), Duration::from_nanos(64_000));
+        // Cap: no further doubling past 64×.
+        assert_eq!(restart_backoff(base, 7), Duration::from_nanos(64_000));
+        assert_eq!(restart_backoff(base, 1_000), Duration::from_nanos(64_000));
+        // Saturating on absurd bases rather than overflowing.
+        assert_eq!(restart_backoff(u64::MAX, 6), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn control_flags_sequence() {
+        let ctrl = ServiceControl::new();
+        assert!(!ctrl.admission_closed());
+        assert!(!ctrl.stopping());
+        ctrl.close_admission();
+        assert!(ctrl.admission_closed());
+        assert!(!ctrl.stopping());
+        ctrl.raise_stop();
+        assert!(ctrl.stopping());
+    }
+}

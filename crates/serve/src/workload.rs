@@ -105,6 +105,17 @@ pub fn scalar_eval_bits(func: u8, x_bits: u32) -> u32 {
     }
 }
 
+/// Counts completions whose served bits differ from the scalar two-tier
+/// reference — the harnesses' shared "zero mis-rounded outputs escape"
+/// check (serve_bench asserts it on every run, chaos_bench under
+/// injection).
+pub fn count_mismatches(completions: &[crate::Completion]) -> u64 {
+    completions
+        .iter()
+        .filter(|c| c.y_bits != scalar_eval_bits(c.func, c.x_bits))
+        .count() as u64
+}
+
 /// Draws a function id: `posit_permille` of traffic (out of 1000) goes
 /// to the posit table, the rest spreads uniformly over the f32 table.
 pub fn pick_func(rng: &mut XorShift64, posit_permille: u32) -> u8 {
