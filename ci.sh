@@ -73,6 +73,14 @@ cargo clippy --offline --lib -p rlibm-serve --features fault \
     -- -D warnings \
     -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
+echo "== serve fault+telemetry leg: flight recorder under chaos =="
+# The fault leg above runs with tracing compiled OUT (flight dumps must
+# be absent); this leg turns the `telemetry` feature on so the chaos
+# tests additionally assert that panics and corruption dump the flight
+# recorder — and that the pinned serve output checksum still holds, the
+# bit-identity half of the tracing contract.
+cargo test -q --offline --release -p rlibm-serve --features fault,telemetry
+
 echo "== chaos smoke: chaos_bench --quick + committed manifest check =="
 # Six adversarial scenarios against the supervised serving layer (shard
 # panic storms, deadline pressure, ring corruption, backpressure, drain
@@ -138,6 +146,26 @@ cargo run --release --offline -p rlibm-bench --bin telemetry_report -- \
     --quick --out target/bench-smoke/TELEM_report.quick.json
 grep -q '"schema": "rlibm-telem/v1"' target/bench-smoke/TELEM_report.quick.json
 
+echo "== trace smoke: trace_report --quick + committed report check =="
+# Latency attribution across the serving stack: the harness drives the
+# traced closed loop (healthy, rescalar-harvest, deadline, drain legs —
+# plus the chaos legs under `fault`), asserts every served bit matches
+# the scalar functions, and schema-checks its own emission. The default
+# build exercises the no-chaos path; the fault build must additionally
+# produce an exemplar for every shed reason and at least one flight
+# dump. --check re-validates the committed full-run report in both
+# configurations, so a stale or hand-edited TRACE_report.json fails CI.
+cargo run --release --offline -p rlibm-bench --bin trace_report -- \
+    --quick --out target/bench-smoke/TRACE_report.quick.json
+grep -q '"schema": "rlibm-trace/v1"' target/bench-smoke/TRACE_report.quick.json
+cargo run --release --offline -p rlibm-bench --bin trace_report -- \
+    --check TRACE_report.json
+cargo run --release --offline -p rlibm-bench --features fault --bin trace_report -- \
+    --quick --out target/bench-smoke/TRACE_report.fault.quick.json
+grep -q '"fault": true' target/bench-smoke/TRACE_report.fault.quick.json
+cargo run --release --offline -p rlibm-bench --features fault --bin trace_report -- \
+    --check TRACE_report.json
+
 echo "== certification smoke: special-region shards certify clean =="
 # Five special-region shards per (kind, function) at 2^16 geometry —
 # signed zeros/subnormals, the 1.0 neighborhood, inf/NaN and the posit
@@ -171,5 +199,7 @@ cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     BENCH_serve.json BENCH_serve.json
 cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
     CHAOS_manifest.json CHAOS_manifest.json
+cargo run --release --offline -p rlibm-bench --bin bench_compare -- \
+    TRACE_report.json TRACE_report.json
 
 echo "CI OK"

@@ -35,6 +35,8 @@ const KNOWN_SCHEMAS: &[&str] = &[
     // chaos_bench rows are scenarios, not functions, but carry ns_p50 /
     // ns_p99 per scenario — comparable between runs of the same harness.
     "rlibm-chaos/v1",
+    // trace_report rows carry ns_* stage-attribution means per workload.
+    "rlibm-trace/v1",
 ];
 
 struct Cli {

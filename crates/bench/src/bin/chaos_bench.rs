@@ -28,6 +28,7 @@
 //!        `... --bin chaos_bench -- --check CHAOS_manifest.json`
 
 use rlibm_bench::json::{check_bench_schema, parse, write_validated, Json};
+use rlibm_obs::quantile::percentile;
 use rlibm_serve::{serve_closed_loop, workload, ChaosConfig, ServeConfig, ShedReason};
 
 pub const SCHEMA: &str = "rlibm-chaos/v1";
@@ -36,15 +37,6 @@ pub const PER_FN_FIELDS: &[&str] = &["ns_p50", "ns_p99"];
 /// Minimum total injections (serve-layer + kernel-layer) a full run
 /// must certify against.
 pub const FULL_INJECTION_FLOOR: u64 = 100_000;
-
-/// Nearest-rank percentile of an ascending-sorted sample set.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
 
 /// What a scenario is required to have exercised (beyond the universal
 /// invariants, which every scenario asserts).

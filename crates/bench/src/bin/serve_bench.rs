@@ -14,19 +14,11 @@
 //!             [--quick] [--out PATH]`
 
 use rlibm_bench::json::{write_validated, Json};
+use rlibm_obs::quantile::percentile;
 use rlibm_serve::{serve_closed_loop, workload, ServeConfig};
 
 pub const SCHEMA: &str = "rlibm-bench/serve/v1";
 pub const PER_FN_FIELDS: &[&str] = &["ns_p50", "ns_p99", "ns_p999"];
-
-/// Nearest-rank percentile of an ascending-sorted sample set.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
 
 fn main() {
     let mut quick = false;

@@ -1,0 +1,470 @@
+//! Latency-attribution report for the serving stack: drives the traced
+//! `rlibm-serve` closed loop through a set of legs — a healthy
+//! attribution run, a rescalar-exemplar harvest, deadline pressure, a
+//! mid-run drain, and (with the `fault` feature) backpressure,
+//! corruption and panic-storm chaos legs — and emits a schema-checked
+//! `TRACE_report.json` (`rlibm-trace/v1`, re-parsed and validated
+//! before exit) answering *where requests spend their time*:
+//!
+//! * per (kind, function) workload: mean queue wait, mean batch
+//!   residency, kernel ns/lane and rescalar-fallback ns/lane, from the
+//!   exact `ServeReport::attribution` sums;
+//! * service-wide stage quantiles (p50/p99/p999) estimated from the
+//!   `serve.trace.*` log2 histograms via `rlibm_obs::quantile`;
+//! * exemplars: the actual input bit patterns behind every shed reason,
+//!   behind rescalar fallbacks (harvested from the trace rings), and
+//!   behind the slowest completions;
+//! * a flight-recorder summary of the dumps the chaos legs triggered.
+//!
+//! The serve outputs stay bit-identical with tracing on or off (the
+//! `trace_identity` feature-matrix test pins them); this harness only
+//! *reads* the observability side.
+//!
+//! `--check PATH` re-validates a committed report without re-running —
+//! ci.sh runs it against the committed artifact in both feature
+//! configurations.
+//!
+//! Usage: `cargo run -p rlibm-bench --release [--features fault,simd] \
+//!             --bin trace_report -- [--quick] [--out PATH]`
+//!        `... --bin trace_report -- --check TRACE_report.json`
+
+use rlibm_bench::json::{parse, Json};
+use rlibm_bench::trace::{check_trace_schema, write_validated_trace, TRACE_SCHEMA};
+use rlibm_obs::quantile::from_log2_buckets;
+use rlibm_obs::trace as obs_trace;
+use rlibm_serve::{
+    serve_closed_loop, workload, ServeConfig, ServeReport, ShedReason, StageAttribution,
+};
+
+/// Exemplars kept per section (counts are still reported exactly).
+const EXEMPLAR_CAP: usize = 8;
+
+/// Everything accumulated across legs.
+#[derive(Default)]
+struct Gathered {
+    submitted: u64,
+    attribution: Vec<StageAttribution>,
+    /// (reason section index, func, x_bits, tag) — capped per section.
+    sheds: Vec<Vec<(u8, u32, u64)>>,
+    shed_totals: Vec<u64>,
+    /// (func, x_bits) rescalar exemplars from the trace rings.
+    rescalar: Vec<(u8, u32)>,
+    rescalar_total: u64,
+    /// (func, x_bits, latency_ns, tag) slowest completions.
+    slowest: Vec<(u8, u32, u64, u64)>,
+    flight_panic: u64,
+    flight_corruption: u64,
+    flight_events: u64,
+}
+
+impl Gathered {
+    fn new() -> Gathered {
+        Gathered {
+            attribution: vec![StageAttribution::default(); workload::NUM_FUNCS],
+            sheds: vec![Vec::new(); SHED_REASONS.len()],
+            shed_totals: vec![0; SHED_REASONS.len()],
+            ..Gathered::default()
+        }
+    }
+
+    fn absorb(&mut self, report: &ServeReport) {
+        self.submitted += report.submitted;
+        for (sum, part) in self.attribution.iter_mut().zip(report.attribution.iter()) {
+            sum.merge(part);
+        }
+        for shed in &report.sheds {
+            let idx = reason_index(shed.reason);
+            self.shed_totals[idx] += 1;
+            if self.sheds[idx].len() < EXEMPLAR_CAP {
+                self.sheds[idx].push((shed.func, shed.x_bits, shed.tag));
+            }
+        }
+        for dump in &report.flight {
+            match dump.trigger {
+                rlibm_serve::FlightTrigger::Panic => self.flight_panic += 1,
+                rlibm_serve::FlightTrigger::Corruption => self.flight_corruption += 1,
+            }
+            self.flight_events += dump.events.len() as u64;
+        }
+        // Keep the globally slowest completions.
+        for c in &report.completions {
+            self.slowest.push((c.func, c.x_bits, c.latency_ns, c.tag));
+        }
+        self.slowest.sort_unstable_by_key(|&(_, _, ns, _)| std::cmp::Reverse(ns));
+        self.slowest.truncate(EXEMPLAR_CAP);
+    }
+}
+
+/// Section order mirrors `rlibm_bench::trace::SHED_SECTIONS`.
+const SHED_REASONS: &[(ShedReason, &str)] = &[
+    (ShedReason::Deadline, "deadline"),
+    (ShedReason::Backpressure, "backpressure"),
+    (ShedReason::AdmissionClosed, "admission"),
+    (ShedReason::Corrupted, "corrupted"),
+    (ShedReason::Poisoned, "poisoned"),
+];
+
+fn reason_index(reason: ShedReason) -> usize {
+    SHED_REASONS
+        .iter()
+        .position(|&(r, _)| r == reason)
+        .unwrap_or_else(|| unreachable!("every reason is listed"))
+}
+
+fn run_leg(name: &str, gathered: &mut Gathered, cfg: &ServeConfig) -> ServeReport {
+    let report =
+        serve_closed_loop(cfg).unwrap_or_else(|e| panic!("leg {name}: accounting lost: {e}"));
+    assert!(report.balanced(), "leg {name}: accounting does not balance");
+    assert_eq!(
+        workload::count_mismatches(&report.completions),
+        0,
+        "leg {name}: tracing must not perturb served bits"
+    );
+    gathered.absorb(&report);
+    println!(
+        "{name:>18} | {:>9} | {:>9} | {:>7} | {:>6} | {:>5}",
+        report.submitted,
+        report.completions.len(),
+        report.sheds.len(),
+        report.panics,
+        report.flight.len(),
+    );
+    report
+}
+
+fn exemplar_rows(items: &[(u8, u32, u64)]) -> Json {
+    Json::Arr(
+        items
+            .iter()
+            .map(|&(func, x_bits, tag)| {
+                Json::obj()
+                    .set("func", workload::func_label(func % workload::NUM_FUNCS as u8).as_str())
+                    .set("x_bits", f64::from(x_bits))
+                    .set("tag", tag as f64)
+            })
+            .collect(),
+    )
+}
+
+fn stage_entry(hist: Option<&rlibm_obs::HistogramSnapshot>) -> Json {
+    let (count, sum, buckets) = hist
+        .map(|h| (h.count, h.sum, h.buckets.as_slice()))
+        .unwrap_or((0, 0, &[]));
+    let mean = if count > 0 { sum as f64 / count as f64 } else { 0.0 };
+    Json::obj()
+        .set("count", count as f64)
+        .set("sum", sum as f64)
+        .set("mean", mean)
+        .set("p50", from_log2_buckets(buckets, 0.50) as f64)
+        .set("p99", from_log2_buckets(buckets, 0.99) as f64)
+        .set("p999", from_log2_buckets(buckets, 0.999) as f64)
+}
+
+fn check_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    check_trace_schema(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc.get("functions").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+    println!("{path}: ok — {rows} workload rows, schema {TRACE_SCHEMA}, invariants hold");
+    Ok(())
+}
+
+/// Keeps injected chaos panics out of stderr (the chaos legs unwind
+/// thousands of times on purpose); every other panic stays loud.
+fn install_chaos_panic_filter() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected =
+            info.payload().downcast_ref::<&str>().is_some_and(|s| s.starts_with("chaos:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "TRACE_report.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--check" => check_path = Some(args.next().expect("--check requires a path")),
+            other => panic!("bad arg '{other}'"),
+        }
+    }
+    if let Some(path) = check_path {
+        if let Err(e) = check_report(&path) {
+            eprintln!("trace_report --check failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let fault = rlibm_serve::chaos::injection_compiled_in();
+    let telemetry = rlibm_obs::enabled();
+    if fault {
+        install_chaos_panic_filter();
+    }
+    rlibm_serve::register_metrics();
+    rlibm_obs::reset_all();
+
+    let scale = |full: u64, q: u64| if quick { q } else { full };
+    let base = ServeConfig {
+        shards: 2,
+        producers: 2,
+        queue_capacity: 512,
+        seed: 0x0001_2ACE_5EED, // deterministic, distinct from the other harnesses
+        posit_permille: 350,
+        restart_backoff_ns: 1_000,
+        ..ServeConfig::default()
+    };
+    println!(
+        "trace_report: sampling 1/{} by tag hash{}\n",
+        1u64 << obs_trace::DEFAULT_SAMPLE_SHIFT,
+        if quick { " (quick mode)" } else { "" }
+    );
+    println!(
+        "{:>18} | {:>9} | {:>9} | {:>7} | {:>6} | {:>5}",
+        "leg", "submitted", "complete", "sheds", "panics", "dumps"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut gathered = Gathered::new();
+
+    // 1. Healthy attribution: default 1/16 sampling; fills the
+    //    per-function queue/batch/kernel sums and the slowest exemplars.
+    run_leg(
+        "healthy",
+        &mut gathered,
+        &ServeConfig { requests: scale(400_000, 60_000), ..base.clone() },
+    );
+
+    // 2. Rescalar harvest: sampling effectively off (shift 32) and
+    //    f32-only traffic, so the trace rings end the leg holding almost
+    //    nothing but Rescalar exemplar events (sheds would also appear,
+    //    but this leg is healthy). Snapshot immediately — the next leg's
+    //    threads reclaim and clear the rings.
+    run_leg(
+        "rescalar_harvest",
+        &mut gathered,
+        &ServeConfig {
+            requests: scale(400_000, 80_000),
+            posit_permille: 0,
+            trace_sample_shift: 32,
+            ..base.clone()
+        },
+    );
+    for t in obs_trace::snapshot_rings() {
+        for e in t.events {
+            if e.kind == obs_trace::TraceKind::Rescalar {
+                gathered.rescalar_total += 1;
+                if gathered.rescalar.len() < EXEMPLAR_CAP
+                    && !gathered.rescalar.contains(&(e.aux, e.payload))
+                {
+                    gathered.rescalar.push((e.aux, e.payload));
+                }
+            }
+        }
+    }
+
+    // 3. Deadline pressure: a 1ns relative deadline sheds at dequeue —
+    //    every deadline exemplar carries the input bits it never served.
+    run_leg(
+        "deadline",
+        &mut gathered,
+        &ServeConfig { requests: scale(60_000, 15_000), deadline_ns: 1, ..base.clone() },
+    );
+
+    // 4. Mid-run drain: admission closes while the run is in flight;
+    //    the unsubmitted remainder becomes AdmissionClosed exemplars.
+    run_leg(
+        "drain",
+        &mut gathered,
+        &ServeConfig {
+            requests: scale(2_000_000, 400_000),
+            drain_after_ns: scale(5_000_000, 1_000_000),
+            ..base.clone()
+        },
+    );
+
+    // Chaos legs (fault builds only): backpressure under injected
+    // stalls, ring corruption, and a panic storm against a restart
+    // budget of 1 — covering the remaining shed reasons and triggering
+    // flight-recorder dumps.
+    if fault {
+        run_leg(
+            "backpressure",
+            &mut gathered,
+            &ServeConfig {
+                requests: scale(100_000, 15_000),
+                queue_capacity: 64,
+                push_budget: 16,
+                chaos: Some(rlibm_serve::ChaosConfig {
+                    seed: 0xB4C2_7A0E,
+                    delay_per_million: 200_000,
+                    delay_ns: 2_000_000,
+                    ..rlibm_serve::ChaosConfig::default()
+                }),
+                ..base.clone()
+            },
+        );
+        run_leg(
+            "corruption",
+            &mut gathered,
+            &ServeConfig {
+                requests: scale(200_000, 30_000),
+                chaos: Some(rlibm_serve::ChaosConfig {
+                    seed: 0xBAD_C0DE,
+                    corrupt_per_million: 50_000,
+                    ..rlibm_serve::ChaosConfig::default()
+                }),
+                ..base.clone()
+            },
+        );
+        run_leg(
+            "panic_storm",
+            &mut gathered,
+            &ServeConfig {
+                requests: scale(100_000, 20_000),
+                max_restarts: 1,
+                chaos: Some(rlibm_serve::ChaosConfig {
+                    seed: 0xDEAD_BEA7,
+                    panic_per_million: 500_000,
+                    ..rlibm_serve::ChaosConfig::default()
+                }),
+                ..base.clone()
+            },
+        );
+    }
+    println!("{}", "-".repeat(70));
+
+    // Attribution table from the exact per-function sums.
+    println!(
+        "\n{:>16} | {:>8} | {:>10} | {:>10} | {:>10} | {:>10}",
+        "workload", "samples", "queue (ns)", "batch (ns)", "kern/lane", "fall/lane"
+    );
+    println!("{}", "-".repeat(80));
+    let mut rows = Vec::new();
+    for (f, a) in gathered.attribution.iter().enumerate() {
+        let queue_mean = if a.samples > 0 { a.queue_ns as f64 / a.samples as f64 } else { 0.0 };
+        let batch_mean = if a.samples > 0 { a.batch_ns as f64 / a.samples as f64 } else { 0.0 };
+        let kernel_lane =
+            if a.kernel_lanes > 0 { a.kernel_ns as f64 / a.kernel_lanes as f64 } else { 0.0 };
+        let fallback_lane =
+            if a.kernel_lanes > 0 { a.fallback_ns as f64 / a.kernel_lanes as f64 } else { 0.0 };
+        let label = workload::func_label(f as u8);
+        println!(
+            "{label:>16} | {:>8} | {queue_mean:>10.0} | {batch_mean:>10.0} | \
+             {kernel_lane:>10.1} | {fallback_lane:>10.2}",
+            a.samples
+        );
+        rows.push(
+            Json::obj()
+                .set("name", label.as_str())
+                .set("samples", a.samples as f64)
+                .set("kernel_lanes", a.kernel_lanes as f64)
+                .set("batches", a.batches as f64)
+                .set("ns_queue_mean", queue_mean)
+                .set("ns_batch_mean", batch_mean)
+                .set("ns_kernel_lane", kernel_lane)
+                .set("ns_fallback_lane", fallback_lane),
+        );
+    }
+    println!("{}", "-".repeat(80));
+
+    // Service-wide stage quantiles from the serve.trace.* histograms.
+    let snap = rlibm_obs::snapshot();
+    let hist = |name: &str| snap.histograms.iter().find(|h| h.name == name);
+    let stage_quantiles = Json::obj()
+        .set("queue_wait_ns", stage_entry(hist("serve.trace.queue_wait_ns")))
+        .set("batch_wait_ns", stage_entry(hist("serve.trace.batch_wait_ns")))
+        .set("kernel_ns", stage_entry(hist("serve.trace.kernel_ns")))
+        .set("fallback_ns", stage_entry(hist("serve.trace.fallback_ns")));
+
+    let mut exemplars = Json::obj();
+    let mut shed_totals = Json::obj();
+    for (i, &(_, name)) in SHED_REASONS.iter().enumerate() {
+        exemplars = exemplars.set(name, exemplar_rows(&gathered.sheds[i]));
+        shed_totals = shed_totals.set(name, gathered.shed_totals[i] as f64);
+    }
+    exemplars = exemplars
+        .set(
+            "rescalar",
+            Json::Arr(
+                gathered
+                    .rescalar
+                    .iter()
+                    .map(|&(func, x_bits)| {
+                        Json::obj()
+                            .set(
+                                "func",
+                                workload::func_label(func % workload::NUM_FUNCS as u8).as_str(),
+                            )
+                            .set("x_bits", f64::from(x_bits))
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "slowest",
+            Json::Arr(
+                gathered
+                    .slowest
+                    .iter()
+                    .map(|&(func, x_bits, ns, tag)| {
+                        Json::obj()
+                            .set(
+                                "func",
+                                workload::func_label(func % workload::NUM_FUNCS as u8).as_str(),
+                            )
+                            .set("x_bits", f64::from(x_bits))
+                            .set("latency_ns", ns as f64)
+                            .set("tag", tag as f64)
+                    })
+                    .collect(),
+            ),
+        );
+
+    let sampled: u64 = gathered.attribution.iter().map(|a| a.samples).sum();
+    println!(
+        "\nsampled {} of {} requests; {} rescalar exemplars seen ({} kept); \
+         {} flight dump(s) ({} panic, {} corruption), {} events; {} trace drops",
+        sampled,
+        gathered.submitted,
+        gathered.rescalar_total,
+        gathered.rescalar.len(),
+        gathered.flight_panic + gathered.flight_corruption,
+        gathered.flight_panic,
+        gathered.flight_corruption,
+        gathered.flight_events,
+        obs_trace::dropped_events(),
+    );
+
+    let doc = Json::obj()
+        .set("schema", TRACE_SCHEMA)
+        .set("quick", quick)
+        .set("telemetry", telemetry)
+        .set("fault", fault)
+        .set("sample_shift", f64::from(obs_trace::DEFAULT_SAMPLE_SHIFT))
+        .set("n_inputs", gathered.submitted as f64)
+        .set("sampled", sampled as f64)
+        .set("dropped_events", obs_trace::dropped_events() as f64)
+        .set("shed_totals", shed_totals)
+        .set("rescalar_events", gathered.rescalar_total as f64)
+        .set("stage_quantiles", stage_quantiles)
+        .set(
+            "flight",
+            Json::obj()
+                .set("dumps", (gathered.flight_panic + gathered.flight_corruption) as f64)
+                .set("panic_dumps", gathered.flight_panic as f64)
+                .set("corruption_dumps", gathered.flight_corruption as f64)
+                .set("events", gathered.flight_events as f64),
+        )
+        .set("exemplars", exemplars)
+        .set("functions", rows);
+    write_validated_trace(&out_path, &doc).expect("write TRACE json");
+    println!("wrote {out_path} (schema {TRACE_SCHEMA}, parsed + validated)");
+}

@@ -14,6 +14,7 @@
 //! | Figure 5 (sub-domain sweep)  | `fig5`   | — |
 //! | §4.3 vectorization harness   | `vector_harness` | `BENCH_vector.json` |
 //! | Telemetry snapshot           | `telemetry_report` | `TELEM_report.json` |
+//! | Trace latency attribution    | `trace_report` | `TRACE_report.json` |
 //! | Bench regression diff        | `bench_compare` | — (reads two BENCH files) |
 //!
 //! The timing harnesses (`fig3`, `fig4`, `vector_harness`) measure the
@@ -31,4 +32,5 @@ pub mod json;
 pub mod sweep;
 pub mod telem;
 pub mod timing;
+pub mod trace;
 pub mod workloads;

@@ -1,0 +1,293 @@
+//! Schema helpers for the `TRACE_report.json` latency-attribution
+//! document (schema `rlibm-trace/v1`) emitted by the `trace_report`
+//! harness.
+//!
+//! The document carries, per (kind, function) workload row, the exact
+//! per-stage attribution sums of the trace-sampled requests — queue
+//! wait, batch residency, kernel time per lane, rescalar-fallback time
+//! per lane — plus service-wide stage quantiles (from the
+//! `serve.trace.*` log2 histograms), exemplar input bit patterns behind
+//! every shed reason / rescalar fallback / slowest completions, and a
+//! flight-recorder summary.
+//!
+//! [`check_trace_schema`] is the single validator used both by the
+//! harness (before exit, on its own emission) and by `--check` / ci.sh
+//! on the committed artifact, so a hand-edited or stale report fails
+//! the build. The `attribution` invariants — every workload row
+//! nonzero — apply to full, telemetry-on documents; quick smokes and
+//! telemetry-off builds only need the shape.
+
+use crate::json::{check_bench_schema, Json};
+
+/// Schema tag carried by every trace-attribution document.
+pub const TRACE_SCHEMA: &str = "rlibm-trace/v1";
+
+/// Per-row attribution fields (all `ns_*` so `bench_compare` diffs
+/// them as timings).
+pub const PER_FN_FIELDS: &[&str] =
+    &["ns_queue_mean", "ns_batch_mean", "ns_kernel_lane", "ns_fallback_lane"];
+
+/// Shed-reason exemplar sections; with `fault: true` each must be
+/// non-empty (the chaos legs exercise every reason).
+pub const SHED_SECTIONS: &[&str] =
+    &["deadline", "backpressure", "admission", "corrupted", "poisoned"];
+
+/// The four attributed stages summarized in `stage_quantiles`.
+pub const STAGES: &[&str] = &["queue_wait_ns", "batch_wait_ns", "kernel_ns", "fallback_ns"];
+
+fn flag(doc: &Json, key: &str) -> Result<bool, String> {
+    match doc.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing boolean '{key}'")),
+    }
+}
+
+/// Validates a trace-attribution document. Beyond the shared bench
+/// schema (tag, `n_inputs`, per-row numeric fields), checks the flags,
+/// the stage-quantile section, the exemplar sections, and — for full
+/// telemetry-on documents — that every workload row carries nonzero
+/// queue / batch / kernel attribution and every shed reason has at
+/// least one exemplar when the chaos legs ran.
+pub fn check_trace_schema(doc: &Json) -> Result<(), String> {
+    check_bench_schema(doc, TRACE_SCHEMA, PER_FN_FIELDS)?;
+    let quick = flag(doc, "quick")?;
+    let telemetry = flag(doc, "telemetry")?;
+    let fault = flag(doc, "fault")?;
+    doc.get("sample_shift")
+        .and_then(Json::as_num)
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .ok_or("missing numeric 'sample_shift'")?;
+
+    let stages = doc.get("stage_quantiles").ok_or("missing 'stage_quantiles'")?;
+    for stage in STAGES {
+        let s = stages.get(stage).ok_or(format!("stage_quantiles missing '{stage}'"))?;
+        for field in ["count", "p50", "p99", "p999"] {
+            s.get(field)
+                .and_then(Json::as_num)
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or(format!("stage '{stage}' missing numeric '{field}'"))?;
+        }
+    }
+
+    let exemplars = doc.get("exemplars").ok_or("missing 'exemplars'")?;
+    let section_len = |name: &str| -> Result<usize, String> {
+        exemplars
+            .get(name)
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len)
+            .ok_or(format!("exemplars missing '{name}' array"))
+    };
+    for name in SHED_SECTIONS {
+        let n = section_len(name)?;
+        if fault && telemetry && n == 0 {
+            return Err(format!(
+                "fault document has no '{name}' shed exemplars (the chaos legs must \
+                 exercise every reason)"
+            ));
+        }
+    }
+    let rescalar = section_len("rescalar")?;
+    if telemetry && !quick && rescalar == 0 {
+        return Err("full document has no rescalar exemplars".to_string());
+    }
+    if section_len("slowest")? == 0 {
+        return Err("'slowest' exemplars are empty".to_string());
+    }
+
+    let flight = doc.get("flight").ok_or("missing 'flight' summary")?;
+    for field in ["dumps", "panic_dumps", "corruption_dumps", "events"] {
+        flight
+            .get(field)
+            .and_then(Json::as_num)
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or(format!("flight summary missing numeric '{field}'"))?;
+    }
+
+    // The attribution teeth: a full telemetry-on run must attribute
+    // every (kind, function) workload on every per-request stage.
+    let rows = doc.get("functions").and_then(Json::as_arr).unwrap_or(&[]);
+    if rows.len() != rlibm_serve::workload::NUM_FUNCS {
+        return Err(format!(
+            "expected {} workload rows, found {}",
+            rlibm_serve::workload::NUM_FUNCS,
+            rows.len()
+        ));
+    }
+    if telemetry && !quick {
+        for row in rows {
+            let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+            for field in ["samples", "ns_queue_mean", "ns_batch_mean", "ns_kernel_lane"] {
+                let v = row.get(field).and_then(Json::as_num).unwrap_or(0.0);
+                if v <= 0.0 {
+                    return Err(format!(
+                        "full document row '{name}' has no {field} attribution"
+                    ));
+                }
+            }
+        }
+        if fault {
+            let dumps = flight.get("dumps").and_then(Json::as_num).unwrap_or(0.0);
+            if dumps <= 0.0 {
+                return Err("fault document captured no flight dumps".to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a trace document to `path`, then re-reads, re-parses and
+/// re-validates it — mirrors [`crate::json::write_validated`] for this
+/// schema.
+pub fn write_validated_trace(path: &str, doc: &Json) -> std::io::Result<()> {
+    std::fs::write(path, doc.to_pretty())?;
+    let text = std::fs::read_to_string(path)?;
+    let parsed =
+        crate::json::parse(&text).unwrap_or_else(|e| panic!("{path}: emitted invalid JSON: {e}"));
+    assert_eq!(&parsed, doc, "{path}: JSON did not round-trip");
+    check_trace_schema(&parsed).unwrap_or_else(|e| panic!("{path}: schema violation: {e}"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage() -> Json {
+        Json::obj()
+            .set("count", 10.0)
+            .set("sum", 1000.0)
+            .set("mean", 100.0)
+            .set("p50", 90.0)
+            .set("p99", 300.0)
+            .set("p999", 400.0)
+    }
+
+    fn minimal_doc(quick: bool, telemetry: bool, fault: bool) -> Json {
+        let rows: Vec<Json> = (0..rlibm_serve::workload::NUM_FUNCS as u8)
+            .map(|f| {
+                Json::obj()
+                    .set("name", rlibm_serve::workload::func_label(f).as_str())
+                    .set("samples", 5.0)
+                    .set("ns_queue_mean", 120.0)
+                    .set("ns_batch_mean", 80.0)
+                    .set("ns_kernel_lane", 11.0)
+                    .set("ns_fallback_lane", 0.5)
+            })
+            .collect();
+        let shed = |n: usize| {
+            Json::Arr(
+                (0..n)
+                    .map(|i| Json::obj().set("func", "ln").set("x_bits", i as f64))
+                    .collect(),
+            )
+        };
+        let exemplars = Json::obj()
+            .set("deadline", shed(1))
+            .set("backpressure", shed(1))
+            .set("admission", shed(1))
+            .set("corrupted", shed(1))
+            .set("poisoned", shed(1))
+            .set("rescalar", shed(2))
+            .set("slowest", shed(3));
+        Json::obj()
+            .set("schema", TRACE_SCHEMA)
+            .set("quick", quick)
+            .set("telemetry", telemetry)
+            .set("fault", fault)
+            .set("sample_shift", 4.0)
+            .set("n_inputs", 1000.0)
+            .set(
+                "stage_quantiles",
+                Json::obj()
+                    .set("queue_wait_ns", stage())
+                    .set("batch_wait_ns", stage())
+                    .set("kernel_ns", stage())
+                    .set("fallback_ns", stage()),
+            )
+            .set(
+                "flight",
+                Json::obj()
+                    .set("dumps", 2.0)
+                    .set("panic_dumps", 1.0)
+                    .set("corruption_dumps", 1.0)
+                    .set("events", 300.0),
+            )
+            .set("exemplars", exemplars)
+            .set("functions", rows)
+    }
+
+    #[test]
+    fn accepts_a_complete_document() {
+        assert_eq!(check_trace_schema(&minimal_doc(false, true, true)), Ok(()));
+        assert_eq!(check_trace_schema(&minimal_doc(true, true, false)), Ok(()));
+        assert_eq!(check_trace_schema(&minimal_doc(true, false, false)), Ok(()));
+    }
+
+    #[test]
+    fn full_documents_must_attribute_every_workload() {
+        let mut doc = minimal_doc(false, true, true);
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "functions" {
+                    if let Json::Arr(rows) = v {
+                        if let Some(Json::Obj(row)) = rows.first_mut() {
+                            for (rk, rv) in row.iter_mut() {
+                                if rk == "ns_kernel_lane" {
+                                    *rv = Json::Num(0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = check_trace_schema(&doc).unwrap_err();
+        assert!(err.contains("ns_kernel_lane"), "{err}");
+        // The same zero passes on a quick smoke.
+        let mut quick = doc;
+        if let Json::Obj(fields) = &mut quick {
+            for (k, v) in fields.iter_mut() {
+                if k == "quick" {
+                    *v = Json::Bool(true);
+                }
+            }
+        }
+        assert_eq!(check_trace_schema(&quick), Ok(()));
+    }
+
+    #[test]
+    fn fault_documents_require_every_shed_exemplar() {
+        let mut doc = minimal_doc(false, true, true);
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "exemplars" {
+                    if let Json::Obj(ex) = v {
+                        for (ek, ev) in ex.iter_mut() {
+                            if ek == "poisoned" {
+                                *ev = Json::Arr(Vec::new());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = check_trace_schema(&doc).unwrap_err();
+        assert!(err.contains("poisoned"), "{err}");
+    }
+
+    #[test]
+    fn row_count_must_cover_the_workload_matrix() {
+        let mut doc = minimal_doc(true, false, false);
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "functions" {
+                    if let Json::Arr(rows) = v {
+                        rows.pop();
+                    }
+                }
+            }
+        }
+        let err = check_trace_schema(&doc).unwrap_err();
+        assert!(err.contains("workload rows"), "{err}");
+    }
+}

@@ -68,6 +68,29 @@ pub(crate) fn register_metrics() {
     SLICE_POSIT_REQUESTS.register();
 }
 
+/// Resolves one rescalar lane through the scalar two-tier entry. With
+/// the `telemetry` feature the lane is also timed and reported to the
+/// flight recorder as an exemplar (`rescalar` event carrying the input
+/// bits, attributed via the thread's trace context), and the scalar-path
+/// nanoseconds accrue into the per-thread fallback accumulator the
+/// serving layer drains per batch. The scalar value is computed
+/// identically in both configs — tracing observes, never alters.
+#[cfg(feature = "telemetry")]
+#[inline]
+fn rescalar_resolve(scalar: fn(f32) -> f32, x: f32) -> f32 {
+    let t0 = std::time::Instant::now();
+    let v = scalar(x);
+    let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    rlibm_obs::trace::rescalar_exemplar(x.to_bits(), ns);
+    v
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+fn rescalar_resolve(scalar: fn(f32) -> f32, x: f32) -> f32 {
+    scalar(x)
+}
+
 /// Shared chunk driver: widen in-domain lanes, run the staged fast
 /// evaluation, then resolve every lane through the safety test (special
 /// and unsafe lanes re-enter the scalar two-tier function).
@@ -99,7 +122,7 @@ fn drive(
                 y[i] as f32
             } else {
                 rescalar += 1;
-                scalar(xc[i])
+                rescalar_resolve(scalar, xc[i])
             };
         }
     }

@@ -100,7 +100,7 @@ fn drive_simd(xs: &[f32], out: &mut [f32], stage: StageFn, band: u64, scalar: fn
                 y[i] as f32
             } else {
                 rescalar += 1;
-                scalar(xc[i])
+                super::rescalar_resolve(scalar, xc[i])
             };
         }
     }

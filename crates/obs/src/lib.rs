@@ -56,8 +56,10 @@
 //! ```
 
 mod metric;
+pub mod quantile;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use metric::{bucket_lo, Counter, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{

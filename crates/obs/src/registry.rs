@@ -136,8 +136,9 @@ pub fn snapshot() -> TelemetrySnapshot {
 }
 
 /// Zeroes every registered metric (counters, histogram buckets, span
-/// histograms). Metrics stay registered. Harnesses call this before a
-/// measured phase so the snapshot reflects only that phase.
+/// histograms) and empties every trace ring. Metrics stay registered.
+/// Harnesses call this before a measured phase so the snapshot reflects
+/// only that phase.
 pub fn reset_all() {
     #[cfg(feature = "telemetry")]
     with_registry(|ms| {
@@ -149,6 +150,7 @@ pub fn reset_all() {
             }
         }
     });
+    crate::trace::reset_rings();
 }
 
 #[cfg(test)]

@@ -1,0 +1,57 @@
+//! `reset_all()` must clear every telemetry surface, including the
+//! trace ring pool. This lives in its own integration binary because a
+//! global reset racing the crate's parallel unit tests would wipe their
+//! state mid-assertion; here the two tests below are the only tenants
+//! and serialize themselves.
+
+use rlibm_obs::trace::{self, TraceKind};
+use rlibm_obs::{Counter, Histogram};
+use std::sync::Mutex;
+
+static SEQ: Mutex<()> = Mutex::new(());
+
+#[test]
+fn snapshot_after_reset_is_empty() {
+    let _seq = SEQ.lock().unwrap_or_else(|p| p.into_inner());
+    static C: Counter = Counter::new("test.reset.counter");
+    static H: Histogram = Histogram::new("test.reset.hist");
+    C.add(5);
+    H.record(1024);
+    trace::emit(TraceKind::Dequeue, 3, 0xF00D, 42);
+    trace::emit(TraceKind::Complete, 3, 0xF00D, 99);
+
+    if rlibm_obs::enabled() {
+        assert_eq!(C.get(), 5);
+        let events: usize = trace::snapshot_rings().iter().map(|t| t.events.len()).sum();
+        assert!(events >= 2, "events recorded before reset");
+    }
+
+    rlibm_obs::reset_all();
+
+    let snap = rlibm_obs::snapshot();
+    if rlibm_obs::enabled() {
+        assert_eq!(snap.counter("test.reset.counter"), Some(0));
+        let h = snap.histogram("test.reset.hist").expect("stays registered");
+        assert_eq!(h.count, 0);
+        assert!(h.buckets.is_empty());
+    } else {
+        assert!(snap.counters.is_empty());
+    }
+    assert!(
+        trace::snapshot_rings().is_empty(),
+        "trace pool empty after reset_all in every feature config"
+    );
+}
+
+#[test]
+fn reset_is_idempotent_and_rings_accept_new_events() {
+    let _seq = SEQ.lock().unwrap_or_else(|p| p.into_inner());
+    rlibm_obs::reset_all();
+    rlibm_obs::reset_all();
+    assert!(trace::snapshot_rings().is_empty());
+    trace::emit(TraceKind::Enqueue, 1, 1, 1);
+    if rlibm_obs::enabled() {
+        let events: usize = trace::snapshot_rings().iter().map(|t| t.events.len()).sum();
+        assert_eq!(events, 1, "pool records again after reset");
+    }
+}

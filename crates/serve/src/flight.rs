@@ -1,0 +1,175 @@
+//! Flight-recorder glue and per-function latency attribution for the
+//! serving layer.
+//!
+//! Two complementary surfaces ride on `rlibm_obs::trace`:
+//!
+//! * **Attribution** — each shard accumulates exact per-function sums of
+//!   where sampled requests spent their time (queue wait, batch
+//!   residency, kernel, rescalar fallback) in plain `u64` fields of
+//!   [`StageAttribution`]; the driver merges them into
+//!   `ServeReport::attribution`. Like `ChaosStats`, these are worker-
+//!   local and race-free by construction — the `serve.trace.*`
+//!   histograms in [`crate::metrics`] carry the same data as
+//!   distributions.
+//! * **Flight dumps** — when a shard panics, restarts, or detects its
+//!   first corrupted request, the supervisor snapshots every trace ring
+//!   and keeps the last [`FLIGHT_EVENTS`] events across all threads as a
+//!   [`FlightDump`], attached to `ServeReport::flight`. Dumps are capped
+//!   at [`FLIGHT_DUMPS_PER_SHARD`] per shard so a panic storm cannot
+//!   grow the report without bound.
+//!
+//! Everything here observes and never alters: the served bit patterns
+//! are pinned identical with tracing compiled in or out.
+
+use crate::shard::ShedReason;
+use crate::workload;
+use rlibm_obs::trace::{self, TraceEvent, TraceKind};
+
+/// Last-N window a [`FlightDump`] keeps after merging all rings.
+pub const FLIGHT_EVENTS: usize = 256;
+
+/// Maximum dumps one shard may contribute to a run's report.
+pub const FLIGHT_DUMPS_PER_SHARD: usize = 4;
+
+/// Exact per-function sums of sampled-request latency attribution.
+/// Per-request stages (queue, batch) sum over sampled completions;
+/// per-batch stages (kernel, fallback) sum over every timed flush of the
+/// function, with `kernel_lanes` as their denominator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageAttribution {
+    /// Sampled requests that completed (denominator for `queue_ns` and
+    /// `batch_ns`).
+    pub samples: u64,
+    /// Sum of enqueue→dequeue wait over sampled completions, ns.
+    pub queue_ns: u64,
+    /// Sum of dequeue→kernel-start residency over sampled completions,
+    /// ns.
+    pub batch_ns: u64,
+    /// Sum of kernel (slice eval) time over timed flushes, ns. Includes
+    /// `fallback_ns`, which attributes the rescalar share of it.
+    pub kernel_ns: u64,
+    /// Rescalar-lane scalar-path time within those flushes, ns.
+    pub fallback_ns: u64,
+    /// Lanes across timed flushes (denominator for the kernel stages).
+    pub kernel_lanes: u64,
+    /// Timed flushes.
+    pub batches: u64,
+}
+
+impl StageAttribution {
+    /// Field-wise accumulation (driver-side shard merge).
+    pub fn merge(&mut self, o: &StageAttribution) {
+        self.samples += o.samples;
+        self.queue_ns += o.queue_ns;
+        self.batch_ns += o.batch_ns;
+        self.kernel_ns += o.kernel_ns;
+        self.fallback_ns += o.fallback_ns;
+        self.kernel_lanes += o.kernel_lanes;
+        self.batches += o.batches;
+    }
+}
+
+/// What made the supervisor dump the flight recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightTrigger {
+    /// A worker panic was caught (the dump precedes salvage/restart).
+    Panic,
+    /// The shard detected its first corrupted request.
+    Corruption,
+}
+
+/// One flight-recorder dump: the last [`FLIGHT_EVENTS`] trace events
+/// across every thread, captured at a failure point. Empty `events`
+/// only when tracing is compiled out (the capture is skipped entirely
+/// then).
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// Shard whose supervisor captured the dump.
+    pub shard: usize,
+    /// Why it was captured.
+    pub trigger: FlightTrigger,
+    /// Capture time, ns since the trace epoch.
+    pub at_ns: u64,
+    /// The shard's restart count at capture time.
+    pub restarts: u64,
+    /// Last events across all rings, ascending by timestamp.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Snapshots every trace ring and keeps the newest [`FLIGHT_EVENTS`]
+/// events overall. Callers gate on `rlibm_obs::enabled()` and the
+/// per-shard dump cap.
+pub(crate) fn capture_flight(shard: usize, trigger: FlightTrigger, restarts: u64) -> FlightDump {
+    let mut events: Vec<TraceEvent> =
+        trace::snapshot_rings().into_iter().flat_map(|t| t.events).collect();
+    events.sort_by_key(|e| e.ts_ns);
+    let excess = events.len().saturating_sub(FLIGHT_EVENTS);
+    events.drain(..excess);
+    FlightDump { shard, trigger, at_ns: trace::now_ns(), restarts, events }
+}
+
+/// The trace kind encoding a shed reason (the payload byte then carries
+/// the input bits, the exemplar).
+pub fn shed_kind(reason: ShedReason) -> TraceKind {
+    match reason {
+        ShedReason::Deadline => TraceKind::ShedDeadline,
+        ShedReason::Backpressure => TraceKind::ShedBackpressure,
+        ShedReason::AdmissionClosed => TraceKind::ShedAdmission,
+        ShedReason::Corrupted => TraceKind::ShedCorrupted,
+        ShedReason::Poisoned => TraceKind::ShedPoisoned,
+    }
+}
+
+/// Emits the exemplar event for a shed: kind = reason, aux = folded
+/// function id, payload = the input bit pattern. Sheds bypass sampling
+/// — every one is recorded (ring-bounded).
+#[inline]
+pub(crate) fn shed_event(func: u8, x_bits: u32, tag: u64, reason: ShedReason) {
+    trace::emit(shed_kind(reason), workload::fold(func) as u8, tag, x_bits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_kinds_are_distinct_per_reason() {
+        let reasons = [
+            ShedReason::Deadline,
+            ShedReason::Backpressure,
+            ShedReason::AdmissionClosed,
+            ShedReason::Corrupted,
+            ShedReason::Poisoned,
+        ];
+        let mut kinds: Vec<u8> = reasons.iter().map(|&r| shed_kind(r) as u8).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), reasons.len());
+    }
+
+    #[test]
+    fn attribution_merge_is_fieldwise() {
+        let mut a = StageAttribution {
+            samples: 1,
+            queue_ns: 10,
+            batch_ns: 20,
+            kernel_ns: 30,
+            fallback_ns: 5,
+            kernel_lanes: 64,
+            batches: 1,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            StageAttribution {
+                samples: 2,
+                queue_ns: 20,
+                batch_ns: 40,
+                kernel_ns: 60,
+                fallback_ns: 10,
+                kernel_lanes: 128,
+                batches: 2,
+            }
+        );
+    }
+}

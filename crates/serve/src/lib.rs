@@ -58,6 +58,7 @@
 //! protocol, and returns every completion and shed record.
 
 pub mod chaos;
+pub mod flight;
 pub mod metrics;
 pub mod queue;
 mod shard;
@@ -65,11 +66,15 @@ pub mod supervisor;
 pub mod workload;
 
 pub use chaos::{ChaosConfig, ChaosStats};
+pub use flight::{
+    FlightDump, FlightTrigger, StageAttribution, FLIGHT_DUMPS_PER_SHARD, FLIGHT_EVENTS,
+};
 pub use shard::{make_tag, Completion, Request, Shed, ShedReason, BATCH, NO_DEADLINE, TAG_SEQ_BITS};
 pub use supervisor::{ServiceControl, ShardQuiesce};
 
 use queue::MpmcQueue;
 use rlibm_fp::rng::XorShift64;
+use rlibm_obs::trace::{self, TraceKind};
 use std::time::Instant;
 
 /// Producer indices must fit the tag's high bits.
@@ -112,6 +117,10 @@ pub struct ServeConfig {
     /// Chaos injection plan (requires the `fault` feature; see
     /// [`chaos`]). `None` = no injection.
     pub chaos: Option<ChaosConfig>,
+    /// Trace sampling rate exponent: tag-hash sampling keeps 1 in
+    /// `2^trace_sample_shift` requests (0 = every request; clamped to
+    /// ≤ 32). No effect without the `telemetry` feature.
+    pub trace_sample_shift: u32,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +138,7 @@ impl Default for ServeConfig {
             restart_backoff_ns: 100_000,
             drain_after_ns: 0,
             chaos: None,
+            trace_sample_shift: trace::DEFAULT_SAMPLE_SHIFT,
         }
     }
 }
@@ -254,6 +264,14 @@ pub struct ServeReport {
     pub chaos: ChaosStats,
     /// Per-shard drain accounting from the quiesce protocol.
     pub quiesce: Vec<ShardQuiesce>,
+    /// Exact per-function latency attribution of trace-sampled requests
+    /// (queue wait, batch residency, kernel, rescalar fallback), merged
+    /// across shards. All zero without the `telemetry` feature.
+    pub attribution: [StageAttribution; workload::NUM_FUNCS],
+    /// Flight-recorder dumps captured at failure points (panics and
+    /// first-corruption), in shard order. Empty on healthy runs and
+    /// without the `telemetry` feature.
+    pub flight: Vec<FlightDump>,
 }
 
 impl ServeReport {
@@ -340,6 +358,7 @@ fn producer_loop(
         let tag = make_tag(p, j);
         if ctrl.admission_closed() {
             metrics::shed_counter(ShedReason::AdmissionClosed).add(1);
+            flight::shed_event(func, x_bits, tag, ShedReason::AdmissionClosed);
             sheds.push(Shed { func, x_bits, tag, reason: ShedReason::AdmissionClosed });
             continue;
         }
@@ -358,6 +377,11 @@ fn producer_loop(
                 if attempts > 1 {
                     metrics::push_attempts().record(u64::from(attempts));
                 }
+                // Open the span for trace-sampled requests (the shard
+                // side agrees on the sample set via the same tag hash).
+                if rlibm_obs::enabled() && trace::sampled(tag) {
+                    trace::emit(TraceKind::Enqueue, workload::fold(func) as u8, tag, x_bits);
+                }
             }
             Err(req) => {
                 metrics::push_attempts().record(u64::from(cfg.push_budget.max(1)));
@@ -367,6 +391,7 @@ fn producer_loop(
                     ShedReason::Backpressure
                 };
                 metrics::shed_counter(reason).add(1);
+                flight::shed_event(req.func, req.x_bits, req.tag, reason);
                 sheds.push(Shed { func: req.func, x_bits: req.x_bits, tag: req.tag, reason });
             }
         }
@@ -389,6 +414,7 @@ fn producer_loop(
 /// up — come back as `Ok` with the damage itemized in the report.
 pub fn serve_closed_loop(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     cfg.validate()?;
+    trace::set_sample_shift(cfg.trace_sample_shift);
     let shards = cfg.shards.clamp(1, metrics::MAX_SHARDS);
     let producers = cfg.producers.max(1);
     let total = cfg.requests;
@@ -474,6 +500,8 @@ pub fn serve_closed_loop(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
     let mut failed_shards = Vec::new();
     let mut chaos_stats = ChaosStats::default();
     let mut quiesce = Vec::with_capacity(shards);
+    let mut attribution = [StageAttribution::default(); workload::NUM_FUNCS];
+    let mut flight = Vec::new();
     for (i, outcome) in shard_outcomes.into_iter().enumerate() {
         let o = outcome.unwrap_or_else(|| unreachable!("checked above"));
         completions.extend_from_slice(&o.completions);
@@ -485,6 +513,10 @@ pub fn serve_closed_loop(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         }
         chaos_stats.accumulate(o.chaos);
         quiesce.push(o.quiesce);
+        for (sum, part) in attribution.iter_mut().zip(o.attribution.iter()) {
+            sum.merge(part);
+        }
+        flight.extend(o.flight);
     }
     for outcome in producer_outcomes.into_iter().flatten() {
         sheds.extend_from_slice(&outcome.sheds);
@@ -502,6 +534,8 @@ pub fn serve_closed_loop(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         failed_shards,
         chaos: chaos_stats,
         quiesce,
+        attribution,
+        flight,
     })
 }
 

@@ -35,7 +35,13 @@
 //!   backpressure / contention signal);
 //! * `serve.chaos.{panics,delays,corruptions}` — injections performed
 //!   by the chaos layer (`fault` feature; exact counts also travel in
-//!   `ServeReport::chaos`).
+//!   `ServeReport::chaos`);
+//! * `serve.trace.sampled` and the
+//!   `serve.trace.{queue_wait,batch_wait,kernel,fallback}_ns`
+//!   histograms — per-stage latency attribution of trace-sampled
+//!   requests (queue wait and batch residency per sampled completion,
+//!   kernel and rescalar-fallback time per timed flush); the exact
+//!   per-function sums travel in `ServeReport::attribution`.
 
 use crate::shard::ShedReason;
 use rlibm_obs::{Counter, Histogram};
@@ -132,6 +138,17 @@ static CHAOS_PANICS: Counter = Counter::new("serve.chaos.panics");
 static CHAOS_DELAYS: Counter = Counter::new("serve.chaos.delays");
 static CHAOS_CORRUPTIONS: Counter = Counter::new("serve.chaos.corruptions");
 
+// Trace-sampled latency attribution (see `flight` and DESIGN.md
+// "Tracing and flight recorder"). Per-request stages record one sample
+// per *sampled* completion; the kernel stages record one sample per
+// timed flush. The exact per-function sums travel in
+// `ServeReport::attribution`; these histograms carry the distributions.
+static TRACE_SAMPLED: Counter = Counter::new("serve.trace.sampled");
+static TRACE_QUEUE_WAIT_NS: Histogram = Histogram::new("serve.trace.queue_wait_ns");
+static TRACE_BATCH_WAIT_NS: Histogram = Histogram::new("serve.trace.batch_wait_ns");
+static TRACE_KERNEL_NS: Histogram = Histogram::new("serve.trace.kernel_ns");
+static TRACE_FALLBACK_NS: Histogram = Histogram::new("serve.trace.fallback_ns");
+
 #[inline]
 fn slot(shard: usize) -> usize {
     shard % MAX_SHARDS
@@ -198,6 +215,26 @@ pub(crate) fn chaos_corruptions() -> &'static Counter {
     &CHAOS_CORRUPTIONS
 }
 
+pub(crate) fn trace_sampled() -> &'static Counter {
+    &TRACE_SAMPLED
+}
+
+pub(crate) fn trace_queue_wait_ns() -> &'static Histogram {
+    &TRACE_QUEUE_WAIT_NS
+}
+
+pub(crate) fn trace_batch_wait_ns() -> &'static Histogram {
+    &TRACE_BATCH_WAIT_NS
+}
+
+pub(crate) fn trace_kernel_ns() -> &'static Histogram {
+    &TRACE_KERNEL_NS
+}
+
+pub(crate) fn trace_fallback_ns() -> &'static Histogram {
+    &TRACE_FALLBACK_NS
+}
+
 /// Total requests served across every shard slot (0 without telemetry).
 pub fn total_requests() -> u64 {
     REQUESTS.iter().map(|c| c.get()).sum()
@@ -245,4 +282,9 @@ pub fn register_metrics() {
     CHAOS_PANICS.register();
     CHAOS_DELAYS.register();
     CHAOS_CORRUPTIONS.register();
+    TRACE_SAMPLED.register();
+    TRACE_QUEUE_WAIT_NS.register();
+    TRACE_BATCH_WAIT_NS.register();
+    TRACE_KERNEL_NS.register();
+    TRACE_FALLBACK_NS.register();
 }

@@ -28,10 +28,12 @@
 //!   the unwind so a panic can salvage the in-flight work.
 
 use crate::chaos::ChaosState;
+use crate::flight::{self, FlightDump, FlightTrigger, StageAttribution};
 use crate::metrics;
 use crate::queue::MpmcQueue;
 use crate::supervisor::{ServiceControl, ShardQuiesce};
 use crate::workload;
+use rlibm_obs::trace::{self, TraceKind};
 use rlibm_posit::Posit32;
 use std::time::Instant;
 
@@ -156,6 +158,9 @@ pub(crate) struct Batch {
     pub tag: [u64; BATCH],
     pub t_enq: [u64; BATCH],
     pub deadline: [u64; BATCH],
+    /// Dequeue timestamp of trace-sampled lanes (0 = not sampled);
+    /// feeds the batch-residency attribution at flush time.
+    pub t_deq: [u64; BATCH],
     pub len: usize,
 }
 
@@ -166,16 +171,18 @@ impl Batch {
             tag: [0; BATCH],
             t_enq: [0; BATCH],
             deadline: [0; BATCH],
+            t_deq: [0; BATCH],
             len: 0,
         }
     }
 
     #[inline]
-    fn push(&mut self, req: &Request) -> bool {
+    fn push(&mut self, req: &Request, t_deq_ns: u64) -> bool {
         self.x_bits[self.len] = req.x_bits;
         self.tag[self.len] = req.tag;
         self.t_enq[self.len] = req.t_enqueue_ns;
         self.deadline[self.len] = req.deadline_ns;
+        self.t_deq[self.len] = t_deq_ns;
         self.len += 1;
         self.len == BATCH
     }
@@ -211,6 +218,14 @@ pub(crate) struct ShardState {
     pub batches: Vec<Batch>,
     pub chaos: ChaosState,
     pub quiesce: ShardQuiesce,
+    /// Exact per-function latency attribution of trace-sampled requests.
+    pub attribution: [StageAttribution; workload::NUM_FUNCS],
+    /// Flight-recorder dumps captured on this shard (panic/corruption),
+    /// capped at [`flight::FLIGHT_DUMPS_PER_SHARD`].
+    pub flight: Vec<FlightDump>,
+    /// Only the *first* corrupted request dumps the recorder — a
+    /// corruption storm is summarized by its shed counter, not N dumps.
+    corruption_dumped: bool,
 }
 
 impl ShardState {
@@ -221,11 +236,29 @@ impl ShardState {
             batches: (0..workload::NUM_FUNCS).map(|_| Batch::new()).collect(),
             chaos: ChaosState::new(chaos_cfg, shard),
             quiesce: ShardQuiesce { shard, ..ShardQuiesce::default() },
+            attribution: [StageAttribution::default(); workload::NUM_FUNCS],
+            flight: Vec::new(),
+            corruption_dumped: false,
         }
     }
 
     pub fn shed(&mut self, func: u8, x_bits: u32, tag: u64, reason: ShedReason) {
         metrics::shed_counter(reason).add(1);
+        // Sheds bypass sampling: each one is an exemplar (the event
+        // carries the input bit pattern behind the shed).
+        flight::shed_event(func, x_bits, tag, reason);
+        if reason == ShedReason::Corrupted
+            && !self.corruption_dumped
+            && rlibm_obs::enabled()
+            && self.flight.len() < flight::FLIGHT_DUMPS_PER_SHARD
+        {
+            self.corruption_dumped = true;
+            self.flight.push(flight::capture_flight(
+                self.quiesce.shard,
+                FlightTrigger::Corruption,
+                0,
+            ));
+        }
         self.sheds.push(Shed { func, x_bits, tag, reason });
     }
 }
@@ -243,6 +276,7 @@ fn flush(
     queue: &MpmcQueue<Request>,
     epoch: Instant,
     completions: &mut Vec<Completion>,
+    attribution: &mut StageAttribution,
 ) {
     let n = batch.len;
     if n == 0 {
@@ -252,6 +286,25 @@ fn flush(
     // leaves the whole batch in flight for the supervisor to salvage.
     chaos.fire_panic_if_armed();
     chaos.maybe_delay();
+    // Kernel timing brackets only the slice eval (the chaos hooks above
+    // would otherwise dominate under injected delays). The context byte
+    // lets rescalar lanes inside the kernel stamp their exemplars with
+    // this function id; draining the fallback accumulator here discards
+    // any stale ns from non-serve work on this thread.
+    let trace_on = rlibm_obs::enabled();
+    let t_kernel0 = if trace_on {
+        trace::set_context(func);
+        let _ = trace::take_fallback_ns();
+        // The flush *timing* is unconditional (exact attribution); the
+        // flush *event* follows the tag-hash sample of its first lane so
+        // the ring stays proportional to the sampling rate.
+        if trace::sampled(batch.tag[0]) {
+            trace::emit(TraceKind::BatchFlush, func, batch.tag[0], n as u32);
+        }
+        epoch.elapsed().as_nanos() as u64
+    } else {
+        0
+    };
     if workload::is_posit(func) {
         for i in 0..n {
             scratch.pxs[i] = Posit32::from_bits(batch.x_bits[i]);
@@ -264,6 +317,18 @@ fn flush(
         workload::f32_slice_eval(func, &scratch.xs[..n], &mut scratch.ys[..n]);
     }
     let now = epoch.elapsed().as_nanos() as u64;
+    if trace_on {
+        let kernel_ns = now.saturating_sub(t_kernel0);
+        let fallback_ns = trace::take_fallback_ns();
+        metrics::trace_kernel_ns().record(kernel_ns);
+        if fallback_ns > 0 {
+            metrics::trace_fallback_ns().record(fallback_ns);
+        }
+        attribution.kernel_ns += kernel_ns;
+        attribution.fallback_ns += fallback_ns;
+        attribution.kernel_lanes += n as u64;
+        attribution.batches += 1;
+    }
     metrics::batches(shard).add(1);
     metrics::batch_lanes(shard).add(n as u64);
     metrics::queue_depth(shard).record(queue.len() as u64);
@@ -276,6 +341,25 @@ fn flush(
         } else {
             scratch.ys[i].to_bits()
         };
+        // A nonzero dequeue stamp marks a trace-sampled lane: close its
+        // span with the queue-wait / batch-residency split and a
+        // Complete event echoing the end-to-end latency.
+        if batch.t_deq[i] > 0 {
+            let queue_wait = batch.t_deq[i].saturating_sub(batch.t_enq[i]);
+            let batch_wait = t_kernel0.saturating_sub(batch.t_deq[i]);
+            metrics::trace_sampled().add(1);
+            metrics::trace_queue_wait_ns().record(queue_wait);
+            metrics::trace_batch_wait_ns().record(batch_wait);
+            attribution.samples += 1;
+            attribution.queue_ns += queue_wait;
+            attribution.batch_ns += batch_wait;
+            trace::emit(
+                TraceKind::Complete,
+                func,
+                batch.tag[i],
+                latency_ns.min(u64::from(u32::MAX)) as u32,
+            );
+        }
         completions.push(Completion {
             func,
             x_bits: batch.x_bits[i],
@@ -313,16 +397,36 @@ pub(crate) fn shard_pass(
                     st.shed(req.func, req.x_bits, req.tag, ShedReason::Corrupted);
                     continue;
                 }
-                if req.deadline_ns != NO_DEADLINE {
-                    let now = epoch.elapsed().as_nanos() as u64;
-                    if now > req.deadline_ns {
-                        metrics::shed_overdue_ns().record(now - req.deadline_ns);
-                        st.shed(req.func, req.x_bits, req.tag, ShedReason::Deadline);
-                        continue;
-                    }
-                }
                 let f = workload::fold(req.func);
-                if st.batches[f].push(&req) {
+                // Deterministic tag-hash sampling: every stage of the
+                // pipeline agrees on the sample set, so a sampled request
+                // yields a complete span. One clock read serves both the
+                // deadline check and the dequeue stamp.
+                let trace_on = rlibm_obs::enabled() && trace::sampled(req.tag);
+                let mut now = 0u64;
+                if req.deadline_ns != NO_DEADLINE || trace_on {
+                    now = epoch.elapsed().as_nanos() as u64;
+                }
+                if req.deadline_ns != NO_DEADLINE && now > req.deadline_ns {
+                    metrics::shed_overdue_ns().record(now - req.deadline_ns);
+                    st.shed(req.func, req.x_bits, req.tag, ShedReason::Deadline);
+                    continue;
+                }
+                let t_deq = if trace_on {
+                    let queue_wait = now.saturating_sub(req.t_enqueue_ns);
+                    trace::emit(
+                        TraceKind::Dequeue,
+                        f as u8,
+                        req.tag,
+                        queue_wait.min(u64::from(u32::MAX)) as u32,
+                    );
+                    // max(1): a zero stamp means "not sampled" in the
+                    // batch columns.
+                    now.max(1)
+                } else {
+                    0
+                };
+                if st.batches[f].push(&req, t_deq) {
                     flush(
                         shard,
                         f as u8,
@@ -332,6 +436,7 @@ pub(crate) fn shard_pass(
                         queue,
                         epoch,
                         &mut st.completions,
+                        &mut st.attribution[f],
                     );
                 }
             }
@@ -349,6 +454,7 @@ pub(crate) fn shard_pass(
                             queue,
                             epoch,
                             &mut st.completions,
+                            &mut st.attribution[f],
                         );
                     }
                 }

@@ -31,10 +31,12 @@
 //! drain had to retire.
 
 use crate::chaos::{ChaosConfig, ChaosStats};
+use crate::flight::{self, FlightDump, FlightTrigger, StageAttribution};
 use crate::metrics;
 use crate::queue::MpmcQueue;
 use crate::shard::{shard_pass, Request, Shed, ShedReason, ShardState};
 use crate::workload;
+use rlibm_obs::trace::{self, TraceKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -105,6 +107,8 @@ pub(crate) struct ShardOutcome {
     pub gave_up: bool,
     pub chaos: ChaosStats,
     pub quiesce: ShardQuiesce,
+    pub attribution: [StageAttribution; workload::NUM_FUNCS],
+    pub flight: Vec<FlightDump>,
 }
 
 /// Backoff before restart `n` (0-based): `base << n`, capped at 64×.
@@ -142,6 +146,15 @@ pub(crate) fn supervise_shard(
                 drop(payload);
                 panics += 1;
                 metrics::panics(shard).add(1);
+                // Flight recorder: the dump happens *before* salvage, so
+                // the last events leading into the panic are preserved
+                // exactly as the failing pass wrote them.
+                trace::emit(TraceKind::PanicCaught, shard as u8, shard as u64, restarts as u32);
+                if rlibm_obs::enabled() && state.flight.len() < flight::FLIGHT_DUMPS_PER_SHARD {
+                    state
+                        .flight
+                        .push(flight::capture_flight(shard, FlightTrigger::Panic, restarts));
+                }
                 if restarts >= u64::from(max_restarts) {
                     // Budget exhausted: stop serving, but leave nothing
                     // unaccounted — batches and ring drain into
@@ -157,6 +170,7 @@ pub(crate) fn supervise_shard(
                 std::thread::sleep(restart_backoff(restart_backoff_ns, restarts));
                 restarts += 1;
                 metrics::restarts(shard).add(1);
+                trace::emit(TraceKind::Restart, shard as u8, shard as u64, restarts as u32);
             }
         }
     }
@@ -169,6 +183,8 @@ pub(crate) fn supervise_shard(
         gave_up,
         chaos: state.chaos.stats,
         quiesce: state.quiesce,
+        attribution: state.attribution,
+        flight: state.flight,
     }
 }
 

@@ -79,6 +79,54 @@ fn concurrent_histogram_matches_serial_reference() {
     }
 }
 
+/// Hammer the trace rings from many threads, then check every visible
+/// record for tearing: each event's payload is a pure function of its
+/// tag, so a snapshot that interleaved halves of two records would show
+/// a mismatch. Rings are bounded — old events are overwritten, never
+/// torn, and the visible total can't exceed the pool capacity.
+///
+/// Writes through the public `emit` path with a private marker byte;
+/// no `reset_all()` (the registry is shared with the other tests), so
+/// the assertions only touch records carrying the marker.
+#[test]
+fn concurrent_ring_writes_are_never_torn() {
+    use rlibm::obs::trace::{self, TraceKind, MAX_RINGS, RING_CAP};
+    const MARKER: u8 = 0x7F;
+    let chunks = 16usize;
+    let per_chunk = 4 * RING_CAP as u64; // several wraps per ring
+    run_chunked(chunks, 1, 8, |_, range| {
+        for k in range {
+            for i in 0..per_chunk {
+                let tag = ((k as u64) << 32) | i;
+                trace::emit(TraceKind::Complete, MARKER, tag, trace::mix64(tag) as u32);
+            }
+        }
+    });
+    let rings = trace::snapshot_rings();
+    if !rlibm::obs::enabled() {
+        assert!(rings.is_empty(), "telemetry off: no rings");
+        return;
+    }
+    let mut seen = 0usize;
+    for t in &rings {
+        assert!(t.events.len() <= RING_CAP, "ring over capacity");
+        for e in &t.events {
+            if e.aux != MARKER {
+                continue; // another test's events in a reused ring
+            }
+            seen += 1;
+            assert_eq!(
+                e.payload,
+                trace::mix64(e.tag) as u32,
+                "torn record: payload does not match its tag"
+            );
+            assert_eq!(e.kind, TraceKind::Complete);
+        }
+    }
+    assert!(seen > 0, "snapshot must surface marked events");
+    assert!(seen <= MAX_RINGS * RING_CAP, "visible events exceed pool capacity");
+}
+
 #[test]
 fn span_nesting_tracks_depth_and_counts_closures() {
     static OUTER: SpanTimer = SpanTimer::new("test.telemetry.span_outer");
