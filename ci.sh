@@ -31,6 +31,34 @@ cargo clippy --offline --lib \
     -- -D warnings \
     -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 
+echo "== packed-table determinism: rebuild via build.rs, diff the pin =="
+# The lookup tables are emitted at build time (crates/libm/build.rs)
+# from the 160-bit oracle and bit-packed; the committed tables.fnv pins
+# their exact bytes. Force a regeneration and diff the checksum the
+# build script stamped into its emission against the committed pin —
+# a mismatch means the generated tables drifted from what every
+# certification artifact was computed against. (The build script itself
+# also fails hard on a mismatch; this leg keeps the property visible
+# and greppable in CI output.)
+touch crates/libm/build.rs
+cargo build --release --offline -p rlibm-math
+GEN_TABLES=$(ls -t target/release/build/rlibm-math-*/out/packed_tables.rs | head -1)
+GEN_FNV=$(grep -o 'TABLES_FNV64: u64 = 0x[0-9a-f]*' "$GEN_TABLES" | grep -o '0x[0-9a-f]*')
+PINNED_FNV=$(cat crates/libm/tables.fnv)
+if [ "$GEN_FNV" != "$PINNED_FNV" ]; then
+    echo "FAIL: regenerated table checksum $GEN_FNV != pinned $PINNED_FNV"
+    exit 1
+fi
+echo "regenerated tables match pin $PINNED_FNV"
+
+echo "== tier counters: delta accounting in both telemetry configs =="
+# Every in-domain call ships from exactly one of the three progressive
+# tiers (prefix/full/dd), scalar and batched alike; with telemetry off
+# the counters must stay zero and the outputs bit-identical. Run the
+# delta suite in both configurations.
+cargo test -q --offline --release -p rlibm --features telemetry --test tier_counters
+cargo test -q --offline --release -p rlibm --test tier_counters
+
 echo "== telemetry-off identity: instrumentation changes no output bit =="
 # Workspace-wide test runs above unify features with rlibm-bench and so
 # run with telemetry ON; building the facade crate alone leaves telemetry
@@ -105,13 +133,13 @@ echo "== bench smoke: fig3 --quick + JSON schema =="
 mkdir -p target/bench-smoke
 cargo run --release --offline -p rlibm-bench --bin fig3 -- \
     --quick --out target/bench-smoke/BENCH_fig3.quick.json
-grep -q '"schema": "rlibm-bench/fig3/v1"' target/bench-smoke/BENCH_fig3.quick.json
+grep -q '"schema": "rlibm-bench/fig3/v2"' target/bench-smoke/BENCH_fig3.quick.json
 cargo run --release --offline -p rlibm-bench --bin fig4 -- \
     --quick --out target/bench-smoke/BENCH_fig4.quick.json
 grep -q '"schema": "rlibm-bench/fig4/v1"' target/bench-smoke/BENCH_fig4.quick.json
 cargo run --release --offline -p rlibm-bench --bin vector_harness -- \
     --quick --out target/bench-smoke/BENCH_vector.quick.json
-grep -q '"schema": "rlibm-bench/vector/v1"' target/bench-smoke/BENCH_vector.quick.json
+grep -q '"schema": "rlibm-bench/vector/v2"' target/bench-smoke/BENCH_vector.quick.json
 cargo run --release --offline -p rlibm-bench --bin gen_bench -- \
     --quick --out target/bench-smoke/BENCH_gen.quick.json
 grep -q '"schema": "rlibm-bench/gen/v1"' target/bench-smoke/BENCH_gen.quick.json

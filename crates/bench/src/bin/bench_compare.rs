@@ -28,8 +28,13 @@ use rlibm_bench::timing::geomean;
 /// vouch that the ns_* fields mean the same thing in both files.
 const KNOWN_SCHEMAS: &[&str] = &[
     "rlibm-bench/fig3/v1",
+    // v2 adds a top-level "tables" size section (progressive tiers +
+    // bit-packed tables); the per-function ns_* fields are unchanged,
+    // so v1 and v2 documents diff cleanly against each other.
+    "rlibm-bench/fig3/v2",
     "rlibm-bench/fig4/v1",
     "rlibm-bench/vector/v1",
+    "rlibm-bench/vector/v2",
     "rlibm-bench/gen/v1",
     "rlibm-bench/serve/v1",
     // chaos_bench rows are scenarios, not functions, but carry ns_p50 /
@@ -100,6 +105,16 @@ fn functions(doc: &Json, path: &str) -> Vec<(String, Json)> {
         .collect()
 }
 
+/// A schema tag without its trailing `/vN` revision: documents of the
+/// same family measure the same thing, so a v1 baseline stays diffable
+/// after a harness bumps its revision for an additive section.
+fn schema_family(tag: &str) -> &str {
+    match tag.rfind('/') {
+        Some(i) if tag[i + 1..].starts_with('v') => &tag[..i],
+        _ => tag,
+    }
+}
+
 /// The `ns_*` fields of a function entry, insertion order.
 fn ns_fields(entry: &Json) -> Vec<String> {
     match entry {
@@ -125,17 +140,19 @@ fn main() {
         .get("schema")
         .and_then(Json::as_str)
         .unwrap_or_else(|| usage(&format!("{}: missing 'schema' tag", cli.new)));
-    if old_schema != new_schema {
+    if schema_family(old_schema) != schema_family(new_schema) {
         usage(&format!(
             "schema mismatch: {} is '{old_schema}', {} is '{new_schema}'",
             cli.old, cli.new
         ));
     }
-    if !KNOWN_SCHEMAS.contains(&old_schema) {
-        usage(&format!(
-            "unknown schema '{old_schema}' (known: {})",
-            KNOWN_SCHEMAS.join(", ")
-        ));
+    for (schema, path) in [(old_schema, &cli.old), (new_schema, &cli.new)] {
+        if !KNOWN_SCHEMAS.contains(&schema) {
+            usage(&format!(
+                "{path}: unknown schema '{schema}' (known: {})",
+                KNOWN_SCHEMAS.join(", ")
+            ));
+        }
     }
 
     let old_fns = functions(&old_doc, &cli.old);
@@ -201,6 +218,34 @@ fn main() {
         }
         let g = geomean(ratios);
         println!("{:>16} | {:>13.4} | {:>+8.1}%", field, g, (g - 1.0) * 100.0);
+    }
+
+    // Table-footprint delta, printed whenever both documents carry the
+    // v2 "tables" size section (informational: smaller is better, but a
+    // growth here is a review prompt, not a regression exit).
+    if let (Some(Json::Obj(old_t)), Some(Json::Obj(new_t))) =
+        (old_doc.get("tables"), new_doc.get("tables"))
+    {
+        let mut printed_header = false;
+        for (field, old_v) in old_t {
+            let (Some(old_b), Some(new_b)) = (
+                old_v.as_num(),
+                new_t.iter().find(|(k, _)| k == field).and_then(|(_, v)| v.as_num()),
+            ) else {
+                continue;
+            };
+            if old_b <= 0.0 {
+                continue;
+            }
+            if !printed_header {
+                println!("\ntable bytes:");
+                printed_header = true;
+            }
+            println!(
+                "  {field}: {old_b:.0} -> {new_b:.0} ({:+.1}%)",
+                (new_b / old_b - 1.0) * 100.0
+            );
+        }
     }
 
     if regressions.is_empty() {

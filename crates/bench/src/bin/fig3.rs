@@ -9,9 +9,11 @@
 //! * `batched` — [`rlibm_math::eval_slice_f32`] over the same inputs.
 //!
 //! Alongside the table it emits a machine-readable `BENCH_fig3.json`
-//! (schema `rlibm-bench/fig3/v1`), re-parsed and schema-checked before
-//! the process exits, and prints the dd-fallback rate observed on the
-//! timing workload (the counters are always on in this crate).
+//! (schema `rlibm-bench/fig3/v2` — v2 adds a top-level `tables` section
+//! with the packed/unpacked lookup-table footprints), re-parsed and
+//! schema-checked before the process exits, and prints the dd-fallback
+//! rate observed on the timing workload (the counters are always on in
+//! this crate).
 //!
 //! Usage: `cargo run -p rlibm-bench --release --bin fig3 -- \
 //!             [n_inputs] [--quick] [--out PATH]`
@@ -26,7 +28,7 @@ use rlibm_bench::workloads::timing_inputs_f32;
 use rlibm_math::stats;
 use rlibm_mp::Func;
 
-pub const SCHEMA: &str = "rlibm-bench/fig3/v1";
+pub const SCHEMA: &str = "rlibm-bench/fig3/v2";
 pub const PER_FN_FIELDS: &[&str] = &[
     "ns_fast",
     "ns_dd",
@@ -42,6 +44,10 @@ struct Cli {
     reps: usize,
     quick: bool,
     out: String,
+    /// `--only a,b`: measure just these functions, for fast iteration
+    /// while optimizing a single kernel. Partial runs never write the
+    /// JSON doc — the committed BENCH file is always a full sweep.
+    only: Option<Vec<String>>,
 }
 
 fn parse_cli() -> Cli {
@@ -50,6 +56,7 @@ fn parse_cli() -> Cli {
         reps: 5,
         quick: false,
         out: "BENCH_fig3.json".to_string(),
+        only: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +67,10 @@ fn parse_cli() -> Cli {
                 cli.reps = 2;
             }
             "--out" => cli.out = args.next().expect("--out requires a path"),
+            "--only" => {
+                let list = args.next().expect("--only requires a comma-separated list");
+                cli.only = Some(list.split(',').map(str::to_string).collect());
+            }
             other => cli.n = other.parse().unwrap_or_else(|_| panic!("bad arg '{other}'")),
         }
     }
@@ -88,15 +99,59 @@ fn main() {
     );
     println!("{}", "-".repeat(116));
 
+    // Timings are the min over `reps` full passes of the whole sweep
+    // (each pass measures every function and model once) rather than
+    // `reps` back-to-back repetitions per row: on shared hosts,
+    // slowdown windows last seconds, and interleaving keeps one window
+    // from poisoning every repetition of a single row.
+    let mut best = vec![[f64::INFINITY; 6]; Func::ALL.len()];
+    for _ in 0..cli.reps {
+        for (fi, f) in Func::ALL.iter().enumerate() {
+            let name = f.name();
+            if let Some(only) = &cli.only {
+                if !only.iter().any(|o| o == name) {
+                    continue;
+                }
+            }
+            let xs = timing_inputs_f32(name, cli.n, 42);
+            let fast_fn = rlibm_math::f32_fn_by_name(name).expect("known name");
+            let dd_fn = rlibm_math::f32_dd_fn_by_name(name).expect("known name");
+            let base_fn = rlibm_math::baseline_f32_fn_by_name(name).expect("known name");
+            let fast = ns_per_call(&xs, 2, fast_fn);
+            let dd = ns_per_call(&xs, 2, dd_fn);
+            let mut out = vec![0.0f32; xs.len()];
+            let batched = ns_per_call(&[0usize], 2, |_| {
+                rlibm_math::eval_slice_f32(name, &xs, &mut out).expect("known name");
+                out[0]
+            }) / xs.len() as f64;
+            let fl = ns_per_call(&xs, 2, base_fn);
+            let db = ns_per_call(&xs, 2, |x| {
+                rlibm_math::baselines::double64::to_f32(name, x)
+            });
+            let cr = if matches!(f, Func::SinPi | Func::CosPi) {
+                db // CR-LIBM has no sinpi/cospi; the paper compares these to double-libm.
+            } else {
+                ns_per_call(&xs, 2, |x| rlibm_math::baselines::crlibm::to_f32(name, x))
+            };
+            let b = &mut best[fi];
+            for (slot, v) in [fast, dd, batched, fl, db, cr].into_iter().enumerate() {
+                b[slot] = b[slot].min(v);
+            }
+        }
+    }
+
     let (mut s_dd, mut s_f, mut s_d, mut s_c, mut s_b) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
     let mut rows = Vec::new();
-    for f in Func::ALL {
+    for (fi, f) in Func::ALL.iter().enumerate() {
         let name = f.name();
+        if let Some(only) = &cli.only {
+            if !only.iter().any(|o| o == name) {
+                continue;
+            }
+        }
         let xs = timing_inputs_f32(name, cli.n, 42);
         let fast_fn = rlibm_math::f32_fn_by_name(name).expect("known name");
-        let dd_fn = rlibm_math::f32_dd_fn_by_name(name).expect("known name");
-        let base_fn = rlibm_math::baseline_f32_fn_by_name(name).expect("known name");
 
         // Fallback rate: one untimed sweep between counter reset/read, so
         // the number is per-workload-input, not per-timing-iteration.
@@ -106,23 +161,7 @@ fn main() {
         }
         let rate = stats::fallbacks_f32(name) as f64 / xs.len() as f64;
 
-        let fast = ns_per_call(&xs, cli.reps, fast_fn);
-        let dd = ns_per_call(&xs, cli.reps, dd_fn);
-        let mut out = vec![0.0f32; xs.len()];
-        let batched = ns_per_call(&[0usize], cli.reps, |_| {
-            rlibm_math::eval_slice_f32(name, &xs, &mut out).expect("known name");
-            out[0]
-        }) / xs.len() as f64;
-        let fl = ns_per_call(&xs, cli.reps, base_fn);
-        let db = ns_per_call(&xs, cli.reps, |x| {
-            rlibm_math::baselines::double64::to_f32(name, x)
-        });
-        let cr = if matches!(f, Func::SinPi | Func::CosPi) {
-            db // CR-LIBM has no sinpi/cospi; the paper compares these to double-libm.
-        } else {
-            ns_per_call(&xs, cli.reps, |x| rlibm_math::baselines::crlibm::to_f32(name, x))
-        };
-
+        let [fast, dd, batched, fl, db, cr] = best[fi];
         s_dd.push(dd / fast);
         s_f.push(fl / fast);
         s_d.push(db / fast);
@@ -177,6 +216,12 @@ fn main() {
         .set("schema", SCHEMA)
         .set("quick", cli.quick)
         .set("n_inputs", cli.n as f64)
+        .set(
+            "tables",
+            Json::obj()
+                .set("bytes_packed", rlibm_math::tables::TABLE_BYTES_PACKED as f64)
+                .set("bytes_unpacked", rlibm_math::tables::TABLE_BYTES_UNPACKED as f64),
+        )
         .set("functions", rows)
         .set(
             "geomean",
@@ -187,6 +232,10 @@ fn main() {
                 .set("fast_vs_crlibm", geomean(&s_c))
                 .set("batched_vs_fast", geomean(&s_b)),
         );
+    if cli.only.is_some() {
+        println!("\npartial run (--only): not writing {}", cli.out);
+        return;
+    }
     write_validated(&cli.out, &doc, SCHEMA, PER_FN_FIELDS).expect("write BENCH json");
     println!("\nwrote {} (schema {SCHEMA}, parsed + validated)", cli.out);
 }

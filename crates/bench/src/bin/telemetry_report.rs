@@ -17,6 +17,11 @@
 //!    at 200k and settles for registered-at-zero presence).
 //! 4. **Batched eval** — one `eval_slice_f32` call ticking the
 //!    `runtime.slice.f32.*` counters.
+//! 5. **Progressive tiers** — the fig3 timing workload through every
+//!    scalar front end, populating `runtime.tier.{prefix,full,dd}.*`
+//!    and asserting the prefix tier carried >= 90% of in-domain calls
+//!    (the cheap tier must be the common case or the ladder is
+//!    mis-tuned).
 //!
 //! The binary asserts telemetry is compiled in (it is, in this crate),
 //! asserts the snapshot's core sections are populated, prints a human
@@ -166,6 +171,47 @@ fn exercise_fallbacks(seed: u64, cap: u64) -> Vec<String> {
     missing
 }
 
+/// Phase 5: the progressive-tier hit-rate check. Runs the same
+/// domain-biased workload fig3 times through every scalar front end
+/// and returns the aggregate prefix-tier share of in-domain calls.
+fn exercise_tiers(per_fn: usize) -> f64 {
+    let mut prefix_total = 0u64;
+    let mut total = 0u64;
+    println!("\n{:>8} | {:>8} | {:>8} | {:>8} | {:>8}", "fn", "prefix", "full", "dd", "prefix%");
+    println!("{}", "-".repeat(52));
+    for f in Func::ALL {
+        let name = f.name();
+        let fast = rlibm_math::f32_fn_by_name(name).expect("known name");
+        let slot = stats::f32_slot_by_name(name).expect("known name");
+        let before = (stats::tier_prefix(slot), stats::tier_full(slot), stats::tier_dd(slot));
+        for x in rlibm_bench::workloads::timing_inputs_f32(name, per_fn, 42) {
+            std::hint::black_box(fast(x));
+        }
+        let dp = stats::tier_prefix(slot) - before.0;
+        let df = stats::tier_full(slot) - before.1;
+        let dd = stats::tier_dd(slot) - before.2;
+        let in_domain = dp + df + dd;
+        assert!(in_domain > 0, "{name}: timing workload never entered the tier ladder");
+        println!(
+            "{:>8} | {:>8} | {:>8} | {:>8} | {:>7.2}%",
+            name,
+            dp,
+            df,
+            dd,
+            100.0 * dp as f64 / in_domain as f64
+        );
+        prefix_total += dp;
+        total += in_domain;
+    }
+    let rate = prefix_total as f64 / total as f64;
+    assert!(
+        rate >= 0.90,
+        "prefix tier carried only {:.2}% of in-domain calls (need >= 90%)",
+        rate * 100.0
+    );
+    rate
+}
+
 /// Phase 4: one batched evaluation to tick the slice counters.
 fn exercise_slice(seed: u64) {
     let mut rng = XorShift64::new(seed ^ 0x51DE);
@@ -204,6 +250,11 @@ fn main() {
         "  runtime: fallback sweeps (cap {} draws/function), slice eval over 4096 lanes",
         fallback_cap
     );
+    let tier_rate = exercise_tiers(if cli.quick { 1024 } else { 4096 });
+    println!(
+        "  tiers: prefix tier carried {:.2}% of in-domain calls on the timing workload",
+        tier_rate * 100.0
+    );
 
     let snap = rlibm_obs::snapshot();
 
@@ -233,6 +284,12 @@ fn main() {
         fallback_counters.len() == 18,
         "expected 18 runtime.fallback.* counters, snapshot has {}",
         fallback_counters.len()
+    );
+    let tier_counters =
+        snap.counters.iter().filter(|c| c.name.starts_with("runtime.tier.")).count();
+    assert!(
+        tier_counters == 54,
+        "expected 54 runtime.tier.* counters (3 tiers x 18 slots), snapshot has {tier_counters}"
     );
 
     println!("\n{:>34} | {:>12}", "counter", "value");

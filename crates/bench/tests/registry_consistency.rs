@@ -138,6 +138,46 @@ fn bench_workloads_cover_both_tables() {
 }
 
 #[test]
+fn tier_registry_covers_exactly_the_counter_slots() {
+    use rlibm_math::tiers;
+
+    // Ten f32 ladders in Table 1 order, eight posit ladders following
+    // the float block — one TierSpec per stats slot, no gaps.
+    assert_eq!(tiers::F32_TIERS.len(), Func::ALL.len());
+    assert_eq!(tiers::POSIT32_TIERS.len(), Func::POSIT.len());
+    for (i, name) in float_names().into_iter().enumerate() {
+        let spec = &tiers::F32_TIERS[i];
+        assert_eq!(spec.name, format!("f32.{name}"), "tier row {i} out of Table 1 order");
+        assert_eq!(spec.slot, i, "tier slot for {name}");
+        assert_eq!(tiers::by_name(&format!("f32.{name}")), Some(spec));
+        assert_eq!(tiers::by_slot(i), Some(spec));
+    }
+    for (i, name) in posit_names().into_iter().enumerate() {
+        let spec = &tiers::POSIT32_TIERS[i];
+        assert_eq!(spec.name, format!("posit32.{name}"), "posit tier row {i} out of order");
+        assert_eq!(spec.slot, Func::ALL.len() + i, "posit tier slot for {name}");
+        assert_eq!(tiers::by_slot(Func::ALL.len() + i), Some(spec));
+    }
+    // Float-only and unknown names must not resolve.
+    for name in ["f32.tan", "posit32.sinpi", "posit32.cospi", "exp", ""] {
+        assert_eq!(tiers::by_name(name), None, "tier registry resolves '{name}'");
+    }
+    assert_eq!(tiers::by_slot(rlibm_math::stats::slot::COUNT), None);
+}
+
+#[test]
+fn tier_counters_key_by_the_same_slots() {
+    // The per-tier counter accessors must answer for every registry
+    // slot (zero or more, never a panic), in both telemetry configs.
+    for s in 0..rlibm_math::stats::slot::COUNT {
+        let _ = rlibm_math::stats::tier_prefix(s);
+        let _ = rlibm_math::stats::tier_full(s);
+        let _ = rlibm_math::stats::tier_dd(s);
+        let _ = rlibm_math::stats::fallbacks(s);
+    }
+}
+
+#[test]
 fn fallback_counters_key_by_the_same_names() {
     if !rlibm_math::stats::enabled() {
         return;

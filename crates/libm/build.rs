@@ -1,0 +1,220 @@
+//! Build-time generation of the bit-packed kernel tables.
+//!
+//! Recomputes every table entry with the 160-bit multi-precision oracle
+//! (`rlibm_mp::tables_src`, the same source of truth the `gen_tables`
+//! reference dump uses), packs each hi/lo pair into 15 bytes (see
+//! `src/tables_codec.rs`), and emits `packed_tables.rs` into `OUT_DIR`
+//! together with the scalar double-double constants.
+//!
+//! Outputs are **pinned**: an FNV-1a checksum over the packed bytes,
+//! exponent bases and constant bits is compared against the committed
+//! `tables.fnv`; any drift — an oracle change, a packing change, a new
+//! base — fails the build with both values printed. Regenerate the pin
+//! intentionally with `RLIBM_WRITE_TABLE_FNV=1 cargo build -p rlibm-math`.
+//!
+//! `COSPI_T` is not emitted at all: `cos(pi n/512) == sin(pi (256-n)/512)`
+//! holds bit-for-bit at double precision (the build verifies this before
+//! relying on it), so the cospi accessor mirror-indexes the sinpi table.
+
+use std::fmt::Write as _;
+
+// The codec compiles twice (here and as crate::tables_codec) so the
+// packer and the runtime unpacker can never drift apart. Runtime-only
+// helpers (the hi-only prefix-tier accessor) go unused here.
+#[allow(dead_code)]
+#[path = "src/tables_codec.rs"]
+mod codec;
+use codec::{pack_entry, unpack_entry, PACKED_STRIDE};
+
+const PREC: u32 = 160;
+
+/// FNV-1a, matching the workspace's pinned-checksum convention.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("build.rs: {msg}");
+    std::process::exit(1);
+}
+
+struct PackedTable {
+    name: &'static str,
+    doc: &'static str,
+    hi_base: u64,
+    lo_base: u64,
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+/// Smallest biased exponent used by a column's nonzero entries — the
+/// origin of its 4-bit code window.
+fn column_base(entries: &[(f64, f64)], col: usize) -> u64 {
+    entries
+        .iter()
+        .map(|&(h, l)| if col == 0 { h } else { l })
+        .filter(|v| v.to_bits() != 0)
+        .map(|v| (v.to_bits() >> 52) & 0x7FF)
+        .min()
+        .unwrap_or(1023)
+}
+
+fn pack_table(name: &'static str, doc: &'static str, entries: &[(f64, f64)]) -> PackedTable {
+    let hi_base = column_base(entries, 0);
+    let lo_base = column_base(entries, 1);
+    let mut bytes = Vec::with_capacity(entries.len() * PACKED_STRIDE);
+    for (i, &(hi, lo)) in entries.iter().enumerate() {
+        match pack_entry(hi, lo, hi_base, lo_base) {
+            Some(e) => bytes.extend_from_slice(&e),
+            None => die(&format!(
+                "{name}[{i}] = ({hi:e}, {lo:e}) does not fit the 15-byte packing \
+                 (hi_base {hi_base}, lo_base {lo_base})"
+            )),
+        }
+        // The packer must be exactly invertible — decode and compare.
+        let (uh, ul) = unpack_entry(&bytes, i, hi_base, lo_base);
+        if uh.to_bits() != hi.to_bits() || ul.to_bits() != lo.to_bits() {
+            die(&format!("{name}[{i}]: pack/unpack round-trip lost bits"));
+        }
+    }
+    PackedTable { name, doc, hi_base, lo_base, bytes, len: entries.len() }
+}
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    println!("cargo:rerun-if-changed=src/tables_codec.rs");
+    println!("cargo:rerun-if-changed=tables.fnv");
+    println!("cargo:rerun-if-env-changed=RLIBM_WRITE_TABLE_FNV");
+
+    let t = rlibm_mp::tables_src::compute(PREC);
+
+    // The dedup the cospi accessor relies on, verified at build time.
+    for n in 0..=256usize {
+        let (ch, cl) = t.cospi_t[n];
+        let (sh, sl) = t.sinpi_t[256 - n];
+        if ch.to_bits() != sh.to_bits() || cl.to_bits() != sl.to_bits() {
+            die(&format!("COSPI_T[{n}] != SINPI_T[{}]: mirror identity broken", 256 - n));
+        }
+    }
+
+    let tables = [
+        pack_table("EXP2_64", "`2^(j/64)` for `j in 0..64`", &t.exp2_64),
+        pack_table("LN_F", "`ln(1 + j/128)` for `j in 0..=128`", &t.ln_f),
+        pack_table("LOG2_F", "`log2(1 + j/128)` for `j in 0..=128`", &t.log2_f),
+        pack_table("LOG10_F", "`log10(1 + j/128)` for `j in 0..=128`", &t.log10_f),
+        pack_table(
+            "SINPI_T",
+            "`sin(pi n/512)` for `n in 0..=256` (also `cos(pi n/512)` mirrored)",
+            &t.sinpi_t,
+        ),
+    ];
+
+    // Checksum over the semantic content: table names, bases, packed
+    // bytes, then constant names and bits, all in emission order.
+    let mut fnv = Fnv::new();
+    for pt in &tables {
+        fnv.update(pt.name.as_bytes());
+        fnv.update(&pt.hi_base.to_le_bytes());
+        fnv.update(&pt.lo_base.to_le_bytes());
+        fnv.update(&pt.bytes);
+    }
+    for (name, _, v) in &t.consts {
+        fnv.update(name.as_bytes());
+        fnv.update(&v.to_bits().to_le_bytes());
+    }
+    let checksum = fnv.0;
+
+    let manifest = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(d) => d,
+        Err(e) => die(&format!("CARGO_MANIFEST_DIR: {e}")),
+    };
+    let pin_path = std::path::Path::new(&manifest).join("tables.fnv");
+    let pin_text = format!("{checksum:#018x}\n");
+    if std::env::var("RLIBM_WRITE_TABLE_FNV").is_ok() {
+        if let Err(e) = std::fs::write(&pin_path, &pin_text) {
+            die(&format!("writing {}: {e}", pin_path.display()));
+        }
+        println!("cargo:warning=tables.fnv re-pinned to {checksum:#018x}");
+    } else {
+        let committed = std::fs::read_to_string(&pin_path)
+            .unwrap_or_else(|e| die(&format!("reading {}: {e}", pin_path.display())));
+        if committed.trim() != pin_text.trim() {
+            die(&format!(
+                "packed table checksum {checksum:#018x} does not match the committed \
+                 pin {} — table generation drifted. If the change is intentional, \
+                 re-pin with RLIBM_WRITE_TABLE_FNV=1 and re-certify.",
+                committed.trim()
+            ));
+        }
+    }
+
+    // --- Emit packed_tables.rs ----------------------------------------
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// GENERATED by crates/libm/build.rs — do not edit. Packed-table\n\
+         // checksum {checksum:#018x} (pinned by crates/libm/tables.fnv).\n"
+    );
+    let packed_total: usize = tables.iter().map(|pt| pt.bytes.len()).sum();
+    // The replaced representation: six (f64, f64) tables (COSPI_T included).
+    let unpacked_total = (64 + 3 * 129 + 2 * 257) * 16;
+    let _ = writeln!(
+        out,
+        "/// FNV-1a checksum of the packed tables and constants.\n\
+         pub const TABLES_FNV64: u64 = {checksum:#018x};\n\
+         /// Total bytes of the packed table statics.\n\
+         pub const TABLE_BYTES_PACKED: usize = {packed_total};\n\
+         /// Bytes of the unpacked `[(f64, f64)]` representation these replace.\n\
+         pub const TABLE_BYTES_UNPACKED: usize = {unpacked_total};\n"
+    );
+    for pt in &tables {
+        let _ = writeln!(
+            out,
+            "/// {} — {} entries packed at a 15-byte stride.\n\
+             pub static {}_P: [u8; {}] = [",
+            pt.doc,
+            pt.len,
+            pt.name,
+            pt.bytes.len()
+        );
+        for chunk in pt.bytes.chunks(15) {
+            let row: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(out, "    {},", row.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "];\n\
+             /// Biased-exponent origin of `{0}_P`'s hi codes.\n\
+             pub const {0}_HI_BASE: u64 = {1};\n\
+             /// Biased-exponent origin of `{0}_P`'s lo codes.\n\
+             pub const {0}_LO_BASE: u64 = {2};\n",
+            pt.name, pt.hi_base, pt.lo_base
+        );
+    }
+    for (name, doc, v) in &t.consts {
+        let _ = writeln!(
+            out,
+            "/// {doc}\npub const {name}: f64 = f64::from_bits({:#018x}); // {v:.18e}",
+            v.to_bits()
+        );
+    }
+
+    let out_dir = match std::env::var("OUT_DIR") {
+        Ok(d) => d,
+        Err(e) => die(&format!("OUT_DIR: {e}")),
+    };
+    let dest = std::path::Path::new(&out_dir).join("packed_tables.rs");
+    if let Err(e) = std::fs::write(&dest, out) {
+        die(&format!("writing {}: {e}", dest.display()));
+    }
+}

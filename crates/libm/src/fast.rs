@@ -111,6 +111,64 @@ pub(crate) const SINPI_DERIVED: u64 = 1024;
 pub(crate) const COSPI_DERIVED: u64 = 1024;
 
 // ---------------------------------------------------------------------
+// Progressive prefix tier (tier 0)
+// ---------------------------------------------------------------------
+//
+// Each function also gets a **prefix kernel**: the same reduction and
+// table combine, but evaluating only a low-degree prefix of the
+// polynomial (the progressive sets `rlibm_core::polygen::gen_progressive`
+// emits). The truncation error is larger, so the prefix result is tested
+// against a wider `*_PREFIX_BAND`; the rare escalations (the band is
+// still a tiny fraction of the 2^28-scale rounding boundary, so well
+// under 1% of inputs) re-run the full-degree kernel, and only *its*
+// rejects reach dd. Output bits are unchanged at every tier: both safety
+// tests are sound for any in-band error, so whichever tier ships, the
+// cast is the correct rounding.
+//
+// Prefix bands, same 2^-53 relative units. Derivations mirror the full
+// table above with the truncated tail added. The prefix kernels also
+// read only the **hi words** of the packed tables (half the bytes, one
+// u64 decode per entry): the dropped lo word is < 2^-54 of its hi word,
+// which is under 1u for the exp family and at most a few hundred u for
+// the log family at the fold's ~0.0027 cancellation floor — noise
+// against every band below, and any excursion simply escalates a tier.
+//
+// | prefix kernel | dropped terms | added trunc error | PREFIX_BAND |
+// |---|---|---|---|
+// | `exp`/`exp2` | r^5/120.. | r^5/120 <= ~351u at |r| <= ln2/128 | 2048 |
+// | `exp10` | r^5/120.. | ~351u on top of the ~160u reduction | 4096 |
+// | logs | u^4 term of q on | u^6/6 abs; <= ~2300u rel after the fold's 0.0027 floor (x1.44 for log2) | 16384 |
+// | `sinh` | via prefix exp | ~351u x coth(1/16) ~ 16 | 16384 |
+// | `cosh` | via prefix exp | ~351u, no cancellation | 2048 |
+// | `sinpi`/`cospi` | C5, C7 of sp; C6 of cp | C5·r^5 ~ 7.3e-14 abs vs the 0.0061 result floor: ~110000u | 1 << 19 |
+pub(crate) const EXP_PREFIX_BAND: u64 = 2048;
+pub(crate) const EXP2_PREFIX_BAND: u64 = 2048;
+pub(crate) const EXP10_PREFIX_BAND: u64 = 4096;
+pub(crate) const LN_PREFIX_BAND: u64 = 16384;
+pub(crate) const LOG2_PREFIX_BAND: u64 = 16384;
+pub(crate) const LOG10_PREFIX_BAND: u64 = 16384;
+pub(crate) const SINH_PREFIX_BAND: u64 = 16384;
+pub(crate) const COSH_PREFIX_BAND: u64 = 2048;
+pub(crate) const SINPI_PREFIX_BAND: u64 = 1 << 19;
+pub(crate) const COSPI_PREFIX_BAND: u64 = 1 << 19;
+
+// Derived worst-case prefix errors, rounded up to a power of two. The
+// `fault` hook still nudges by the *full-band* slack (`BAND - DERIVED`)
+// but now at the prefix site, so soundness needs
+// `PREFIX_DERIVED + (BAND - DERIVED) <= PREFIX_BAND` — asserted for
+// every function in the tests below.
+pub(crate) const EXP_PREFIX_DERIVED: u64 = 512;
+pub(crate) const EXP2_PREFIX_DERIVED: u64 = 512;
+pub(crate) const EXP10_PREFIX_DERIVED: u64 = 1024;
+pub(crate) const LN_PREFIX_DERIVED: u64 = 4096;
+pub(crate) const LOG2_PREFIX_DERIVED: u64 = 4096;
+pub(crate) const LOG10_PREFIX_DERIVED: u64 = 4096;
+pub(crate) const SINH_PREFIX_DERIVED: u64 = 8192;
+pub(crate) const COSH_PREFIX_DERIVED: u64 = 512;
+pub(crate) const SINPI_PREFIX_DERIVED: u64 = 1 << 17;
+pub(crate) const COSPI_PREFIX_DERIVED: u64 = 1 << 17;
+
+// ---------------------------------------------------------------------
 // exp family
 // ---------------------------------------------------------------------
 
@@ -132,7 +190,7 @@ pub(crate) fn exp_poly_fast(r: f64) -> f64 {
 pub(crate) fn exp_combined_fast(k64: i64, r: f64) -> f64 {
     let i = k64.div_euclid(64);
     let j = k64.rem_euclid(64) as usize;
-    let (th, tl) = t::EXP2_64[j];
+    let (th, tl) = t::exp2_64(j);
     (th * exp_poly_fast(r) + tl) * pow2i(i)
 }
 
@@ -170,6 +228,52 @@ pub(crate) fn exp10_fast(x: f64) -> f64 {
     let b = kf * t::LN2_64_HI; // exact (|k| < 2^14)
     let r = (x * t::LN10_HI - b) + (x * t::LN10_LO - kf * t::LN2_64_MID);
     exp_combined_fast(k, r)
+}
+
+/// Degree-4 prefix of [`exp_poly_fast`] (progressive tier 0): drops the
+/// `1/120..1/5040` tail, truncation `r^5/120 <= ~351·2^-53` relative at
+/// `|r| <= ln2/128`.
+#[inline(always)]
+pub(crate) fn exp_poly_prefix(r: f64) -> f64 {
+    1.0 + r * (1.0 + r * (0.5 + r * (1.0 / 6.0 + r * (1.0 / 24.0))))
+}
+
+/// [`exp_combined_fast`] with the prefix polynomial.
+#[inline(always)]
+pub(crate) fn exp_combined_prefix(k64: i64, r: f64) -> f64 {
+    let i = k64.div_euclid(64);
+    let j = k64.rem_euclid(64) as usize;
+    // Hi-only table read: the dropped lo word is < 2^-54·th, under 1u
+    // against the 2048u prefix band (see the tier-0 notes above).
+    t::exp2_64_hi(j) * exp_poly_prefix(r) * pow2i(i)
+}
+
+/// Prefix-tier `e^x` (same reduction as [`exp_fast`]).
+#[inline(always)]
+pub(crate) fn exp_prefix(x: f64) -> f64 {
+    let k = (x * (64.0 * t::LOG2_E)).round_ties_even() as i64;
+    let kf = k as f64;
+    let r = (x - kf * t::LN2_64_HI) - kf * t::LN2_64_MID;
+    exp_combined_prefix(k, r)
+}
+
+/// Prefix-tier `2^x`.
+#[inline(always)]
+pub(crate) fn exp2_prefix(x: f64) -> f64 {
+    let k = (x * 64.0).round_ties_even() as i64;
+    let tt = x - (k as f64) / 64.0;
+    let r = tt * t::LN2_HI + tt * t::LN2_LO;
+    exp_combined_prefix(k, r)
+}
+
+/// Prefix-tier `10^x`.
+#[inline(always)]
+pub(crate) fn exp10_prefix(x: f64) -> f64 {
+    let k = (x * (64.0 * t::LOG2_10)).round_ties_even() as i64;
+    let kf = k as f64;
+    let b = kf * t::LN2_64_HI;
+    let r = (x * t::LN10_HI - b) + (x * t::LN10_LO - kf * t::LN2_64_MID);
+    exp_combined_prefix(k, r)
 }
 
 // ---------------------------------------------------------------------
@@ -214,8 +318,9 @@ pub(crate) fn ln_fast(x: f64) -> f64 {
     let ef = e as f64;
     // ef·LN2_HI42 is exact (42-bit constant x |e| <= 2^11); when it
     // cancels against the table value the sum is Sterbenz-exact.
-    let c = ef * t::LN2_HI42 + t::LN_F[j].0;
-    let lo = t::LN_F[j].1 + ef * t::LN2_MID;
+    let (fh, fl) = t::ln_f(j);
+    let c = ef * t::LN2_HI42 + fh;
+    let lo = fl + ef * t::LN2_MID;
     c + (log1p_poly_fast(u) + lo)
 }
 
@@ -224,9 +329,10 @@ pub(crate) fn ln_fast(x: f64) -> f64 {
 pub(crate) fn log2_fast(x: f64) -> f64 {
     let (e, j, u) = reduce_fast(x);
     // Integer + [0, 1): exact whenever it cancels (e = -1, j near 128).
-    let c = e as f64 + t::LOG2_F[j].0;
+    let (fh, fl) = t::log2_f(j);
+    let c = e as f64 + fh;
     let p = log1p_poly_fast(u);
-    c + (p * t::INV_LN2_HI + (t::LOG2_F[j].1 + p * t::INV_LN2_LO))
+    c + (p * t::INV_LN2_HI + (fl + p * t::INV_LN2_LO))
 }
 
 /// Fast `log10(x)`.
@@ -235,9 +341,49 @@ pub(crate) fn log10_fast(x: f64) -> f64 {
     let (e, j, u) = reduce_fast(x);
     let ef = e as f64;
     // The only cancelling exponent is e = -1, where the product is exact.
-    let c = ef * t::LOG10_2_HI + t::LOG10_F[j].0;
+    let (fh, fl) = t::log10_f(j);
+    let c = ef * t::LOG10_2_HI + fh;
     let p = log1p_poly_fast(u);
-    c + (p * t::INV_LN10_HI + (t::LOG10_F[j].1 + ef * t::LOG10_2_LO + p * t::INV_LN10_LO))
+    c + (p * t::INV_LN10_HI + (fl + ef * t::LOG10_2_LO + p * t::INV_LN10_LO))
+}
+
+/// Degree-5 prefix of [`log1p_poly_fast`]: `q` keeps terms through
+/// `u^3/5`, truncation `u^6/6` absolute.
+#[inline(always)]
+pub(crate) fn log1p_poly_prefix(u: f64) -> f64 {
+    let q = -0.5 + u * (1.0 / 3.0 + u * (-0.25 + u * 0.2));
+    u + (u * u) * q
+}
+
+/// Prefix-tier `ln(x)`.
+#[inline(always)]
+pub(crate) fn ln_prefix(x: f64) -> f64 {
+    let (e, j, u) = reduce_fast(x);
+    let ef = e as f64;
+    // Hi-only table reads throughout the log-family prefix tier: the
+    // dropped lo word is < 2^-54 absolute, ~200u relative at the fold's
+    // cancellation floor — far inside the 16384u prefix band.
+    let c = ef * t::LN2_HI42 + t::ln_f_hi(j);
+    c + (log1p_poly_prefix(u) + ef * t::LN2_MID)
+}
+
+/// Prefix-tier `log2(x)`.
+#[inline(always)]
+pub(crate) fn log2_prefix(x: f64) -> f64 {
+    let (e, j, u) = reduce_fast(x);
+    let c = e as f64 + t::log2_f_hi(j);
+    let p = log1p_poly_prefix(u);
+    c + (p * t::INV_LN2_HI + p * t::INV_LN2_LO)
+}
+
+/// Prefix-tier `log10(x)`.
+#[inline(always)]
+pub(crate) fn log10_prefix(x: f64) -> f64 {
+    let (e, j, u) = reduce_fast(x);
+    let ef = e as f64;
+    let c = ef * t::LOG10_2_HI + t::log10_f_hi(j);
+    let p = log1p_poly_prefix(u);
+    c + (p * t::INV_LN10_HI + (ef * t::LOG10_2_LO + p * t::INV_LN10_LO))
 }
 
 // ---------------------------------------------------------------------
@@ -280,6 +426,40 @@ pub(crate) fn cosh_fast(x: f64) -> f64 {
     }
 }
 
+/// Prefix-tier `sinh(x)`: the dominant branch runs [`exp_prefix`]; the
+/// small-|x| Taylor branch is already cheap and stays at full degree, so
+/// its error remains inside even the full band.
+#[inline(always)]
+pub(crate) fn sinh_prefix(x: f64) -> f64 {
+    let a = x.abs();
+    let v = if a < 0.0625 {
+        let x2 = a * a;
+        a + a * x2
+            * (1.0 / 6.0 + x2 * (1.0 / 120.0 + x2 * (1.0 / 5040.0 + x2 * (1.0 / 362_880.0))))
+    } else {
+        let big = exp_prefix(a);
+        0.5 * (big - 1.0 / big)
+    };
+    if x < 0.0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Prefix-tier `cosh(x)` (see [`sinh_prefix`] for the branch policy).
+#[inline(always)]
+pub(crate) fn cosh_prefix(x: f64) -> f64 {
+    let a = x.abs();
+    if a < 0.0625 {
+        let x2 = a * a;
+        1.0 + x2 * (0.5 + x2 * (1.0 / 24.0 + x2 * (1.0 / 720.0 + x2 * (1.0 / 40_320.0))))
+    } else {
+        let big = exp_prefix(a);
+        0.5 * (big + 1.0 / big)
+    }
+}
+
 // ---------------------------------------------------------------------
 // sinpi / cospi
 // ---------------------------------------------------------------------
@@ -299,10 +479,19 @@ pub(crate) fn cospi_poly_fast(r: f64) -> f64 {
     1.0 + (r2 * t::COSPI_C2_HI + (r2 * t::COSPI_C2_LO + r2 * r2 * (t::COSPI_C4 + r2 * t::COSPI_C6)))
 }
 
+/// `floor(x)` for non-negative `x < 2^53` via an exact integer-cast
+/// round trip. `f64::floor` lowers to a dynamic libm call on the
+/// baseline x86-64 target (no SSE4.1 `roundsd`), which costs more than
+/// the whole surrounding reduction; two convert instructions don't.
+#[inline(always)]
+pub(crate) fn floor_pos(x: f64) -> f64 {
+    (x as u64) as f64
+}
+
 /// Exact `a mod 2` split, shared with the dd kernel's structure.
 #[inline(always)]
 fn mod2_split_fast(a: f64) -> (bool, f64) {
-    let j = a - 2.0 * (a * 0.5).floor();
+    let j = a - 2.0 * floor_pos(a * 0.5);
     if j >= 1.0 {
         (true, j - 1.0)
     } else {
@@ -318,12 +507,12 @@ fn mod2_split_fast(a: f64) -> (bool, f64) {
 pub(crate) fn sinpi_fast_reduced(a: f64) -> (bool, f64) {
     let (k, l) = mod2_split_fast(a);
     let lp = if l > 0.5 { 1.0 - l } else { l };
-    let n = (lp * 512.0).floor() as usize; // 0..=256
+    let n = (lp * 512.0) as usize; // as-cast truncation == floor (lp >= 0) // 0..=256
     let r = lp - n as f64 / 512.0; // exact
     let sp = sinpi_poly_fast(r);
     let cp = cospi_poly_fast(r);
-    let (sh, sl) = t::SINPI_T[n];
-    let (ch, cl) = t::COSPI_T[n];
+    let (sh, sl) = t::sinpi_t(n);
+    let (ch, cl) = t::cospi_t(n);
     // N = 0 has (sh, sl) = (0, 0) and (ch, cl) = (1, 0): v = sp exactly,
     // keeping relative accuracy for the smallest results.
     let corr = sl * cp + cl * sp;
@@ -339,7 +528,7 @@ pub(crate) fn sinpi_fast_reduced(a: f64) -> (bool, f64) {
 pub(crate) fn cospi_fast_reduced(a: f64) -> (bool, f64) {
     let (k, l) = mod2_split_fast(a);
     let (m, lp) = if l > 0.5 { (true, 1.0 - l) } else { (false, l) };
-    let n = (lp * 512.0).floor() as usize; // 0..=255 (lp < 1/2 here)
+    let n = (lp * 512.0) as usize; // as-cast truncation == floor (lp >= 0) // 0..=255 (lp < 1/2 here)
     let v = if n == 0 {
         cospi_poly_fast(lp)
     } else {
@@ -347,10 +536,64 @@ pub(crate) fn cospi_fast_reduced(a: f64) -> (bool, f64) {
         let r = np as f64 / 512.0 - lp; // exact
         let sp = sinpi_poly_fast(r);
         let cp = cospi_poly_fast(r);
-        let (ch, cl) = t::COSPI_T[np];
-        let (sh, sl) = t::SINPI_T[np];
+        let (ch, cl) = t::cospi_t(np);
+        let (sh, sl) = t::sinpi_t(np);
         let corr = cl * cp + sl * sp;
         ch * cp + (sh * sp + corr)
+    };
+    (k ^ m, v)
+}
+
+/// Degree-3 prefix of [`sinpi_poly_fast`] (drops `C5`, `C7`).
+#[inline(always)]
+pub(crate) fn sinpi_poly_prefix(r: f64) -> f64 {
+    let r2 = r * r;
+    r * t::PI_HI + (r * t::PI_LO + r * r2 * t::SINPI_C3)
+}
+
+/// Degree-4 prefix of [`cospi_poly_fast`] (drops `C6`).
+#[inline(always)]
+pub(crate) fn cospi_poly_prefix(r: f64) -> f64 {
+    let r2 = r * r;
+    1.0 + (r2 * t::COSPI_C2_HI + (r2 * t::COSPI_C2_LO + r2 * r2 * t::COSPI_C4))
+}
+
+/// Prefix-tier [`sinpi_fast_reduced`]. On top of the truncated
+/// polynomials, the prefix tier drops the table `lo` words and the
+/// `corr` fold entirely: the lo words carry ~2^-53 relative, invisible
+/// against the certified `SINPI_PREFIX_BAND` of `2^19 * 2^-53 = 2^-34`,
+/// and skipping them halves the tier's packed-table traffic (one u64
+/// load + hi decode per entry).
+#[inline(always)]
+pub(crate) fn sinpi_prefix_reduced(a: f64) -> (bool, f64) {
+    let (k, l) = mod2_split_fast(a);
+    let lp = if l > 0.5 { 1.0 - l } else { l };
+    let n = (lp * 512.0) as usize; // as-cast truncation == floor (lp >= 0)
+    let r = lp - n as f64 / 512.0;
+    let sp = sinpi_poly_prefix(r);
+    let cp = cospi_poly_prefix(r);
+    let sh = t::sinpi_t_hi(n);
+    let ch = t::cospi_t_hi(n);
+    (k, sh * cp + ch * sp)
+}
+
+/// Prefix-tier [`cospi_fast_reduced`] (hi-only table words; see
+/// [`sinpi_prefix_reduced`]).
+#[inline(always)]
+pub(crate) fn cospi_prefix_reduced(a: f64) -> (bool, f64) {
+    let (k, l) = mod2_split_fast(a);
+    let (m, lp) = if l > 0.5 { (true, 1.0 - l) } else { (false, l) };
+    let n = (lp * 512.0) as usize; // as-cast truncation == floor (lp >= 0)
+    let v = if n == 0 {
+        cospi_poly_prefix(lp)
+    } else {
+        let np = n + 1;
+        let r = np as f64 / 512.0 - lp;
+        let sp = sinpi_poly_prefix(r);
+        let cp = cospi_poly_prefix(r);
+        let ch = t::cospi_t_hi(np);
+        let sh = t::sinpi_t_hi(np);
+        ch * cp + sh * sp
     };
     (k ^ m, v)
 }
@@ -453,6 +696,81 @@ mod tests {
                     "sinpi_fast({a:e}): rel {rel:e}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn prefix_kernels_within_prefix_bands() {
+        assert_within_band(exp_prefix, exp_kernel, -87.0, 88.0, EXP_PREFIX_BAND, false);
+        assert_within_band(exp2_prefix, exp2_kernel, -149.0, 127.9, EXP2_PREFIX_BAND, false);
+        assert_within_band(exp10_prefix, exp10_kernel, -45.0, 38.5, EXP10_PREFIX_BAND, false);
+        assert_within_band(ln_prefix, ln_kernel, 0.0, 0.0, LN_PREFIX_BAND, true);
+        assert_within_band(log2_prefix, log2_kernel, 0.0, 0.0, LOG2_PREFIX_BAND, true);
+        assert_within_band(log10_prefix, log10_kernel, 0.0, 0.0, LOG10_PREFIX_BAND, true);
+        assert_within_band(sinh_prefix, sinh_kernel, -88.0, 88.0, SINH_PREFIX_BAND, false);
+        assert_within_band(cosh_prefix, cosh_kernel, -88.0, 88.0, COSH_PREFIX_BAND, false);
+    }
+
+    #[test]
+    fn prefix_trig_within_prefix_bands() {
+        let mut rng = XorShift64::new(0x9217);
+        for _ in 0..20_000 {
+            let a = rng.uniform_f64(2f64.powi(-30), 8_388_607.0);
+            if a == a.trunc() {
+                continue;
+            }
+            let (ks, vs) = sinpi_prefix_reduced(a);
+            let (kd, vd) = crate::float::trig::sinpi_kernel(a);
+            assert_eq!(ks, kd);
+            let want = vd.to_f64();
+            if want != 0.0 {
+                let rel = ((vs - want) / want).abs();
+                assert!(
+                    rel <= SINPI_PREFIX_BAND as f64 * 2f64.powi(-53),
+                    "sinpi_prefix({a:e}): rel {rel:e}"
+                );
+            }
+            let a2 = rng.uniform_f64(1e-4, 16_777_215.0);
+            if 2.0 * a2 == (2.0 * a2).trunc() {
+                continue;
+            }
+            let (kc, vc) = cospi_prefix_reduced(a2);
+            let (kd2, vd2) = crate::float::trig::cospi_kernel(a2);
+            assert_eq!(kc, kd2);
+            let want2 = vd2.to_f64();
+            if want2 != 0.0 {
+                let rel = ((vc - want2) / want2).abs();
+                assert!(
+                    rel <= COSPI_PREFIX_BAND as f64 * 2f64.powi(-53),
+                    "cospi_prefix({a2:e}): rel {rel:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_bands_absorb_full_band_fault_slack() {
+        // The fault hook nudges prefix-tier results by the *full-band*
+        // slack, so prefix acceptance stays sound only if
+        // PREFIX_DERIVED + (BAND - DERIVED) <= PREFIX_BAND.
+        let rows: [(u64, u64, u64, u64); 10] = [
+            (EXP_PREFIX_DERIVED, EXP_BAND, EXP_DERIVED, EXP_PREFIX_BAND),
+            (EXP2_PREFIX_DERIVED, EXP2_BAND, EXP2_DERIVED, EXP2_PREFIX_BAND),
+            (EXP10_PREFIX_DERIVED, EXP10_BAND, EXP10_DERIVED, EXP10_PREFIX_BAND),
+            (LN_PREFIX_DERIVED, LN_BAND, LN_DERIVED, LN_PREFIX_BAND),
+            (LOG2_PREFIX_DERIVED, LOG2_BAND, LOG2_DERIVED, LOG2_PREFIX_BAND),
+            (LOG10_PREFIX_DERIVED, LOG10_BAND, LOG10_DERIVED, LOG10_PREFIX_BAND),
+            (SINH_PREFIX_DERIVED, SINH_BAND, SINH_DERIVED, SINH_PREFIX_BAND),
+            (COSH_PREFIX_DERIVED, COSH_BAND, COSH_DERIVED, COSH_PREFIX_BAND),
+            (SINPI_PREFIX_DERIVED, SINPI_BAND, SINPI_DERIVED, SINPI_PREFIX_BAND),
+            (COSPI_PREFIX_DERIVED, COSPI_BAND, COSPI_DERIVED, COSPI_PREFIX_BAND),
+        ];
+        for (i, (pd, band, derived, pband)) in rows.iter().enumerate() {
+            assert!(
+                pd + (band - derived) <= *pband,
+                "row {i}: prefix band cannot absorb the fault slack"
+            );
+            assert!(*pband < (1 << 26), "row {i}: band too wide for round_safe");
         }
     }
 

@@ -53,7 +53,7 @@ fn exp_poly(r: Dd) -> Dd {
 fn exp_combined(k64: i64, r: Dd) -> Dd {
     let i = k64.div_euclid(64);
     let j = k64.rem_euclid(64) as usize;
-    let (th, tl) = t::EXP2_64[j];
+    let (th, tl) = t::exp2_64(j);
     let v = Dd { hi: th, lo: tl }.mul(exp_poly(r));
     v.scale(pow2i(i))
 }
@@ -122,8 +122,14 @@ pub fn exp(x: f32) -> f32 {
         return 0.0; // exp(-106) < 2^-150: rounds to zero
     }
     let xd = x as f64;
-    let y = crate::fault::perturb(crate::stats::slot::EXP, crate::fast::exp_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::EXP, crate::fast::exp_prefix(xd));
+    if crate::round::f32_round_safe(y, crate::fast::EXP_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::EXP);
+        return y as f32;
+    }
+    let y = crate::fast::exp_fast(xd);
     if crate::round::f32_round_safe(y, crate::fast::EXP_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::EXP);
         return y as f32;
     }
     crate::stats::record_fallback(crate::stats::slot::EXP);
@@ -163,8 +169,14 @@ pub fn exp2(x: f32) -> f32 {
         return 0.0;
     }
     let xd = x as f64;
-    let y = crate::fault::perturb(crate::stats::slot::EXP2, crate::fast::exp2_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::EXP2, crate::fast::exp2_prefix(xd));
+    if crate::round::f32_round_safe(y, crate::fast::EXP2_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::EXP2);
+        return y as f32;
+    }
+    let y = crate::fast::exp2_fast(xd);
     if crate::round::f32_round_safe(y, crate::fast::EXP2_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::EXP2);
         return y as f32;
     }
     crate::stats::record_fallback(crate::stats::slot::EXP2);
@@ -204,8 +216,14 @@ pub fn exp10(x: f32) -> f32 {
         return 0.0; // 10^-45.5 < 2^-150
     }
     let xd = x as f64;
-    let y = crate::fault::perturb(crate::stats::slot::EXP10, crate::fast::exp10_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::EXP10, crate::fast::exp10_prefix(xd));
+    if crate::round::f32_round_safe(y, crate::fast::EXP10_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::EXP10);
+        return y as f32;
+    }
+    let y = crate::fast::exp10_fast(xd);
     if crate::round::f32_round_safe(y, crate::fast::EXP10_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::EXP10);
         return y as f32;
     }
     crate::stats::record_fallback(crate::stats::slot::EXP10);

@@ -77,8 +77,14 @@ pub fn sinh(x: f32) -> f32 {
     if xd.abs() < 2f64.powi(-12) {
         return x;
     }
-    let y = crate::fault::perturb(crate::stats::slot::SINH, crate::fast::sinh_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::SINH, crate::fast::sinh_prefix(xd));
+    if crate::round::f32_round_safe(y, crate::fast::SINH_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::SINH);
+        return y as f32;
+    }
+    let y = crate::fast::sinh_fast(xd);
     if crate::round::f32_round_safe(y, crate::fast::SINH_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::SINH);
         return y as f32;
     }
     crate::stats::record_fallback(crate::stats::slot::SINH);
@@ -123,8 +129,14 @@ pub fn cosh(x: f32) -> f32 {
     if xd.abs() < 2f64.powi(-13) {
         return 1.0;
     }
-    let y = crate::fault::perturb(crate::stats::slot::COSH, crate::fast::cosh_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::COSH, crate::fast::cosh_prefix(xd));
+    if crate::round::f32_round_safe(y, crate::fast::COSH_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::COSH);
+        return y as f32;
+    }
+    let y = crate::fast::cosh_fast(xd);
     if crate::round::f32_round_safe(y, crate::fast::COSH_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::COSH);
         return y as f32;
     }
     crate::stats::record_fallback(crate::stats::slot::COSH);

@@ -64,8 +64,9 @@ pub(crate) fn ln_kernel(x: f64) -> Dd {
     let (e, j, p) = reduce(x);
     let ef = e as f64;
     // e * LN2_HI42 is exact (42-bit constant, |e| <= 2^11).
-    let (s, se) = two_sum(ef * t::LN2_HI42, t::LN_F[j].0);
-    let lo = se + t::LN_F[j].1 + ef * t::LN2_MID + ef * t::LN2_LO42;
+    let (fh, fl) = t::ln_f(j);
+    let (s, se) = two_sum(ef * t::LN2_HI42, fh);
+    let lo = se + fl + ef * t::LN2_MID + ef * t::LN2_LO42;
     Dd::new(s, lo).add(p)
 }
 
@@ -73,9 +74,10 @@ pub(crate) fn ln_kernel(x: f64) -> Dd {
 pub(crate) fn log2_kernel(x: f64) -> Dd {
     let (e, j, p) = reduce(x);
     // log2(x) = e + table[j] + p / ln2; e is an exact integer.
-    let (s, se) = two_sum(e as f64, t::LOG2_F[j].0);
+    let (fh, fl) = t::log2_f(j);
+    let (s, se) = two_sum(e as f64, fh);
     let scaled = p.mul(Dd { hi: t::INV_LN2_HI, lo: t::INV_LN2_LO });
-    Dd::new(s, se + t::LOG2_F[j].1).add(scaled)
+    Dd::new(s, se + fl).add(scaled)
 }
 
 /// Kernel: `log10(x)`.
@@ -84,16 +86,21 @@ pub(crate) fn log10_kernel(x: f64) -> Dd {
     let ef = e as f64;
     // e * log10(2) via an exact product split.
     let (eh, el) = two_prod(ef, t::LOG10_2_HI);
-    let (s, se) = two_sum(eh, t::LOG10_F[j].0);
+    let (fh, fl) = t::log10_f(j);
+    let (s, se) = two_sum(eh, fh);
     let scaled = p.mul(Dd { hi: t::INV_LN10_HI, lo: t::INV_LN10_LO });
-    Dd::new(s, se + el + t::LOG10_F[j].1 + ef * t::LOG10_2_LO).add(scaled)
+    Dd::new(s, se + el + fl + ef * t::LOG10_2_LO).add(scaled)
 }
 
-/// Common two-tier f32 front end: special cases, then the plain-double
-/// fast path, then the dd kernel for the rare unsafe results.
+/// Common three-tier f32 front end: special cases, then the prefix
+/// polynomial, escalating to the full-degree plain-double kernel when
+/// the wide prefix band rejects, and to the dd kernel when the full
+/// band rejects too.
 #[inline]
 fn log_front(
     x: f32,
+    prefix: fn(f64) -> f64,
+    prefix_band: u64,
     fast: fn(f64) -> f64,
     band: u64,
     slot: usize,
@@ -112,8 +119,14 @@ fn log_front(
         return f32::INFINITY;
     }
     let xd = x as f64;
-    let y = crate::fault::perturb(slot, fast(xd));
+    let y = crate::fault::perturb(slot, prefix(xd));
+    if crate::round::f32_round_safe(y, prefix_band) {
+        crate::stats::record_tier_prefix(slot);
+        return y as f32;
+    }
+    let y = fast(xd);
     if crate::round::f32_round_safe(y, band) {
+        crate::stats::record_tier_full(slot);
         return y as f32;
     }
     crate::stats::record_fallback(slot);
@@ -152,6 +165,8 @@ fn log_front_dd(x: f32, kernel: fn(f64) -> Dd) -> f32 {
 pub fn ln(x: f32) -> f32 {
     log_front(
         x,
+        crate::fast::ln_prefix,
+        crate::fast::LN_PREFIX_BAND,
         crate::fast::ln_fast,
         crate::fast::LN_BAND,
         crate::stats::slot::LN,
@@ -176,6 +191,8 @@ pub fn ln_dd(x: f32) -> f32 {
 pub fn log2(x: f32) -> f32 {
     log_front(
         x,
+        crate::fast::log2_prefix,
+        crate::fast::LOG2_PREFIX_BAND,
         crate::fast::log2_fast,
         crate::fast::LOG2_BAND,
         crate::stats::slot::LOG2,
@@ -199,6 +216,8 @@ pub fn log2_dd(x: f32) -> f32 {
 pub fn log10(x: f32) -> f32 {
     log_front(
         x,
+        crate::fast::log10_prefix,
+        crate::fast::LOG10_PREFIX_BAND,
         crate::fast::log10_fast,
         crate::fast::LOG10_BAND,
         crate::stats::slot::LOG10,

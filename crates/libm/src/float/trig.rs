@@ -38,15 +38,24 @@ pub(crate) fn cospi_poly(r: f64) -> Dd {
 }
 
 /// Exact reduction of `a in [0, 2^23)` to `(K, L)` with `a mod 2 = K + L`,
-/// `K in {0, 1}`, `L in [0, 1)`. Every step is exact in double.
+/// `K in {0, 1}`, `L in [0, 1)`. Every step is exact in double (the
+/// integer-cast round trip is `floor` for this non-negative range, minus
+/// the dynamic libm call `f64::floor` costs on baseline x86-64).
 #[inline]
 fn mod2_split(a: f64) -> (bool, f64) {
-    let j = a - 2.0 * (a * 0.5).floor();
+    let j = a - 2.0 * (((a * 0.5) as u64) as f64);
     if j >= 1.0 {
         (true, j - 1.0)
     } else {
         (false, j)
     }
+}
+
+/// `a == trunc(a)` for non-negative `a < 2^53`, via the same exact
+/// integer-cast round trip (avoids the `trunc` libm call).
+#[inline(always)]
+fn is_int_pos(a: f64) -> bool {
+    a == ((a as u64) as f64)
 }
 
 /// Kernel: `sinpi(|x|)` with the sign of the half-period, for
@@ -55,10 +64,12 @@ pub(crate) fn sinpi_kernel(a: f64) -> (bool, Dd) {
     let (k, l) = mod2_split(a);
     // Mirror symmetry about 1/2 (1 - L is exact by Sterbenz).
     let lp = if l > 0.5 { 1.0 - l } else { l };
-    let n = (lp * 512.0).floor() as usize; // 0..=256
+    let n = (lp * 512.0) as usize; // as-cast truncation == floor (lp >= 0) // 0..=256
     let r = lp - n as f64 / 512.0; // exact
-    let s = Dd { hi: t::SINPI_T[n].0, lo: t::SINPI_T[n].1 };
-    let c = Dd { hi: t::COSPI_T[n].0, lo: t::COSPI_T[n].1 };
+    let (sh, sl) = t::sinpi_t(n);
+    let s = Dd { hi: sh, lo: sl };
+    let (ch, cl) = t::cospi_t(n);
+    let c = Dd { hi: ch, lo: cl };
     let v = s.mul(cospi_poly(r)).add(c.mul(sinpi_poly(r)));
     (k, v)
 }
@@ -90,12 +101,19 @@ pub fn sinpi(x: f32) -> f32 {
         let (p, e) = two_prod(t::PI_HI, x as f64);
         return crate::round::round_dd_f32(Dd::new(p, e + t::PI_LO * x as f64));
     }
-    if a == a.trunc() {
+    if is_int_pos(a) {
         return 0.0;
     }
-    let (k, v) = crate::fast::sinpi_fast_reduced(a);
+    let (k, v) = crate::fast::sinpi_prefix_reduced(a);
     let v = crate::fault::perturb(crate::stats::slot::SINPI, v);
+    if crate::round::f32_round_safe(v, crate::fast::SINPI_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::SINPI);
+        let neg = (x < 0.0) ^ k;
+        return if neg { -v as f32 } else { v as f32 };
+    }
+    let (k, v) = crate::fast::sinpi_fast_reduced(a);
     if crate::round::f32_round_safe(v, crate::fast::SINPI_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::SINPI);
         let neg = (x < 0.0) ^ k;
         return if neg { -v as f32 } else { v as f32 };
     }
@@ -121,7 +139,7 @@ pub fn sinpi_dd(x: f32) -> f32 {
         let (p, e) = two_prod(t::PI_HI, x as f64);
         return crate::round::round_dd_f32(Dd::new(p, e + t::PI_LO * x as f64));
     }
-    if a == a.trunc() {
+    if is_int_pos(a) {
         return 0.0;
     }
     let (k, v) = sinpi_kernel(a);
@@ -145,15 +163,17 @@ pub(crate) fn cospi_kernel(a: f64) -> (bool, Dd) {
     let (k, l) = mod2_split(a);
     // Mirror about 1/2 with a sign flip: cospi(L) = (-1)^M cospi(L').
     let (m, lp) = if l > 0.5 { (true, 1.0 - l) } else { (false, l) };
-    let n = (lp * 512.0).floor() as usize; // 0..=255 here (lp < 1/2)
+    let n = (lp * 512.0) as usize; // as-cast truncation == floor (lp >= 0) // 0..=255 here (lp < 1/2)
     let v = if n == 0 {
         cospi_poly(lp)
     } else {
         // Section 5's monotonic recombination: L' = N'/512 - R.
         let np = n + 1;
         let r = np as f64 / 512.0 - lp; // exact
-        let c = Dd { hi: t::COSPI_T[np].0, lo: t::COSPI_T[np].1 };
-        let s = Dd { hi: t::SINPI_T[np].0, lo: t::SINPI_T[np].1 };
+        let (ch, cl) = t::cospi_t(np);
+        let c = Dd { hi: ch, lo: cl };
+        let (sh, sl) = t::sinpi_t(np);
+        let s = Dd { hi: sh, lo: sl };
         c.mul(cospi_poly(r)).add(s.mul(sinpi_poly(r)))
     };
     (k ^ m, v)
@@ -172,15 +192,27 @@ pub fn cospi(x: f32) -> f32 {
     if a < 7.77e-5 {
         return 1.0;
     }
-    if a == a.trunc() {
-        return if (a as i64) % 2 == 0 { 1.0 } else { -1.0 };
+    // Integers and half-integers (exact +/-1 and 0 results) share one
+    // exact test: `2a < 2^25` is exact, and `2a` is an integer iff `a`
+    // is a half-multiple. One integer-cast round trip replaces the two
+    // `trunc` libm calls and the dd `mod2_split` the old checks cost.
+    let a2 = a + a;
+    let h = a2 as u64;
+    if a2 == h as f64 {
+        if h & 1 == 1 {
+            return 0.0; // half-integers are exact zeros
+        }
+        return if h & 2 == 0 { 1.0 } else { -1.0 }; // even/odd integer
     }
-    if mod2_split(a).1 == 0.5 {
-        return 0.0; // half-integers are exact zeros
+    let (neg, v) = crate::fast::cospi_prefix_reduced(a);
+    let v = crate::fault::perturb(crate::stats::slot::COSPI, v);
+    if crate::round::f32_round_safe(v, crate::fast::COSPI_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::COSPI);
+        return if neg { -v as f32 } else { v as f32 };
     }
     let (neg, v) = crate::fast::cospi_fast_reduced(a);
-    let v = crate::fault::perturb(crate::stats::slot::COSPI, v);
     if crate::round::f32_round_safe(v, crate::fast::COSPI_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::COSPI);
         return if neg { -v as f32 } else { v as f32 };
     }
     crate::stats::record_fallback(crate::stats::slot::COSPI);
@@ -200,11 +232,13 @@ pub fn cospi_dd(x: f32) -> f32 {
     if a < 7.77e-5 {
         return 1.0;
     }
-    if a == a.trunc() {
-        return if (a as i64) % 2 == 0 { 1.0 } else { -1.0 };
-    }
-    if mod2_split(a).1 == 0.5 {
-        return 0.0;
+    let a2 = a + a;
+    let h = a2 as u64;
+    if a2 == h as f64 {
+        if h & 1 == 1 {
+            return 0.0;
+        }
+        return if h & 2 == 0 { 1.0 } else { -1.0 };
     }
     let (neg, v) = cospi_kernel(a);
     crate::round::round_dd_f32(if neg { v.neg() } else { v })

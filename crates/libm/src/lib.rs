@@ -55,6 +55,8 @@ pub mod round;
 pub mod slice;
 pub mod stats;
 pub mod tables;
+pub mod tables_codec;
+pub mod tiers;
 
 pub use float::{cosh, cospi, exp, exp10, exp2, ln, log10, log2, sinh, sinpi};
 pub use slice::{eval_slice_f32, eval_slice_posit32, UnknownFunction};

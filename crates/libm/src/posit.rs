@@ -20,11 +20,14 @@ const LN_MAXPOS: f64 = 83.17766166719343;
 /// `log10 2^120`.
 const LOG10_MAXPOS: f64 = 36.123599478912376;
 
-/// Common two-tier front end for the logarithm family: plain-double fast
-/// path, dd fallback only when the posit safety test rejects.
+/// Common three-tier front end for the logarithm family: prefix
+/// polynomial, full-degree plain-double kernel on escalation, dd only
+/// when the posit safety test rejects both.
 #[inline]
 fn log_front(
     x: Posit32,
+    prefix: fn(f64) -> f64,
+    prefix_band: u64,
     fast: fn(f64) -> f64,
     band: u64,
     slot: usize,
@@ -35,8 +38,14 @@ fn log_front(
         return Posit32::NAR;
     }
     let xd = x.to_f64();
-    let y = crate::fault::perturb(slot, fast(xd));
+    let y = crate::fault::perturb(slot, prefix(xd));
+    if crate::round::posit32_round_safe(y, prefix_band) {
+        crate::stats::record_tier_prefix(slot);
+        return Posit32::from_f64(y);
+    }
+    let y = fast(xd);
     if crate::round::posit32_round_safe(y, band) {
+        crate::stats::record_tier_full(slot);
         return Posit32::from_f64(y);
     }
     crate::stats::record_fallback(slot);
@@ -66,6 +75,8 @@ fn log_front_dd(x: Posit32, kernel: fn(f64) -> crate::dd::Dd) -> Posit32 {
 pub fn ln_p32(x: Posit32) -> Posit32 {
     log_front(
         x,
+        crate::fast::ln_prefix,
+        crate::fast::LN_PREFIX_BAND,
         crate::fast::ln_fast,
         crate::fast::LN_BAND,
         crate::stats::slot::P32_LN,
@@ -90,6 +101,8 @@ pub fn ln_p32_dd(x: Posit32) -> Posit32 {
 pub fn log2_p32(x: Posit32) -> Posit32 {
     log_front(
         x,
+        crate::fast::log2_prefix,
+        crate::fast::LOG2_PREFIX_BAND,
         crate::fast::log2_fast,
         crate::fast::LOG2_BAND,
         crate::stats::slot::P32_LOG2,
@@ -114,6 +127,8 @@ pub fn log2_p32_dd(x: Posit32) -> Posit32 {
 pub fn log10_p32(x: Posit32) -> Posit32 {
     log_front(
         x,
+        crate::fast::log10_prefix,
+        crate::fast::LOG10_PREFIX_BAND,
         crate::fast::log10_fast,
         crate::fast::LOG10_BAND,
         crate::stats::slot::P32_LOG10,
@@ -149,8 +164,14 @@ pub fn exp_p32(x: Posit32) -> Posit32 {
     if xd < -(LN_MAXPOS + 0.5) {
         return Posit32::MINPOS;
     }
-    let y = crate::fault::perturb(crate::stats::slot::P32_EXP, crate::fast::exp_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::P32_EXP, crate::fast::exp_prefix(xd));
+    if crate::round::posit32_round_safe(y, crate::fast::EXP_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::P32_EXP);
+        return Posit32::from_f64(y);
+    }
+    let y = crate::fast::exp_fast(xd);
     if crate::round::posit32_round_safe(y, crate::fast::EXP_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::P32_EXP);
         return Posit32::from_f64(y);
     }
     crate::stats::record_fallback(crate::stats::slot::P32_EXP);
@@ -192,8 +213,14 @@ pub fn exp2_p32(x: Posit32) -> Posit32 {
     if xd < -120.5 {
         return Posit32::MINPOS;
     }
-    let y = crate::fault::perturb(crate::stats::slot::P32_EXP2, crate::fast::exp2_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::P32_EXP2, crate::fast::exp2_prefix(xd));
+    if crate::round::posit32_round_safe(y, crate::fast::EXP2_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::P32_EXP2);
+        return Posit32::from_f64(y);
+    }
+    let y = crate::fast::exp2_fast(xd);
     if crate::round::posit32_round_safe(y, crate::fast::EXP2_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::P32_EXP2);
         return Posit32::from_f64(y);
     }
     crate::stats::record_fallback(crate::stats::slot::P32_EXP2);
@@ -235,8 +262,14 @@ pub fn exp10_p32(x: Posit32) -> Posit32 {
     if xd < -(LOG10_MAXPOS + 0.5) {
         return Posit32::MINPOS;
     }
-    let y = crate::fault::perturb(crate::stats::slot::P32_EXP10, crate::fast::exp10_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::P32_EXP10, crate::fast::exp10_prefix(xd));
+    if crate::round::posit32_round_safe(y, crate::fast::EXP10_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::P32_EXP10);
+        return Posit32::from_f64(y);
+    }
+    let y = crate::fast::exp10_fast(xd);
     if crate::round::posit32_round_safe(y, crate::fast::EXP10_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::P32_EXP10);
         return Posit32::from_f64(y);
     }
     crate::stats::record_fallback(crate::stats::slot::P32_EXP10);
@@ -287,8 +320,14 @@ pub fn sinh_p32(x: Posit32) -> Posit32 {
     if xd.abs() < 2f64.powi(-13) {
         return x;
     }
-    let y = crate::fault::perturb(crate::stats::slot::P32_SINH, crate::fast::sinh_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::P32_SINH, crate::fast::sinh_prefix(xd));
+    if crate::round::posit32_round_safe(y, crate::fast::SINH_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::P32_SINH);
+        return Posit32::from_f64(y);
+    }
+    let y = crate::fast::sinh_fast(xd);
     if crate::round::posit32_round_safe(y, crate::fast::SINH_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::P32_SINH);
         return Posit32::from_f64(y);
     }
     crate::stats::record_fallback(crate::stats::slot::P32_SINH);
@@ -329,8 +368,14 @@ pub fn cosh_p32(x: Posit32) -> Posit32 {
     if xd.abs() > LN_MAXPOS + 1.5 {
         return Posit32::MAXPOS;
     }
-    let y = crate::fault::perturb(crate::stats::slot::P32_COSH, crate::fast::cosh_fast(xd));
+    let y = crate::fault::perturb(crate::stats::slot::P32_COSH, crate::fast::cosh_prefix(xd));
+    if crate::round::posit32_round_safe(y, crate::fast::COSH_PREFIX_BAND) {
+        crate::stats::record_tier_prefix(crate::stats::slot::P32_COSH);
+        return Posit32::from_f64(y);
+    }
+    let y = crate::fast::cosh_fast(xd);
     if crate::round::posit32_round_safe(y, crate::fast::COSH_BAND) {
+        crate::stats::record_tier_full(crate::stats::slot::P32_COSH);
         return Posit32::from_f64(y);
     }
     crate::stats::record_fallback(crate::stats::slot::P32_COSH);

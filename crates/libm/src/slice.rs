@@ -1,23 +1,36 @@
 //! Batched evaluation — the §4.3 vectorization regime as a real API.
 //!
 //! [`eval_slice_f32`] (and the per-function `*_slice` entry points)
-//! evaluate a whole input slice with the same two-tier guarantee as the
-//! scalar functions: the output is **bit-identical** to mapping the
-//! scalar function over the slice. The speed comes from restructuring the
-//! fast path as structure-of-arrays stages over fixed-size chunks:
+//! evaluate a whole input slice with the same progressive-tier guarantee
+//! as the scalar functions: the output is **bit-identical** to mapping
+//! the scalar function over the slice. The speed comes from
+//! restructuring the *prefix* tier — the truncated polynomial that ships
+//! the overwhelming majority of lanes — as structure-of-arrays stages
+//! over fixed-size chunks:
 //!
 //! 1. **widen**: classify each lane against the function's fast-path
 //!    domain and widen to f64 (special lanes get a benign placeholder so
 //!    the staged arithmetic stays total);
 //! 2. **reduce**: the range reduction for every lane (k/r for the exp
 //!    family, e/j/u for the logs) into parallel arrays;
-//! 3. **lookup + Horner**: table access and polynomial evaluation over
-//!    the arrays — straight-line plain-double code the compiler can
-//!    unroll and schedule across lanes (and auto-vectorize where the
-//!    target allows);
-//! 4. **resolve**: per lane, the safety test decides between casting the
-//!    fast double and re-running the scalar two-tier entry (which also
-//!    owns every special-case lane).
+//! 3. **lookup + Horner**: table access and *prefix-degree* polynomial
+//!    evaluation over the arrays — straight-line plain-double code the
+//!    compiler can unroll and schedule across lanes (and auto-vectorize
+//!    where the target allows);
+//! 4. **resolve**: per lane, the round-safety test against the wide
+//!    prefix band decides whether the prefix double ships. Lanes the
+//!    prefix band rejects escalate **as a chunk** to the full-degree
+//!    staged kernel against the narrow full band; lanes that band
+//!    rejects too (and every special-case lane) re-enter the scalar
+//!    progressive entry, which owns the dd tier.
+//!
+//! Escalation is per chunk, not per slice: the full-degree stage only
+//! runs when at least one in-domain lane of the chunk failed the prefix
+//! band, so a clean chunk pays for exactly one (shorter) polynomial.
+//! Per-tier accounting lands in the same `runtime.tier.*` counters the
+//! scalar front ends use — prefix acceptances batched per call, full
+//! acceptances batched per call, dd events recorded by the scalar entry
+//! the rescalar lanes fall into.
 //!
 //! `sinh`/`cosh` route their dominant cost (the `e^|x|` evaluation)
 //! through the same staged exp pipeline; `sinpi`/`cospi` are evaluated
@@ -91,16 +104,23 @@ fn rescalar_resolve(scalar: fn(f32) -> f32, x: f32) -> f32 {
     scalar(x)
 }
 
-/// Shared chunk driver: widen in-domain lanes, run the staged fast
-/// evaluation, then resolve every lane through the safety test (special
-/// and unsafe lanes re-enter the scalar two-tier function).
+/// Shared chunk driver: widen in-domain lanes, run the staged
+/// prefix-tier evaluation, then resolve every lane through the prefix
+/// round-safety band. Chunks with prefix-rejected in-domain lanes
+/// escalate those lanes through the full-degree staged kernel; lanes the
+/// full band rejects too (and special lanes) re-enter the scalar
+/// progressive front end.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // tier plumbing: two staged kernels + their bands
 fn drive(
     xs: &[f32],
     out: &mut [f32],
     dom: impl Fn(f32) -> bool,
+    prefix_chunk: impl Fn(&[f64], &mut [f64]),
+    prefix_band: u64,
     fast_chunk: impl Fn(&[f64], &mut [f64]),
     band: u64,
+    slot: usize,
     scalar: fn(f32) -> f32,
 ) {
     assert_eq!(xs.len(), out.len(), "eval_slice: input/output length mismatch");
@@ -108,6 +128,8 @@ fn drive(
     let mut y = [0.0f64; LANES];
     let mut chunks = 0u64;
     let mut rescalar = 0u64;
+    let mut prefix_hits = 0u64;
+    let mut full_hits = 0u64;
     for (xc, oc) in xs.chunks(LANES).zip(out.chunks_mut(LANES)) {
         chunks += 1;
         let n = xc.len();
@@ -116,18 +138,53 @@ fn drive(
             // their staged result is discarded in the resolve stage.
             xd[i] = if dom(xc[i]) { xc[i] as f64 } else { 1.0 };
         }
-        fast_chunk(&xd[..n], &mut y[..n]);
+        prefix_chunk(&xd[..n], &mut y[..n]);
+        // Lane bitmask of in-domain lanes the prefix band rejected
+        // (LANES = 64 keeps this a single word).
+        let mut pending = 0u64;
         for i in 0..n {
-            oc[i] = if dom(xc[i]) && crate::round::f32_round_safe(y[i], band) {
-                y[i] as f32
-            } else {
+            if !dom(xc[i]) {
                 rescalar += 1;
-                rescalar_resolve(scalar, xc[i])
-            };
+                oc[i] = rescalar_resolve(scalar, xc[i]);
+            } else if crate::round::f32_round_safe(y[i], prefix_band) {
+                prefix_hits += 1;
+                oc[i] = y[i] as f32;
+            } else {
+                pending |= 1 << i;
+            }
+        }
+        if pending != 0 {
+            // Compact the rejected lanes and escalate only those: every
+            // chunk kernel is lane-independent, so running the full tier
+            // on a dense sub-chunk produces the same bits as re-running
+            // the whole chunk, without paying for the (typically 63)
+            // lanes the prefix tier already shipped.
+            let mut xp = [0.0f64; LANES];
+            let mut lanes = [0usize; LANES];
+            let mut np = 0;
+            for (i, &x) in xd.iter().enumerate().take(n) {
+                if (pending >> i) & 1 == 1 {
+                    xp[np] = x;
+                    lanes[np] = i;
+                    np += 1;
+                }
+            }
+            fast_chunk(&xp[..np], &mut y[..np]);
+            for (j, &i) in lanes[..np].iter().enumerate() {
+                if crate::round::f32_round_safe(y[j], band) {
+                    full_hits += 1;
+                    oc[i] = y[j] as f32;
+                } else {
+                    rescalar += 1;
+                    oc[i] = rescalar_resolve(scalar, xc[i]);
+                }
+            }
         }
     }
     SLICE_CHUNKS.add(chunks);
     SLICE_RESCALAR.add(rescalar);
+    crate::stats::record_tier_prefix_n(slot, prefix_hits);
+    crate::stats::record_tier_full_n(slot, full_hits);
 }
 
 // ---------------------------------------------------------------------
@@ -135,7 +192,9 @@ fn drive(
 // ---------------------------------------------------------------------
 
 /// Staged `e^x` over a chunk: reduction array pass, then lookup+Horner.
-fn exp_chunk(xd: &[f64], y: &mut [f64]) {
+/// `combined` selects the polynomial tier (prefix or full degree) — the
+/// reduction stages are tier-invariant.
+fn exp_chunk_with(xd: &[f64], y: &mut [f64], combined: fn(i64, f64) -> f64) {
     let mut k = [0i64; LANES];
     let mut r = [0.0f64; LANES];
     for i in 0..xd.len() {
@@ -145,11 +204,19 @@ fn exp_chunk(xd: &[f64], y: &mut [f64]) {
         r[i] = (xd[i] - kf * t::LN2_64_HI) - kf * t::LN2_64_MID;
     }
     for i in 0..xd.len() {
-        y[i] = fast::exp_combined_fast(k[i], r[i]);
+        y[i] = combined(k[i], r[i]);
     }
 }
 
-fn exp2_chunk(xd: &[f64], y: &mut [f64]) {
+fn exp_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    exp_chunk_with(xd, y, fast::exp_combined_prefix)
+}
+
+fn exp_chunk(xd: &[f64], y: &mut [f64]) {
+    exp_chunk_with(xd, y, fast::exp_combined_fast)
+}
+
+fn exp2_chunk_with(xd: &[f64], y: &mut [f64], combined: fn(i64, f64) -> f64) {
     let mut k = [0i64; LANES];
     let mut r = [0.0f64; LANES];
     for i in 0..xd.len() {
@@ -159,11 +226,19 @@ fn exp2_chunk(xd: &[f64], y: &mut [f64]) {
         r[i] = tt * t::LN2_HI + tt * t::LN2_LO;
     }
     for i in 0..xd.len() {
-        y[i] = fast::exp_combined_fast(k[i], r[i]);
+        y[i] = combined(k[i], r[i]);
     }
 }
 
-fn exp10_chunk(xd: &[f64], y: &mut [f64]) {
+fn exp2_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    exp2_chunk_with(xd, y, fast::exp_combined_prefix)
+}
+
+fn exp2_chunk(xd: &[f64], y: &mut [f64]) {
+    exp2_chunk_with(xd, y, fast::exp_combined_fast)
+}
+
+fn exp10_chunk_with(xd: &[f64], y: &mut [f64], combined: fn(i64, f64) -> f64) {
     let mut k = [0i64; LANES];
     let mut r = [0.0f64; LANES];
     for i in 0..xd.len() {
@@ -174,8 +249,16 @@ fn exp10_chunk(xd: &[f64], y: &mut [f64]) {
         r[i] = (xd[i] * t::LN10_HI - b) + (xd[i] * t::LN10_LO - kf * t::LN2_64_MID);
     }
     for i in 0..xd.len() {
-        y[i] = fast::exp_combined_fast(k[i], r[i]);
+        y[i] = combined(k[i], r[i]);
     }
+}
+
+fn exp10_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    exp10_chunk_with(xd, y, fast::exp_combined_prefix)
+}
+
+fn exp10_chunk(xd: &[f64], y: &mut [f64]) {
+    exp10_chunk_with(xd, y, fast::exp_combined_fast)
 }
 
 // ---------------------------------------------------------------------
@@ -183,9 +266,10 @@ fn exp10_chunk(xd: &[f64], y: &mut [f64]) {
 // ---------------------------------------------------------------------
 
 /// Staged log reduction shared by the three logs: `(e, j, u)` arrays,
-/// then the `log1p` Horner pass.
+/// then the `log1p` Horner pass at the tier's degree (`poly` is
+/// [`fast::log1p_poly_prefix`] or [`fast::log1p_poly_fast`]).
 #[inline(always)]
-fn log_stages(xd: &[f64], e: &mut [i64], j: &mut [usize], p: &mut [f64]) {
+fn log_stages(xd: &[f64], e: &mut [i64], j: &mut [usize], p: &mut [f64], poly: fn(f64) -> f64) {
     let mut u = [0.0f64; LANES];
     for i in 0..xd.len() {
         let (ei, ji, ui) = fast::reduce_fast(xd[i]);
@@ -194,59 +278,86 @@ fn log_stages(xd: &[f64], e: &mut [i64], j: &mut [usize], p: &mut [f64]) {
         u[i] = ui;
     }
     for i in 0..xd.len() {
-        p[i] = fast::log1p_poly_fast(u[i]);
+        p[i] = poly(u[i]);
     }
 }
 
-fn ln_chunk(xd: &[f64], y: &mut [f64]) {
+fn ln_chunk_with(xd: &[f64], y: &mut [f64], poly: fn(f64) -> f64) {
     let mut e = [0i64; LANES];
     let mut j = [0usize; LANES];
     let mut p = [0.0f64; LANES];
-    log_stages(xd, &mut e, &mut j, &mut p);
+    log_stages(xd, &mut e, &mut j, &mut p, poly);
     for i in 0..xd.len() {
         let ef = e[i] as f64;
-        let c = ef * t::LN2_HI42 + t::LN_F[j[i]].0;
-        let lo = t::LN_F[j[i]].1 + ef * t::LN2_MID;
+        let (fh, fl) = t::ln_f(j[i]);
+        let c = ef * t::LN2_HI42 + fh;
+        let lo = fl + ef * t::LN2_MID;
         y[i] = c + (p[i] + lo);
     }
 }
 
-fn log2_chunk(xd: &[f64], y: &mut [f64]) {
+fn ln_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    ln_chunk_with(xd, y, fast::log1p_poly_prefix)
+}
+
+fn ln_chunk(xd: &[f64], y: &mut [f64]) {
+    ln_chunk_with(xd, y, fast::log1p_poly_fast)
+}
+
+fn log2_chunk_with(xd: &[f64], y: &mut [f64], poly: fn(f64) -> f64) {
     let mut e = [0i64; LANES];
     let mut j = [0usize; LANES];
     let mut p = [0.0f64; LANES];
-    log_stages(xd, &mut e, &mut j, &mut p);
+    log_stages(xd, &mut e, &mut j, &mut p, poly);
     for i in 0..xd.len() {
-        let c = e[i] as f64 + t::LOG2_F[j[i]].0;
-        y[i] = c + (p[i] * t::INV_LN2_HI + (t::LOG2_F[j[i]].1 + p[i] * t::INV_LN2_LO));
+        let (fh, fl) = t::log2_f(j[i]);
+        let c = e[i] as f64 + fh;
+        y[i] = c + (p[i] * t::INV_LN2_HI + (fl + p[i] * t::INV_LN2_LO));
     }
 }
 
-fn log10_chunk(xd: &[f64], y: &mut [f64]) {
+fn log2_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    log2_chunk_with(xd, y, fast::log1p_poly_prefix)
+}
+
+fn log2_chunk(xd: &[f64], y: &mut [f64]) {
+    log2_chunk_with(xd, y, fast::log1p_poly_fast)
+}
+
+fn log10_chunk_with(xd: &[f64], y: &mut [f64], poly: fn(f64) -> f64) {
     let mut e = [0i64; LANES];
     let mut j = [0usize; LANES];
     let mut p = [0.0f64; LANES];
-    log_stages(xd, &mut e, &mut j, &mut p);
+    log_stages(xd, &mut e, &mut j, &mut p, poly);
     for i in 0..xd.len() {
         let ef = e[i] as f64;
-        let c = ef * t::LOG10_2_HI + t::LOG10_F[j[i]].0;
+        let (fh, fl) = t::log10_f(j[i]);
+        let c = ef * t::LOG10_2_HI + fh;
         y[i] = c
             + (p[i] * t::INV_LN10_HI
-                + (t::LOG10_F[j[i]].1 + ef * t::LOG10_2_LO + p[i] * t::INV_LN10_LO));
+                + (fl + ef * t::LOG10_2_LO + p[i] * t::INV_LN10_LO));
     }
+}
+
+fn log10_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    log10_chunk_with(xd, y, fast::log1p_poly_prefix)
+}
+
+fn log10_chunk(xd: &[f64], y: &mut [f64]) {
+    log10_chunk_with(xd, y, fast::log1p_poly_fast)
 }
 
 // ---------------------------------------------------------------------
 // hyperbolic chunks (big factor through the staged exp pipeline)
 // ---------------------------------------------------------------------
 
-fn sinh_chunk(xd: &[f64], y: &mut [f64]) {
+fn sinh_chunk_with(xd: &[f64], y: &mut [f64], exp_tier: fn(&[f64], &mut [f64])) {
     let mut a = [0.0f64; LANES];
     for i in 0..xd.len() {
         a[i] = xd[i].abs();
     }
     let mut big = [0.0f64; LANES];
-    exp_chunk(&a[..xd.len()], &mut big[..xd.len()]);
+    exp_tier(&a[..xd.len()], &mut big[..xd.len()]);
     for i in 0..xd.len() {
         let v = if a[i] < 0.0625 {
             let x2 = a[i] * a[i];
@@ -261,13 +372,21 @@ fn sinh_chunk(xd: &[f64], y: &mut [f64]) {
     }
 }
 
-fn cosh_chunk(xd: &[f64], y: &mut [f64]) {
+fn sinh_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    sinh_chunk_with(xd, y, exp_prefix_chunk)
+}
+
+fn sinh_chunk(xd: &[f64], y: &mut [f64]) {
+    sinh_chunk_with(xd, y, exp_chunk)
+}
+
+fn cosh_chunk_with(xd: &[f64], y: &mut [f64], exp_tier: fn(&[f64], &mut [f64])) {
     let mut a = [0.0f64; LANES];
     for i in 0..xd.len() {
         a[i] = xd[i].abs();
     }
     let mut big = [0.0f64; LANES];
-    exp_chunk(&a[..xd.len()], &mut big[..xd.len()]);
+    exp_tier(&a[..xd.len()], &mut big[..xd.len()]);
     for i in 0..xd.len() {
         y[i] = if a[i] < 0.0625 {
             let x2 = a[i] * a[i];
@@ -278,24 +397,48 @@ fn cosh_chunk(xd: &[f64], y: &mut [f64]) {
     }
 }
 
+fn cosh_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    cosh_chunk_with(xd, y, exp_prefix_chunk)
+}
+
+fn cosh_chunk(xd: &[f64], y: &mut [f64]) {
+    cosh_chunk_with(xd, y, exp_chunk)
+}
+
 // ---------------------------------------------------------------------
 // sinpi / cospi chunks (per-lane: reduction is branch-heavy)
 // ---------------------------------------------------------------------
 
-fn sinpi_chunk(xd: &[f64], y: &mut [f64]) {
+fn sinpi_chunk_with(xd: &[f64], y: &mut [f64], reduced: fn(f64) -> (bool, f64)) {
     for i in 0..xd.len() {
         let a = xd[i].abs();
-        let (k, v) = fast::sinpi_fast_reduced(a);
+        let (k, v) = reduced(a);
         let neg = (xd[i] < 0.0) ^ k;
         y[i] = if neg { -v } else { v };
     }
 }
 
-fn cospi_chunk(xd: &[f64], y: &mut [f64]) {
+fn sinpi_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    sinpi_chunk_with(xd, y, fast::sinpi_prefix_reduced)
+}
+
+fn sinpi_chunk(xd: &[f64], y: &mut [f64]) {
+    sinpi_chunk_with(xd, y, fast::sinpi_fast_reduced)
+}
+
+fn cospi_chunk_with(xd: &[f64], y: &mut [f64], reduced: fn(f64) -> (bool, f64)) {
     for i in 0..xd.len() {
-        let (neg, v) = fast::cospi_fast_reduced(xd[i].abs());
+        let (neg, v) = reduced(xd[i].abs());
         y[i] = if neg { -v } else { v };
     }
+}
+
+fn cospi_prefix_chunk(xd: &[f64], y: &mut [f64]) {
+    cospi_chunk_with(xd, y, fast::cospi_prefix_reduced)
+}
+
+fn cospi_chunk(xd: &[f64], y: &mut [f64]) {
+    cospi_chunk_with(xd, y, fast::cospi_fast_reduced)
 }
 
 // ---------------------------------------------------------------------
@@ -317,37 +460,97 @@ macro_rules! simd_dispatch {
 /// Batched [`crate::exp`]: bit-identical to the scalar map.
 pub fn exp_slice(xs: &[f32], out: &mut [f32]) {
     simd_dispatch!(exp_slice, xs, out);
-    drive(xs, out, |x| (-106.0..=89.0).contains(&x), exp_chunk, fast::EXP_BAND, crate::exp)
+    drive(
+        xs,
+        out,
+        |x| (-106.0..=89.0).contains(&x),
+        exp_prefix_chunk,
+        fast::EXP_PREFIX_BAND,
+        exp_chunk,
+        fast::EXP_BAND,
+        crate::stats::slot::EXP,
+        crate::exp,
+    )
 }
 
 /// Batched [`crate::exp2`].
 pub fn exp2_slice(xs: &[f32], out: &mut [f32]) {
     simd_dispatch!(exp2_slice, xs, out);
-    drive(xs, out, |x| (-151.0..128.0).contains(&x), exp2_chunk, fast::EXP2_BAND, crate::exp2)
+    drive(
+        xs,
+        out,
+        |x| (-151.0..128.0).contains(&x),
+        exp2_prefix_chunk,
+        fast::EXP2_PREFIX_BAND,
+        exp2_chunk,
+        fast::EXP2_BAND,
+        crate::stats::slot::EXP2,
+        crate::exp2,
+    )
 }
 
 /// Batched [`crate::exp10`].
 pub fn exp10_slice(xs: &[f32], out: &mut [f32]) {
     simd_dispatch!(exp10_slice, xs, out);
-    drive(xs, out, |x| (-45.5..=38.6).contains(&x), exp10_chunk, fast::EXP10_BAND, crate::exp10)
+    drive(
+        xs,
+        out,
+        |x| (-45.5..=38.6).contains(&x),
+        exp10_prefix_chunk,
+        fast::EXP10_PREFIX_BAND,
+        exp10_chunk,
+        fast::EXP10_BAND,
+        crate::stats::slot::EXP10,
+        crate::exp10,
+    )
 }
 
 /// Batched [`crate::ln`].
 pub fn ln_slice(xs: &[f32], out: &mut [f32]) {
     simd_dispatch!(ln_slice, xs, out);
-    drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, ln_chunk, fast::LN_BAND, crate::ln)
+    drive(
+        xs,
+        out,
+        |x| x > 0.0 && x < f32::INFINITY,
+        ln_prefix_chunk,
+        fast::LN_PREFIX_BAND,
+        ln_chunk,
+        fast::LN_BAND,
+        crate::stats::slot::LN,
+        crate::ln,
+    )
 }
 
 /// Batched [`crate::log2`].
 pub fn log2_slice(xs: &[f32], out: &mut [f32]) {
     simd_dispatch!(log2_slice, xs, out);
-    drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, log2_chunk, fast::LOG2_BAND, crate::log2)
+    drive(
+        xs,
+        out,
+        |x| x > 0.0 && x < f32::INFINITY,
+        log2_prefix_chunk,
+        fast::LOG2_PREFIX_BAND,
+        log2_chunk,
+        fast::LOG2_BAND,
+        crate::stats::slot::LOG2,
+        crate::log2,
+    )
 }
 
 /// Batched [`crate::log10`].
 pub fn log10_slice(xs: &[f32], out: &mut [f32]) {
     simd_dispatch!(log10_slice, xs, out);
-    drive(xs, out, |x| x > 0.0 && x < f32::INFINITY, log10_chunk, fast::LOG10_BAND, crate::log10)
+    drive(
+        xs,
+        out,
+        |x| x > 0.0 && x < f32::INFINITY,
+        log10_prefix_chunk,
+        fast::LOG10_PREFIX_BAND,
+        log10_chunk,
+        fast::LOG10_BAND,
+        crate::stats::slot::LOG10,
+        crate::log10,
+    )
 }
 
 /// Batched [`crate::sinh`].
@@ -358,8 +561,11 @@ pub fn sinh_slice(xs: &[f32], out: &mut [f32]) {
         xs,
         out,
         move |x| x.abs() <= 90.0 && x.abs() >= tiny,
+        sinh_prefix_chunk,
+        fast::SINH_PREFIX_BAND,
         sinh_chunk,
         fast::SINH_BAND,
+        crate::stats::slot::SINH,
         crate::sinh,
     )
 }
@@ -372,8 +578,11 @@ pub fn cosh_slice(xs: &[f32], out: &mut [f32]) {
         xs,
         out,
         move |x| x.abs() <= 90.0 && x.abs() >= tiny,
+        cosh_prefix_chunk,
+        fast::COSH_PREFIX_BAND,
         cosh_chunk,
         fast::COSH_BAND,
+        crate::stats::slot::COSH,
         crate::cosh,
     )
 }
@@ -388,8 +597,11 @@ pub fn sinpi_slice(xs: &[f32], out: &mut [f32]) {
             let a = (x as f64).abs();
             x.is_finite() && a < 8_388_608.0 && a >= 2f64.powi(-36) && a != a.trunc()
         },
+        sinpi_prefix_chunk,
+        fast::SINPI_PREFIX_BAND,
         sinpi_chunk,
         fast::SINPI_BAND,
+        crate::stats::slot::SINPI,
         crate::sinpi,
     )
 }
@@ -408,8 +620,11 @@ pub fn cospi_slice(xs: &[f32], out: &mut [f32]) {
                 && (7.77e-5..16_777_216.0).contains(&a)
                 && 2.0 * a != (2.0 * a).trunc()
         },
+        cospi_prefix_chunk,
+        fast::COSPI_PREFIX_BAND,
         cospi_chunk,
         fast::COSPI_BAND,
+        crate::stats::slot::COSPI,
         crate::cospi,
     )
 }

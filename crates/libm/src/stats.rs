@@ -85,6 +85,74 @@ static FALLBACKS: [Counter; slot::COUNT] = [
     Counter::new("runtime.fallback.posit32.cosh"),
 ];
 
+/// Progressive-tier counters: which tier's result shipped for each call
+/// that entered a front end in-domain. `TIER_DD` is bumped by
+/// [`record_fallback`] itself, so `prefix + full + dd` always equals the
+/// number of in-domain calls and the dd column stays the familiar
+/// fallback count.
+static TIER_PREFIX: [Counter; slot::COUNT] = [
+    Counter::new("runtime.tier.prefix.f32.ln"),
+    Counter::new("runtime.tier.prefix.f32.log2"),
+    Counter::new("runtime.tier.prefix.f32.log10"),
+    Counter::new("runtime.tier.prefix.f32.exp"),
+    Counter::new("runtime.tier.prefix.f32.exp2"),
+    Counter::new("runtime.tier.prefix.f32.exp10"),
+    Counter::new("runtime.tier.prefix.f32.sinh"),
+    Counter::new("runtime.tier.prefix.f32.cosh"),
+    Counter::new("runtime.tier.prefix.f32.sinpi"),
+    Counter::new("runtime.tier.prefix.f32.cospi"),
+    Counter::new("runtime.tier.prefix.posit32.ln"),
+    Counter::new("runtime.tier.prefix.posit32.log2"),
+    Counter::new("runtime.tier.prefix.posit32.log10"),
+    Counter::new("runtime.tier.prefix.posit32.exp"),
+    Counter::new("runtime.tier.prefix.posit32.exp2"),
+    Counter::new("runtime.tier.prefix.posit32.exp10"),
+    Counter::new("runtime.tier.prefix.posit32.sinh"),
+    Counter::new("runtime.tier.prefix.posit32.cosh"),
+];
+
+static TIER_FULL: [Counter; slot::COUNT] = [
+    Counter::new("runtime.tier.full.f32.ln"),
+    Counter::new("runtime.tier.full.f32.log2"),
+    Counter::new("runtime.tier.full.f32.log10"),
+    Counter::new("runtime.tier.full.f32.exp"),
+    Counter::new("runtime.tier.full.f32.exp2"),
+    Counter::new("runtime.tier.full.f32.exp10"),
+    Counter::new("runtime.tier.full.f32.sinh"),
+    Counter::new("runtime.tier.full.f32.cosh"),
+    Counter::new("runtime.tier.full.f32.sinpi"),
+    Counter::new("runtime.tier.full.f32.cospi"),
+    Counter::new("runtime.tier.full.posit32.ln"),
+    Counter::new("runtime.tier.full.posit32.log2"),
+    Counter::new("runtime.tier.full.posit32.log10"),
+    Counter::new("runtime.tier.full.posit32.exp"),
+    Counter::new("runtime.tier.full.posit32.exp2"),
+    Counter::new("runtime.tier.full.posit32.exp10"),
+    Counter::new("runtime.tier.full.posit32.sinh"),
+    Counter::new("runtime.tier.full.posit32.cosh"),
+];
+
+static TIER_DD: [Counter; slot::COUNT] = [
+    Counter::new("runtime.tier.dd.f32.ln"),
+    Counter::new("runtime.tier.dd.f32.log2"),
+    Counter::new("runtime.tier.dd.f32.log10"),
+    Counter::new("runtime.tier.dd.f32.exp"),
+    Counter::new("runtime.tier.dd.f32.exp2"),
+    Counter::new("runtime.tier.dd.f32.exp10"),
+    Counter::new("runtime.tier.dd.f32.sinh"),
+    Counter::new("runtime.tier.dd.f32.cosh"),
+    Counter::new("runtime.tier.dd.f32.sinpi"),
+    Counter::new("runtime.tier.dd.f32.cospi"),
+    Counter::new("runtime.tier.dd.posit32.ln"),
+    Counter::new("runtime.tier.dd.posit32.log2"),
+    Counter::new("runtime.tier.dd.posit32.log10"),
+    Counter::new("runtime.tier.dd.posit32.exp"),
+    Counter::new("runtime.tier.dd.posit32.exp2"),
+    Counter::new("runtime.tier.dd.posit32.exp10"),
+    Counter::new("runtime.tier.dd.posit32.sinh"),
+    Counter::new("runtime.tier.dd.posit32.cosh"),
+];
+
 /// True when the crate was built with runtime telemetry (either the
 /// `telemetry` feature or its `fallback-counters` alias) — callers that
 /// *measure* rates should assert this so a misconfigured build fails
@@ -94,9 +162,59 @@ pub fn enabled() -> bool {
 }
 
 /// Records one dd-fallback event for `slot` (no-op without telemetry).
+/// Also bumps the dd tier counter: a fallback *is* the dd tier shipping,
+/// so the two views stay one write apart from each other by definition.
 #[inline(always)]
 pub(crate) fn record_fallback(s: usize) {
     FALLBACKS[s].add(1);
+    TIER_DD[s].add(1);
+}
+
+/// Records `n` prefix-tier acceptances for `slot` (no-op without
+/// telemetry). Batched (`n > 1`) by the slice drivers.
+#[inline(always)]
+pub(crate) fn record_tier_prefix_n(s: usize, n: u64) {
+    TIER_PREFIX[s].add(n);
+}
+
+/// Records one prefix-tier acceptance for `slot`. This is the only
+/// per-call counter on the scalar happy path, so it uses the lossy
+/// barrier-free increment — a locked RMW here measurably slows every
+/// call (see `Counter::add_lossy`). The rare tiers (full, dd) and the
+/// batched slice-driver adds stay exact.
+#[inline(always)]
+pub(crate) fn record_tier_prefix(s: usize) {
+    TIER_PREFIX[s].add_lossy(1);
+}
+
+/// Records one full-tier acceptance (prefix escalated, full-degree
+/// polynomial passed) for `slot`.
+#[inline(always)]
+pub(crate) fn record_tier_full(s: usize) {
+    TIER_FULL[s].add(1);
+}
+
+/// Records `n` full-tier acceptances for `slot`. Batched by the slice
+/// drivers when a chunk escalates prefix-rejected lanes in bulk.
+#[inline(always)]
+pub(crate) fn record_tier_full_n(s: usize, n: u64) {
+    TIER_FULL[s].add(n);
+}
+
+/// Prefix-tier acceptances for `slot` since the last [`reset`].
+pub fn tier_prefix(s: usize) -> u64 {
+    TIER_PREFIX[s].get()
+}
+
+/// Full-tier acceptances for `slot` since the last [`reset`].
+pub fn tier_full(s: usize) -> u64 {
+    TIER_FULL[s].get()
+}
+
+/// dd-tier events for `slot` since the last [`reset`] (equals
+/// [`fallbacks`] by construction).
+pub fn tier_dd(s: usize) -> u64 {
+    TIER_DD[s].get()
 }
 
 /// Fallback events recorded for `slot` since the last [`reset`].
@@ -152,6 +270,11 @@ pub fn reset() {
     for c in &FALLBACKS {
         c.reset();
     }
+    for arr in [&TIER_PREFIX, &TIER_FULL, &TIER_DD] {
+        for c in arr {
+            c.reset();
+        }
+    }
 }
 
 /// Forces all 18 fallback counters (and the runtime's other metrics)
@@ -161,6 +284,11 @@ pub fn reset() {
 pub fn register_all() {
     for c in &FALLBACKS {
         c.register();
+    }
+    for arr in [&TIER_PREFIX, &TIER_FULL, &TIER_DD] {
+        for c in arr {
+            c.register();
+        }
     }
     crate::slice::register_metrics();
     crate::fault::register_metrics();
@@ -195,6 +323,26 @@ mod tests {
         }
         reset();
         assert_eq!(fallbacks(slot::LN), 0);
+    }
+
+    #[test]
+    fn tier_counters_follow_the_same_build_gate() {
+        reset();
+        record_tier_prefix(slot::EXP);
+        record_tier_prefix_n(slot::EXP, 3);
+        record_tier_full(slot::EXP);
+        record_tier_full_n(slot::EXP, 2);
+        record_fallback(slot::EXP);
+        if enabled() {
+            assert_eq!(tier_prefix(slot::EXP), 4);
+            assert_eq!(tier_full(slot::EXP), 3);
+            assert_eq!(tier_dd(slot::EXP), 1);
+            assert_eq!(tier_dd(slot::EXP), fallbacks(slot::EXP));
+        } else {
+            assert_eq!(tier_prefix(slot::EXP) + tier_full(slot::EXP) + tier_dd(slot::EXP), 0);
+        }
+        reset();
+        assert_eq!(tier_prefix(slot::EXP), 0);
     }
 
     #[test]

@@ -1,1072 +1,165 @@
-//! Lookup tables and double-double constants for the correctly
-//! rounded kernels. GENERATED by `gen_tables` (crates/mp/src/bin) —
-//! do not edit by hand; regenerate with:
+//! Lookup tables and double-double constants for the correctly rounded
+//! kernels — **generated at build time** by `crates/libm/build.rs` from
+//! the 160-bit oracle (`rlibm_mp::tables_src`) and pinned by the
+//! committed checksum `crates/libm/tables.fnv`.
 //!
-//! ```text
-//! cargo run -p rlibm-mp --release --bin gen_tables > crates/libm/src/tables.rs
-//! ```
-#![allow(clippy::excessive_precision)]
+//! The tables are stored **bit-packed** at a 15-byte stride (see
+//! [`crate::tables_codec`] for the exact layout): each hi/lo pair keeps
+//! all 52 mantissa bits but compresses the sign and exponent into a
+//! 4-bit code against a per-column base, which the accessors expand
+//! with two unaligned u64 loads and fixed shifts. `COSPI_T` is not
+//! stored at all — `cos(pi n/512) == sin(pi (256-n)/512)` bit-for-bit,
+//! so [`cospi_t`] mirror-indexes the sinpi table. Together that is
+//! [`TABLE_BYTES_PACKED`] bytes in place of the former
+//! [`TABLE_BYTES_UNPACKED`] (a 31% reduction), which matters because
+//! every serving shard hammers these tables through the slice kernels:
+//! smaller tables, fewer L1/L2 misses under concurrent traffic.
+//!
+//! Unpacking is exact — `tests/table_packing.rs` round-trips every
+//! entry against the pre-packing committed bits — so kernel outputs are
+//! bit-identical to the unpacked era. The AVX2 gather path in
+//! [`crate::slice_simd`] decodes the same layout with vector loads at
+//! byte offsets `15n` / `15n + 7`.
+//!
+//! Regenerate the pin (after an intentional oracle/packing change) with
+//! `RLIBM_WRITE_TABLE_FNV=1 cargo build -p rlibm-math`, then re-certify.
 
-/// `2^(j/64)` for `j in 0..64`, as hi/lo double-double pairs.
-pub static EXP2_64: [(f64, f64); 64] = [
-    (f64::from_bits(0x3ff0000000000000), f64::from_bits(0x0000000000000000)), // 1.000000000000000000e0 + 0.000000e0
-    (f64::from_bits(0x3ff02c9a3e778061), f64::from_bits(0xbc719083535b085d)), // 1.010889286051700475e0 + -1.523478e-17
-    (f64::from_bits(0x3ff059b0d3158574), f64::from_bits(0x3c8d73e2a475b465)), // 1.021897148654116627e0 + 5.109225e-17
-    (f64::from_bits(0x3ff0874518759bc8), f64::from_bits(0x3c6186be4bb284ff)), // 1.033024879021228415e0 + 7.600839e-18
-    (f64::from_bits(0x3ff0b5586cf9890f), f64::from_bits(0x3c98a62e4adc610b)), // 1.044273782427413755e0 + 8.551890e-17
-    (f64::from_bits(0x3ff0e3ec32d3d1a2), f64::from_bits(0x3c403a1727c57b53)), // 1.055645178360557157e0 + 1.759326e-18
-    (f64::from_bits(0x3ff11301d0125b51), f64::from_bits(0xbc96c51039449b3a)), // 1.067140400676823697e0 + -7.899854e-17
-    (f64::from_bits(0x3ff1429aaea92de0), f64::from_bits(0xbc932fbf9af1369e)), // 1.078760797757119860e0 + -6.656660e-17
-    (f64::from_bits(0x3ff172b83c7d517b), f64::from_bits(0xbc819041b9d78a76)), // 1.090507732665257690e0 + -3.046782e-17
-    (f64::from_bits(0x3ff1a35beb6fcb75), f64::from_bits(0x3c8e5b4c7b4968e4)), // 1.102382583307840891e0 + 5.266037e-17
-    (f64::from_bits(0x3ff1d4873168b9aa), f64::from_bits(0x3c9e016e00a2643c)), // 1.114386742595892432e0 + 1.041028e-16
-    (f64::from_bits(0x3ff2063b88628cd6), f64::from_bits(0x3c8dc775814a8495)), // 1.126521618608241848e0 + 5.165857e-17
-    (f64::from_bits(0x3ff2387a6e756238), f64::from_bits(0x3c99b07eb6c70573)), // 1.138788634756691565e0 + 8.912813e-17
-    (f64::from_bits(0x3ff26b4565e27cdd), f64::from_bits(0x3c82bd339940e9d9)), // 1.151189229952982673e0 + 3.250710e-17
-    (f64::from_bits(0x3ff29e9df51fdee1), f64::from_bits(0x3c8612e8afad1255)), // 1.163724858777577476e0 + 3.829205e-17
-    (f64::from_bits(0x3ff2d285a6e4030b), f64::from_bits(0x3c90024754db41d5)), // 1.176396991650281221e0 + 5.554203e-17
-    (f64::from_bits(0x3ff306fe0a31b715), f64::from_bits(0x3c86f46ad23182e4)), // 1.189207115002721027e0 + 3.982015e-17
-    (f64::from_bits(0x3ff33c08b26416ff), f64::from_bits(0x3c932721843659a6)), // 1.202156731452703076e0 + 6.644981e-17
-    (f64::from_bits(0x3ff371a7373aa9cb), f64::from_bits(0xbc963aeabf42eae2)), // 1.215247359980468955e0 + -7.712631e-17
-    (f64::from_bits(0x3ff3a7db34e59ff7), f64::from_bits(0xbc75e436d661f5e3)), // 1.228480536106870025e0 + -1.898782e-17
-    (f64::from_bits(0x3ff3dea64c123422), f64::from_bits(0x3c8ada0911f09ebc)), // 1.241857812073484002e0 + 4.658028e-17
-    (f64::from_bits(0x3ff4160a21f72e2a), f64::from_bits(0xbc5ef3691c309278)), // 1.255380757024691096e0 + -6.711390e-18
-    (f64::from_bits(0x3ff44e086061892d), f64::from_bits(0x3c489b7a04ef80d0)), // 1.269050957191733220e0 + 2.667932e-18
-    (f64::from_bits(0x3ff486a2b5c13cd0), f64::from_bits(0x3c73c1a3b69062f0)), // 1.282870016078778264e0 + 1.713595e-17
-    (f64::from_bits(0x3ff4bfdad5362a27), f64::from_bits(0x3c7d4397afec42e2)), // 1.296839554651009641e0 + 2.538250e-17
-    (f64::from_bits(0x3ff4f9b2769d2ca7), f64::from_bits(0xbc94b309d25957e3)), // 1.310961211524764414e0 + -7.181536e-17
-    (f64::from_bits(0x3ff5342b569d4f82), f64::from_bits(0xbc807abe1db13cad)), // 1.325236643159741323e0 + -2.858731e-17
-    (f64::from_bits(0x3ff56f4736b527da), f64::from_bits(0x3c99bb2c011d93ad)), // 1.339667524053302916e0 + 8.927283e-17
-    (f64::from_bits(0x3ff5ab07dd485429), f64::from_bits(0x3c96324c054647ad)), // 1.354255546936892651e0 + 7.700948e-17
-    (f64::from_bits(0x3ff5e76f15ad2148), f64::from_bits(0x3c9ba6f93080e65e)), // 1.369002422974590516e0 + 9.593798e-17
-    (f64::from_bits(0x3ff6247eb03a5585), f64::from_bits(0xbc9383c17e40b497)), // 1.383909881963832023e0 + -6.770512e-17
-    (f64::from_bits(0x3ff6623882552225), f64::from_bits(0xbc9bb60987591c34)), // 1.398979672538311236e0 + -9.614213e-17
-    (f64::from_bits(0x3ff6a09e667f3bcd), f64::from_bits(0xbc9bdd3413b26456)), // 1.414213562373095145e0 + -9.667293e-17
-    (f64::from_bits(0x3ff6dfb23c651a2f), f64::from_bits(0xbc6bbe3a683c88ab)), // 1.429613338391970023e0 + -1.203164e-17
-    (f64::from_bits(0x3ff71f75e8ec5f74), f64::from_bits(0xbc816e4786887a99)), // 1.445180806977046650e0 + -3.023758e-17
-    (f64::from_bits(0x3ff75feb564267c9), f64::from_bits(0xbc90245957316dd3)), // 1.460917794180647045e0 + -5.600377e-17
-    (f64::from_bits(0x3ff7a11473eb0187), f64::from_bits(0xbc841577ee04992f)), // 1.476826145939499346e0 + -3.483995e-17
-    (f64::from_bits(0x3ff7e2f336cf4e62), f64::from_bits(0x3c705d02ba15797e)), // 1.492907728291264835e0 + 1.419292e-17
-    (f64::from_bits(0x3ff82589994cce13), f64::from_bits(0xbc9d4c1dd41532d8)), // 1.509164427593422841e0 + -1.016455e-16
-    (f64::from_bits(0x3ff868d99b4492ed), f64::from_bits(0xbc9fc6f89bd4f6ba)), // 1.525598150744538417e0 + -1.102494e-16
-    (f64::from_bits(0x3ff8ace5422aa0db), f64::from_bits(0x3c96e9f156864b27)), // 1.542210825407940744e0 + 7.949835e-17
-    (f64::from_bits(0x3ff8f1ae99157736), f64::from_bits(0x3c85cc13a2e3976c)), // 1.559004400237836929e0 + 3.781207e-17
-    (f64::from_bits(0x3ff93737b0cdc5e5), f64::from_bits(0xbc675fc781b57ebc)), // 1.575980845107886497e0 + -1.013692e-17
-    (f64::from_bits(0x3ff97d829fde4e50), f64::from_bits(0xbc9d185b7c1b85d1)), // 1.593142151342266999e0 + -1.009441e-16
-    (f64::from_bits(0x3ff9c49182a3f090), f64::from_bits(0x3c7c7c46b071f2be)), // 1.610490331949254283e0 + 2.470719e-17
-    (f64::from_bits(0x3ffa0c667b5de565), f64::from_bits(0xbc9359495d1cd533)), // 1.628027421857347834e0 + -6.712955e-17
-    (f64::from_bits(0x3ffa5503b23e255d), f64::from_bits(0xbc9d2f6edb8d41e1)), // 1.645755478153964946e0 + -1.012568e-16
-    (f64::from_bits(0x3ffa9e6b5579fdbf), f64::from_bits(0x3c90fac90ef7fd31)), // 1.663676580326736376e0 + 5.890993e-17
-    (f64::from_bits(0x3ffae89f995ad3ad), f64::from_bits(0x3c97a1cd345dcc81)), // 1.681792830507429004e0 + 8.199010e-17
-    (f64::from_bits(0x3ffb33a2b84f15fb), f64::from_bits(0xbc62805e3084d708)), // 1.700106353718523478e0 + -8.023719e-18
-    (f64::from_bits(0x3ffb7f76f2fb5e47), f64::from_bits(0xbc75584f7e54ac3b)), // 1.718619298122477934e0 + -1.851380e-17
-    (f64::from_bits(0x3ffbcc1e904bc1d2), f64::from_bits(0x3c823dd07a2d9e84)), // 1.737333835273706217e0 + 3.164389e-17
-    (f64::from_bits(0x3ffc199bdd85529c), f64::from_bits(0x3c811065895048dd)), // 1.756252160373299454e0 + 2.960141e-17
-    (f64::from_bits(0x3ffc67f12e57d14b), f64::from_bits(0x3c92884dff483cad)), // 1.775376492526521188e0 + 6.429732e-17
-    (f64::from_bits(0x3ffcb720dcef9069), f64::from_bits(0x3c7503cbd1e949db)), // 1.794709075003107168e0 + 1.822746e-17
-    (f64::from_bits(0x3ffd072d4a07897c), f64::from_bits(0xbc9cbc3743797a9c)), // 1.814252175500398856e0 + -9.969532e-17
-    (f64::from_bits(0x3ffd5818dcfba487), f64::from_bits(0x3c82ed02d75b3707)), // 1.834008086409342431e0 + 3.283107e-17
-    (f64::from_bits(0x3ffda9e603db3285), f64::from_bits(0x3c9c2300696db532)), // 1.853979125083385471e0 + 9.761887e-17
-    (f64::from_bits(0x3ffdfc97337b9b5f), f64::from_bits(0xbc91a5cd4f184b5c)), // 1.874167634110299963e0 + -6.122763e-17
-    (f64::from_bits(0x3ffe502ee78b3ff6), f64::from_bits(0x3c839e8980a9cc8f)), // 1.894575981586965607e0 + 3.403404e-17
-    (f64::from_bits(0x3ffea4afa2a490da), f64::from_bits(0xbc9e9c23179c2893)), // 1.915206561397147400e0 + -1.061995e-16
-    (f64::from_bits(0x3ffefa1bee615a27), f64::from_bits(0x3c9dc7f486a4b6b0)), // 1.936061793492294347e0 + 1.033239e-16
-    (f64::from_bits(0x3fff50765b6e4540), f64::from_bits(0x3c99d3e12dd8a18b)), // 1.957144124175400179e0 + 8.960768e-17
-    (f64::from_bits(0x3fffa7c1819e90d8), f64::from_bits(0x3c874853f3a5931e)), // 1.978456026387950928e0 + 4.038875e-17
-];
+use crate::tables_codec as codec;
 
-/// `ln(1 + j/128)` for `j in 0..=128`.
-pub static LN_F: [(f64, f64); 129] = [
-    (f64::from_bits(0x0000000000000000), f64::from_bits(0x0000000000000000)), // 0.000000000000000000e0 + 0.000000e0
-    (f64::from_bits(0x3f7fe02a6b106789), f64::from_bits(0xbbce44b7e3711ebf)), // 7.782140442054948960e-3 + -1.281918e-20
-    (f64::from_bits(0x3f8fc0a8b0fc03e4), f64::from_bits(0xbc183092c59642a1)), // 1.550418653596525448e-2 + -3.278321e-19
-    (f64::from_bits(0x3f97b91b07d5b11b), f64::from_bits(0xbc35b602ace3a510)), // 2.316705928153437941e-2 + -1.176954e-18
-    (f64::from_bits(0x3f9f829b0e783300), f64::from_bits(0x3c333e3f04f1ef23)), // 3.077165866675368733e-2 + 1.043173e-18
-    (f64::from_bits(0x3fa39e87b9febd60), f64::from_bits(0xbc45bfa937f551bb)), // 3.831886430213660155e-2 + -2.357996e-18
-    (f64::from_bits(0x3fa77458f632dcfc), f64::from_bits(0x3c418d3ca87b9296)), // 4.580953603129420126e-2 + 1.902960e-18
-    (f64::from_bits(0x3fab42dd711971bf), f64::from_bits(0xbc3eb9759c130499)), // 5.324451451881228453e-2 + -1.665576e-18
-    (f64::from_bits(0x3faf0a30c01162a6), f64::from_bits(0x3c485f325c5bbacd)), // 6.062462181643483994e-2 + 2.642403e-18
-    (f64::from_bits(0x3fb16536eea37ae1), f64::from_bits(0xbc379da3e8c22cda)), // 6.795066190850775067e-2 + -1.280214e-18
-    (f64::from_bits(0x3fb341d7961bd1d1), f64::from_bits(0xbc5b599f227becbb)), // 7.522342123758753163e-2 + -5.930604e-18
-    (f64::from_bits(0x3fb51b073f06183f), f64::from_bits(0x3c5a49e39a1a8be4)), // 8.244366921107458557e-2 + 5.700438e-18
-    (f64::from_bits(0x3fb6f0d28ae56b4c), f64::from_bits(0xbc5906d99184b992)), // 8.961215868968713805e-2 + -5.426813e-18
-    (f64::from_bits(0x3fb8c345d6319b21), f64::from_bits(0xbc24a697ab3424a9)), // 9.672962645855111286e-2 + -5.597397e-19
-    (f64::from_bits(0x3fba926d3a4ad563), f64::from_bits(0x3c5942f48aa70ea9)), // 1.037967936816435593e-1 + 5.477724e-18
-    (f64::from_bits(0x3fbc5e548f5bc743), f64::from_bits(0x3c35d617ef8161b1)), // 1.108143663402901130e-1 + 1.183748e-18
-    (f64::from_bits(0x3fbe27076e2af2e6), f64::from_bits(0xbc361578001e0162)), // 1.177830356563834557e-1 + -1.197169e-18
-    (f64::from_bits(0x3fbfec9131dbeabb), f64::from_bits(0xbc55746b9981b36c)), // 1.247034785009572405e-1 + -4.652261e-18
-    (f64::from_bits(0x3fc0d77e7cd08e59), f64::from_bits(0x3c69a5dc5e9030ac)), // 1.315763577887192615e-1 + 1.112300e-17
-    (f64::from_bits(0x3fc1b72ad52f67a0), f64::from_bits(0x3c5483023472cd74)), // 1.384023228591191312e-1 + 4.447777e-18
-    (f64::from_bits(0x3fc29552f81ff523), f64::from_bits(0x3c6301771c407dbf)), // 1.451820098444978890e-1 + 8.242419e-18
-    (f64::from_bits(0x3fc371fc201e8f74), f64::from_bits(0x3c5de6cb62af18a0)), // 1.519160420258419686e-1 + 6.483863e-18
-    (f64::from_bits(0x3fc44d2b6ccb7d1e), f64::from_bits(0x3c69f4f6543e1f88)), // 1.586050301766385728e-1 + 1.125700e-17
-    (f64::from_bits(0x3fc526e5e3a1b438), f64::from_bits(0xbc6746ff8a470d3a)), // 1.652495728953071730e-1 + -1.009494e-17
-    (f64::from_bits(0x3fc5ff3070a793d4), f64::from_bits(0xbc5bc60efafc6f6e)), // 1.718502569266592284e-1 + -6.022454e-18
-    (f64::from_bits(0x3fc6d60fe719d21d), f64::from_bits(0xbc6caae268ecd179)), // 1.784076574728183096e-1 + -1.243255e-17
-    (f64::from_bits(0x3fc7ab890210d909), f64::from_bits(0x3c4be36b2d6a0608)), // 1.849223384940119896e-1 + 3.023661e-18
-    (f64::from_bits(0x3fc87fa06520c911), f64::from_bits(0xbc6bf7fdbfa08d9a)), // 1.913948529996294667e-1 + -1.212950e-17
-    (f64::from_bits(0x3fc9525a9cf456b4), f64::from_bits(0x3c6d904c1d4e2e26)), // 1.978257433299198675e-1 + 1.282119e-17
-    (f64::from_bits(0x3fca23bc1fe2b563), f64::from_bits(0x3c493711b07a998c)), // 2.042155414286908888e-1 + 2.733828e-18
-    (f64::from_bits(0x3fcaf3c94e80bff3), f64::from_bits(0xbc5398cff3641985)), // 2.105647691073496419e-1 + -4.249405e-18
-    (f64::from_bits(0x3fcbc286742d8cd6), f64::from_bits(0x3c54fce744870f55)), // 2.168739383006143551e-1 + 4.551026e-18
-    (f64::from_bits(0x3fcc8ff7c79a9a22), f64::from_bits(0xbc64f689f8434012)), // 2.231435513142097649e-1 + -9.091271e-18
-    (f64::from_bits(0x3fcd5c216b4fbb91), f64::from_bits(0x3c66e443597e4d40)), // 2.293741010648458201e-1 + 9.927672e-18
-    (f64::from_bits(0x3fce27076e2af2e6), f64::from_bits(0xbc461578001e0162)), // 2.355660713127669115e-1 + -2.394337e-18
-    (f64::from_bits(0x3fcef0adcbdc5936), f64::from_bits(0x3c648637950dc20d)), // 2.417199368871451592e-1 + 8.900990e-18
-    (f64::from_bits(0x3fcfb9186d5e3e2b), f64::from_bits(0xbc6caaae64f21acb)), // 2.478361639045812692e-1 + -1.243221e-17
-    (f64::from_bits(0x3fd0402594b4d041), f64::from_bits(0xbc628ec217a5022d)), // 2.539152099809634522e-1 + -8.048097e-18
-    (f64::from_bits(0x3fd0a324e27390e3), f64::from_bits(0x3c77dcfde8061c03)), // 2.599575244369260463e-1 + 2.069807e-17
-    (f64::from_bits(0x3fd1058bf9ae4ad5), f64::from_bits(0x3c589fa0ab4cb31d)), // 2.659635484971379360e-1 + 5.339380e-18
-    (f64::from_bits(0x3fd1675cababa60e), f64::from_bits(0x3c2ce63eab883717)), // 2.719337154836417580e-1 + 7.833196e-19
-    (f64::from_bits(0x3fd1c898c16999fb), f64::from_bits(0xbc30e5c62aff1c44)), // 2.778684510034563071e-1 + -9.160183e-19
-    (f64::from_bits(0x3fd22941fbcf7966), f64::from_bits(0xbc776f5eb09628af)), // 2.837681731306446187e-1 + -2.032666e-17
-    (f64::from_bits(0x3fd2895a13de86a3), f64::from_bits(0x3c77ad24c13f040e)), // 2.896332925830426563e-1 + 2.053595e-17
-    (f64::from_bits(0x3fd2e8e2bae11d31), f64::from_bits(0xbc78f4cdb95ebdf9)), // 2.954642128938358980e-1 + -2.164611e-17
-    (f64::from_bits(0x3fd347dd9a987d55), f64::from_bits(0xbc64dd4c580919f8)), // 3.012613305781617901e-1 + -9.048511e-18
-    (f64::from_bits(0x3fd3a64c556945ea), f64::from_bits(0xbc6c68651945f97c)), // 3.070250352949118744e-1 + -1.231992e-17
-    (f64::from_bits(0x3fd404308686a7e4), f64::from_bits(0xbc70bcfb6082ce6d)), // 3.127557100038969029e-1 + -1.451808e-17
-    (f64::from_bits(0x3fd4618bc21c5ec2), f64::from_bits(0x3c7f42decdeccf1d)), // 3.184537311185345887e-1 + 2.711478e-17
-    (f64::from_bits(0x3fd4be5f957778a1), f64::from_bits(0xbc6259b35b04813d)), // 3.241194686542119840e-1 + -7.958214e-18
-    (f64::from_bits(0x3fd51aad872df82d), f64::from_bits(0x3c43927ac19f55e3)), // 3.297532863724679797e-1 + 2.122021e-18
-    (f64::from_bits(0x3fd5767717455a6c), f64::from_bits(0x3c7526adb283660c)), // 3.353555419211378119e-1 + 1.834564e-17
-    (f64::from_bits(0x3fd5d1bdbf5809ca), f64::from_bits(0x3c74236383dc7fe1)), // 3.409265869705931928e-1 + 1.746714e-17
-    (f64::from_bits(0x3fd62c82f2b9c795), f64::from_bits(0x3c67b7af915300e5)), // 3.464667673462085706e-1 + 1.028584e-17
-    (f64::from_bits(0x3fd686c81e9b14af), f64::from_bits(0xbc6ddea0f7f58e3d)), // 3.519764231571781976e-1 + -1.295389e-17
-    (f64::from_bits(0x3fd6e08eaa2ba1e4), f64::from_bits(0xbc7cfb1b39ca3a0f)), // 3.574558889218037994e-1 + -2.513691e-17
-    (f64::from_bits(0x3fd739d7f6bbd007), f64::from_bits(0xbc78c76ceb014b04)), // 3.629054936893684746e-1 + -2.149236e-17
-    (f64::from_bits(0x3fd792a55fdd47a2), f64::from_bits(0x3c7f057691fe9ed7)), // 3.683255611587076261e-1 + 2.690672e-17
-    (f64::from_bits(0x3fd7eaf83b82afc3), f64::from_bits(0x3c792ce979ed2950)), // 3.737164097935840590e-1 + 2.183621e-17
-    (f64::from_bits(0x3fd842d1da1e8b17), f64::from_bits(0x3c724ec519784676)), // 3.790783529349694425e-1 + 1.587939e-17
-    (f64::from_bits(0x3fd89a3386c1425b), f64::from_bits(0xbc729639dfbbf0fb)), // 3.844116989103320559e-1 + -1.612150e-17
-    (f64::from_bits(0x3fd8f11e873662c7), f64::from_bits(0x3c7f85da755a61a3)), // 3.897167511400251860e-1 + 2.734173e-17
-    (f64::from_bits(0x3fd947941c2116fb), f64::from_bits(0xbc716cc8bae0bbe4)), // 3.949938082408689932e-1 + -1.511372e-17
-    (f64::from_bits(0x3fd99d958117e08b), f64::from_bits(0xbc6a2b6889dc3e72)), // 4.002431641270127183e-1 + -1.134924e-17
-    (f64::from_bits(0x3fd9f323ecbf984c), f64::from_bits(0xbc4a92e513217f5c)), // 4.054651081081643849e-1 + -2.881138e-18
-    (f64::from_bits(0x3fda484090e5bb0a), f64::from_bits(0x3c65fe535b875a75)), // 4.106599249852683764e-1 + 9.538143e-18
-    (f64::from_bits(0x3fda9cec9a9a084a), f64::from_bits(0xbc7cadec02b436af)), // 4.158278951437109905e-1 + -2.487540e-17
-    (f64::from_bits(0x3fdaf1293247786b), f64::from_bits(0x3c5133844a15dc28)), // 4.209692946441296324e-1 + 3.729924e-18
-    (f64::from_bits(0x3fdb44f77bcc8f63), f64::from_bits(0xbc7cd04495459c78)), // 4.260843953109000881e-1 + -2.499177e-17
-    (f64::from_bits(0x3fdb9858969310fb), f64::from_bits(0x3c7663ec53e23bc4)), // 4.311734648183713214e-1 + 1.942051e-17
-    (f64::from_bits(0x3fdbeb4d9da71b7c), f64::from_bits(0xbc40f3c590a887ca)), // 4.362367667749180722e-1 + -1.837965e-18
-    (f64::from_bits(0x3fdc3dd7a7cdad4d), f64::from_bits(0x3c7cecf052dea69b)), // 4.412745608048752044e-1 + 2.508891e-17
-    (f64::from_bits(0x3fdc8ff7c79a9a22), f64::from_bits(0xbc74f689f8434012)), // 4.462871026284195297e-1 + -1.818254e-17
-    (f64::from_bits(0x3fdce1af0b85f3eb), f64::from_bits(0x3c7edf4af2ab4267)), // 4.512746441394585584e-1 + 2.677740e-17
-    (f64::from_bits(0x3fdd32fe7e00ebd5), f64::from_bits(0x3c7877b232fafa37)), // 4.562374334815875732e-1 + 2.122223e-17
-    (f64::from_bits(0x3fdd83e7258a2f3e), f64::from_bits(0x3c741456e8bb2511)), // 4.611757151221701490e-1 + 1.741615e-17
-    (f64::from_bits(0x3fddd46a04c1c4a1), f64::from_bits(0xbc70467656d8b892)), // 4.660897299245992387e-1 + -1.411652e-17
-    (f64::from_bits(0x3fde24881a7c6c26), f64::from_bits(0x3c5cbd8f45954a46)), // 4.709797152187910063e-1 + 6.232095e-18
-    (f64::from_bits(0x3fde744261d68788), f64::from_bits(0xbc5c825c90c344b9)), // 4.758459048699639204e-1 + -6.181953e-18
-    (f64::from_bits(0x3fdec399d2468cc0), f64::from_bits(0x3c575cee53f35397)), // 4.806885293457519026e-1 + 5.066046e-18
-    (f64::from_bits(0x3fdf128f5faf06ed), f64::from_bits(0xbc7328df13bb38c3)), // 4.855078157817008244e-1 + -1.661835e-17
-    (f64::from_bits(0x3fdf6123fa7028ac), f64::from_bits(0x3c78515b0f2db341)), // 4.903039880451938171e-1 + 2.109233e-17
-    (f64::from_bits(0x3fdfaf588f78f31f), f64::from_bits(0xbc6328260d8abca0)), // 4.950772667978515229e-1 + -8.307951e-18
-    (f64::from_bits(0x3fdffd2e0857f498), f64::from_bits(0x3c7565f40d9321af)), // 4.998278695564493113e-1 + 1.856003e-17
-    (f64::from_bits(0x3fe02552a5a5d0ff), f64::from_bits(0xbc7cb1cb51408c00)), // 5.045560107523953119e-1 + -2.488852e-17
-    (f64::from_bits(0x3fe04bdf9da926d2), f64::from_bits(0x3c897f304022c9df)), // 5.092619017898079026e-1 + 4.422995e-17
-    (f64::from_bits(0x3fe0723e5c1cdf40), f64::from_bits(0x3c8395e58e2445bb)), // 5.139457511022342828e-1 + 3.397549e-17
-    (f64::from_bits(0x3fe0986f4f573521), f64::from_bits(0xbc81b8095ac02f01)), // 5.186077642080456629e-1 + -3.073738e-17
-    (f64::from_bits(0x3fe0be72e4252a83), f64::from_bits(0xbc8259da11330801)), // 5.232481437645478684e-1 + -3.183388e-17
-    (f64::from_bits(0x3fe0e44985d1cc8c), f64::from_bits(0xbc522a3442d2d384)), // 5.278670896208423891e-1 + -3.938876e-18
-    (f64::from_bits(0x3fe109f39e2d4c97), f64::from_bits(0xbc30e09b27a4373a)), // 5.324647988694718448e-1 + -9.149239e-19
-    (f64::from_bits(0x3fe12f719593efbc), f64::from_bits(0x3c84c048c671f435)), // 5.370414658968836186e-1 + 3.599744e-17
-    (f64::from_bits(0x3fe154c3d2f4d5ea), f64::from_bits(0xbc859c33171a6876)), // 5.415972824327444091e-1 + -3.748764e-17
-    (f64::from_bits(0x3fe179eabbd899a1), f64::from_bits(0xbc800e7c6417e0b4)), // 5.461324375981356782e-1 + -2.785374e-17
-    (f64::from_bits(0x3fe19ee6b467c96f), f64::from_bits(0xbc79d1a11443f10c)), // 5.506471179526623017e-1 + -2.239429e-17
-    (f64::from_bits(0x3fe1c3b81f713c25), f64::from_bits(0xbc80dac1c4c810e9)), // 5.551415075405016220e-1 + -2.923793e-17
-    (f64::from_bits(0x3fe1e85f5e7040d0), f64::from_bits(0x3c7ef62cd2f9f1e3)), // 5.596157879354226594e-1 + 2.685493e-17
-    (f64::from_bits(0x3fe20cdcd192ab6e), f64::from_bits(0xbc8b2bf0bc229014)), // 5.640701382848030132e-1 + -4.713529e-17
-    (f64::from_bits(0x3fe23130d7bebf43), f64::from_bits(0xbc8f48725e374d6e)), // 5.685047353526687663e-1 + -5.426735e-17
-    (f64::from_bits(0x3fe2555bce98f7cb), f64::from_bits(0x3c7e021d6d6881e7)), // 5.729197535617854831e-1 + 2.602802e-17
-    (f64::from_bits(0x3fe2795e1289b11b), f64::from_bits(0xbc6487c0c246978e)), // 5.773153650348236132e-1 + -8.903592e-18
-    (f64::from_bits(0x3fe29d37fec2b08b), f64::from_bits(0xbc7bd1949a2d1982)), // 5.816917396346225066e-1 + -2.412885e-17
-    (f64::from_bits(0x3fe2c0e9ed448e8c), f64::from_bits(0xbc81a158f3917586)), // 5.860490450035782395e-1 + -3.058363e-17
-    (f64::from_bits(0x3fe2e47436e40268), f64::from_bits(0x3c80150861a4886b)), // 5.903874466021763467e-1 + 2.789810e-17
-    (f64::from_bits(0x3fe307d7334f10be), f64::from_bits(0x3c6fb590a1f566da)), // 5.947071077466927758e-1 + 1.375169e-17
-    (f64::from_bits(0x3fe32b1339121d71), f64::from_bits(0x3c7902ab5b3d916b)), // 5.990081896460833777e-1 + 2.169309e-17
-    (f64::from_bits(0x3fe34e289d9ce1d3), f64::from_bits(0x3c66eb92d885ce4f)), // 6.032908514380842524e-1 + 9.940056e-18
-    (f64::from_bits(0x3fe37117b54747b6), f64::from_bits(0xbc7d117edbdd9103)), // 6.075552502245418207e-1 + -2.521277e-17
-    (f64::from_bits(0x3fe393e0d3562a1a), f64::from_bits(0xbc858eef67f2483a)), // 6.118015411059929409e-1 + -3.739776e-17
-    (f64::from_bits(0x3fe3b68449fffc23), f64::from_bits(0xbc841c484f9e9b26)), // 6.160298772155140545e-1 + -3.488612e-17
-    (f64::from_bits(0x3fe3d9026a7156fb), f64::from_bits(0xbc86fef670bd4b62)), // 6.202404097518575687e-1 + -3.989161e-17
-    (f64::from_bits(0x3fe3fb5b84d16f42), f64::from_bits(0x3c86d3a754172aef)), // 6.244332880118934614e-1 + 3.959814e-17
-    (f64::from_bits(0x3fe41d8fe84672ae), f64::from_bits(0x3c89192f30bd1806)), // 6.286086594223740942e-1 + 4.353874e-17
-    (f64::from_bits(0x3fe43f9fe2f9ce67), f64::from_bits(0x3c8e9c9ee6d83b86)), // 6.327666695710377764e-1 + 5.310301e-17
-    (f64::from_bits(0x3fe4618bc21c5ec2), f64::from_bits(0x3c8f42decdeccf1d)), // 6.369074622370691774e-1 + 5.422956e-17
-    (f64::from_bits(0x3fe48353d1ea88df), f64::from_bits(0x3c8cf57a2ecc07f4)), // 6.410311794209312408e-1 + 5.023568e-17
-    (f64::from_bits(0x3fe4a4f85db03ebb), f64::from_bits(0x3c313dfa3d3761b6)), // 6.451379613735847007e-1 + 9.346961e-19
-    (f64::from_bits(0x3fe4c679afccee3a), f64::from_bits(0xbc83a5c4c8b39e41)), // 6.492279466251098530e-1 + -3.408304e-17
-    (f64::from_bits(0x3fe4e7d811b75bb1), f64::from_bits(0xbc88d3d9ea6e9ea9)), // 6.533012720127456818e-1 + -4.306892e-17
-    (f64::from_bits(0x3fe50913cc01686b), f64::from_bits(0x3c82f2ce96c2d5b1)), // 6.573580727083599973e-1 + 3.287035e-17
-    (f64::from_bits(0x3fe52a2d265bc5ab), f64::from_bits(0xbc61883750ea4d0a)), // 6.613984822453650159e-1 + -7.603334e-18
-    (f64::from_bits(0x3fe54b2467999498), f64::from_bits(0xbc85baaf5d2f09f4)), // 6.654226325450904866e-1 + -3.769422e-17
-    (f64::from_bits(0x3fe56bf9d5b3f399), f64::from_bits(0x3c80471885cd8ff3)), // 6.694306539426292391e-1 + 2.823734e-17
-    (f64::from_bits(0x3fe58cadb5cd7989), f64::from_bits(0x3c7849792ec98458)), // 6.734226752121666992e-1 + 2.106562e-17
-    (f64::from_bits(0x3fe5ad404c359f2d), f64::from_bits(0xbc435955683f7196)), // 6.773988235918061429e-1 + -2.097818e-18
-    (f64::from_bits(0x3fe5cdb1dc6c1765), f64::from_bits(0xbc8cc2470e8a3df4)), // 6.813592248079031188e-1 + -4.988873e-17
-    (f64::from_bits(0x3fe5ee02a9241675), f64::from_bits(0x3c8c358257f49082)), // 6.853040030989193676e-1 + 4.893485e-17
-    (f64::from_bits(0x3fe60e32f44788d9), f64::from_bits(0xbc7ac1bb52fa589b)), // 6.892332812388090035e-1 + -2.320779e-17
-    (f64::from_bits(0x3fe62e42fefa39ef), f64::from_bits(0x3c7abc9e3b39803f)), // 6.931471805599452862e-1 + 2.319047e-17
-];
+include!(concat!(env!("OUT_DIR"), "/packed_tables.rs"));
+
+/// `2^(j/64)` for `j in 0..64`, as a hi/lo double-double pair.
+#[inline(always)]
+pub fn exp2_64(j: usize) -> (f64, f64) {
+    codec::unpack_entry(&EXP2_64_P, j, EXP2_64_HI_BASE, EXP2_64_LO_BASE)
+}
+
+/// `ln(1 + j/128)` for `j in 0..=128` (`j == 0` is exactly zero).
+#[inline(always)]
+pub fn ln_f(j: usize) -> (f64, f64) {
+    codec::unpack_entry(&LN_F_P, j, LN_F_HI_BASE, LN_F_LO_BASE)
+}
 
 /// `log2(1 + j/128)` for `j in 0..=128`.
-pub static LOG2_F: [(f64, f64); 129] = [
-    (f64::from_bits(0x0000000000000000), f64::from_bits(0x0000000000000000)), // 0.000000000000000000e0 + 0.000000e0
-    (f64::from_bits(0x3f86fe50b6ef0851), f64::from_bits(0x3c2fe38dec005e54)), // 1.122725542325411947e-2 + 8.643499e-19
-    (f64::from_bits(0x3f96e79685c2d22a), f64::from_bits(0xbc3d6476077b9fbd)), // 2.236781302845450986e-2 + -1.593367e-18
-    (f64::from_bits(0x3fa11cd1d5133413), f64::from_bits(0xbc227ebafb056cb9)), // 3.342300153745027952e-2 + -5.013091e-19
-    (f64::from_bits(0x3fa6bad3758efd87), f64::from_bits(0x3c389b03784b5be1)), // 4.439411935845343632e-2 + 1.333868e-18
-    (f64::from_bits(0x3fac4dfab90aab5f), f64::from_bits(0xbc160e0f2c3388f0)), // 5.528243550118960153e-2 + -2.988999e-19
-    (f64::from_bits(0x3fb0eb389fa29f9b), f64::from_bits(0xbc530c22d15199b8)), // 6.608919045777243706e-2 + -4.130248e-18
-    (f64::from_bits(0x3fb3aa2fdd27f1c3), f64::from_bits(0xbc43fd9776f25acf)), // 7.681559705083089440e-2 + -2.167384e-18
-    (f64::from_bits(0x3fb663f6fac91316), f64::from_bits(0x3c5f3314e0985116)), // 8.746284125033940149e-2 + 6.765321e-18
-    (f64::from_bits(0x3fb918a16e46335b), f64::from_bits(0xbc5463736dac9317)), // 9.803208296052672022e-2 + -4.421047e-18
-    (f64::from_bits(0x3fbbc84240adabba), f64::from_bits(0x3c58ecb169b9465f)), // 1.085244567781690483e-1 + 5.404657e-18
-    (f64::from_bits(0x3fbe72ec117fa5b2), f64::from_bits(0x3c3cbdb5d9dc29f2)), // 1.189410727235074294e-1 + 1.558056e-18
-    (f64::from_bits(0x3fc08c588cda79e4), f64::from_bits(0xbc6a7610e40bd6ab)), // 1.292830169449664668e-1 + -1.147571e-17
-    (f64::from_bits(0x3fc1dcd197552b7b), f64::from_bits(0x3c67a9150c1e0e58)), // 1.395513523987935434e-1 + 1.026110e-17
-    (f64::from_bits(0x3fc32ae9e278ae1a), f64::from_bits(0x3c4f51f2c075a74c)), // 1.497471195046820580e-1 + 3.395733e-18
-    (f64::from_bits(0x3fc476a9f983f74d), f64::from_bits(0x3c589c74a0b21fb6)), // 1.598713367783894113e-1 + 5.336693e-18
-    (f64::from_bits(0x3fc5c01a39fbd688), f64::from_bits(0xbc6817fd3b7d7e5d)), // 1.699250014423123734e-1 + -1.044898e-17
-    (f64::from_bits(0x3fc70742d4ef027f), f64::from_bits(0x3c54e00e7d6bbf3e)), // 1.799090900149344641e-1 + 4.526592e-18
-    (f64::from_bits(0x3fc84c2bd02f03b3), f64::from_bits(0xbc116edb88c4e2b5)), // 1.898245588800172301e-1 + -2.362617e-19
-    (f64::from_bits(0x3fc98edd077e70df), f64::from_bits(0x3c17d6746548b95c)), // 1.996723448363643960e-1 + 3.230613e-19
-    (f64::from_bits(0x3fcacf5e2db4ec94), f64::from_bits(0xbc401ee1343fe7ca)), // 2.094533656289497836e-1 + -1.747802e-18
-    (f64::from_bits(0x3fcc0db6cdd94dee), f64::from_bits(0x3c60389b662673fc)), // 2.191685204621615646e-1 + 7.034790e-18
-    (f64::from_bits(0x3fcd49ee4c325970), f64::from_bits(0xbc5b85a54d7ee2fd)), // 2.288186904958808832e-1 + -5.967894e-18
-    (f64::from_bits(0x3fce840be74e6a4d), f64::from_bits(0xbc5c1b061571081e)), // 2.384047393250789126e-1 + -6.094422e-18
-    (f64::from_bits(0x3fcfbc16b902680a), f64::from_bits(0x3c51d46ccc53c278)), // 2.479275134435854899e-1 + 3.866218e-18
-    (f64::from_bits(0x3fd0790adbb03009), f64::from_bits(0x3c7bc0c69a675517)), // 2.573878426926517471e-1 + 2.407192e-17
-    (f64::from_bits(0x3fd11307dad30b76), f64::from_bits(0xbc6a7b47d2c352d9)), // 2.667865406949013751e-1 + -1.148455e-17
-    (f64::from_bits(0x3fd1ac05b291f070), f64::from_bits(0x3c74a31ce1b7e328)), // 2.761244052742375388e-1 + 1.789988e-17
-    (f64::from_bits(0x3fd24407ab0e073a), f64::from_bits(0xbc7f6e91ad16ecff)), // 2.854022188622483691e-1 + -2.726284e-17
-    (f64::from_bits(0x3fd2db10fc4d9aaf), f64::from_bits(0x3c7bc4de8f631bcf)), // 2.946207488916269823e-1 + 2.408579e-17
-    (f64::from_bits(0x3fd37124cea4cded), f64::from_bits(0xbc63376649b4fc09)), // 3.037807481771029328e-1 + -8.333787e-18
-    (f64::from_bits(0x3fd406463b1b0449), f64::from_bits(0x3c7d6cbcd10948cd)), // 3.128829552843553352e-1 + 2.552191e-17
-    (f64::from_bits(0x3fd49a784bcd1b8b), f64::from_bits(0xbc1b6d40900b2502)), // 3.219280948873623482e-1 + -3.717020e-19
-    (f64::from_bits(0x3fd52dbdfc4c96b3), f64::from_bits(0x3c7f73d83987f26d)), // 3.309168781146169525e-1 + 2.728071e-17
-    (f64::from_bits(0x3fd5c01a39fbd688), f64::from_bits(0xbc7817fd3b7d7e5d)), // 3.398500028846247467e-1 + -2.089796e-17
-    (f64::from_bits(0x3fd6518fe4677ba7), f64::from_bits(0xbc5add8712376167)), // 3.487281542310775584e-1 + -5.825492e-18
-    (f64::from_bits(0x3fd6e221cd9d0cde), f64::from_bits(0x3c75e35482d13dc1)), // 3.575520046180836742e-1 + 1.898482e-17
-    (f64::from_bits(0x3fd771d2ba7efb3c), f64::from_bits(0xbc5b90132aeddb58)), // 3.663222142458157915e-1 + -5.976728e-18
-    (f64::from_bits(0x3fd800a563161c54), f64::from_bits(0x3c69575b04fa6fbd)), // 3.750394313469247454e-1 + 1.099001e-17
-    (f64::from_bits(0x3fd88e9c72e0b226), f64::from_bits(0xbc76d266d6cdc959)), // 3.837042924740522443e-1 + -1.979483e-17
-    (f64::from_bits(0x3fd91bba891f1709), f64::from_bits(0xbc72d352bea51e59)), // 3.923174227787603052e-1 + -1.632850e-17
-    (f64::from_bits(0x3fd9a802391e232f), f64::from_bits(0x3c6a5db68721ca61)), // 4.008794362821843094e-1 + 1.143446e-17
-    (f64::from_bits(0x3fda33760a7f6051), f64::from_bits(0xbc78a0efca1a184f)), // 4.093909361377017775e-1 + -2.136196e-17
-    (f64::from_bits(0x3fdabe18797f1f49), f64::from_bits(0xbc5e5b8daaa73a43)), // 4.178525148858978633e-1 + -6.582762e-18
-    (f64::from_bits(0x3fdb47ebf73882a1), f64::from_bits(0xbc76fae441c09d76)), // 4.262647547020979588e-1 + -1.993201e-17
-    (f64::from_bits(0x3fdbd0f2e9e79031), f64::from_bits(0xbc752ef4c737fba5)), // 4.346282276367246511e-1 + -1.837369e-17
-    (f64::from_bits(0x3fdc592fad295b56), f64::from_bits(0x3c7f9fb952bbbccc)), // 4.429434958487282747e-1 + 2.742938e-17
-    (f64::from_bits(0x3fdce0a4923a587d), f64::from_bits(0xbc6b517ae88c2fd3)), // 4.512111118323288150e-1 + -1.184742e-17
-    (f64::from_bits(0x3fdd6753e032ea0f), f64::from_bits(0xbc1c141e66faaaad)), // 4.594316186372972566e-1 + -3.805358e-19
-    (f64::from_bits(0x3fdded3fd442364c), f64::from_bits(0x3c73aec658457c41)), // 4.676055500829974232e-1 + 1.707203e-17
-    (f64::from_bits(0x3fde726aa1e754d2), f64::from_bits(0x3c48a33c25e8e226)), // 4.757334309663977523e-1 + 2.671218e-18
-    (f64::from_bits(0x3fdef6d67328e220), f64::from_bits(0x3c7f47806a0e4105)), // 4.838157772642563970e-1 + 2.713047e-17
-    (f64::from_bits(0x3fdf7a8568cb06cf), f64::from_bits(0xbc68f3673ffdd785)), // 4.918530963296747216e-1 + -1.082068e-17
-    (f64::from_bits(0x3fdffd799a83ff9b), f64::from_bits(0xbc718ce032f41d1e)), // 4.998458870832053758e-1 + -1.522246e-17
-    (f64::from_bits(0x3fe03fda8b97997f), f64::from_bits(0x3c79ca1a3202b3d7)), // 5.077946401986962455e-1 + 2.236879e-17
-    (f64::from_bits(0x3fe0809cf27f703d), f64::from_bits(0x3c8496cf074560fb)), // 5.156998382840424222e-1 + 3.571639e-17
-    (f64::from_bits(0x3fe0c10500d63aa6), f64::from_bits(0x3c862095d4a6d897)), // 5.235619560570128339e-1 + 3.838472e-17
-    (f64::from_bits(0x3fe10113b153c8ea), f64::from_bits(0x3c8ec7376b9beb39)), // 5.313814605163120763e-1 + 5.339165e-17
-    (f64::from_bits(0x3fe140c9faa1e544), f64::from_bits(0xbc887a96b573a7ed)), // 5.391588111080314327e-1 + -4.246406e-17
-    (f64::from_bits(0x3fe18028cf72976a), f64::from_bits(0x3c83ae3a5f4514cd)), // 5.468944598876366303e-1 + 3.414036e-17
-    (f64::from_bits(0x3fe1bf311e95d00e), f64::from_bits(0xbc6c4aec56233279)), // 5.545888516776373844e-1 + -1.226999e-17
-    (f64::from_bits(0x3fe1fde3d30e8126), f64::from_bits(0x3c80905751ce113c)), // 5.622424242210726231e-1 + 2.873367e-17
-    (f64::from_bits(0x3fe23c41d42727c8), f64::from_bits(0x3c501d98c3531027)), // 5.698556083309478382e-1 + 3.494516e-18
-    (f64::from_bits(0x3fe27a4c0585cbf8), f64::from_bits(0x3c45e13b838eba7d)), // 5.774288280357486869e-1 + 2.372214e-18
-    (f64::from_bits(0x3fe2b803473f7ad1), f64::from_bits(0xbc5817fd3b7d7e5d)), // 5.849625007211561867e-1 + -5.224490e-18
-    (f64::from_bits(0x3fe2f56875eb3f26), f64::from_bits(0x3c64278cd1699312)), // 5.924570372680804109e-1 + 8.740618e-18
-    (f64::from_bits(0x3fe3327c6ab49ca7), f64::from_bits(0xbc7bca36fd02def0)), // 5.999128421871277039e-1 + -2.410390e-17
-    (f64::from_bits(0x3fe36f3ffb6d9162), f64::from_bits(0x3c8011dca8547336)), // 6.073303137496106618e-1 + 2.787661e-17
-    (f64::from_bits(0x3fe3abb3faa02167), f64::from_bits(0xbc799aa6df8b7d83)), // 6.147098441152082371e-1 + -2.220802e-17
-    (f64::from_bits(0x3fe3e7d9379f7016), f64::from_bits(0x3c8ab8a9eb6954b2)), // 6.220518194563762204e-1 + 4.635414e-17
-    (f64::from_bits(0x3fe423b07e986aa9), f64::from_bits(0x3c89c1d87452ab13)), // 6.293566200796095744e-1 + 4.468164e-17
-    (f64::from_bits(0x3fe45f3a98a20739), f64::from_bits(0xbc86ca0007f66345)), // 6.366246205436488781e-1 + -3.953272e-17
-    (f64::from_bits(0x3fe49a784bcd1b8b), f64::from_bits(0xbc2b6d40900b2502)), // 6.438561897747246965e-1 + -7.434040e-19
-    (f64::from_bits(0x3fe4d56a5b33cec4), f64::from_bits(0x3c829b7bfe661cfd)), // 6.510516911789285821e-1 + 3.227863e-17
-    (f64::from_bits(0x3fe510118708a8f9), f64::from_bits(0xbc710b5b643a6ecb)), // 6.582114827517947520e-1 + -1.478363e-17
-    (f64::from_bits(0x3fe54a6e8ca5438e), f64::from_bits(0xbc8393cd6715512f)), // 6.653359171851762621e-1 + -3.396129e-17
-    (f64::from_bits(0x3fe5848226989d34), f64::from_bits(0xbc7e393a16b94b52)), // 6.724253419714956159e-1 + -2.621474e-17
-    (f64::from_bits(0x3fe5be4d0cb51435), f64::from_bits(0xbc8545303fb7776a)), // 6.794800995054460779e-1 + -3.689803e-17
-    (f64::from_bits(0x3fe5f7cff41e09af), f64::from_bits(0xbc81cd394fe8cca8)), // 6.865005271832184119e-1 + -3.088095e-17
-    (f64::from_bits(0x3fe6310b8f553048), f64::from_bits(0x3c801a9685c77900)), // 6.934869574993252073e-1 + 2.793574e-17
-    (f64::from_bits(0x3fe66a008e4788cc), f64::from_bits(0xbc7968925e378d68)), // 7.004397181410921824e-1 + -2.203835e-17
-    (f64::from_bits(0x3fe6a2af9e5a0f0a), f64::from_bits(0x3c50132ae5e417cd)), // 7.073591320808827465e-1 + 3.485683e-18
-    (f64::from_bits(0x3fe6db196a76194a), f64::from_bits(0xbc734107c0e54aed)), // 7.142455176661226535e-1 + -1.670020e-17
-    (f64::from_bits(0x3fe7133e9b156c7c), f64::from_bits(0xbc6ae9804237ec8e)), // 7.210991887071851458e-1 + -1.167127e-17
-    (f64::from_bits(0x3fe74b1fd64e0754), f64::from_bits(0xbc7c8d43e017579b)), // 7.279204545631992040e-1 + -2.476475e-17
-    (f64::from_bits(0x3fe782bdbfdda657), f64::from_bits(0x3c8ef21f8497aaa9)), // 7.347096202258381892e-1 + 5.368239e-17
-    (f64::from_bits(0x3fe7ba18f93502e4), f64::from_bits(0x3c53d56efe4338fe)), // 7.414669864011469436e-1 + 4.300754e-18
-    (f64::from_bits(0x3fe7f1322182cf16), f64::from_bits(0xbc7768994400ca0a)), // 7.481928495894603071e-1 + -2.030371e-17
-    (f64::from_bits(0x3fe82809d5be7073), f64::from_bits(0xbc7211fdec9e1ec6)), // 7.548875021634685600e-1 + -1.567347e-17
-    (f64::from_bits(0x3fe85ea0b0b27b26), f64::from_bits(0x3c6086fce864a1f6)), // 7.615512324444793091e-1 + 7.167572e-18
-    (f64::from_bits(0x3fe894f74b06ef8b), f64::from_bits(0x3c801ba8b1f646ab)), // 7.681843247769263305e-1 + 2.794300e-17
-    (f64::from_bits(0x3fe8cb0e3b4b3bbe), f64::from_bits(0xbc8325dd5e813991)), // 7.747870596011734445e-1 + -3.321633e-17
-    (f64::from_bits(0x3fe900e6160002cd), f64::from_bits(0xbc2bc0af7b82e7d7)), // 7.813597135246596048e-1 + -7.522378e-19
-    (f64::from_bits(0x3fe9367f6da0ab2f), f64::from_bits(0xbc88cde69308bc91)), // 7.879025593914316117e-1 + -4.302860e-17
-    (f64::from_bits(0x3fe96bdad2acb5f6), f64::from_bits(0xbc6013b6eaceb921)), // 7.944158663501059703e-1 + -6.972292e-18
-    (f64::from_bits(0x3fe9a0f8d3b0e050), f64::from_bits(0xbc70b5465aa1681a)), // 8.008998999203047475e-1 + -1.449197e-17
-    (f64::from_bits(0x3fe9d5d9fd5010b3), f64::from_bits(0x3c899956481d209f)), // 8.073549220576040630e-1 + 4.440714e-17
-    (f64::from_bits(0x3fea0a7eda4c112d), f64::from_bits(0xbc69ced1447e30ad)), // 8.137811912170370698e-1 + -1.119238e-17
-    (f64::from_bits(0x3fea3ee7f38e181f), f64::from_bits(0xbc77c33972aef4b6)), // 8.201789624151877289e-1 + -2.061077e-17
-    (f64::from_bits(0x3fea7315d02f20c8), f64::from_bits(0xbc80aa7d70047ddb)), // 8.265484872909150127e-1 + -2.891086e-17
-    (f64::from_bits(0x3feaa708f58014d3), f64::from_bits(0x3c8f378df21ac883)), // 8.328900141647416211e-1 + 5.415288e-17
-    (f64::from_bits(0x3feadac1e711c833), f64::from_bits(0xbc7754e94f284604)), // 8.392037880969439589e-1 + -2.023701e-17
-    (f64::from_bits(0x3feb0e4126bcc86c), f64::from_bits(0xbc742c8958f27b65)), // 8.454900509443752377e-1 + -1.749813e-17
-    (f64::from_bits(0x3feb418734a9008c), f64::from_bits(0xbc7343a338410904)), // 8.517490414160575618e-1 + -1.670904e-17
-    (f64::from_bits(0x3feb74948f5532da), f64::from_bits(0x3c82d2dc50cd8e32)), // 8.579809951275720881e-1 + 3.265387e-17
-    (f64::from_bits(0x3feba769b39e4964), f64::from_bits(0x3c5df0fdbc295d19)), // 8.641861446542802305e-1 + 6.492500e-18
-    (f64::from_bits(0x3febda071cc67e6e), f64::from_bits(0xbc82ba487dfb264b)), // 8.703647195834045558e-1 + -3.248733e-17
-    (f64::from_bits(0x3fec0c6d447c5dd3), f64::from_bits(0x3c88b66a69571d18)), // 8.765169465649996772e-1 + 4.286946e-17
-    (f64::from_bits(0x3fec3e9ca2e1a055), f64::from_bits(0x3c79b4c5a724dbd8)), // 8.826430493618412365e-1 + 2.229652e-17
-    (f64::from_bits(0x3fec7095ae91e1c7), f64::from_bits(0x3c882f26c6231132)), // 8.887432488982590639e-1 + 4.195287e-17
-    (f64::from_bits(0x3feca258dca93316), f64::from_bits(0x3c7aff71c8605584)), // 8.948177633079434923e-1 + 2.341688e-17
-    (f64::from_bits(0x3fecd3e6a0ca8907), f64::from_bits(0xbc7ede45b7759da9)), // 9.008668079807485851e-1 + -2.677394e-17
-    (f64::from_bits(0x3fed053f6d260896), f64::from_bits(0x3c8cc625d77039ea)), // 9.068905956085184794e-1 + 4.991496e-17
-    (f64::from_bits(0x3fed3663b27f31d5), f64::from_bits(0x3c74bc1bd6da56c7)), // 9.128893362299616010e-1 + 1.798457e-17
-    (f64::from_bits(0x3fed6753e032ea0f), f64::from_bits(0xbc2c141e66faaaad)), // 9.188632372745945132e-1 + -7.610717e-19
-    (f64::from_bits(0x3fed9810643d6615), f64::from_bits(0xbc7e1dfc8a5cddf4)), // 9.248125036057809334e-1 + -2.612245e-17
-    (f64::from_bits(0x3fedc899ab3ff56c), f64::from_bits(0x3c8799ceaeb510c6)), // 9.307373375628862355e-1 + 4.094088e-17
-    (f64::from_bits(0x3fedf8f02086af2c), f64::from_bits(0x3c82fbd20f1a2af4)), // 9.366379390025705298e-1 + 3.293142e-17
-    (f64::from_bits(0x3fee29142e0e0140), f64::from_bits(0x3c6fbaaa67e3bc53)), // 9.425145053392398609e-1 + 1.376033e-17
-    (f64::from_bits(0x3fee59063c8822ce), f64::from_bits(0x3c8586446a6eb19b)), // 9.483672315846776169e-1 + 3.733902e-17
-    (f64::from_bits(0x3fee88c6b3626a73), f64::from_bits(0xbc8577970e03f822)), // 9.541963103868752460e-1 + -3.723957e-17
-    (f64::from_bits(0x3feeb855f8ca88fb), f64::from_bits(0x3c5a96b8ce77611e)), // 9.600019320680809320e-1 + 5.765518e-18
-    (f64::from_bits(0x3feee7b471b3a950), f64::from_bits(0x3c8f5b707c9fbd22)), // 9.657842846620869892e-1 + 5.439605e-17
-    (f64::from_bits(0x3fef16e281db7630), f64::from_bits(0x3c7d90c94610afb6)), // 9.715435539507719653e-1 + 2.564405e-17
-    (f64::from_bits(0x3fef45e08bcf0655), f64::from_bits(0x3c839356f93dc108)), // 9.772799234999164364e-1 + 3.395816e-17
-    (f64::from_bits(0x3fef74aef0efafae), f64::from_bits(0xbc742f24d04e397c)), // 9.829935746943101460e-1 + -1.750696e-17
-    (f64::from_bits(0x3fefa34e1177c233), f64::from_bits(0x3c88a4a2e7b5d39f)), // 9.886846867721658105e-1 + 4.274898e-17
-    (f64::from_bits(0x3fefd1be4c7f2af9), f64::from_bits(0x3c80ac887383440d)), // 9.943534368588579087e-1 + 2.892470e-17
-    (f64::from_bits(0x3ff0000000000000), f64::from_bits(0x0000000000000000)), // 1.000000000000000000e0 + 0.000000e0
-];
+#[inline(always)]
+pub fn log2_f(j: usize) -> (f64, f64) {
+    codec::unpack_entry(&LOG2_F_P, j, LOG2_F_HI_BASE, LOG2_F_LO_BASE)
+}
 
 /// `log10(1 + j/128)` for `j in 0..=128`.
-pub static LOG10_F: [(f64, f64); 129] = [
-    (f64::from_bits(0x0000000000000000), f64::from_bits(0x0000000000000000)), // 0.000000000000000000e0 + 0.000000e0
-    (f64::from_bits(0x3f6bafd47221ed26), f64::from_bits(0x3c09706ea523f0a5)), // 3.379740651380597032e-3 + 1.723826e-19
-    (f64::from_bits(0x3f7b9476a4fcd10f), f64::from_bits(0xbc03b252df477a75)), // 6.733382658968402844e-3 + -1.334692e-19
-    (f64::from_bits(0x3f849b0851443684), f64::from_bits(0xbc18f207a6d0d0b1)), // 1.006132600789589465e-2 + -3.380736e-19
-    (f64::from_bits(0x3f8b5e908eb13790), f64::from_bits(0x3bff2e9fe367a511)), // 1.336396155798150187e-2 + 1.056492e-19
-    (f64::from_bits(0x3f910a83a8446c78), f64::from_bits(0xbc37b9fd5428084f)), // 1.664167131921742704e-2 + -1.286217e-18
-    (f64::from_bits(0x3f945f4f5acb8be0), f64::from_bits(0x3c3dda7897a55eb5)), // 1.989482871693926125e-2 + 1.618356e-18
-    (f64::from_bits(0x3f97adc3df3b1ff8), f64::from_bits(0x3c1b980714c596a3)), // 2.312379884713774980e-2 + 3.739665e-19
-    (f64::from_bits(0x3f9af5f92b00e610), f64::from_bits(0xbc36487d64961833)), // 2.632893872234914889e-2 + -1.207973e-18
-    (f64::from_bits(0x3f9e3806acbd058f), f64::from_bits(0x3c0af3eb3b443356)), // 2.951059750853840188e-2 + 1.826393e-19
-    (f64::from_bits(0x3fa0ba01a8170000), f64::from_bits(0x3c35f1d45244f437)), // 3.266911675336814369e-2 + 1.189622e-18
-    (f64::from_bits(0x3fa25502c0fc314c), f64::from_bits(0xbc4ff894a084ae68)), // 3.580483060622671743e-2 + -3.466305e-18
-    (f64::from_bits(0x3fa3ed1199a5e425), f64::from_bits(0x3bfba93eba3e387f)), // 3.891806603036965934e-2 + 9.371950e-20
-    (f64::from_bits(0x3fa58238eeb353da), f64::from_bits(0x3c4efd454f7ea69a)), // 4.200914300751153185e-2 + 3.359871e-18
-    (f64::from_bits(0x3fa71483427d2a99), f64::from_bits(0xbc38f0f77fcff1d9)), // 4.507837473518811616e-2 + -1.352069e-18
-    (f64::from_bits(0x3fa8a3fadeb847f4), f64::from_bits(0xbc4b144b06126f68)), // 4.812606781719344640e-2 + -2.935940e-18
-    (f64::from_bits(0x3faa30a9d609efea), f64::from_bits(0xbc3ebf33e9410429)), // 5.115252244738129062e-2 + -1.666792e-18
-    (f64::from_bits(0x3fabba9a058dfd84), f64::from_bits(0x3c2a9796c3448989)), // 5.415803258710652490e-2 + 7.207815e-19
-    (f64::from_bits(0x3fad41d5164facb4), f64::from_bits(0xbc47f9dc537bfbfb)), // 5.714288613656873239e-2 + -2.599485e-18
-    (f64::from_bits(0x3faec6647eb58808), f64::from_bits(0x3c41f406230b3528)), // 6.010736510030773028e-2 + 1.946492e-18
-    (f64::from_bits(0x3fb02428c1f08016), f64::from_bits(0xbc35943d4373d44a)), // 6.305174574708902191e-2 + -1.169803e-18
-    (f64::from_bits(0x3fb0e3d29d81165e), f64::from_bits(0x3c589565863c8cf4)), // 6.597629876440566643e-2 + 5.330714e-18
-    (f64::from_bits(0x3fb1a23445501816), f64::from_bits(0xbc4f990c2c07d3b5)), // 6.888128940781287901e-2 + -3.425845e-18
-    (f64::from_bits(0x3fb25f5215eb594a), f64::from_bits(0xbc406ad025ca3a44)), // 7.176697764530107215e-2 + -1.779961e-18
-    (f64::from_bits(0x3fb31b3055c47118), f64::from_bits(0x3bfb420b9b202edd)), // 7.463361829690418059e-2 + 9.235366e-20
-    (f64::from_bits(0x3fb3d5d335c53179), f64::from_bits(0xbc4a83d8a6eb8e2e)), // 7.748146116973043951e-2 + -2.874765e-18
-    (f64::from_bits(0x3fb48f3ed1df48fb), f64::from_bits(0x3c5782120ed9fd02)), // 8.031075118859469508e-2 + 5.097504e-18
-    (f64::from_bits(0x3fb5477731973e85), f64::from_bits(0xbc5e1bcfb0476f5d)), // 8.312172852242312449e-2 + -6.528770e-18
-    (f64::from_bits(0x3fb5fe80488af4fd), f64::from_bits(0xbc55b6acfce71752)), // 8.591462870659323514e-2 + -4.708381e-18
-    (f64::from_bits(0x3fb6b45df6f3e2c9), f64::from_bits(0x3c5643835531d8ee)), // 8.868968276136536544e-2 + 4.827675e-18
-    (f64::from_bits(0x3fb769140a2526fd), f64::from_bits(0xbc5ac4c370ae3c1d)), // 9.144711730655426252e-2 + -5.804516e-18
-    (f64::from_bits(0x3fb81ca63d05a44a), f64::from_bits(0xbc5f639ecb00a83a)), // 9.418715467258312324e-2 + -6.806435e-18
-    (f64::from_bits(0x3fb8cf183886480d), f64::from_bits(0xbc5935d381a0844f)), // 9.691001300805641983e-2 + -5.466603e-18
-    (f64::from_bits(0x3fb9806d9414a209), f64::from_bits(0x3c5c81cca3dd9b7b)), // 9.961590638398133690e-2 + 6.181477e-18
-    (f64::from_bits(0x3fba30a9d609efea), f64::from_bits(0xbc4ebf33e9410429)), // 1.023050448947625812e-1 + -3.333584e-18
-    (f64::from_bits(0x3fbadfd07416be07), f64::from_bits(0xbc0448acb08c4bca)), // 1.049776347560894413e-1 + -1.374490e-19
-    (f64::from_bits(0x3fbb8de4d3ab3d98), f64::from_bits(0xbc2446d00b829ad4)), // 1.076338783998295190e-1 + -5.495987e-19
-    (f64::from_bits(0x3fbc3aea4a5c6eff), f64::from_bits(0xbc58b9190212e5ba)), // 1.102739745660379217e-1 + -5.360954e-18
-    (f64::from_bits(0x3fbce6e41e463da5), f64::from_bits(0xbc26f0603909a181)), // 1.128981183921867332e-1 + -6.217620e-19
-    (f64::from_bits(0x3fbd91d5866aa99c), f64::from_bits(0xbc5ce84c9eaee37a)), // 1.155065014997149198e-1 + -6.268297e-18
-    (f64::from_bits(0x3fbe3bc1ab0e19fe), f64::from_bits(0x3c4eab1529f83ac7)), // 1.180993120779944838e-1 + 3.325063e-18
-    (f64::from_bits(0x3fbee4aba610f204), f64::from_bits(0x3c5c427300821266)), // 1.206767349658051658e-1 + 6.127817e-18
-    (f64::from_bits(0x3fbf8c9683468191), f64::from_bits(0xbc5ec7f2dac60a5c)), // 1.232389517304055687e-1 + -6.674576e-18
-    (f64::from_bits(0x3fc019c2a064b486), f64::from_bits(0x3c6c5e9d9a0e1fd9)), // 1.257861407442854573e-1 + 1.230335e-17
-    (f64::from_bits(0x3fc06cbd67a6c3b6), f64::from_bits(0x3c65163143f60061)), // 1.283184772596805412e-1 + 9.144894e-18
-    (f64::from_bits(0x3fc0bf3d0937c41c), f64::from_bits(0x3c5e17a06836db63)), // 1.308361334809270415e-1 + 6.525226e-18
-    (f64::from_bits(0x3fc11142f0811357), f64::from_bits(0xbc4b8c4f1b08949b)), // 1.333392786347313563e-1 + -2.986769e-18
-    (f64::from_bits(0x3fc162d082ac9d10), f64::from_bits(0xbc6c6397435bc5b6)), // 1.358280790384260861e-1 + -1.231178e-17
-    (f64::from_bits(0x3fc1b3e71ec94f7b), f64::from_bits(0xbc61113336d7c017)), // 1.383026981662814625e-1 + -7.401713e-18
-    (f64::from_bits(0x3fc204881dee8777), f64::from_bits(0x3c654b04da9d7f6d)), // 1.407632967139382518e-1 + 9.234385e-18
-    (f64::from_bits(0x3fc254b4d35e7d3c), f64::from_bits(0x3c4d7958ffee72ac)), // 1.432100326610256102e-1 + 3.195579e-18
-    (f64::from_bits(0x3fc2a46e8ca7ba2a), f64::from_bits(0xbc6aa8c8a1f1c5fb)), // 1.456430613320248146e-1 + -1.156163e-17
-    (f64::from_bits(0x3fc2f3b691c5a001), f64::from_bits(0xbc6072d03df862ac)), // 1.480625354554377104e-1 + -7.133395e-18
-    (f64::from_bits(0x3fc3428e2540096d), f64::from_bits(0x3c5db19f0230af8b)), // 1.504686052213161374e-1 + 6.438824e-18
-    (f64::from_bits(0x3fc390f6844a0b83), f64::from_bits(0x3c14eaa9265471b5)), // 1.528614183372064284e-1 + 2.834734e-19
-    (f64::from_bits(0x3fc3def0e6dfdf85), f64::from_bits(0xbc45eff6a51557de)), // 1.552411200825611071e-1 + -2.378453e-18
-    (f64::from_bits(0x3fc42c7e7fe3fc02), f64::from_bits(0xbc5d22abd8abe1b5)), // 1.576078533616681043e-1 + -6.317740e-18
-    (f64::from_bits(0x3fc479a07d3b6411), f64::from_bits(0x3c60b28e96c1434f)), // 1.599617587551454279e-1 + 7.241381e-18
-    (f64::from_bits(0x3fc4c65807e93338), f64::from_bits(0x3c50cb15e9cbb524)), // 1.623029745700479420e-1 + 3.641467e-18
-    (f64::from_bits(0x3fc512a644296c3d), f64::from_bits(0xbc63da42e36a831e)), // 1.646316368886306114e-1 + -8.609686e-18
-    (f64::from_bits(0x3fc55e8c518b10f8), f64::from_bits(0x3c666fc0dd411a45)), // 1.669478796158114786e-1 + 9.730297e-18
-    (f64::from_bits(0x3fc5aa0b4b0988fa), f64::from_bits(0xbc6c2d2132aa11d3)), // 1.692518345253757883e-1 + -1.221952e-17
-    (f64::from_bits(0x3fc5f52447255c92), f64::from_bits(0x3c639b9a5665fe36)), // 1.715436313049605865e-1 + 8.503538e-18
-    (f64::from_bits(0x3fc63fd857fc49bb), f64::from_bits(0xbc660fccbbe64ad0)), // 1.738233975998591807e-1 + -9.567745e-18
-    (f64::from_bits(0x3fc68a288b60b7fc), f64::from_bits(0x3c55b1121872a033)), // 1.760912590556812374e-1 + 4.703634e-18
-    (f64::from_bits(0x3fc6d415eaf0906b), f64::from_bits(0xbc68558bb3439c70)), // 1.783473393599054047e-1 + -1.055326e-17
-    (f64::from_bits(0x3fc71da17c2b7e80), f64::from_bits(0xbc45b1f860180520)), // 1.805917602823576829e-1 + -2.352198e-18
-    (f64::from_bits(0x3fc766cc40889e85), f64::from_bits(0xbc6776403f43cdd0)), // 1.828246417146496550e-1 + -1.017498e-17
-    (f64::from_bits(0x3fc7af97358b9e04), f64::from_bits(0xbc59a51ddbb7842f)), // 1.850461017086076909e-1 + -5.560870e-18
-    (f64::from_bits(0x3fc7f80354d952a0), f64::from_bits(0xbc6b4327a5a208e3)), // 1.872562565137245727e-1 + -1.182315e-17
-    (f64::from_bits(0x3fc84011944bcb75), f64::from_bits(0x3c562dcc98003ec7)), // 1.894552206136627392e-1 + 4.809283e-18
-    (f64::from_bits(0x3fc887c2e605e119), f64::from_bits(0xbc68e7f03689c4e9)), // 1.916431067618382944e-1 + -1.080126e-17
-    (f64::from_bits(0x3fc8cf183886480d), f64::from_bits(0xbc6935d381a0844f)), // 1.938200260161128397e-1 + -1.093321e-17
-    (f64::from_bits(0x3fc9161276ba2978), f64::from_bits(0x3c5d27b03e5bf7e0)), // 1.959860877726204986e-1 + 6.321990e-18
-    (f64::from_bits(0x3fc95cb2880f45ba), f64::from_bits(0x3c6bab6cd52140e7)), // 1.981413997987553910e-1 + 1.199979e-17
-    (f64::from_bits(0x3fc9a2f95085a45c), f64::from_bits(0xbc6b6067ff1bf5f0)), // 2.002860682653445634e-1 + -1.187270e-17
-    (f64::from_bits(0x3fc9e8e7b0c0d4be), f64::from_bits(0x3c501ef2bf4d1a26)), // 2.024201977780303863e-1 + 3.495661e-18
-    (f64::from_bits(0x3fca2e7e8618c2d2), f64::from_bits(0x3c6220a93e77942b)), // 2.045438914078859249e-1 + 7.861586e-18
-    (f64::from_bits(0x3fca73beaaaa22f4), f64::from_bits(0xbc6c7ed721778d20)), // 2.066572507212850462e-1 + -1.235794e-17
-    (f64::from_bits(0x3fcab8a8f56677fc), f64::from_bits(0x3c5b2d872d03dd40)), // 2.087603758090493811e-1 + 5.893255e-18
-    (f64::from_bits(0x3fcafd3e3a23b680), f64::from_bits(0x3c3ea8c8576f27aa)), // 2.108533653148931819e-1 + 1.662044e-18
-    (f64::from_bits(0x3fcb417f49ab8807), f64::from_bits(0xbc60daaf1fa17fba)), // 2.129363164631856431e-1 + -7.309359e-18
-    (f64::from_bits(0x3fcb856cf1ca3105), f64::from_bits(0x3c6b0fdb89adcc8a)), // 2.150093250860508898e-1 + 1.173625e-17
-    (f64::from_bits(0x3fcbc907fd5d1c40), f64::from_bits(0x3c6a4ce7fc8b8557)), // 2.170724856498242872e-1 + 1.140599e-17
-    (f64::from_bits(0x3fcc0c5134610e26), f64::from_bits(0x3c6efea023e11c82)), // 2.191258912808830561e-1 + 1.344178e-17
-    (f64::from_bits(0x3fcc4f495c0002a2), f64::from_bits(0x3c67ba6a1c3f51de)), // 2.211696337908693466e-1 + 1.029046e-17
-    (f64::from_bits(0x3fcc91f1369eb7ca), f64::from_bits(0xbc649d4209317175)), // 2.232038037013224785e-1 + -8.940023e-18
-    (f64::from_bits(0x3fccd44983e9e7bd), f64::from_bits(0xbc6784b87cda41c6)), // 2.252284902677369749e-1 + -1.019950e-17
-    (f64::from_bits(0x3fcd165300e333f7), f64::from_bits(0xbc68ff5d70eed06c)), // 2.272437815030625419e-1 + -1.084095e-17
-    (f64::from_bits(0x3fcd580e67edc43d), f64::from_bits(0xbc582f9286e7ec6e)), // 2.292497642006611491e-1 + -5.244466e-18
-    (f64::from_bits(0x3fcd997c70da9b47), f64::from_bits(0xbc6ea0e7cbdc7028)), // 2.312465239567364772e-1 + -1.328301e-17
-    (f64::from_bits(0x3fcdda9dd0f4a329), f64::from_bits(0x3c436847dd69446a)), // 2.332341451922499698e-1 + 2.104149e-18
-    (f64::from_bits(0x3fce1b733b0c7381), f64::from_bits(0x3c329f1842bfee0a)), // 2.352127111743378685e-1 + 1.009472e-18
-    (f64::from_bits(0x3fce5bfd5f83d342), f64::from_bits(0x3c20c095e5b21eee)), // 2.371823040372423308e-1 + 4.540717e-19
-    (f64::from_bits(0x3fce9c3cec58f807), f64::from_bits(0x3c504c02c795ab20)), // 2.391430048027702593e-1 + 3.533831e-18
-    (f64::from_bits(0x3fcedc328d3184af), f64::from_bits(0x3c4cba1b7464daef)), // 2.410948934002923039e-1 + 3.114586e-18
-    (f64::from_bits(0x3fcf1bdeeb654901), f64::from_bits(0xbc53499658410160)), // 2.430380486862944445e-1 + -4.182299e-18
-    (f64::from_bits(0x3fcf5b42ae08c407), f64::from_bits(0x3c37923009bad962)), // 2.449725484634941164e-1 + 1.277789e-18
-    (f64::from_bits(0x3fcf9a5e79f76ac5), f64::from_bits(0xbc6ba2dd126ffae4)), // 2.468984694995325635e-1 + -1.198529e-17
-    (f64::from_bits(0x3fcfd932f1ddb4d6), f64::from_bits(0xbc3a3b0e99a71f80)), // 2.488158875452543550e-1 + -1.421969e-18
-    (f64::from_bits(0x3fd00be05b217844), f64::from_bits(0x3c561e1a46df20ee)), // 2.507248773525854180e-1 + 4.795987e-18
-    (f64::from_bits(0x3fd02b0432c96ff0), f64::from_bits(0x3c7a530723441f6d)), // 2.526255126920196048e-1 + 2.283271e-17
-    (f64::from_bits(0x3fd04a054e139004), f64::from_bits(0x3c434f014b6733f8)), // 2.545178663697245103e-1 + 2.093444e-18
-    (f64::from_bits(0x3fd068e3fa282e3d), f64::from_bits(0xbc52ccdbd8b362cb)), // 2.564020102442759463e-1 + -4.076650e-18
-    (f64::from_bits(0x3fd087a0832fa7ac), f64::from_bits(0x3c73e6ade14fa5bc)), // 2.582780152430312892e-1 + 1.726144e-17
-    (f64::from_bits(0x3fd0a63b3456c819), f64::from_bits(0xbc4844915066910d)), // 2.601459513781506083e-1 + -2.631125e-18
-    (f64::from_bits(0x3fd0c4b457d3193d), f64::from_bits(0x3c6ffd328dc5c470)), // 2.620058877622744586e-1 + 1.387304e-17
-    (f64::from_bits(0x3fd0e30c36e71a7f), f64::from_bits(0x3c74ea6b8e386c0f)), // 2.638578926238678846e-1 + 1.814148e-17
-    (f64::from_bits(0x3fd1014319e661bd), f64::from_bits(0xbc7e0245ce0087fa)), // 2.657020333222382402e-1 + -2.602855e-17
-    (f64::from_bits(0x3fd11f594839a5bd), f64::from_bits(0x3c6d762753e2320b)), // 2.675383763622354860e-1 + 1.277691e-17
-    (f64::from_bits(0x3fd13d4f0862b2e1), f64::from_bits(0x3c79c91293a65e25)), // 2.693669874086435656e-1 + 2.236530e-17
-    (f64::from_bits(0x3fd15b24a0004a92), f64::from_bits(0x3c72556b3b4e8d9b)), // 2.711879313002693026e-1 + 1.590192e-17
-    (f64::from_bits(0x3fd178da53d1ee01), f64::from_bits(0x3c6e3d9f4b690df2)), // 2.730012720637376433e-1 + 1.311482e-17
-    (f64::from_bits(0x3fd1967067bb94b8), f64::from_bits(0xbc155aa70d0e40f9)), // 2.748070729270000179e-1 + -2.894022e-19
-    (f64::from_bits(0x3fd1b3e71ec94f7b), f64::from_bits(0xbc71113336d7c017)), // 2.766053963325629250e-1 + -1.480343e-17
-    (f64::from_bits(0x3fd1d13ebb32d7f9), f64::from_bits(0xbc7e6ba1f70b7878)), // 2.783963039504438464e-1 + -2.638553e-17
-    (f64::from_bits(0x3fd1ee777e5f0dc3), f64::from_bits(0x3c749a38f00e0d54)), // 2.801798566908610399e-1 + 1.786976e-17
-    (f64::from_bits(0x3fd20b91a8e76105), f64::from_bits(0x3c4a4a1d454fef04)), // 2.819561147166640969e-1 + 2.850314e-18
-    (f64::from_bits(0x3fd2288d7a9b2b64), f64::from_bits(0x3c53283817024cd8)), // 2.837251374555107564e-1 + 4.154035e-18
-    (f64::from_bits(0x3fd2456b3282f786), f64::from_bits(0x3c402e748890954c)), // 2.854869836117973625e-1 + 1.754398e-18
-    (f64::from_bits(0x3fd2622b0ee3b79d), f64::from_bits(0xbc51d40b0371699f)), // 2.872417111783479027e-1 + -3.865895e-18
-    (f64::from_bits(0x3fd27ecd4d41eb67), f64::from_bits(0x3c74b4c184545b01)), // 2.889893774478679567e-1 + 1.795966e-17
-    (f64::from_bits(0x3fd29b522a64b609), f64::from_bits(0x3c7d17a15ec79cc5)), // 2.907300390241692178e-1 + 2.523355e-17
-    (f64::from_bits(0x3fd2b7b9e258e422), f64::from_bits(0x3c7afc1217eabe9e)), // 2.924637518331697494e-1 + 2.340545e-17
-    (f64::from_bits(0x3fd2d404b073e27e), f64::from_bits(0xbc76be58d4a4509a)), // 2.941905711336757490e-1 + -1.972688e-17
-    (f64::from_bits(0x3fd2f032cf56a5be), f64::from_bits(0x3c702ebb6e692787)), // 2.959105515279495391e-1 + 1.403612e-17
-    (f64::from_bits(0x3fd30c4478f0835f), f64::from_bits(0x3c7b3dc5efd9cb5e)), // 2.976237469720696693e-1 + 2.362806e-17
-    (f64::from_bits(0x3fd32839e681fc62), f64::from_bits(0x3c6b748f9ed64aec)), // 2.993302107860867922e-1 + 1.190685e-17
-    (f64::from_bits(0x3fd34413509f79ff), f64::from_bits(0xbc49dc1da994fd21)), // 3.010299956639811980e-1 + -2.803728e-18
-];
+#[inline(always)]
+pub fn log10_f(j: usize) -> (f64, f64) {
+    codec::unpack_entry(&LOG10_F_P, j, LOG10_F_HI_BASE, LOG10_F_LO_BASE)
+}
 
 /// `sin(pi n/512)` for `n in 0..=256`.
-pub static SINPI_T: [(f64, f64); 257] = [
-    (f64::from_bits(0x0000000000000000), f64::from_bits(0x0000000000000000)), // 0.000000000000000000e0 + 0.000000e0
-    (f64::from_bits(0x3f7921f0fe670071), f64::from_bits(0x3bfab967fe6b7a9b)), // 6.135884649154475269e-3 + 9.054526e-20
-    (f64::from_bits(0x3f8921d1fcdec784), f64::from_bits(0x3c29878ebe836d9d)), // 1.227153828571992539e-2 + 6.919791e-19
-    (f64::from_bits(0x3f92d936bbe30efd), f64::from_bits(0x3c2b5f91ee371d64)), // 1.840672990580482019e-2 + 7.419553e-19
-    (f64::from_bits(0x3f992155f7a3667e), f64::from_bits(0xbbfb1d63091a0130)), // 2.454122852291228812e-2 + -9.186849e-20
-    (f64::from_bits(0x3f9f693731d1cf01), f64::from_bits(0xbbd3fe9bc66286c7)), // 3.067480317663662595e-2 + -1.693605e-20
-    (f64::from_bits(0x3fa2d865759455cd), f64::from_bits(0x3c2686f65ba93ac0)), // 3.680722294135883171e-2 + 6.106009e-19
-    (f64::from_bits(0x3fa5fc00d290cd43), f64::from_bits(0x3c4a2669a693a8e1)), // 4.293825693494082024e-2 + 2.835194e-18
-    (f64::from_bits(0x3fa91f65f10dd814), f64::from_bits(0xbc2912bd0d569a90)), // 4.906767432741801493e-2 + -6.796104e-19
-    (f64::from_bits(0x3fac428d12c0d7e3), f64::from_bits(0xbc389bc74b58c513)), // 5.519524434968994114e-2 + -1.334030e-18
-    (f64::from_bits(0x3faf656e79f820e0), f64::from_bits(0xbc22e1ebe392bffe)), // 6.132073630220857829e-2 + -5.118113e-19
-    (f64::from_bits(0x3fb1440134d709b3), f64::from_bits(0xbc5fec446daea6ad)), // 6.744391956366406482e-2 + -6.922180e-18
-    (f64::from_bits(0x3fb2d52092ce19f6), f64::from_bits(0xbc49a088a8bf6b2c)), // 7.356456359966742631e-2 + -2.778494e-18
-    (f64::from_bits(0x3fb4661179272096), f64::from_bits(0xbc54b109f2406c4c)), // 7.968243797143012563e-2 + -4.486766e-18
-    (f64::from_bits(0x3fb5f6d00a9aa419), f64::from_bits(0xbc4f4022d03f6c9a)), // 8.579731234443989385e-2 + -3.388189e-18
-    (f64::from_bits(0x3fb787586a5d5b21), f64::from_bits(0x3c55f7589f083399)), // 9.190895649713272386e-2 + 4.763159e-18
-    (f64::from_bits(0x3fb917a6bc29b42c), f64::from_bits(0xbc3e2718d26ed688)), // 9.801714032956060363e-2 + -1.634582e-18
-    (f64::from_bits(0x3fbaa7b724495c03), f64::from_bits(0x3c5e5399ba0967b8)), // 1.041216338720545725e-1 + 6.576025e-18
-    (f64::from_bits(0x3fbc3785c79ec2d5), f64::from_bits(0xbc24f39df133fb21)), // 1.102222072938830594e-1 + -5.678950e-19
-    (f64::from_bits(0x3fbdc70ecbae9fc9), f64::from_bits(0x3c32fda2d73295ee)), // 1.163186309119047662e-1 + 1.029491e-18
-    (f64::from_bits(0x3fbf564e56a9730e), f64::from_bits(0x3c4a2704729ae56d)), // 1.224106751992161957e-1 + 2.835450e-18
-    (f64::from_bits(0x3fc072a047ba831d), f64::from_bits(0x3c519db1f70118ca)), // 1.284981107937931688e-1 + 3.819860e-18
-    (f64::from_bits(0x3fc139f0cedaf577), f64::from_bits(0xbc6523434d1b3cfa)), // 1.345807085071261955e-1 + -9.167036e-18
-    (f64::from_bits(0x3fc20116d4ec7bcf), f64::from_bits(0xbc6242c8e1053452)), // 1.406582393328492386e-1 + -7.919393e-18
-    (f64::from_bits(0x3fc2c8106e8e613a), f64::from_bits(0x3c513000a89a11e0)), // 1.467304744553617479e-1 + 3.726947e-18
-    (f64::from_bits(0x3fc38edbb0cd8d14), f64::from_bits(0xbc6198c21fbf7718)), // 1.527971852584434354e-1 + -7.631357e-18
-    (f64::from_bits(0x3fc45576b1293e5a), f64::from_bits(0xbc5285a24119f7b1)), // 1.588581433338614457e-1 + -4.016320e-18
-    (f64::from_bits(0x3fc51bdf8597c5f2), f64::from_bits(0xbc29f9976af04aa5)), // 1.649131204899699221e-1 + -7.040529e-19
-    (f64::from_bits(0x3fc5e214448b3fc6), f64::from_bits(0x3c6531ff779ddac6)), // 1.709618887603012172e-1 + 9.191998e-18
-    (f64::from_bits(0x3fc6a81304f64ab2), f64::from_bits(0x3c5f0cd73fb5d8d4)), // 1.770042204121487495e-1 + 6.732930e-18
-    (f64::from_bits(0x3fc76dd9de50bf31), f64::from_bits(0x3c61d5eeec501b2f)), // 1.830398879551409508e-1 + 7.734992e-18
-    (f64::from_bits(0x3fc83366e89c64c6), f64::from_bits(0xbc6192952df10db8)), // 1.890686641498062204e-1 + -7.620896e-18
-    (f64::from_bits(0x3fc8f8b83c69a60b), f64::from_bits(0xbc626d19b9ff8d82)), // 1.950903220161282758e-1 + -7.991079e-18
-    (f64::from_bits(0x3fc9bdcbf2dc4366), f64::from_bits(0x3c69632d189956fe)), // 2.011046348420919005e-1 + 1.101003e-17
-    (f64::from_bits(0x3fca82a025b00451), f64::from_bits(0xbc687905ffd084ad)), // 2.071113761922185603e-1 + -1.061336e-17
-    (f64::from_bits(0x3fcb4732ef3d6722), f64::from_bits(0x3c6bbe5d5d75cbd8)), // 2.131103199160913619e-1 + 1.203187e-17
-    (f64::from_bits(0x3fcc0b826a7e4f63), f64::from_bits(0xbc1af1439e521935)), // 2.191012401568697976e-1 + -3.651381e-19
-    (f64::from_bits(0x3fcccf8cb312b286), f64::from_bits(0x3c52382b0aecadf8)), // 2.250839113597928320e-1 + 3.950704e-18
-    (f64::from_bits(0x3fcd934fe5454311), f64::from_bits(0x3c675b92277107ad)), // 2.310581082806711095e-1 + 1.012979e-17
-    (f64::from_bits(0x3fce56ca1e101a1b), f64::from_bits(0x3c646ac3f9fd0227)), // 2.370236059943671980e-1 + 8.854485e-18
-    (f64::from_bits(0x3fcf19f97b215f1b), f64::from_bits(0xbc642deef11da2c4)), // 2.429801799032638987e-1 + -8.751432e-18
-    (f64::from_bits(0x3fcfdcdc1adfedf9), f64::from_bits(0xbc62dba4580ed7bb)), // 2.489276057457201763e-1 + -8.178344e-18
-    (f64::from_bits(0x3fd04fb80e37fdae), f64::from_bits(0xbc0412cdb72583cc)), // 2.548656596045145717e-1 + -1.360230e-19
-    (f64::from_bits(0x3fd0b0d9cfdbdb90), f64::from_bits(0x3c53b3a7b8d1200d)), // 2.607941179152755140e-1 + 4.272142e-18
-    (f64::from_bits(0x3fd111d262b1f677), f64::from_bits(0x3c7824c20ab7aa9a)), // 2.667127574748983654e-1 + 2.094122e-17
-    (f64::from_bits(0x3fd172a0d7765177), f64::from_bits(0x3c622575f33366be)), // 2.726213554499489766e-1 + 7.869717e-18
-    (f64::from_bits(0x3fd1d3443f4cdb3e), f64::from_bits(0xbc6720d41c13519e)), // 2.785196893850531152e-1 + -1.003027e-17
-    (f64::from_bits(0x3fd233bbabc3bb71), f64::from_bits(0x3c799b04e23259ef)), // 2.844075372112718214e-1 + 2.220927e-17
-    (f64::from_bits(0x3fd294062ed59f06), f64::from_bits(0xbc75d28da2c4612d)), // 2.902846772544623866e-1 + -1.892798e-17
-    (f64::from_bits(0x3fd2f422daec0387), f64::from_bits(0xbc77501ba473da6f)), // 2.961508882436238443e-1 + -2.022074e-17
-    (f64::from_bits(0x3fd35410c2e18152), f64::from_bits(0xbc73cb002f96e062)), // 3.020059493192280842e-1 + -1.716767e-17
-    (f64::from_bits(0x3fd3b3cefa0414b7), f64::from_bits(0x3c7f36dc4a9c2294)), // 3.078496400415348666e-1 + 2.707409e-17
-    (f64::from_bits(0x3fd4135c94176601), f64::from_bits(0x3c70c97c4afa2518)), // 3.136817403988914621e-1 + 1.456045e-17
-    (f64::from_bits(0x3fd472b8a5571054), f64::from_bits(0xbc701ea0fe4dff23)), // 3.195020308160156919e-1 + -1.398156e-17
-    (f64::from_bits(0x3fd4d1e24278e76a), f64::from_bits(0x3c62417218792858)), // 3.253102921622629262e-1 + 7.917125e-18
-    (f64::from_bits(0x3fd530d880af3c24), f64::from_bits(0xbc7fab8e2103fbd6)), // 3.311063057598764292e-1 + -2.746947e-17
-    (f64::from_bits(0x3fd58f9a75ab1fdd), f64::from_bits(0xbc1efdc0d58cf620)), // 3.368898533922200511e-1 + -4.200094e-19
-    (f64::from_bits(0x3fd5ee27379ea693), f64::from_bits(0x3c7634ff2fa75245)), // 3.426607173119943783e-1 + 1.926152e-17
-    (f64::from_bits(0x3fd64c7ddd3f27c6), f64::from_bits(0x3c510d2b4a664121)), // 3.484186802494345647e-1 + 3.697442e-18
-    (f64::from_bits(0x3fd6aa9d7dc77e17), f64::from_bits(0xbc738b470592c7b3)), // 3.541635254204903993e-1 + -1.695176e-17
-    (f64::from_bits(0x3fd7088530fa459f), f64::from_bits(0xbc744b19e0864c5d)), // 3.598950365349881664e-1 + -1.760169e-17
-    (f64::from_bits(0x3fd766340f2418f6), f64::from_bits(0x3c72b2adc9041b2c)), // 3.656129978047738538e-1 + 1.621790e-17
-    (f64::from_bits(0x3fd7c3a9311dcce7), f64::from_bits(0x3c19a3f21ef3e8d9)), // 3.713171939518375431e-1 + 3.474924e-19
-    (f64::from_bits(0x3fd820e3b04eaac4), f64::from_bits(0xbc492379eb01c6b6)), // 3.770074102164182595e-1 + -2.725530e-18
-    (f64::from_bits(0x3fd87de2a6aea963), f64::from_bits(0xbc672cedd3d5a610)), // 3.826834323650897818e-1 + -1.005077e-17
-    (f64::from_bits(0x3fd8daa52ec8a4b0), f64::from_bits(0xbc672eb2db8c621e)), // 3.883450466988263017e-1 + -1.005377e-17
-    (f64::from_bits(0x3fd9372a63bc93d7), f64::from_bits(0x3c6684319e5ad5b1)), // 3.939920400610480988e-1 + 9.764924e-18
-    (f64::from_bits(0x3fd993716141bdff), f64::from_bits(0xbc715e8cce261c55)), // 3.996241998456468436e-1 + -1.506550e-17
-    (f64::from_bits(0x3fd9ef7943a8ed8a), f64::from_bits(0x3c66da81290bdbab)), // 4.052413140049898610e-1 + 9.911140e-18
-    (f64::from_bits(0x3fda4b4127dea1e5), f64::from_bits(0xbc7bec6f01bc22f1)), // 4.108431710579039664e-1 + -2.421984e-17
-    (f64::from_bits(0x3fdaa6c82b6d3fca), f64::from_bits(0xbc7d5f106ee5ccf7)), // 4.164295600976372080e-1 + -2.547558e-17
-    (f64::from_bits(0x3fdb020d6c7f4009), f64::from_bits(0x3c5414ae7e555208)), // 4.220002707997996816e-1 + 4.354327e-18
-    (f64::from_bits(0x3fdb5d1009e15cc0), f64::from_bits(0x3c65b362cb974183)), // 4.275550934302820849e-1 + 9.411190e-18
-    (f64::from_bits(0x3fdbb7cf2304bd01), f64::from_bits(0x3c69e1a5bd9269d4)), // 4.330938188531519573e-1 + 1.122428e-17
-    (f64::from_bits(0x3fdc1249d8011ee7), f64::from_bits(0xbc7813aabb515206)), // 4.386162385385276585e-1 + -2.088332e-17
-    (f64::from_bits(0x3fdc6c7f4997000b), f64::from_bits(0xbc7bec2669c68e74)), // 4.441221445704292559e-1 + -2.421887e-17
-    (f64::from_bits(0x3fdcc66e9931c45e), f64::from_bits(0x3c56850e59c37f8f)), // 4.496113296546065952e-1 + 4.883192e-18
-    (f64::from_bits(0x3fdd2016e8e9db5b), f64::from_bits(0xbc6c8bce9d93efb8)), // 4.550835871263438359e-1 + -1.237991e-17
-    (f64::from_bits(0x3fdd79775b86e389), f64::from_bits(0x3c7550ec87bc0575)), // 4.605387109582400051e-1 + 1.848878e-17
-    (f64::from_bits(0x3fddd28f1481cc58), f64::from_bits(0xbc4e7576fa6c944e)), // 4.659764957679661812e-1 + -3.302355e-18
-    (f64::from_bits(0x3fde2b5d3806f63b), f64::from_bits(0x3c5e0d891d3c6841)), // 4.713967368259976420e-1 + 6.516678e-18
-    (f64::from_bits(0x3fde83e0eaf85114), f64::from_bits(0xbc67bc380ef24ba7)), // 4.767992300633221436e-1 + -1.029352e-17
-    (f64::from_bits(0x3fdedc1952ef78d6), f64::from_bits(0xbc7dd0f7c33edee6)), // 4.821837720791227744e-1 + -2.586150e-17
-    (f64::from_bits(0x3fdf3405963fd067), f64::from_bits(0x3c706846d44a238f)), // 4.875501601484359404e-1 + 1.423109e-17
-    (f64::from_bits(0x3fdf8ba4dbf89aba), f64::from_bits(0xbc32ec1fc1b776b8)), // 4.928981922297840379e-1 + -1.025783e-18
-    (f64::from_bits(0x3fdfe2f64be71210), f64::from_bits(0xbc7297ab1ca2d7db)), // 4.982276669727818685e-1 + -1.612638e-17
-    (f64::from_bits(0x3fe01cfc874c3eb7), f64::from_bits(0xbc734a35e7c2368c)), // 5.035383837257175754e-1 + -1.673131e-17
-    (f64::from_bits(0x3fe0485626ae221a), f64::from_bits(0x3c8b937d9091ff70)), // 5.088301425431069891e-1 + 4.783697e-17
-    (f64::from_bits(0x3fe073879922ffee), f64::from_bits(0xbc8a5a014347406c)), // 5.141027441932217723e-1 + -4.571271e-17
-    (f64::from_bits(0x3fe09e907417c5e1), f64::from_bits(0xbc8fe573741a9bd4)), // 5.193559901655896427e-1 + -5.533125e-17
-    (f64::from_bits(0x3fe0c9704d5d898f), f64::from_bits(0xbc88d3d7de6ee9b2)), // 5.245896826784689493e-1 + -4.306887e-17
-    (f64::from_bits(0x3fe0f426bb2a8e7e), f64::from_bits(0xbc8bb58fb774f8ee)), // 5.298036246862947163e-1 + -4.806784e-17
-    (f64::from_bits(0x3fe11eb3541b4b23), f64::from_bits(0xbc8ef23b69abe4f1)), // 5.349976198870972643e-1 + -5.368313e-17
-    (f64::from_bits(0x3fe14915af336ceb), f64::from_bits(0x3c7f3660558a0213)), // 5.401714727298928542e-1 + 2.707245e-17
-    (f64::from_bits(0x3fe1734d63dedb49), f64::from_bits(0xbc87eef2ccc50575)), // 5.453249884220464638e-1 + -4.151782e-17
-    (f64::from_bits(0x3fe19d5a09f2b9b8), f64::from_bits(0xbc633656c68a1d4a)), // 5.504579729366048113e-1 + -8.331990e-18
-    (f64::from_bits(0x3fe1c73b39ae68c8), f64::from_bits(0x3c8b25dd267f6600)), // 5.555702330196021776e-1 + 4.709411e-17
-    (f64::from_bits(0x3fe1f0f08bbc861b), f64::from_bits(0xbc610d9dcafb74cb)), // 5.606615761973360312e-1 + -7.395642e-18
-    (f64::from_bits(0x3fe21a799933eb59), f64::from_bits(0xbc83a7b177c68fb2)), // 5.657318107836132315e-1 + -3.409608e-17
-    (f64::from_bits(0x3fe243d5fb98ac1f), f64::from_bits(0x3c7c533d0a284a8d)), // 5.707807458869672557e-1 + 2.456815e-17
-    (f64::from_bits(0x3fe26d054cdd12df), f64::from_bits(0xbc85da743ef3770c)), // 5.758081914178453387e-1 + -3.790950e-17
-    (f64::from_bits(0x3fe2960727629ca8), f64::from_bits(0x3c756d6c7af02d5c)), // 5.808139580957645265e-1 + 1.858534e-17
-    (f64::from_bits(0x3fe2bedb25faf3ea), f64::from_bits(0xbc514981c796ee46)), // 5.857978574564388641e-1 + -3.748550e-18
-    (f64::from_bits(0x3fe2e780e3e8ea17), f64::from_bits(0xbc8b19fafe36587a)), // 5.907597018588742754e-1 + -4.701358e-17
-    (f64::from_bits(0x3fe30ff7fce17035), f64::from_bits(0xbc6efcc626f74a6f)), // 5.956993044924333569e-1 + -1.343864e-17
-    (f64::from_bits(0x3fe338400d0c8e57), f64::from_bits(0xbc8abf2a5e95e6e5)), // 6.006164793838689731e-1 + -4.639820e-17
-    (f64::from_bits(0x3fe36058b10659f3), f64::from_bits(0xbc81fcb3a35857e7)), // 6.055110414043255451e-1 + -3.120267e-17
-    (f64::from_bits(0x3fe3884185dfeb22), f64::from_bits(0xbc7a038026abe6b2)), // 6.103828062763094753e-1 + -2.256327e-17
-    (f64::from_bits(0x3fe3affa292050b9), f64::from_bits(0x3c7e3e25e3954964)), // 6.152315905806268193e-1 + 2.623142e-17
-    (f64::from_bits(0x3fe3d78238c58344), f64::from_bits(0xbc80219f5f0f79ce)), // 6.200572117632892066e-1 + -2.798341e-17
-    (f64::from_bits(0x3fe3fed9534556d4), f64::from_bits(0x3c836916608c5061)), // 6.248594881423863434e-1 + 3.367185e-17
-    (f64::from_bits(0x3fe425ff178e6bb1), f64::from_bits(0x3c87b38d675140ca)), // 6.296382389149269843e-1 + 4.111533e-17
-    (f64::from_bits(0x3fe44cf325091dd6), f64::from_bits(0x3c68076a2cfdc6b3)), // 6.343932841636454878e-1 + 1.042090e-17
-    (f64::from_bits(0x3fe473b51b987347), f64::from_bits(0x3c6ca1953514e41b)), // 6.391244448637757314e-1 + 1.241680e-17
-    (f64::from_bits(0x3fe49a449b9b0939), f64::from_bits(0xbc827ee16d719b94)), // 6.438315428897914972e-1 + -3.208480e-17
-    (f64::from_bits(0x3fe4c0a145ec0004), f64::from_bits(0x3c52630cfafceaa1)), // 6.485144010221124411e-1 + 3.987027e-18
-    (f64::from_bits(0x3fe4e6cabbe3e5e9), f64::from_bits(0x3c63c293edceb327)), // 6.531728429537767555e-1 + 8.569564e-18
-    (f64::from_bits(0x3fe50cc09f59a09b), f64::from_bits(0x3c7693463a2c2e6f)), // 6.578066932970786374e-1 + 1.958094e-17
-    (f64::from_bits(0x3fe5328292a35596), f64::from_bits(0xbc7a12eb89da0257)), // 6.624157775901717837e-1 + -2.261551e-17
-    (f64::from_bits(0x3fe5581038975137), f64::from_bits(0x3c84570d9efe26df)), // 6.669999223036374714e-1 + 3.528436e-17
-    (f64::from_bits(0x3fe57d69348ceca0), f64::from_bits(0xbc875720992bfbb2)), // 6.715589548470184411e-1 + -4.048904e-17
-    (f64::from_bits(0x3fe5a28d2a5d7250), f64::from_bits(0x3c857a25f8b13430)), // 6.760927035753159231e-1 + 3.725690e-17
-    (f64::from_bits(0x3fe5c77bbe65018c), f64::from_bits(0x3c8069ea9c0bc32a)), // 6.806009977954530221e-1 + 2.847329e-17
-    (f64::from_bits(0x3fe5ec3495837074), f64::from_bits(0x3c7dea89a9b8f727)), // 6.850836677727003554e-1 + 2.594814e-17
-    (f64::from_bits(0x3fe610b7551d2cdf), f64::from_bits(0xbc7251b352ff2a37)), // 6.895405447370669405e-1 + -1.588932e-17
-    (f64::from_bits(0x3fe63503a31c1be9), f64::from_bits(0x3c61248f09e6587c)), // 6.939714608896540016e-1 + 7.434508e-18
-    (f64::from_bits(0x3fe6591925f0783d), f64::from_bits(0x3c8c3d64fbf5de23)), // 6.983762494089728046e-1 + 4.898828e-17
-    (f64::from_bits(0x3fe67cf78491af10), f64::from_bits(0x3c4750ab23477b61)), // 7.027547444572252999e-1 + 2.527829e-18
-    (f64::from_bits(0x3fe6a09e667f3bcd), f64::from_bits(0xbc8bdd3413b26456)), // 7.071067811865475727e-1 + -4.833647e-17
-    (f64::from_bits(0x3fe6c40d73c18275), f64::from_bits(0x3c625d4f802be257)), // 7.114321957452164336e-1 + 7.964330e-18
-    (f64::from_bits(0x3fe6e74454eaa8af), f64::from_bits(0xbc8dbc03c84e226e)), // 7.157308252838187057e-1 + -5.158102e-17
-    (f64::from_bits(0x3fe70a42b3176d7a), f64::from_bits(0xbc7d9e3fbe2e15a0)), // 7.200025079613816548e-1 + -2.568966e-17
-    (f64::from_bits(0x3fe72d0837efff96), f64::from_bits(0x3c80d4ef0f1d915c)), // 7.242470829514668917e-1 + 2.919847e-17
-    (f64::from_bits(0x3fe74f948da8d28d), f64::from_bits(0x3c019900a3b9a3a2)), // 7.284643904482251964e-1 + 1.192464e-19
-    (f64::from_bits(0x3fe771e75f037261), f64::from_bits(0x3c75cfce8d84068f)), // 7.326542716724128157e-1 + 1.891867e-17
-    (f64::from_bits(0x3fe79400574f55e5), f64::from_bits(0xbc80adadbdb4c65a)), // 7.368165688773699040e-1 + -2.893247e-17
-    (f64::from_bits(0x3fe7b5df226aafaf), f64::from_bits(0xbc70f537acdf0ad7)), // 7.409511253549591059e-1 + -1.470862e-17
-    (f64::from_bits(0x3fe7d7836cc33db2), f64::from_bits(0x3c7162715ef03f85)), // 7.450577854414659473e-1 + 1.507869e-17
-    (f64::from_bits(0x3fe7f8ece3571771), f64::from_bits(0xbc89c8d8ce93c917)), // 7.491363945234593702e-1 + -4.472908e-17
-    (f64::from_bits(0x3fe81a1b33b57acc), f64::from_bits(0xbc85dea12d66bb66)), // 7.531867990436125204e-1 + -3.793779e-17
-    (f64::from_bits(0x3fe83b0e0bff976e), f64::from_bits(0xbc76f420f8ea3475)), // 7.572088465064845675e-1 + -1.990910e-17
-    (f64::from_bits(0x3fe85bc51ae958cc), f64::from_bits(0x3c845ba6478086cc)), // 7.612023854842617787e-1 + 3.531551e-17
-    (f64::from_bits(0x3fe87c400fba2ebf), f64::from_bits(0xbc82dabc0c3f64cd)), // 7.651672656224589586e-1 + -3.270723e-17
-    (f64::from_bits(0x3fe89c7e9a4dd4aa), f64::from_bits(0x3c8db6ea04a8678f)), // 7.691033376455795878e-1 + 5.154646e-17
-    (f64::from_bits(0x3fe8bc806b151741), f64::from_bits(0xbc82c5e12ed1336d)), // 7.730104533627369934e-1 + -3.256591e-17
-    (f64::from_bits(0x3fe8dc45331698cc), f64::from_bits(0x3c61d9fcd83634d7)), // 7.768884656732324423e-1 + 7.741860e-18
-    (f64::from_bits(0x3fe8fbcca3ef940d), f64::from_bits(0xbc66dfa99c86f2f1)), // 7.807372285720944882e-1 + -9.919878e-18
-    (f64::from_bits(0x3fe91b166fd49da2), f64::from_bits(0xbc63be953a7fe996)), // 7.845565971555752416e-1 + -8.562797e-18
-    (f64::from_bits(0x3fe93a22499263fb), f64::from_bits(0x3c83d419a920df0b)), // 7.883464276266062276e-1 + 3.439699e-17
-    (f64::from_bits(0x3fe958efe48e6dd7), f64::from_bits(0xbc8561335da0f4e7)), // 7.921065773002123889e-1 + -3.708785e-17
-    (f64::from_bits(0x3fe9777ef4c7d742), f64::from_bits(0xbc815479a240665e)), // 7.958369046088835663e-1 + -3.006272e-17
-    (f64::from_bits(0x3fe995cf2ed80d22), f64::from_bits(0x3c77783e907fbd7b)), // 7.995372691079050131e-1 + 2.035672e-17
-    (f64::from_bits(0x3fe9b3e047f38741), f64::from_bits(0xbc830ee286712474)), // 8.032075314806449429e-1 + -3.306061e-17
-    (f64::from_bits(0x3fe9d1b1f5ea80d5), f64::from_bits(0x3c8c5fadd5ffb36f)), // 8.068475535437992230e-1 + 4.922060e-17
-    (f64::from_bits(0x3fe9ef43ef29af94), f64::from_bits(0x3c7b1dfcb60445c2)), // 8.104571982525947682e-1 + 2.352037e-17
-    (f64::from_bits(0x3fea0c95eabaf937), f64::from_bits(0xbc8e0ca3acbd049a)), // 8.140363297059484138e-1 + -5.212735e-17
-    (f64::from_bits(0x3fea29a7a0462782), f64::from_bits(0xbc7128bb015df175)), // 8.175848131515837114e-1 + -1.488315e-17
-    (f64::from_bits(0x3fea4678c8119ac8), f64::from_bits(0x3c81b4c0dd3f212a)), // 8.211025149911046483e-1 + 3.071513e-17
-    (f64::from_bits(0x3fea63091b02fae2), f64::from_bits(0xbc7e911152248d10)), // 8.245893027850252910e-1 + -2.651236e-17
-    (f64::from_bits(0x3fea7f58529fe69d), f64::from_bits(0xbc897a441584a179)), // 8.280450452577557963e-1 + -4.419659e-17
-    (f64::from_bits(0x3fea9b66290ea1a3), f64::from_bits(0x3c39f630e8b6dac8)), // 8.314696123025452357e-1 + 1.407386e-18
-    (f64::from_bits(0x3feab7325916c0d4), f64::from_bits(0x3c8a8b8c85baaa9b)), // 8.348628749863800103e-1 + 4.604843e-17
-    (f64::from_bits(0x3fead2bc9e21d511), f64::from_bits(0xbc847fbe07bea548)), // 8.382247055548380787e-1 + -3.556009e-17
-    (f64::from_bits(0x3feaee04b43c1474), f64::from_bits(0xbc83a79a438bf8cc)), // 8.415549774368984437e-1 + -3.409547e-17
-    (f64::from_bits(0x3feb090a58150200), f64::from_bits(0xbc8926da300ffcce)), // 8.448535652497071169e-1 + -4.363136e-17
-    (f64::from_bits(0x3feb23cd470013b4), f64::from_bits(0x3c75a1bb35ad6d2e)), // 8.481203448032972325e-1 + 1.876256e-17
-    (f64::from_bits(0x3feb3e4d3ef55712), f64::from_bits(0xbc8eb6b8bf11a493)), // 8.513551931052651955e-1 + -5.327987e-17
-    (f64::from_bits(0x3feb5889fe921405), f64::from_bits(0xbc6df49b307c8602)), // 8.545579883654005338e-1 + -1.299112e-17
-    (f64::from_bits(0x3feb728345196e3e), f64::from_bits(0xbc8bc69f324e6d61)), // 8.577286100002721181e-1 + -4.818345e-17
-    (f64::from_bits(0x3feb8c38d27504e9), f64::from_bits(0xbc81529abff40e45)), // 8.608669386377673094e-1 + -3.005005e-17
-    (f64::from_bits(0x3feba5aa673590d2), f64::from_bits(0x3c87ea4e370753b6)), // 8.639728561215866964e-1 + 4.148636e-17
-    (f64::from_bits(0x3febbed7c49380ea), f64::from_bits(0x3c4beacbd88500b4)), // 8.670462455156926485e-1 + 3.026786e-18
-    (f64::from_bits(0x3febd7c0ac6f952a), f64::from_bits(0xbc8825a732ac700a)), // 8.700869911087114605e-1 + -4.188851e-17
-    (f64::from_bits(0x3febf064e15377dd), f64::from_bits(0x3c62156026a1e028)), // 8.730949784182900908e-1 + 7.842467e-18
-    (f64::from_bits(0x3fec08c426725549), f64::from_bits(0x3c5b157fd80e2946)), // 8.760700941954066012e-1 + 5.872902e-18
-    (f64::from_bits(0x3fec20de3fa971b0), f64::from_bits(0xbc8b4ca2bab1322c)), // 8.790122264286335252e-1 + -4.735684e-17
-    (f64::from_bits(0x3fec38b2f180bdb1), f64::from_bits(0xbc76e0b1757c8d07)), // 8.819212643483550496e-1 + -1.984325e-17
-    (f64::from_bits(0x3fec5042012b6907), f64::from_bits(0xbc65c058dd8eaba5)), // 8.847970984309377895e-1 + -9.433147e-18
-    (f64::from_bits(0x3fec678b3488739b), f64::from_bits(0x3c6d86cac7c5ff5b)), // 8.876396204028539350e-1 + 1.280509e-17
-    (f64::from_bits(0x3fec7e8e52233cf3), f64::from_bits(0x3c6b2ad324aa35c1)), // 8.904487232447578782e-1 + 1.178193e-17
-    (f64::from_bits(0x3fec954b213411f5), f64::from_bits(0xbc52fb761e946603)), // 8.932243011955153245e-1 + -4.116124e-18
-    (f64::from_bits(0x3fecabc169a0b900), f64::from_bits(0x3c8c42d3e10851d1)), // 8.959662497561851069e-1 + 4.902510e-17
-    (f64::from_bits(0x3fecc1f0f3fcfc5c), f64::from_bits(0x3c7e57613b68f6ab)), // 8.986744656939538167e-1 + 2.631691e-17
-    (f64::from_bits(0x3fecd7d9898b32f6), f64::from_bits(0xbc6f2fa062496738)), // 9.013488470460220281e-1 + -1.352479e-17
-    (f64::from_bits(0x3feced7af43cc773), f64::from_bits(0xbc5e7b6bb5ab58ae)), // 9.039892931234433382e-1 + -6.609754e-18
-    (f64::from_bits(0x3fed02d4feb2bd92), f64::from_bits(0x3c8195ff41bc55fe)), // 9.065957045149153348e-1 + 3.050672e-17
-    (f64::from_bits(0x3fed17e7743e35dc), f64::from_bits(0xbc5101da3540130a)), // 9.091679830905223803e-1 + -3.687856e-18
-    (f64::from_bits(0x3fed2cb220e0ef9f), f64::from_bits(0xbc7f07656d4e6652)), // 9.117060320054298783e-1 + -2.691327e-17
-    (f64::from_bits(0x3fed4134d14dc93a), f64::from_bits(0xbc84ef5295d25af2)), // 9.142097557035306910e-1 + -3.631618e-17
-    (f64::from_bits(0x3fed556f52e93eb1), f64::from_bits(0xbc880ed9233a9630)), // 9.166790599210427049e-1 + -4.173398e-17
-    (f64::from_bits(0x3fed696173c9e68b), f64::from_bits(0xbc7e8c61c6393d55)), // 9.191138516900577704e-1 + -2.649648e-17
-    (f64::from_bits(0x3fed7d0b02b8ecf9), f64::from_bits(0x3c8800f4ce65cd6e)), // 9.215140393420419018e-1 + 4.163984e-17
-    (f64::from_bits(0x3fed906bcf328d46), f64::from_bits(0x3c7457e610231ac2)), // 9.238795325112867385e-1 + 1.764505e-17
-    (f64::from_bits(0x3feda383a9668988), f64::from_bits(0xbc85811000b39d84)), // 9.262102421383113793e-1 + -3.730375e-17
-    (f64::from_bits(0x3fedb6526238a09b), f64::from_bits(0xbc7adee7eae69460)), // 9.285060804732155892e-1 + -2.330664e-17
-    (f64::from_bits(0x3fedc8d7cb410260), f64::from_bits(0x3c76b7872773830d)), // 9.307669610789837122e-1 + 1.970378e-17
-    (f64::from_bits(0x3feddb13b6ccc23c), f64::from_bits(0x3c883c37c6107db3)), // 9.329927988347388457e-1 + 4.204142e-17
-    (f64::from_bits(0x3feded05f7de47da), f64::from_bits(0xbc82cc4c1f8ba966)), // 9.351835099389476103e-1 + -3.260940e-17
-    (f64::from_bits(0x3fedfeae622dbe2b), f64::from_bits(0xbc8514ea88425567)), // 9.373390119125749598e-1 + -3.657093e-17
-    (f64::from_bits(0x3fee100cca2980ac), f64::from_bits(0xbc602d182acdf825)), // 9.394592236021899190e-1 + -7.015287e-18
-    (f64::from_bits(0x3fee212104f686e5), f64::from_bits(0xbc8014c76c126527)), // 9.415440651830208063e-1 + -2.789638e-17
-    (f64::from_bits(0x3fee31eae870ce25), f64::from_bits(0xbc7bc7094538d678)), // 9.435934581619603856e-1 + -2.409313e-17
-    (f64::from_bits(0x3fee426a4b2bc17e), f64::from_bits(0x3c8a873889744882)), // 9.456073253805212797e-1 + 4.601910e-17
-    (f64::from_bits(0x3fee529f04729ffc), f64::from_bits(0x3c89075d6e6dfc8b)), // 9.475855910177410912e-1 + 4.341799e-17
-    (f64::from_bits(0x3fee6288ec48e112), f64::from_bits(0xbc616b56f2847754)), // 9.495281805930366748e-1 + -7.554415e-18
-    (f64::from_bits(0x3fee7227db6a9744), f64::from_bits(0x3c82128794da5a50)), // 9.514350209690083382e-1 + 3.135058e-17
-    (f64::from_bits(0x3fee817bab4cd10d), f64::from_bits(0xbc7d0afe686b5e0a)), // 9.533060403541938621e-1 + -2.519074e-17
-    (f64::from_bits(0x3fee9084361df7f2), f64::from_bits(0x3c8cdfc7ce9dc3e9)), // 9.551411683057706714e-1 + 5.008865e-17
-    (f64::from_bits(0x3fee9f4156c62dda), f64::from_bits(0x3c8760b1e2e3f81e)), // 9.569403357322088244e-1 + 4.055387e-17
-    (f64::from_bits(0x3feeadb2e8e7a88e), f64::from_bits(0xbc892ec52ea226a3)), // 9.587034748958715991e-1 + -4.368501e-17
-    (f64::from_bits(0x3feebbd8c8df0b74), f64::from_bits(0x3c7c6c8c615e7277)), // 9.604305194155657865e-1 + 2.465390e-17
-    (f64::from_bits(0x3feec9b2d3c3bf84), f64::from_bits(0x3c719119d358de05)), // 9.621214042690415802e-1 + 1.523677e-17
-    (f64::from_bits(0x3feed740e7684963), f64::from_bits(0x3c7e82c791f59cc2)), // 9.637760657954398402e-1 + 2.646395e-17
-    (f64::from_bits(0x3feee482e25a9dbc), f64::from_bits(0xbc7b6066ef81af2a)), // 9.653944416976893983e-1 + -2.374539e-17
-    (f64::from_bits(0x3feef178a3e473c2), f64::from_bits(0x3c86310a67fe774f)), // 9.669764710448520706e-1 + 3.849623e-17
-    (f64::from_bits(0x3feefe220c0b95ec), f64::from_bits(0x3c8c853b7bf7e0cd)), // 9.685220942744172667e-1 + 4.947507e-17
-    (f64::from_bits(0x3fef0a7efb9230d7), f64::from_bits(0x3c752c7adc6b4989)), // 9.700312531945439742e-1 + 1.836530e-17
-    (f64::from_bits(0x3fef168f53f7205d), f64::from_bits(0xbc626a6c1f015601)), // 9.715038909862517835e-1 + -7.986542e-18
-    (f64::from_bits(0x3fef2252f7763ada), f64::from_bits(0xbc820cb81c8d94ab)), // 9.729399522055601768e-1 + -3.131121e-17
-    (f64::from_bits(0x3fef2dc9c9089a9d), f64::from_bits(0x3c45407460bdfc07)), // 9.743393827855758582e-1 + 2.304122e-18
-    (f64::from_bits(0x3fef38f3ac64e589), f64::from_bits(0xbc7d7bafb51f72e6)), // 9.757021300385285700e-1 + -2.557256e-17
-    (f64::from_bits(0x3fef43d085ff92dd), f64::from_bits(0xbc88fde71e361c05)), // 9.770281426577543948e-1 + -4.335388e-17
-    (f64::from_bits(0x3fef4e603b0b2f2d), f64::from_bits(0xbc78ee01e695ac05)), // 9.783173707196276547e-1 + -2.162308e-17
-    (f64::from_bits(0x3fef58a2b1789e84), f64::from_bits(0x3c71f4a188aa3680)), // 9.795697656854405189e-1 + 1.557399e-17
-    (f64::from_bits(0x3fef6297cff75cb0), f64::from_bits(0x3c7562172a361fd3)), // 9.807852804032304306e-1 + 1.854694e-17
-    (f64::from_bits(0x3fef6c3f7df5bbb7), f64::from_bits(0x3c78561ce9d5ef5b)), // 9.819638691095552430e-1 + 2.110844e-17
-    (f64::from_bits(0x3fef7599a3a12077), f64::from_bits(0x3c884f31d743195c)), // 9.831054874312162850e-1 + 4.217001e-17
-    (f64::from_bits(0x3fef7ea629e63d6e), f64::from_bits(0x3c8ba92d57ebfedd)), // 9.842100923869290252e-1 + 4.798392e-17
-    (f64::from_bits(0x3fef8764fa714ba9), f64::from_bits(0x3c7ab256778ffcb6)), // 9.852776423889412216e-1 + 2.315564e-17
-    (f64::from_bits(0x3fef8fd5ffae41db), f64::from_bits(0xbc78cfd77fd970d2)), // 9.863080972445986694e-1 + -2.152088e-17
-    (f64::from_bits(0x3fef97f924c9099b), f64::from_bits(0xbc8e2ae0eea5963b)), // 9.873014181578584347e-1 + -5.233226e-17
-    (f64::from_bits(0x3fef9fce55adb2c8), f64::from_bits(0x3c7f2a06fab9f9d1)), // 9.882575677307494644e-1 + 2.703061e-17
-    (f64::from_bits(0x3fefa7557f08a517), f64::from_bits(0xbc87a0a8ca13571f)), // 9.891765099647810144e-1 + -4.098731e-17
-    (f64::from_bits(0x3fefae8e8e46cfbb), f64::from_bits(0xbc73a9e414732d97)), // 9.900582102622971226e-1 + -1.705549e-17
-    (f64::from_bits(0x3fefb5797195d741), f64::from_bits(0x3c71bfac7397cc08)), // 9.909026354277800097e-1 + 1.539457e-17
-    (f64::from_bits(0x3fefbc1617e44186), f64::from_bits(0xbc458ec496dc4ecb)), // 9.917097536690995252e-1 + -2.337289e-18
-    (f64::from_bits(0x3fefc26470e19fd3), f64::from_bits(0x3c81ec8668ecacee)), // 9.924795345987099671e-1 + 3.109306e-17
-    (f64::from_bits(0x3fefc8646cfeb721), f64::from_bits(0x3c83143dc43a9b9d)), // 9.932119492347945000e-1 + 3.309691e-17
-    (f64::from_bits(0x3fefce15fd6da67b), f64::from_bits(0xbc75dd6f830d4c09)), // 9.939069700023560605e-1 + -1.896485e-17
-    (f64::from_bits(0x3fefd37914220b84), f64::from_bits(0x3c852e9d7b772791)), // 9.945645707342554154e-1 + 3.674507e-17
-    (f64::from_bits(0x3fefd88da3d12526), f64::from_bits(0xbc887df6378811c7)), // 9.951847266721969287e-1 + -4.248691e-17
-    (f64::from_bits(0x3fefdd539ff1f456), f64::from_bits(0xbc7ab13cbbec1781)), // 9.957674144676598171e-1 + -2.315191e-17
-    (f64::from_bits(0x3fefe1cafcbd5b09), f64::from_bits(0x3c6a23e3202a884e)), // 9.963126121827780013e-1 + 1.133650e-17
-    (f64::from_bits(0x3fefe5f3af2e3940), f64::from_bits(0x3c8b213f18c9cf17)), // 9.968202992911656679e-1 + 4.706282e-17
-    (f64::from_bits(0x3fefe9cdad01883a), f64::from_bits(0x3c6521ecd0c67e35)), // 9.972904566786902070e-1 + 9.164770e-18
-    (f64::from_bits(0x3fefed58ecb673c4), f64::from_bits(0xbc7e6e462a7ae686)), // 9.977230666441916362e-1 + -2.639448e-17
-    (f64::from_bits(0x3feff095658e71ad), f64::from_bits(0x3c801a8ce18a4b9e)), // 9.981181129001491792e-1 + 2.793549e-17
-    (f64::from_bits(0x3feff3830f8d575c), f64::from_bits(0xbc795e1e79d335f7)), // 9.984755805732947742e-1 + -2.200293e-17
-    (f64::from_bits(0x3feff621e3796d7e), f64::from_bits(0xbc6c57bc2e24aa15)), // 9.987954562051724050e-1 + -1.229169e-17
-    (f64::from_bits(0x3feff871dadb81df), f64::from_bits(0x3c78b1c676208aa4)), // 9.990777277526453615e-1 + 2.141901e-17
-    (f64::from_bits(0x3feffa72effef75d), f64::from_bits(0xbc88b4cdcdb25956)), // 9.993223845883495438e-1 + -4.285854e-17
-    (f64::from_bits(0x3feffc251df1d3f8), f64::from_bits(0x3c77a7d209f32d43)), // 9.995294175010931426e-1 + 2.051792e-17
-    (f64::from_bits(0x3feffd886084cd0d), f64::from_bits(0xbc81354d4556e4cb)), // 9.996988186962042500e-1 + -2.985149e-17
-    (f64::from_bits(0x3feffe9cb44b51a1), f64::from_bits(0x3c75b43366df6670)), // 9.998305817958234032e-1 + 1.882514e-17
-    (f64::from_bits(0x3fefff62169b92db), f64::from_bits(0x3c85dda3c81fbd0d)), // 9.999247018391445030e-1 + 3.793108e-17
-    (f64::from_bits(0x3fefffd8858e8a92), f64::from_bits(0x3c8359c71883bcf7)), // 9.999811752826011091e-1 + 3.356810e-17
-    (f64::from_bits(0x3ff0000000000000), f64::from_bits(0x0000000000000000)), // 1.000000000000000000e0 + 0.000000e0
-];
+#[inline(always)]
+pub fn sinpi_t(n: usize) -> (f64, f64) {
+    codec::unpack_entry(&SINPI_T_P, n, SINPI_T_HI_BASE, SINPI_T_LO_BASE)
+}
 
-/// `cos(pi n/512)` for `n in 0..=256`.
-pub static COSPI_T: [(f64, f64); 257] = [
-    (f64::from_bits(0x3ff0000000000000), f64::from_bits(0x0000000000000000)), // 1.000000000000000000e0 + 0.000000e0
-    (f64::from_bits(0x3fefffd8858e8a92), f64::from_bits(0x3c8359c71883bcf7)), // 9.999811752826011091e-1 + 3.356810e-17
-    (f64::from_bits(0x3fefff62169b92db), f64::from_bits(0x3c85dda3c81fbd0d)), // 9.999247018391445030e-1 + 3.793108e-17
-    (f64::from_bits(0x3feffe9cb44b51a1), f64::from_bits(0x3c75b43366df6670)), // 9.998305817958234032e-1 + 1.882514e-17
-    (f64::from_bits(0x3feffd886084cd0d), f64::from_bits(0xbc81354d4556e4cb)), // 9.996988186962042500e-1 + -2.985149e-17
-    (f64::from_bits(0x3feffc251df1d3f8), f64::from_bits(0x3c77a7d209f32d43)), // 9.995294175010931426e-1 + 2.051792e-17
-    (f64::from_bits(0x3feffa72effef75d), f64::from_bits(0xbc88b4cdcdb25956)), // 9.993223845883495438e-1 + -4.285854e-17
-    (f64::from_bits(0x3feff871dadb81df), f64::from_bits(0x3c78b1c676208aa4)), // 9.990777277526453615e-1 + 2.141901e-17
-    (f64::from_bits(0x3feff621e3796d7e), f64::from_bits(0xbc6c57bc2e24aa15)), // 9.987954562051724050e-1 + -1.229169e-17
-    (f64::from_bits(0x3feff3830f8d575c), f64::from_bits(0xbc795e1e79d335f7)), // 9.984755805732947742e-1 + -2.200293e-17
-    (f64::from_bits(0x3feff095658e71ad), f64::from_bits(0x3c801a8ce18a4b9e)), // 9.981181129001491792e-1 + 2.793549e-17
-    (f64::from_bits(0x3fefed58ecb673c4), f64::from_bits(0xbc7e6e462a7ae686)), // 9.977230666441916362e-1 + -2.639448e-17
-    (f64::from_bits(0x3fefe9cdad01883a), f64::from_bits(0x3c6521ecd0c67e35)), // 9.972904566786902070e-1 + 9.164770e-18
-    (f64::from_bits(0x3fefe5f3af2e3940), f64::from_bits(0x3c8b213f18c9cf17)), // 9.968202992911656679e-1 + 4.706282e-17
-    (f64::from_bits(0x3fefe1cafcbd5b09), f64::from_bits(0x3c6a23e3202a884e)), // 9.963126121827780013e-1 + 1.133650e-17
-    (f64::from_bits(0x3fefdd539ff1f456), f64::from_bits(0xbc7ab13cbbec1781)), // 9.957674144676598171e-1 + -2.315191e-17
-    (f64::from_bits(0x3fefd88da3d12526), f64::from_bits(0xbc887df6378811c7)), // 9.951847266721969287e-1 + -4.248691e-17
-    (f64::from_bits(0x3fefd37914220b84), f64::from_bits(0x3c852e9d7b772791)), // 9.945645707342554154e-1 + 3.674507e-17
-    (f64::from_bits(0x3fefce15fd6da67b), f64::from_bits(0xbc75dd6f830d4c09)), // 9.939069700023560605e-1 + -1.896485e-17
-    (f64::from_bits(0x3fefc8646cfeb721), f64::from_bits(0x3c83143dc43a9b9d)), // 9.932119492347945000e-1 + 3.309691e-17
-    (f64::from_bits(0x3fefc26470e19fd3), f64::from_bits(0x3c81ec8668ecacee)), // 9.924795345987099671e-1 + 3.109306e-17
-    (f64::from_bits(0x3fefbc1617e44186), f64::from_bits(0xbc458ec496dc4ecb)), // 9.917097536690995252e-1 + -2.337289e-18
-    (f64::from_bits(0x3fefb5797195d741), f64::from_bits(0x3c71bfac7397cc08)), // 9.909026354277800097e-1 + 1.539457e-17
-    (f64::from_bits(0x3fefae8e8e46cfbb), f64::from_bits(0xbc73a9e414732d97)), // 9.900582102622971226e-1 + -1.705549e-17
-    (f64::from_bits(0x3fefa7557f08a517), f64::from_bits(0xbc87a0a8ca13571f)), // 9.891765099647810144e-1 + -4.098731e-17
-    (f64::from_bits(0x3fef9fce55adb2c8), f64::from_bits(0x3c7f2a06fab9f9d1)), // 9.882575677307494644e-1 + 2.703061e-17
-    (f64::from_bits(0x3fef97f924c9099b), f64::from_bits(0xbc8e2ae0eea5963b)), // 9.873014181578584347e-1 + -5.233226e-17
-    (f64::from_bits(0x3fef8fd5ffae41db), f64::from_bits(0xbc78cfd77fd970d2)), // 9.863080972445986694e-1 + -2.152088e-17
-    (f64::from_bits(0x3fef8764fa714ba9), f64::from_bits(0x3c7ab256778ffcb6)), // 9.852776423889412216e-1 + 2.315564e-17
-    (f64::from_bits(0x3fef7ea629e63d6e), f64::from_bits(0x3c8ba92d57ebfedd)), // 9.842100923869290252e-1 + 4.798392e-17
-    (f64::from_bits(0x3fef7599a3a12077), f64::from_bits(0x3c884f31d743195c)), // 9.831054874312162850e-1 + 4.217001e-17
-    (f64::from_bits(0x3fef6c3f7df5bbb7), f64::from_bits(0x3c78561ce9d5ef5b)), // 9.819638691095552430e-1 + 2.110844e-17
-    (f64::from_bits(0x3fef6297cff75cb0), f64::from_bits(0x3c7562172a361fd3)), // 9.807852804032304306e-1 + 1.854694e-17
-    (f64::from_bits(0x3fef58a2b1789e84), f64::from_bits(0x3c71f4a188aa3680)), // 9.795697656854405189e-1 + 1.557399e-17
-    (f64::from_bits(0x3fef4e603b0b2f2d), f64::from_bits(0xbc78ee01e695ac05)), // 9.783173707196276547e-1 + -2.162308e-17
-    (f64::from_bits(0x3fef43d085ff92dd), f64::from_bits(0xbc88fde71e361c05)), // 9.770281426577543948e-1 + -4.335388e-17
-    (f64::from_bits(0x3fef38f3ac64e589), f64::from_bits(0xbc7d7bafb51f72e6)), // 9.757021300385285700e-1 + -2.557256e-17
-    (f64::from_bits(0x3fef2dc9c9089a9d), f64::from_bits(0x3c45407460bdfc07)), // 9.743393827855758582e-1 + 2.304122e-18
-    (f64::from_bits(0x3fef2252f7763ada), f64::from_bits(0xbc820cb81c8d94ab)), // 9.729399522055601768e-1 + -3.131121e-17
-    (f64::from_bits(0x3fef168f53f7205d), f64::from_bits(0xbc626a6c1f015601)), // 9.715038909862517835e-1 + -7.986542e-18
-    (f64::from_bits(0x3fef0a7efb9230d7), f64::from_bits(0x3c752c7adc6b4989)), // 9.700312531945439742e-1 + 1.836530e-17
-    (f64::from_bits(0x3feefe220c0b95ec), f64::from_bits(0x3c8c853b7bf7e0cd)), // 9.685220942744172667e-1 + 4.947507e-17
-    (f64::from_bits(0x3feef178a3e473c2), f64::from_bits(0x3c86310a67fe774f)), // 9.669764710448520706e-1 + 3.849623e-17
-    (f64::from_bits(0x3feee482e25a9dbc), f64::from_bits(0xbc7b6066ef81af2a)), // 9.653944416976893983e-1 + -2.374539e-17
-    (f64::from_bits(0x3feed740e7684963), f64::from_bits(0x3c7e82c791f59cc2)), // 9.637760657954398402e-1 + 2.646395e-17
-    (f64::from_bits(0x3feec9b2d3c3bf84), f64::from_bits(0x3c719119d358de05)), // 9.621214042690415802e-1 + 1.523677e-17
-    (f64::from_bits(0x3feebbd8c8df0b74), f64::from_bits(0x3c7c6c8c615e7277)), // 9.604305194155657865e-1 + 2.465390e-17
-    (f64::from_bits(0x3feeadb2e8e7a88e), f64::from_bits(0xbc892ec52ea226a3)), // 9.587034748958715991e-1 + -4.368501e-17
-    (f64::from_bits(0x3fee9f4156c62dda), f64::from_bits(0x3c8760b1e2e3f81e)), // 9.569403357322088244e-1 + 4.055387e-17
-    (f64::from_bits(0x3fee9084361df7f2), f64::from_bits(0x3c8cdfc7ce9dc3e9)), // 9.551411683057706714e-1 + 5.008865e-17
-    (f64::from_bits(0x3fee817bab4cd10d), f64::from_bits(0xbc7d0afe686b5e0a)), // 9.533060403541938621e-1 + -2.519074e-17
-    (f64::from_bits(0x3fee7227db6a9744), f64::from_bits(0x3c82128794da5a50)), // 9.514350209690083382e-1 + 3.135058e-17
-    (f64::from_bits(0x3fee6288ec48e112), f64::from_bits(0xbc616b56f2847754)), // 9.495281805930366748e-1 + -7.554415e-18
-    (f64::from_bits(0x3fee529f04729ffc), f64::from_bits(0x3c89075d6e6dfc8b)), // 9.475855910177410912e-1 + 4.341799e-17
-    (f64::from_bits(0x3fee426a4b2bc17e), f64::from_bits(0x3c8a873889744882)), // 9.456073253805212797e-1 + 4.601910e-17
-    (f64::from_bits(0x3fee31eae870ce25), f64::from_bits(0xbc7bc7094538d678)), // 9.435934581619603856e-1 + -2.409313e-17
-    (f64::from_bits(0x3fee212104f686e5), f64::from_bits(0xbc8014c76c126527)), // 9.415440651830208063e-1 + -2.789638e-17
-    (f64::from_bits(0x3fee100cca2980ac), f64::from_bits(0xbc602d182acdf825)), // 9.394592236021899190e-1 + -7.015287e-18
-    (f64::from_bits(0x3fedfeae622dbe2b), f64::from_bits(0xbc8514ea88425567)), // 9.373390119125749598e-1 + -3.657093e-17
-    (f64::from_bits(0x3feded05f7de47da), f64::from_bits(0xbc82cc4c1f8ba966)), // 9.351835099389476103e-1 + -3.260940e-17
-    (f64::from_bits(0x3feddb13b6ccc23c), f64::from_bits(0x3c883c37c6107db3)), // 9.329927988347388457e-1 + 4.204142e-17
-    (f64::from_bits(0x3fedc8d7cb410260), f64::from_bits(0x3c76b7872773830d)), // 9.307669610789837122e-1 + 1.970378e-17
-    (f64::from_bits(0x3fedb6526238a09b), f64::from_bits(0xbc7adee7eae69460)), // 9.285060804732155892e-1 + -2.330664e-17
-    (f64::from_bits(0x3feda383a9668988), f64::from_bits(0xbc85811000b39d84)), // 9.262102421383113793e-1 + -3.730375e-17
-    (f64::from_bits(0x3fed906bcf328d46), f64::from_bits(0x3c7457e610231ac2)), // 9.238795325112867385e-1 + 1.764505e-17
-    (f64::from_bits(0x3fed7d0b02b8ecf9), f64::from_bits(0x3c8800f4ce65cd6e)), // 9.215140393420419018e-1 + 4.163984e-17
-    (f64::from_bits(0x3fed696173c9e68b), f64::from_bits(0xbc7e8c61c6393d55)), // 9.191138516900577704e-1 + -2.649648e-17
-    (f64::from_bits(0x3fed556f52e93eb1), f64::from_bits(0xbc880ed9233a9630)), // 9.166790599210427049e-1 + -4.173398e-17
-    (f64::from_bits(0x3fed4134d14dc93a), f64::from_bits(0xbc84ef5295d25af2)), // 9.142097557035306910e-1 + -3.631618e-17
-    (f64::from_bits(0x3fed2cb220e0ef9f), f64::from_bits(0xbc7f07656d4e6652)), // 9.117060320054298783e-1 + -2.691327e-17
-    (f64::from_bits(0x3fed17e7743e35dc), f64::from_bits(0xbc5101da3540130a)), // 9.091679830905223803e-1 + -3.687856e-18
-    (f64::from_bits(0x3fed02d4feb2bd92), f64::from_bits(0x3c8195ff41bc55fe)), // 9.065957045149153348e-1 + 3.050672e-17
-    (f64::from_bits(0x3feced7af43cc773), f64::from_bits(0xbc5e7b6bb5ab58ae)), // 9.039892931234433382e-1 + -6.609754e-18
-    (f64::from_bits(0x3fecd7d9898b32f6), f64::from_bits(0xbc6f2fa062496738)), // 9.013488470460220281e-1 + -1.352479e-17
-    (f64::from_bits(0x3fecc1f0f3fcfc5c), f64::from_bits(0x3c7e57613b68f6ab)), // 8.986744656939538167e-1 + 2.631691e-17
-    (f64::from_bits(0x3fecabc169a0b900), f64::from_bits(0x3c8c42d3e10851d1)), // 8.959662497561851069e-1 + 4.902510e-17
-    (f64::from_bits(0x3fec954b213411f5), f64::from_bits(0xbc52fb761e946603)), // 8.932243011955153245e-1 + -4.116124e-18
-    (f64::from_bits(0x3fec7e8e52233cf3), f64::from_bits(0x3c6b2ad324aa35c1)), // 8.904487232447578782e-1 + 1.178193e-17
-    (f64::from_bits(0x3fec678b3488739b), f64::from_bits(0x3c6d86cac7c5ff5b)), // 8.876396204028539350e-1 + 1.280509e-17
-    (f64::from_bits(0x3fec5042012b6907), f64::from_bits(0xbc65c058dd8eaba5)), // 8.847970984309377895e-1 + -9.433147e-18
-    (f64::from_bits(0x3fec38b2f180bdb1), f64::from_bits(0xbc76e0b1757c8d07)), // 8.819212643483550496e-1 + -1.984325e-17
-    (f64::from_bits(0x3fec20de3fa971b0), f64::from_bits(0xbc8b4ca2bab1322c)), // 8.790122264286335252e-1 + -4.735684e-17
-    (f64::from_bits(0x3fec08c426725549), f64::from_bits(0x3c5b157fd80e2946)), // 8.760700941954066012e-1 + 5.872902e-18
-    (f64::from_bits(0x3febf064e15377dd), f64::from_bits(0x3c62156026a1e028)), // 8.730949784182900908e-1 + 7.842467e-18
-    (f64::from_bits(0x3febd7c0ac6f952a), f64::from_bits(0xbc8825a732ac700a)), // 8.700869911087114605e-1 + -4.188851e-17
-    (f64::from_bits(0x3febbed7c49380ea), f64::from_bits(0x3c4beacbd88500b4)), // 8.670462455156926485e-1 + 3.026786e-18
-    (f64::from_bits(0x3feba5aa673590d2), f64::from_bits(0x3c87ea4e370753b6)), // 8.639728561215866964e-1 + 4.148636e-17
-    (f64::from_bits(0x3feb8c38d27504e9), f64::from_bits(0xbc81529abff40e45)), // 8.608669386377673094e-1 + -3.005005e-17
-    (f64::from_bits(0x3feb728345196e3e), f64::from_bits(0xbc8bc69f324e6d61)), // 8.577286100002721181e-1 + -4.818345e-17
-    (f64::from_bits(0x3feb5889fe921405), f64::from_bits(0xbc6df49b307c8602)), // 8.545579883654005338e-1 + -1.299112e-17
-    (f64::from_bits(0x3feb3e4d3ef55712), f64::from_bits(0xbc8eb6b8bf11a493)), // 8.513551931052651955e-1 + -5.327987e-17
-    (f64::from_bits(0x3feb23cd470013b4), f64::from_bits(0x3c75a1bb35ad6d2e)), // 8.481203448032972325e-1 + 1.876256e-17
-    (f64::from_bits(0x3feb090a58150200), f64::from_bits(0xbc8926da300ffcce)), // 8.448535652497071169e-1 + -4.363136e-17
-    (f64::from_bits(0x3feaee04b43c1474), f64::from_bits(0xbc83a79a438bf8cc)), // 8.415549774368984437e-1 + -3.409547e-17
-    (f64::from_bits(0x3fead2bc9e21d511), f64::from_bits(0xbc847fbe07bea548)), // 8.382247055548380787e-1 + -3.556009e-17
-    (f64::from_bits(0x3feab7325916c0d4), f64::from_bits(0x3c8a8b8c85baaa9b)), // 8.348628749863800103e-1 + 4.604843e-17
-    (f64::from_bits(0x3fea9b66290ea1a3), f64::from_bits(0x3c39f630e8b6dac8)), // 8.314696123025452357e-1 + 1.407386e-18
-    (f64::from_bits(0x3fea7f58529fe69d), f64::from_bits(0xbc897a441584a179)), // 8.280450452577557963e-1 + -4.419659e-17
-    (f64::from_bits(0x3fea63091b02fae2), f64::from_bits(0xbc7e911152248d10)), // 8.245893027850252910e-1 + -2.651236e-17
-    (f64::from_bits(0x3fea4678c8119ac8), f64::from_bits(0x3c81b4c0dd3f212a)), // 8.211025149911046483e-1 + 3.071513e-17
-    (f64::from_bits(0x3fea29a7a0462782), f64::from_bits(0xbc7128bb015df175)), // 8.175848131515837114e-1 + -1.488315e-17
-    (f64::from_bits(0x3fea0c95eabaf937), f64::from_bits(0xbc8e0ca3acbd049a)), // 8.140363297059484138e-1 + -5.212735e-17
-    (f64::from_bits(0x3fe9ef43ef29af94), f64::from_bits(0x3c7b1dfcb60445c2)), // 8.104571982525947682e-1 + 2.352037e-17
-    (f64::from_bits(0x3fe9d1b1f5ea80d5), f64::from_bits(0x3c8c5fadd5ffb36f)), // 8.068475535437992230e-1 + 4.922060e-17
-    (f64::from_bits(0x3fe9b3e047f38741), f64::from_bits(0xbc830ee286712474)), // 8.032075314806449429e-1 + -3.306061e-17
-    (f64::from_bits(0x3fe995cf2ed80d22), f64::from_bits(0x3c77783e907fbd7b)), // 7.995372691079050131e-1 + 2.035672e-17
-    (f64::from_bits(0x3fe9777ef4c7d742), f64::from_bits(0xbc815479a240665e)), // 7.958369046088835663e-1 + -3.006272e-17
-    (f64::from_bits(0x3fe958efe48e6dd7), f64::from_bits(0xbc8561335da0f4e7)), // 7.921065773002123889e-1 + -3.708785e-17
-    (f64::from_bits(0x3fe93a22499263fb), f64::from_bits(0x3c83d419a920df0b)), // 7.883464276266062276e-1 + 3.439699e-17
-    (f64::from_bits(0x3fe91b166fd49da2), f64::from_bits(0xbc63be953a7fe996)), // 7.845565971555752416e-1 + -8.562797e-18
-    (f64::from_bits(0x3fe8fbcca3ef940d), f64::from_bits(0xbc66dfa99c86f2f1)), // 7.807372285720944882e-1 + -9.919878e-18
-    (f64::from_bits(0x3fe8dc45331698cc), f64::from_bits(0x3c61d9fcd83634d7)), // 7.768884656732324423e-1 + 7.741860e-18
-    (f64::from_bits(0x3fe8bc806b151741), f64::from_bits(0xbc82c5e12ed1336d)), // 7.730104533627369934e-1 + -3.256591e-17
-    (f64::from_bits(0x3fe89c7e9a4dd4aa), f64::from_bits(0x3c8db6ea04a8678f)), // 7.691033376455795878e-1 + 5.154646e-17
-    (f64::from_bits(0x3fe87c400fba2ebf), f64::from_bits(0xbc82dabc0c3f64cd)), // 7.651672656224589586e-1 + -3.270723e-17
-    (f64::from_bits(0x3fe85bc51ae958cc), f64::from_bits(0x3c845ba6478086cc)), // 7.612023854842617787e-1 + 3.531551e-17
-    (f64::from_bits(0x3fe83b0e0bff976e), f64::from_bits(0xbc76f420f8ea3475)), // 7.572088465064845675e-1 + -1.990910e-17
-    (f64::from_bits(0x3fe81a1b33b57acc), f64::from_bits(0xbc85dea12d66bb66)), // 7.531867990436125204e-1 + -3.793779e-17
-    (f64::from_bits(0x3fe7f8ece3571771), f64::from_bits(0xbc89c8d8ce93c917)), // 7.491363945234593702e-1 + -4.472908e-17
-    (f64::from_bits(0x3fe7d7836cc33db2), f64::from_bits(0x3c7162715ef03f85)), // 7.450577854414659473e-1 + 1.507869e-17
-    (f64::from_bits(0x3fe7b5df226aafaf), f64::from_bits(0xbc70f537acdf0ad7)), // 7.409511253549591059e-1 + -1.470862e-17
-    (f64::from_bits(0x3fe79400574f55e5), f64::from_bits(0xbc80adadbdb4c65a)), // 7.368165688773699040e-1 + -2.893247e-17
-    (f64::from_bits(0x3fe771e75f037261), f64::from_bits(0x3c75cfce8d84068f)), // 7.326542716724128157e-1 + 1.891867e-17
-    (f64::from_bits(0x3fe74f948da8d28d), f64::from_bits(0x3c019900a3b9a3a2)), // 7.284643904482251964e-1 + 1.192464e-19
-    (f64::from_bits(0x3fe72d0837efff96), f64::from_bits(0x3c80d4ef0f1d915c)), // 7.242470829514668917e-1 + 2.919847e-17
-    (f64::from_bits(0x3fe70a42b3176d7a), f64::from_bits(0xbc7d9e3fbe2e15a0)), // 7.200025079613816548e-1 + -2.568966e-17
-    (f64::from_bits(0x3fe6e74454eaa8af), f64::from_bits(0xbc8dbc03c84e226e)), // 7.157308252838187057e-1 + -5.158102e-17
-    (f64::from_bits(0x3fe6c40d73c18275), f64::from_bits(0x3c625d4f802be257)), // 7.114321957452164336e-1 + 7.964330e-18
-    (f64::from_bits(0x3fe6a09e667f3bcd), f64::from_bits(0xbc8bdd3413b26456)), // 7.071067811865475727e-1 + -4.833647e-17
-    (f64::from_bits(0x3fe67cf78491af10), f64::from_bits(0x3c4750ab23477b61)), // 7.027547444572252999e-1 + 2.527829e-18
-    (f64::from_bits(0x3fe6591925f0783d), f64::from_bits(0x3c8c3d64fbf5de23)), // 6.983762494089728046e-1 + 4.898828e-17
-    (f64::from_bits(0x3fe63503a31c1be9), f64::from_bits(0x3c61248f09e6587c)), // 6.939714608896540016e-1 + 7.434508e-18
-    (f64::from_bits(0x3fe610b7551d2cdf), f64::from_bits(0xbc7251b352ff2a37)), // 6.895405447370669405e-1 + -1.588932e-17
-    (f64::from_bits(0x3fe5ec3495837074), f64::from_bits(0x3c7dea89a9b8f727)), // 6.850836677727003554e-1 + 2.594814e-17
-    (f64::from_bits(0x3fe5c77bbe65018c), f64::from_bits(0x3c8069ea9c0bc32a)), // 6.806009977954530221e-1 + 2.847329e-17
-    (f64::from_bits(0x3fe5a28d2a5d7250), f64::from_bits(0x3c857a25f8b13430)), // 6.760927035753159231e-1 + 3.725690e-17
-    (f64::from_bits(0x3fe57d69348ceca0), f64::from_bits(0xbc875720992bfbb2)), // 6.715589548470184411e-1 + -4.048904e-17
-    (f64::from_bits(0x3fe5581038975137), f64::from_bits(0x3c84570d9efe26df)), // 6.669999223036374714e-1 + 3.528436e-17
-    (f64::from_bits(0x3fe5328292a35596), f64::from_bits(0xbc7a12eb89da0257)), // 6.624157775901717837e-1 + -2.261551e-17
-    (f64::from_bits(0x3fe50cc09f59a09b), f64::from_bits(0x3c7693463a2c2e6f)), // 6.578066932970786374e-1 + 1.958094e-17
-    (f64::from_bits(0x3fe4e6cabbe3e5e9), f64::from_bits(0x3c63c293edceb327)), // 6.531728429537767555e-1 + 8.569564e-18
-    (f64::from_bits(0x3fe4c0a145ec0004), f64::from_bits(0x3c52630cfafceaa1)), // 6.485144010221124411e-1 + 3.987027e-18
-    (f64::from_bits(0x3fe49a449b9b0939), f64::from_bits(0xbc827ee16d719b94)), // 6.438315428897914972e-1 + -3.208480e-17
-    (f64::from_bits(0x3fe473b51b987347), f64::from_bits(0x3c6ca1953514e41b)), // 6.391244448637757314e-1 + 1.241680e-17
-    (f64::from_bits(0x3fe44cf325091dd6), f64::from_bits(0x3c68076a2cfdc6b3)), // 6.343932841636454878e-1 + 1.042090e-17
-    (f64::from_bits(0x3fe425ff178e6bb1), f64::from_bits(0x3c87b38d675140ca)), // 6.296382389149269843e-1 + 4.111533e-17
-    (f64::from_bits(0x3fe3fed9534556d4), f64::from_bits(0x3c836916608c5061)), // 6.248594881423863434e-1 + 3.367185e-17
-    (f64::from_bits(0x3fe3d78238c58344), f64::from_bits(0xbc80219f5f0f79ce)), // 6.200572117632892066e-1 + -2.798341e-17
-    (f64::from_bits(0x3fe3affa292050b9), f64::from_bits(0x3c7e3e25e3954964)), // 6.152315905806268193e-1 + 2.623142e-17
-    (f64::from_bits(0x3fe3884185dfeb22), f64::from_bits(0xbc7a038026abe6b2)), // 6.103828062763094753e-1 + -2.256327e-17
-    (f64::from_bits(0x3fe36058b10659f3), f64::from_bits(0xbc81fcb3a35857e7)), // 6.055110414043255451e-1 + -3.120267e-17
-    (f64::from_bits(0x3fe338400d0c8e57), f64::from_bits(0xbc8abf2a5e95e6e5)), // 6.006164793838689731e-1 + -4.639820e-17
-    (f64::from_bits(0x3fe30ff7fce17035), f64::from_bits(0xbc6efcc626f74a6f)), // 5.956993044924333569e-1 + -1.343864e-17
-    (f64::from_bits(0x3fe2e780e3e8ea17), f64::from_bits(0xbc8b19fafe36587a)), // 5.907597018588742754e-1 + -4.701358e-17
-    (f64::from_bits(0x3fe2bedb25faf3ea), f64::from_bits(0xbc514981c796ee46)), // 5.857978574564388641e-1 + -3.748550e-18
-    (f64::from_bits(0x3fe2960727629ca8), f64::from_bits(0x3c756d6c7af02d5c)), // 5.808139580957645265e-1 + 1.858534e-17
-    (f64::from_bits(0x3fe26d054cdd12df), f64::from_bits(0xbc85da743ef3770c)), // 5.758081914178453387e-1 + -3.790950e-17
-    (f64::from_bits(0x3fe243d5fb98ac1f), f64::from_bits(0x3c7c533d0a284a8d)), // 5.707807458869672557e-1 + 2.456815e-17
-    (f64::from_bits(0x3fe21a799933eb59), f64::from_bits(0xbc83a7b177c68fb2)), // 5.657318107836132315e-1 + -3.409608e-17
-    (f64::from_bits(0x3fe1f0f08bbc861b), f64::from_bits(0xbc610d9dcafb74cb)), // 5.606615761973360312e-1 + -7.395642e-18
-    (f64::from_bits(0x3fe1c73b39ae68c8), f64::from_bits(0x3c8b25dd267f6600)), // 5.555702330196021776e-1 + 4.709411e-17
-    (f64::from_bits(0x3fe19d5a09f2b9b8), f64::from_bits(0xbc633656c68a1d4a)), // 5.504579729366048113e-1 + -8.331990e-18
-    (f64::from_bits(0x3fe1734d63dedb49), f64::from_bits(0xbc87eef2ccc50575)), // 5.453249884220464638e-1 + -4.151782e-17
-    (f64::from_bits(0x3fe14915af336ceb), f64::from_bits(0x3c7f3660558a0213)), // 5.401714727298928542e-1 + 2.707245e-17
-    (f64::from_bits(0x3fe11eb3541b4b23), f64::from_bits(0xbc8ef23b69abe4f1)), // 5.349976198870972643e-1 + -5.368313e-17
-    (f64::from_bits(0x3fe0f426bb2a8e7e), f64::from_bits(0xbc8bb58fb774f8ee)), // 5.298036246862947163e-1 + -4.806784e-17
-    (f64::from_bits(0x3fe0c9704d5d898f), f64::from_bits(0xbc88d3d7de6ee9b2)), // 5.245896826784689493e-1 + -4.306887e-17
-    (f64::from_bits(0x3fe09e907417c5e1), f64::from_bits(0xbc8fe573741a9bd4)), // 5.193559901655896427e-1 + -5.533125e-17
-    (f64::from_bits(0x3fe073879922ffee), f64::from_bits(0xbc8a5a014347406c)), // 5.141027441932217723e-1 + -4.571271e-17
-    (f64::from_bits(0x3fe0485626ae221a), f64::from_bits(0x3c8b937d9091ff70)), // 5.088301425431069891e-1 + 4.783697e-17
-    (f64::from_bits(0x3fe01cfc874c3eb7), f64::from_bits(0xbc734a35e7c2368c)), // 5.035383837257175754e-1 + -1.673131e-17
-    (f64::from_bits(0x3fdfe2f64be71210), f64::from_bits(0xbc7297ab1ca2d7db)), // 4.982276669727818685e-1 + -1.612638e-17
-    (f64::from_bits(0x3fdf8ba4dbf89aba), f64::from_bits(0xbc32ec1fc1b776b8)), // 4.928981922297840379e-1 + -1.025783e-18
-    (f64::from_bits(0x3fdf3405963fd067), f64::from_bits(0x3c706846d44a238f)), // 4.875501601484359404e-1 + 1.423109e-17
-    (f64::from_bits(0x3fdedc1952ef78d6), f64::from_bits(0xbc7dd0f7c33edee6)), // 4.821837720791227744e-1 + -2.586150e-17
-    (f64::from_bits(0x3fde83e0eaf85114), f64::from_bits(0xbc67bc380ef24ba7)), // 4.767992300633221436e-1 + -1.029352e-17
-    (f64::from_bits(0x3fde2b5d3806f63b), f64::from_bits(0x3c5e0d891d3c6841)), // 4.713967368259976420e-1 + 6.516678e-18
-    (f64::from_bits(0x3fddd28f1481cc58), f64::from_bits(0xbc4e7576fa6c944e)), // 4.659764957679661812e-1 + -3.302355e-18
-    (f64::from_bits(0x3fdd79775b86e389), f64::from_bits(0x3c7550ec87bc0575)), // 4.605387109582400051e-1 + 1.848878e-17
-    (f64::from_bits(0x3fdd2016e8e9db5b), f64::from_bits(0xbc6c8bce9d93efb8)), // 4.550835871263438359e-1 + -1.237991e-17
-    (f64::from_bits(0x3fdcc66e9931c45e), f64::from_bits(0x3c56850e59c37f8f)), // 4.496113296546065952e-1 + 4.883192e-18
-    (f64::from_bits(0x3fdc6c7f4997000b), f64::from_bits(0xbc7bec2669c68e74)), // 4.441221445704292559e-1 + -2.421887e-17
-    (f64::from_bits(0x3fdc1249d8011ee7), f64::from_bits(0xbc7813aabb515206)), // 4.386162385385276585e-1 + -2.088332e-17
-    (f64::from_bits(0x3fdbb7cf2304bd01), f64::from_bits(0x3c69e1a5bd9269d4)), // 4.330938188531519573e-1 + 1.122428e-17
-    (f64::from_bits(0x3fdb5d1009e15cc0), f64::from_bits(0x3c65b362cb974183)), // 4.275550934302820849e-1 + 9.411190e-18
-    (f64::from_bits(0x3fdb020d6c7f4009), f64::from_bits(0x3c5414ae7e555208)), // 4.220002707997996816e-1 + 4.354327e-18
-    (f64::from_bits(0x3fdaa6c82b6d3fca), f64::from_bits(0xbc7d5f106ee5ccf7)), // 4.164295600976372080e-1 + -2.547558e-17
-    (f64::from_bits(0x3fda4b4127dea1e5), f64::from_bits(0xbc7bec6f01bc22f1)), // 4.108431710579039664e-1 + -2.421984e-17
-    (f64::from_bits(0x3fd9ef7943a8ed8a), f64::from_bits(0x3c66da81290bdbab)), // 4.052413140049898610e-1 + 9.911140e-18
-    (f64::from_bits(0x3fd993716141bdff), f64::from_bits(0xbc715e8cce261c55)), // 3.996241998456468436e-1 + -1.506550e-17
-    (f64::from_bits(0x3fd9372a63bc93d7), f64::from_bits(0x3c6684319e5ad5b1)), // 3.939920400610480988e-1 + 9.764924e-18
-    (f64::from_bits(0x3fd8daa52ec8a4b0), f64::from_bits(0xbc672eb2db8c621e)), // 3.883450466988263017e-1 + -1.005377e-17
-    (f64::from_bits(0x3fd87de2a6aea963), f64::from_bits(0xbc672cedd3d5a610)), // 3.826834323650897818e-1 + -1.005077e-17
-    (f64::from_bits(0x3fd820e3b04eaac4), f64::from_bits(0xbc492379eb01c6b6)), // 3.770074102164182595e-1 + -2.725530e-18
-    (f64::from_bits(0x3fd7c3a9311dcce7), f64::from_bits(0x3c19a3f21ef3e8d9)), // 3.713171939518375431e-1 + 3.474924e-19
-    (f64::from_bits(0x3fd766340f2418f6), f64::from_bits(0x3c72b2adc9041b2c)), // 3.656129978047738538e-1 + 1.621790e-17
-    (f64::from_bits(0x3fd7088530fa459f), f64::from_bits(0xbc744b19e0864c5d)), // 3.598950365349881664e-1 + -1.760169e-17
-    (f64::from_bits(0x3fd6aa9d7dc77e17), f64::from_bits(0xbc738b470592c7b3)), // 3.541635254204903993e-1 + -1.695176e-17
-    (f64::from_bits(0x3fd64c7ddd3f27c6), f64::from_bits(0x3c510d2b4a664121)), // 3.484186802494345647e-1 + 3.697442e-18
-    (f64::from_bits(0x3fd5ee27379ea693), f64::from_bits(0x3c7634ff2fa75245)), // 3.426607173119943783e-1 + 1.926152e-17
-    (f64::from_bits(0x3fd58f9a75ab1fdd), f64::from_bits(0xbc1efdc0d58cf620)), // 3.368898533922200511e-1 + -4.200094e-19
-    (f64::from_bits(0x3fd530d880af3c24), f64::from_bits(0xbc7fab8e2103fbd6)), // 3.311063057598764292e-1 + -2.746947e-17
-    (f64::from_bits(0x3fd4d1e24278e76a), f64::from_bits(0x3c62417218792858)), // 3.253102921622629262e-1 + 7.917125e-18
-    (f64::from_bits(0x3fd472b8a5571054), f64::from_bits(0xbc701ea0fe4dff23)), // 3.195020308160156919e-1 + -1.398156e-17
-    (f64::from_bits(0x3fd4135c94176601), f64::from_bits(0x3c70c97c4afa2518)), // 3.136817403988914621e-1 + 1.456045e-17
-    (f64::from_bits(0x3fd3b3cefa0414b7), f64::from_bits(0x3c7f36dc4a9c2294)), // 3.078496400415348666e-1 + 2.707409e-17
-    (f64::from_bits(0x3fd35410c2e18152), f64::from_bits(0xbc73cb002f96e062)), // 3.020059493192280842e-1 + -1.716767e-17
-    (f64::from_bits(0x3fd2f422daec0387), f64::from_bits(0xbc77501ba473da6f)), // 2.961508882436238443e-1 + -2.022074e-17
-    (f64::from_bits(0x3fd294062ed59f06), f64::from_bits(0xbc75d28da2c4612d)), // 2.902846772544623866e-1 + -1.892798e-17
-    (f64::from_bits(0x3fd233bbabc3bb71), f64::from_bits(0x3c799b04e23259ef)), // 2.844075372112718214e-1 + 2.220927e-17
-    (f64::from_bits(0x3fd1d3443f4cdb3e), f64::from_bits(0xbc6720d41c13519e)), // 2.785196893850531152e-1 + -1.003027e-17
-    (f64::from_bits(0x3fd172a0d7765177), f64::from_bits(0x3c622575f33366be)), // 2.726213554499489766e-1 + 7.869717e-18
-    (f64::from_bits(0x3fd111d262b1f677), f64::from_bits(0x3c7824c20ab7aa9a)), // 2.667127574748983654e-1 + 2.094122e-17
-    (f64::from_bits(0x3fd0b0d9cfdbdb90), f64::from_bits(0x3c53b3a7b8d1200d)), // 2.607941179152755140e-1 + 4.272142e-18
-    (f64::from_bits(0x3fd04fb80e37fdae), f64::from_bits(0xbc0412cdb72583cc)), // 2.548656596045145717e-1 + -1.360230e-19
-    (f64::from_bits(0x3fcfdcdc1adfedf9), f64::from_bits(0xbc62dba4580ed7bb)), // 2.489276057457201763e-1 + -8.178344e-18
-    (f64::from_bits(0x3fcf19f97b215f1b), f64::from_bits(0xbc642deef11da2c4)), // 2.429801799032638987e-1 + -8.751432e-18
-    (f64::from_bits(0x3fce56ca1e101a1b), f64::from_bits(0x3c646ac3f9fd0227)), // 2.370236059943671980e-1 + 8.854485e-18
-    (f64::from_bits(0x3fcd934fe5454311), f64::from_bits(0x3c675b92277107ad)), // 2.310581082806711095e-1 + 1.012979e-17
-    (f64::from_bits(0x3fcccf8cb312b286), f64::from_bits(0x3c52382b0aecadf8)), // 2.250839113597928320e-1 + 3.950704e-18
-    (f64::from_bits(0x3fcc0b826a7e4f63), f64::from_bits(0xbc1af1439e521935)), // 2.191012401568697976e-1 + -3.651381e-19
-    (f64::from_bits(0x3fcb4732ef3d6722), f64::from_bits(0x3c6bbe5d5d75cbd8)), // 2.131103199160913619e-1 + 1.203187e-17
-    (f64::from_bits(0x3fca82a025b00451), f64::from_bits(0xbc687905ffd084ad)), // 2.071113761922185603e-1 + -1.061336e-17
-    (f64::from_bits(0x3fc9bdcbf2dc4366), f64::from_bits(0x3c69632d189956fe)), // 2.011046348420919005e-1 + 1.101003e-17
-    (f64::from_bits(0x3fc8f8b83c69a60b), f64::from_bits(0xbc626d19b9ff8d82)), // 1.950903220161282758e-1 + -7.991079e-18
-    (f64::from_bits(0x3fc83366e89c64c6), f64::from_bits(0xbc6192952df10db8)), // 1.890686641498062204e-1 + -7.620896e-18
-    (f64::from_bits(0x3fc76dd9de50bf31), f64::from_bits(0x3c61d5eeec501b2f)), // 1.830398879551409508e-1 + 7.734992e-18
-    (f64::from_bits(0x3fc6a81304f64ab2), f64::from_bits(0x3c5f0cd73fb5d8d4)), // 1.770042204121487495e-1 + 6.732930e-18
-    (f64::from_bits(0x3fc5e214448b3fc6), f64::from_bits(0x3c6531ff779ddac6)), // 1.709618887603012172e-1 + 9.191998e-18
-    (f64::from_bits(0x3fc51bdf8597c5f2), f64::from_bits(0xbc29f9976af04aa5)), // 1.649131204899699221e-1 + -7.040529e-19
-    (f64::from_bits(0x3fc45576b1293e5a), f64::from_bits(0xbc5285a24119f7b1)), // 1.588581433338614457e-1 + -4.016320e-18
-    (f64::from_bits(0x3fc38edbb0cd8d14), f64::from_bits(0xbc6198c21fbf7718)), // 1.527971852584434354e-1 + -7.631357e-18
-    (f64::from_bits(0x3fc2c8106e8e613a), f64::from_bits(0x3c513000a89a11e0)), // 1.467304744553617479e-1 + 3.726947e-18
-    (f64::from_bits(0x3fc20116d4ec7bcf), f64::from_bits(0xbc6242c8e1053452)), // 1.406582393328492386e-1 + -7.919393e-18
-    (f64::from_bits(0x3fc139f0cedaf577), f64::from_bits(0xbc6523434d1b3cfa)), // 1.345807085071261955e-1 + -9.167036e-18
-    (f64::from_bits(0x3fc072a047ba831d), f64::from_bits(0x3c519db1f70118ca)), // 1.284981107937931688e-1 + 3.819860e-18
-    (f64::from_bits(0x3fbf564e56a9730e), f64::from_bits(0x3c4a2704729ae56d)), // 1.224106751992161957e-1 + 2.835450e-18
-    (f64::from_bits(0x3fbdc70ecbae9fc9), f64::from_bits(0x3c32fda2d73295ee)), // 1.163186309119047662e-1 + 1.029491e-18
-    (f64::from_bits(0x3fbc3785c79ec2d5), f64::from_bits(0xbc24f39df133fb21)), // 1.102222072938830594e-1 + -5.678950e-19
-    (f64::from_bits(0x3fbaa7b724495c03), f64::from_bits(0x3c5e5399ba0967b8)), // 1.041216338720545725e-1 + 6.576025e-18
-    (f64::from_bits(0x3fb917a6bc29b42c), f64::from_bits(0xbc3e2718d26ed688)), // 9.801714032956060363e-2 + -1.634582e-18
-    (f64::from_bits(0x3fb787586a5d5b21), f64::from_bits(0x3c55f7589f083399)), // 9.190895649713272386e-2 + 4.763159e-18
-    (f64::from_bits(0x3fb5f6d00a9aa419), f64::from_bits(0xbc4f4022d03f6c9a)), // 8.579731234443989385e-2 + -3.388189e-18
-    (f64::from_bits(0x3fb4661179272096), f64::from_bits(0xbc54b109f2406c4c)), // 7.968243797143012563e-2 + -4.486766e-18
-    (f64::from_bits(0x3fb2d52092ce19f6), f64::from_bits(0xbc49a088a8bf6b2c)), // 7.356456359966742631e-2 + -2.778494e-18
-    (f64::from_bits(0x3fb1440134d709b3), f64::from_bits(0xbc5fec446daea6ad)), // 6.744391956366406482e-2 + -6.922180e-18
-    (f64::from_bits(0x3faf656e79f820e0), f64::from_bits(0xbc22e1ebe392bffe)), // 6.132073630220857829e-2 + -5.118113e-19
-    (f64::from_bits(0x3fac428d12c0d7e3), f64::from_bits(0xbc389bc74b58c513)), // 5.519524434968994114e-2 + -1.334030e-18
-    (f64::from_bits(0x3fa91f65f10dd814), f64::from_bits(0xbc2912bd0d569a90)), // 4.906767432741801493e-2 + -6.796104e-19
-    (f64::from_bits(0x3fa5fc00d290cd43), f64::from_bits(0x3c4a2669a693a8e1)), // 4.293825693494082024e-2 + 2.835194e-18
-    (f64::from_bits(0x3fa2d865759455cd), f64::from_bits(0x3c2686f65ba93ac0)), // 3.680722294135883171e-2 + 6.106009e-19
-    (f64::from_bits(0x3f9f693731d1cf01), f64::from_bits(0xbbd3fe9bc66286c7)), // 3.067480317663662595e-2 + -1.693605e-20
-    (f64::from_bits(0x3f992155f7a3667e), f64::from_bits(0xbbfb1d63091a0130)), // 2.454122852291228812e-2 + -9.186849e-20
-    (f64::from_bits(0x3f92d936bbe30efd), f64::from_bits(0x3c2b5f91ee371d64)), // 1.840672990580482019e-2 + 7.419553e-19
-    (f64::from_bits(0x3f8921d1fcdec784), f64::from_bits(0x3c29878ebe836d9d)), // 1.227153828571992539e-2 + 6.919791e-19
-    (f64::from_bits(0x3f7921f0fe670071), f64::from_bits(0x3bfab967fe6b7a9b)), // 6.135884649154475269e-3 + 9.054526e-20
-    (f64::from_bits(0x0000000000000000), f64::from_bits(0x0000000000000000)), // 0.000000000000000000e0 + 0.000000e0
-];
+/// `cos(pi n/512)` for `n in 0..=256` — the bit-exact mirror
+/// `sinpi_t(256 - n)`, verified at build time.
+#[inline(always)]
+pub fn cospi_t(n: usize) -> (f64, f64) {
+    sinpi_t(256 - n)
+}
 
-/// `ln 2` (hi part).
-pub const LN2_HI: f64 = f64::from_bits(0x3fe62e42fefa39ef); // 6.931471805599452862e-1
-/// `ln 2` (lo part; hi + lo is exact to ~2^-106).
-pub const LN2_LO: f64 = f64::from_bits(0x3c7abc9e3b39803f); // 2.319047e-17
+// Hi-word-only accessors — the prefix tier's table reads. Every prefix
+// band dwarfs the lo column's contribution (at most ~1 f64 ulp of the
+// hi word, amplified to a few hundred 2^-53 units by the log family's
+// post-fold cancellation floor — see the tier-0 band notes in
+// `crate::fast`), so tier 0 decodes a single u64 per entry and touches
+// half the packed bytes. The full tier keeps the exact hi/lo pairs.
 
-/// `ln 10` (hi part).
-pub const LN10_HI: f64 = f64::from_bits(0x40026bb1bbb55516); // 2.302585092994045901e0
-/// `ln 10` (lo part; hi + lo is exact to ~2^-106).
-pub const LN10_LO: f64 = f64::from_bits(0xbcaf48ad494ea3e9); // -2.170756e-16
+/// Hi word only of [`exp2_64`].
+#[inline(always)]
+pub fn exp2_64_hi(j: usize) -> f64 {
+    codec::unpack_hi(&EXP2_64_P, j, EXP2_64_HI_BASE)
+}
 
-/// `pi` (hi part).
-pub const PI_HI: f64 = f64::from_bits(0x400921fb54442d18); // 3.141592653589793116e0
-/// `pi` (lo part; hi + lo is exact to ~2^-106).
-pub const PI_LO: f64 = f64::from_bits(0x3ca1a62633145c07); // 1.224647e-16
+/// Hi word only of [`ln_f`].
+#[inline(always)]
+pub fn ln_f_hi(j: usize) -> f64 {
+    codec::unpack_hi(&LN_F_P, j, LN_F_HI_BASE)
+}
 
-/// `1 / ln 2` (hi part).
-pub const INV_LN2_HI: f64 = f64::from_bits(0x3ff71547652b82fe); // 1.442695040888963387e0
-/// `1 / ln 2` (lo part; hi + lo is exact to ~2^-106).
-pub const INV_LN2_LO: f64 = f64::from_bits(0x3c7777d0ffda0d24); // 2.035527e-17
+/// Hi word only of [`log2_f`].
+#[inline(always)]
+pub fn log2_f_hi(j: usize) -> f64 {
+    codec::unpack_hi(&LOG2_F_P, j, LOG2_F_HI_BASE)
+}
 
-/// `1 / ln 10` (hi part).
-pub const INV_LN10_HI: f64 = f64::from_bits(0x3fdbcb7b1526e50e); // 4.342944819032518167e-1
-/// `1 / ln 10` (lo part; hi + lo is exact to ~2^-106).
-pub const INV_LN10_LO: f64 = f64::from_bits(0x3c695355baaafad3); // 1.098320e-17
+/// Hi word only of [`log10_f`].
+#[inline(always)]
+pub fn log10_f_hi(j: usize) -> f64 {
+    codec::unpack_hi(&LOG10_F_P, j, LOG10_F_HI_BASE)
+}
 
-/// `log10(2) = ln2 / ln10` (hi part).
-pub const LOG10_2_HI: f64 = f64::from_bits(0x3fd34413509f79ff); // 3.010299956639811980e-1
-/// `log10(2) = ln2 / ln10` (lo part; hi + lo is exact to ~2^-106).
-pub const LOG10_2_LO: f64 = f64::from_bits(0xbc49dc1da994fd21); // -2.803728e-18
+/// Hi word only of [`sinpi_t`].
+#[inline(always)]
+pub fn sinpi_t_hi(n: usize) -> f64 {
+    codec::unpack_hi(&SINPI_T_P, n, SINPI_T_HI_BASE)
+}
 
-/// `ln2/64` rounded to 39 bits: `k * LN2_64_HI` is exact for `|k| < 2^14`.
-pub const LN2_64_HI: f64 = f64::from_bits(0x3f862e42fefa4000); // 1.083042469625183912e-2
+/// Hi word only of [`cospi_t`] (mirror of [`sinpi_t_hi`]).
+#[inline(always)]
+pub fn cospi_t_hi(n: usize) -> f64 {
+    sinpi_t_hi(256 - n)
+}
 
-/// `ln2/64 - LN2_64_HI`, first correction.
-pub const LN2_64_MID: f64 = f64::from_bits(0xbcf0000000000000); // -3.552713678800500929e-15
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// `ln2/64 - LN2_64_HI - LN2_64_MID`, second correction.
-pub const LN2_64_LO: f64 = f64::from_bits(0x0000000000000000); // 0.000000000000000000e0
+    #[test]
+    fn anchor_entries_unpack_exactly() {
+        assert_eq!(exp2_64(0), (1.0, 0.0));
+        assert_eq!(ln_f(0), (0.0, 0.0));
+        assert_eq!(ln_f(128).0, core::f64::consts::LN_2);
+        assert_eq!(log2_f(128), (1.0, 0.0));
+        assert_eq!(sinpi_t(0), (0.0, 0.0));
+        assert_eq!(sinpi_t(256), (1.0, 0.0));
+        assert_eq!(cospi_t(0), (1.0, 0.0));
+        assert_eq!(cospi_t(256), (0.0, 0.0));
+    }
 
-/// `ln 2` rounded to 42 bits: `e * LN2_HI42` is exact for `|e| < 2^11`.
-pub const LN2_HI42: f64 = f64::from_bits(0x3fe62e42fefa3800); // 6.931471805598903302e-1
+    #[test]
+    fn lo_parts_keep_their_signs() {
+        // The packed lo column carries a real sign bit; at least one
+        // entry per table is negative in the committed data.
+        for table in [ln_f as fn(usize) -> (f64, f64), log2_f, log10_f, sinpi_t] {
+            assert!(
+                (0..=128).any(|j| table(j).1 < 0.0),
+                "no negative lo part survived unpacking"
+            );
+        }
+    }
 
-/// `ln2 - LN2_HI42`, first correction.
-pub const LN2_MID: f64 = f64::from_bits(0x3d2ef35793c76730); // 5.497923018708371155e-14
+    #[test]
+    fn hi_accessors_match_pair_hi() {
+        for j in 0..64 {
+            assert_eq!(exp2_64_hi(j).to_bits(), exp2_64(j).0.to_bits());
+        }
+        for j in 0..=128 {
+            assert_eq!(ln_f_hi(j).to_bits(), ln_f(j).0.to_bits());
+            assert_eq!(log2_f_hi(j).to_bits(), log2_f(j).0.to_bits());
+            assert_eq!(log10_f_hi(j).to_bits(), log10_f(j).0.to_bits());
+        }
+        for n in 0..=256 {
+            assert_eq!(sinpi_t_hi(n).to_bits(), sinpi_t(n).0.to_bits());
+            assert_eq!(cospi_t_hi(n).to_bits(), cospi_t(n).0.to_bits());
+        }
+    }
 
-/// `ln2 - LN2_HI42 - LN2_MID`, second correction.
-pub const LN2_LO42: f64 = f64::from_bits(0x398f97b57a079a19); // 1.947045092380749907e-31
-
-/// `-pi^3/6` (sinpi cubic coefficient).
-pub const SINPI_C3: f64 = f64::from_bits(0xc014abbce625be53); // -5.167712780049970256e0
-
-/// `pi^5/120`.
-pub const SINPI_C5: f64 = f64::from_bits(0x400466bc6775aae2); // 2.550164039877345523e0
-
-/// `-pi^7/5040`.
-pub const SINPI_C7: f64 = f64::from_bits(0xbfe32d2cce62bd86); // -5.992645293207921053e-1
-
-/// `-pi^2/2` (cospi quadratic coefficient) (hi part).
-pub const COSPI_C2_HI: f64 = f64::from_bits(0xc013bd3cc9be45de); // -4.934802200544678996e0
-/// `-pi^2/2` (cospi quadratic coefficient) (lo part; hi + lo is exact to ~2^-106).
-pub const COSPI_C2_LO: f64 = f64::from_bits(0xbcb692b71366cc04); // -3.132648e-16
-
-/// `pi^4/24`.
-pub const COSPI_C4: f64 = f64::from_bits(0x40103c1f081b5ac4); // 4.058712126416768484e0
-
-/// `-pi^6/720`.
-pub const COSPI_C6: f64 = f64::from_bits(0xbff55d3c7e3cbffa); // -1.335262768854589499e0
-
-/// `log2(10)` (plain double; only steers integer k).
-pub const LOG2_10: f64 = f64::from_bits(0x400a934f0979a371); // 3.321928094887362182e0
-
-/// `log2(e)` (plain double; only steers integer k).
-pub const LOG2_E: f64 = f64::from_bits(0x3ff71547652b82fe); // 1.442695040888963387e0
-
+    #[test]
+    fn packed_sizes_add_up() {
+        assert_eq!(
+            TABLE_BYTES_PACKED,
+            EXP2_64_P.len() + LN_F_P.len() + LOG2_F_P.len() + LOG10_F_P.len() + SINPI_T_P.len()
+        );
+        // The acceptance gate: >= 30% fewer table bytes than the
+        // unpacked [(f64, f64)] representation.
+        const { assert!(TABLE_BYTES_PACKED * 10 <= TABLE_BYTES_UNPACKED * 7) }
+    }
+}

@@ -1,0 +1,180 @@
+//! The progressive-tier registry: one table row per front-end function
+//! describing its escalation ladder.
+//!
+//! Every entry point climbs the same three rungs — a truncated **prefix**
+//! polynomial tested against a wide round-safety band, the **full**-degree
+//! polynomial tested against the regular band, and the dd kernel with
+//! round-to-odd — and this module is the single place where a rung's
+//! parameters live as *data* rather than as constants scattered through
+//! the front ends. The front ends still reference the `fast::*` constants
+//! directly (so the hot paths fold them at compile time); the registry
+//! re-exports the same constants so harnesses, reports, and tests can
+//! iterate the ladder without hard-coding per-function numbers.
+//!
+//! Soundness invariant, pinned by a test here and in `fast.rs`: a value
+//! that passes the prefix band while the prefix polynomial is within
+//! `PREFIX_DERIVED` of the dd kernel rounds identically to the dd result,
+//! and likewise for the full tier — which requires
+//! `prefix_derived + (full_band - full_derived) <= prefix_band` so that a
+//! prefix-accepted value is never one the full tier would have had to
+//! escalate.
+
+use crate::fast;
+use crate::stats::slot;
+
+/// One function's escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Registry name, matching the suffix of the `runtime.tier.*`
+    /// counters (e.g. `"f32.exp"`).
+    pub name: &'static str,
+    /// Index into the [`crate::stats`] counter arrays.
+    pub slot: usize,
+    /// Round-safety band for the prefix tier (28-bit frac distance).
+    pub prefix_band: u64,
+    /// Round-safety band for the full-degree tier.
+    pub full_band: u64,
+    /// Certified bound on |prefix poly − dd kernel| in band units.
+    pub prefix_derived: u64,
+    /// Certified bound on |full poly − dd kernel| in band units.
+    pub full_derived: u64,
+    /// Terms evaluated by the prefix Horner chain.
+    pub prefix_terms: usize,
+    /// Terms evaluated by the full-degree Horner chain.
+    pub full_terms: usize,
+}
+
+impl TierSpec {
+    /// The soundness inequality for this ladder: any value the prefix
+    /// tier accepts must also be a value the full tier would accept,
+    /// given the two certified error bounds.
+    pub const fn prefix_subsumed_by_full(&self) -> bool {
+        self.prefix_derived + (self.full_band - self.full_derived) <= self.prefix_band
+    }
+}
+
+/// Macro-free row helper so the tables below stay greppable.
+#[allow(clippy::too_many_arguments)] // positional spec row, mirrors the table header
+const fn row(
+    name: &'static str,
+    slot: usize,
+    prefix_band: u64,
+    full_band: u64,
+    prefix_derived: u64,
+    full_derived: u64,
+    prefix_terms: usize,
+    full_terms: usize,
+) -> TierSpec {
+    TierSpec {
+        name,
+        slot,
+        prefix_band,
+        full_band,
+        prefix_derived,
+        full_derived,
+        prefix_terms,
+        full_terms,
+    }
+}
+
+/// The ten f32 front ends, in [`slot`] order.
+#[rustfmt::skip]
+pub const F32_TIERS: [TierSpec; 10] = [
+    row("f32.ln",    slot::LN,    fast::LN_PREFIX_BAND,    fast::LN_BAND,    fast::LN_PREFIX_DERIVED,    fast::LN_DERIVED,    5, 8),
+    row("f32.log2",  slot::LOG2,  fast::LOG2_PREFIX_BAND,  fast::LOG2_BAND,  fast::LOG2_PREFIX_DERIVED,  fast::LOG2_DERIVED,  5, 8),
+    row("f32.log10", slot::LOG10, fast::LOG10_PREFIX_BAND, fast::LOG10_BAND, fast::LOG10_PREFIX_DERIVED, fast::LOG10_DERIVED, 5, 8),
+    row("f32.exp",   slot::EXP,   fast::EXP_PREFIX_BAND,   fast::EXP_BAND,   fast::EXP_PREFIX_DERIVED,   fast::EXP_DERIVED,   5, 8),
+    row("f32.exp2",  slot::EXP2,  fast::EXP2_PREFIX_BAND,  fast::EXP2_BAND,  fast::EXP2_PREFIX_DERIVED,  fast::EXP2_DERIVED,  5, 8),
+    row("f32.exp10", slot::EXP10, fast::EXP10_PREFIX_BAND, fast::EXP10_BAND, fast::EXP10_PREFIX_DERIVED, fast::EXP10_DERIVED, 5, 8),
+    row("f32.sinh",  slot::SINH,  fast::SINH_PREFIX_BAND,  fast::SINH_BAND,  fast::SINH_PREFIX_DERIVED,  fast::SINH_DERIVED,  5, 8),
+    row("f32.cosh",  slot::COSH,  fast::COSH_PREFIX_BAND,  fast::COSH_BAND,  fast::COSH_PREFIX_DERIVED,  fast::COSH_DERIVED,  5, 8),
+    row("f32.sinpi", slot::SINPI, fast::SINPI_PREFIX_BAND, fast::SINPI_BAND, fast::SINPI_PREFIX_DERIVED, fast::SINPI_DERIVED, 2, 4),
+    row("f32.cospi", slot::COSPI, fast::COSPI_PREFIX_BAND, fast::COSPI_BAND, fast::COSPI_PREFIX_DERIVED, fast::COSPI_DERIVED, 3, 4),
+];
+
+/// The eight posit32 front ends. They share the f64 tier kernels with
+/// the f32 paths (the bands bound the *kernel's* error, not the target
+/// format's rounding), so every parameter is reused.
+#[rustfmt::skip]
+pub const POSIT32_TIERS: [TierSpec; 8] = [
+    row("posit32.ln",    slot::P32_LN,    fast::LN_PREFIX_BAND,    fast::LN_BAND,    fast::LN_PREFIX_DERIVED,    fast::LN_DERIVED,    5, 8),
+    row("posit32.log2",  slot::P32_LOG2,  fast::LOG2_PREFIX_BAND,  fast::LOG2_BAND,  fast::LOG2_PREFIX_DERIVED,  fast::LOG2_DERIVED,  5, 8),
+    row("posit32.log10", slot::P32_LOG10, fast::LOG10_PREFIX_BAND, fast::LOG10_BAND, fast::LOG10_PREFIX_DERIVED, fast::LOG10_DERIVED, 5, 8),
+    row("posit32.exp",   slot::P32_EXP,   fast::EXP_PREFIX_BAND,   fast::EXP_BAND,   fast::EXP_PREFIX_DERIVED,   fast::EXP_DERIVED,   5, 8),
+    row("posit32.exp2",  slot::P32_EXP2,  fast::EXP2_PREFIX_BAND,  fast::EXP2_BAND,  fast::EXP2_PREFIX_DERIVED,  fast::EXP2_DERIVED,  5, 8),
+    row("posit32.exp10", slot::P32_EXP10, fast::EXP10_PREFIX_BAND, fast::EXP10_BAND, fast::EXP10_PREFIX_DERIVED, fast::EXP10_DERIVED, 5, 8),
+    row("posit32.sinh",  slot::P32_SINH,  fast::SINH_PREFIX_BAND,  fast::SINH_BAND,  fast::SINH_PREFIX_DERIVED,  fast::SINH_DERIVED,  5, 8),
+    row("posit32.cosh",  slot::P32_COSH,  fast::COSH_PREFIX_BAND,  fast::COSH_BAND,  fast::COSH_PREFIX_DERIVED,  fast::COSH_DERIVED,  5, 8),
+];
+
+/// Looks a spec up by its registry name (`"f32.exp"`, `"posit32.ln"`).
+pub fn by_name(name: &str) -> Option<&'static TierSpec> {
+    F32_TIERS
+        .iter()
+        .chain(POSIT32_TIERS.iter())
+        .find(|t| t.name == name)
+}
+
+/// Looks a spec up by its [`slot`] index.
+pub fn by_slot(s: usize) -> Option<&'static TierSpec> {
+    F32_TIERS.iter().chain(POSIT32_TIERS.iter()).find(|t| t.slot == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ladder_is_sound() {
+        for t in F32_TIERS.iter().chain(POSIT32_TIERS.iter()) {
+            assert!(
+                t.prefix_subsumed_by_full(),
+                "{}: prefix_derived {} + (full_band {} - full_derived {}) > prefix_band {}",
+                t.name,
+                t.prefix_derived,
+                t.full_band,
+                t.full_derived,
+                t.prefix_band
+            );
+            assert!(t.prefix_band > t.full_band, "{}: prefix band must be wider", t.name);
+            assert!(t.prefix_terms < t.full_terms, "{}: prefix must be shorter", t.name);
+        }
+    }
+
+    #[test]
+    fn slots_are_a_bijection() {
+        let mut seen = [false; slot::COUNT];
+        for t in F32_TIERS.iter().chain(POSIT32_TIERS.iter()) {
+            assert!(!seen[t.slot], "{}: slot {} reused", t.name, t.slot);
+            seen[t.slot] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "every slot must have a spec");
+    }
+
+    #[test]
+    fn lookups_agree() {
+        for t in F32_TIERS.iter().chain(POSIT32_TIERS.iter()) {
+            assert_eq!(by_name(t.name), Some(t));
+            assert_eq!(by_slot(t.slot), Some(t));
+        }
+        assert_eq!(by_name("f32.tan"), None);
+        assert_eq!(by_slot(slot::COUNT), None);
+    }
+
+    #[test]
+    fn posit_rows_mirror_their_f32_kernels() {
+        // The posit front ends reuse the f64 tier kernels verbatim, so
+        // their ladder parameters must match the f32 rows one-to-one.
+        for p in &POSIT32_TIERS {
+            let fname = p.name.replace("posit32.", "f32.");
+            let f = by_name(&fname).expect("f32 twin exists");
+            assert_eq!((p.prefix_band, p.full_band), (f.prefix_band, f.full_band), "{}", p.name);
+            assert_eq!(
+                (p.prefix_derived, p.full_derived),
+                (f.prefix_derived, f.full_derived),
+                "{}",
+                p.name
+            );
+        }
+    }
+}

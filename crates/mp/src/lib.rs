@@ -32,6 +32,7 @@ pub mod elem;
 pub mod float;
 pub mod oracle;
 pub mod rational;
+pub mod tables_src;
 
 pub use bigint::BigInt;
 pub use biguint::BigUint;

@@ -64,6 +64,27 @@ impl Counter {
         let _ = n;
     }
 
+    /// Adds `n` events without an atomic read-modify-write: a relaxed
+    /// load/add/store pair instead of `fetch_add`. A locked RMW is a
+    /// full barrier on x86 and serializes otherwise-independent work,
+    /// which costs several ns *per call* when a counter sits on a
+    /// per-call hot path; the plain load/store stays out of the
+    /// dependency chain. The trade: concurrent increments can lose
+    /// counts (last store wins), so this is only for high-frequency
+    /// *statistical* counters where rates matter and exactness under
+    /// contention does not. Single-threaded use is exact.
+    #[inline(always)]
+    pub fn add_lossy(&'static self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.register();
+            self.value
+                .store(self.value.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
+    }
+
     /// Current value (0 without the feature).
     pub fn get(&self) -> u64 {
         #[cfg(feature = "telemetry")]
